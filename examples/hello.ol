@@ -1,0 +1,21 @@
+// Occlang source for the CLI workflow:
+//   occlum_cc examples/hello.ol -o hello.oelf --verify
+//   occlum_verify hello.oelf
+//   occlum_run hello.oelf
+global counter[8];
+
+fn bump() {
+  store64(counter, load64(counter) + 1);
+  return load64(counter);
+}
+
+fn main() {
+  let k = 0;
+  while (k < 5) {
+    print_cstr("tick ");
+    print_int(bump());
+    puts("\n", 1);
+    k = k + 1;
+  }
+  return 0;
+}
