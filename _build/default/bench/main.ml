@@ -1,0 +1,385 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (section 9).
+
+     table1   SIP vs EIP capability/cost summary        (Table 1)
+     fig5a    fish shell script                          (Figure 5a)
+     fig5b    gcc compile pipeline, three input sizes    (Figure 5b)
+     fig5c    lighttpd throughput vs concurrency         (Figure 5c)
+     fig6a    process creation vs binary size            (Figure 6a)
+     fig6b    pipe throughput vs buffer size             (Figure 6b)
+     fig6c    file read throughput (SEFS vs ext4)        (Figure 6c)
+     fig6d    file write throughput (SEFS vs ext4)       (Figure 6d)
+     fig7a    MMDSFI overhead on SPECint-style kernels   (Figure 7a)
+     fig7b    overhead breakdown, naive vs optimized     (Figure 7b)
+     ripe     RIPE attack corpus                         (9.3 security)
+     micro    Bechamel micro-benchmarks of the substrate
+
+   Absolute numbers differ from the paper (the substrate is a simulator,
+   not an SGX testbed); the comparisons within each table are the
+   reproduction target. `--full` enlarges workloads; `--only=a,b` runs a
+   subset. *)
+
+module H = Occlum_workloads.Harness
+module Os = Occlum_libos.Os
+
+let full = Array.exists (( = ) "--full") Sys.argv
+
+let only =
+  Array.to_list Sys.argv
+  |> List.filter_map (fun a ->
+         if String.length a > 7 && String.sub a 0 7 = "--only=" then
+           Some (String.split_on_char ',' (String.sub a 7 (String.length a - 7)))
+         else None)
+  |> List.concat
+
+let selected name = only = [] || List.mem name only
+
+let section name title f =
+  if selected name then begin
+    Printf.printf "\n=== %s: %s ===\n%!" name title;
+    f ()
+  end
+
+let systems = [ H.Linux; H.Occlum; H.Graphene ]
+
+let ms s = s *. 1000.
+let us_of_ns ns = Int64.to_float ns /. 1000.
+
+(* --- Table 1 ------------------------------------------------------------ *)
+
+let table1 () =
+  let spawn_us sys =
+    let os = H.boot sys in
+    Os.install_binary os "/bin/small"
+      (H.build_for sys (H.sized_program ~code_kb:14));
+    H.spawn_latency ~tries:3 os "/bin/small" *. 1e6
+  in
+  let sip = spawn_us H.Occlum and eip = spawn_us H.Graphene in
+  Printf.printf "%-22s %-22s %-22s\n" "" "EIPs (Graphene)" "SIPs (Occlum)";
+  Printf.printf "%-22s %-22s %-22s\n" "Process creation"
+    (Printf.sprintf "%.0f us (expensive)" eip)
+    (Printf.sprintf "%.0f us (cheap)" sip);
+  let _, sip_v, _ = H.run_pipe ~bufsz:4096 H.Occlum in
+  let _, eip_v, _ = H.run_pipe ~bufsz:4096 H.Graphene in
+  Printf.printf "%-22s %-22s %-22s\n" "IPC (pipe, 4KiB)"
+    (Printf.sprintf "%.0f MB/s (encrypted)" eip_v)
+    (Printf.sprintf "%.0f MB/s (plain copy)" sip_v);
+  Printf.printf "%-22s %-22s %-22s\n" "Shared file system" "plaintext/read-only" "writable + encrypted"
+
+(* --- Fig 5a: fish -------------------------------------------------------- *)
+
+let fig5a () =
+  let repeats = if full then 10 else 3 in
+  Printf.printf "%-14s %12s %14s %10s\n" "system" "wall (ms)" "vclock (us)" "spawns";
+  let base = ref 1. in
+  List.iter
+    (fun sys ->
+      let r = H.run_fish ~repeats ~lines:100 sys in
+      if sys = H.Linux then base := r.wall_s;
+      Printf.printf "%-14s %12.1f %14.0f %10d   (x%.1f vs Linux)\n%!"
+        (H.system_name sys) (ms r.wall_s) (us_of_ns r.vclock_ns) r.spawns
+        (r.wall_s /. !base))
+    systems
+
+(* --- Fig 5b: gcc ---------------------------------------------------------- *)
+
+let fig5b () =
+  let sizes =
+    if full then [ ("helloworld.c", 5); ("gzip.c", 5000); ("ogg.c", 50000) ]
+    else [ ("helloworld.c", 5); ("gzip.c", 1000); ("ogg.c", 5000) ]
+  in
+  Printf.printf "%-14s %14s %12s %14s\n" "input" "system" "wall (ms)" "vclock (us)";
+  List.iter
+    (fun (name, lines) ->
+      List.iter
+        (fun sys ->
+          let r = H.run_gcc ~lines sys in
+          Printf.printf "%-14s %14s %12.1f %14.0f\n%!" name (H.system_name sys)
+            (ms r.wall_s) (us_of_ns r.vclock_ns))
+        systems)
+    sizes
+
+(* --- Fig 5c: lighttpd ------------------------------------------------------ *)
+
+let fig5c () =
+  let concurrencies =
+    if full then [ 1; 2; 4; 8; 16; 32; 64; 128 ] else [ 1; 4; 16; 64 ]
+  in
+  let requests c = if full then max 64 (4 * c) else max 24 (2 * c) in
+  Printf.printf "%-14s" "concurrency";
+  List.iter (fun c -> Printf.printf " %8d" c) concurrencies;
+  Printf.printf "   (requests/s, virtual clock)\n";
+  List.iter
+    (fun sys ->
+      Printf.printf "%-14s" (H.system_name sys);
+      List.iter
+        (fun c ->
+          let r = H.run_httpd ~workers:2 ~concurrency:c ~requests:(requests c) sys in
+          Printf.printf " %8.0f" r.throughput_vclock)
+        concurrencies;
+      Printf.printf "\n%!")
+    systems
+
+(* --- Fig 6a: process creation ---------------------------------------------- *)
+
+let fig6a () =
+  let sizes =
+    if full then [ ("helloworld(14KB)", 14); ("busybox(400KB)", 400);
+                   ("cc1(2MB)", 2048) ]
+    else [ ("helloworld(14KB)", 14); ("busybox(400KB)", 400);
+           ("cc1(1MB)", 1024) ]
+  in
+  Printf.printf "%-18s %16s %16s %16s\n" "binary" "Linux (us)" "Graphene (us)"
+    "Occlum (us)";
+  List.iter
+    (fun (name, kb) ->
+      (* domain slots sized to the binary, as a deployment would configure
+         them; slot scrubbing on reuse is then proportional too *)
+      let domains =
+        { Occlum_libos.Domain_mgr.max_domains = 4;
+          domain_code_size =
+            Occlum_util.Bytes_util.round_up (max (128 * 1024) (kb * 1024 * 5 / 2)) 4096;
+          domain_data_size = 1024 * 1024 }
+      in
+      let run sys =
+        let os = H.boot ~domains sys in
+        Os.install_binary os "/bin/sized"
+          (H.build_for sys (H.sized_program ~code_kb:kb));
+        H.spawn_latency ~tries:3 os "/bin/sized" *. 1e6
+      in
+      let linux = run H.Linux in
+      let graphene = run H.Graphene in
+      let occlum = run H.Occlum in
+      Printf.printf "%-18s %16.0f %16.0f %16.0f   (graphene/occlum = %.0fx)\n%!"
+        name linux graphene occlum (graphene /. occlum))
+    sizes
+
+(* --- Fig 6b: pipe ----------------------------------------------------------- *)
+
+let fig6b () =
+  let bufs = [ 16; 64; 256; 1024; 4096 ] in
+  let total = if full then 1 lsl 21 else 1 lsl 18 in
+  Printf.printf "%-14s" "buffer";
+  List.iter (fun b -> Printf.printf " %9d" b) bufs;
+  Printf.printf "   (MB/s, virtual clock)\n";
+  List.iter
+    (fun sys ->
+      Printf.printf "%-14s" (H.system_name sys);
+      List.iter
+        (fun bufsz ->
+          let _, v, _ = H.run_pipe ~total ~bufsz sys in
+          Printf.printf " %9.0f" v)
+        bufs;
+      Printf.printf "\n%!")
+    systems
+
+(* --- Fig 6c/6d: file I/O ------------------------------------------------------ *)
+
+let fig6_file ~write () =
+  let bufs = [ 64; 256; 1024; 4096; 16384 ] in
+  let total = if full then 1 lsl 21 else 1 lsl 19 in
+  Printf.printf "%-14s" "buffer";
+  List.iter (fun b -> Printf.printf " %9d" b) bufs;
+  Printf.printf "   (MB/s, virtual clock)\n";
+  let rows =
+    List.map
+      (fun sys ->
+        let row =
+          List.map (fun bufsz -> fst (H.run_file_io ~total ~bufsz ~write sys)) bufs
+        in
+        Printf.printf "%-14s" (if sys = H.Linux then "Linux(ext4)" else "Occlum(SEFS)");
+        List.iter (fun mbps -> Printf.printf " %9.0f" mbps) row;
+        Printf.printf "\n%!";
+        row)
+      [ H.Linux; H.Occlum ]
+  in
+  match rows with
+  | [ linux; occlum ] ->
+      let avg l = List.fold_left ( +. ) 0. l /. float (List.length l) in
+      Printf.printf "average SEFS overhead vs ext4: %.0f%%\n"
+        (100. *. (1. -. (avg occlum /. avg linux)))
+  | _ -> ()
+
+(* --- Fig 7a: SPEC overhead ----------------------------------------------------- *)
+
+let spec_cycles config prog =
+  let oelf = Occlum_toolchain.Compile.compile_exn ~config prog in
+  let r = Occlum_baseline.Native_run.run oelf in
+  if r.Occlum_baseline.Native_run.exit_code <> 0L then failwith "spec kernel failed";
+  r.cycles
+
+let fig7a () =
+  let scale = if full then 4 else 1 in
+  let kernels = Occlum_workloads.Spec.all ~scale in
+  Printf.printf "%-14s %14s %14s %10s\n" "benchmark" "base cycles" "mmdsfi cycles"
+    "overhead";
+  let overheads =
+    List.map
+      (fun (name, prog) ->
+        let base = spec_cycles Occlum_toolchain.Codegen.bare prog in
+        let inst = spec_cycles Occlum_toolchain.Codegen.sfi prog in
+        let ovh = 100. *. ((float inst /. float base) -. 1.) in
+        Printf.printf "%-14s %14d %14d %9.1f%%\n%!" name base inst ovh;
+        ovh)
+      kernels
+  in
+  Printf.printf "%-14s %40s %8.1f%%\n" "mean" ""
+    (List.fold_left ( +. ) 0. overheads /. float (List.length overheads))
+
+(* --- Fig 7b: overhead breakdown -------------------------------------------------- *)
+
+let fig7b () =
+  let scale = if full then 2 else 1 in
+  let kernels = Occlum_workloads.Spec.all ~scale in
+  let cfg ~loads ~stores ~control ~opt =
+    { Occlum_toolchain.Codegen.sfi with
+      guard_loads = loads; guard_stores = stores; guard_control = control;
+      optimize = opt }
+  in
+  let total variant =
+    List.fold_left (fun acc (_, prog) -> acc + spec_cycles variant prog) 0 kernels
+  in
+  let base = total (cfg ~loads:false ~stores:false ~control:false ~opt:false) in
+  let report label ~opt =
+    let ctrl = total (cfg ~loads:false ~stores:false ~control:true ~opt) in
+    let ctrl_st = total (cfg ~loads:false ~stores:true ~control:true ~opt) in
+    let all = total (cfg ~loads:true ~stores:true ~control:true ~opt) in
+    let pct a b = 100. *. (float (a - b) /. float base) in
+    Printf.printf
+      "%-12s control transfers: %5.1f%%  memory stores: %5.1f%%  memory loads: %5.1f%%  total: %5.1f%%\n%!"
+      label (pct ctrl base) (pct ctrl_st ctrl) (pct all ctrl_st)
+      (100. *. (float (all - base) /. float base))
+  in
+  report "naive" ~opt:false;
+  report "optimized" ~opt:true
+
+(* --- ablation: SGX1 preallocation vs SGX2 EDMM ------------------------------------ *)
+
+(* §6 notes the domain preallocation "is intended to work around the
+   limitation of SGX 1.0 and can be avoided on SGX 2.0". This ablation
+   quantifies the trade: SGX2 commits EPC per live SIP (and re-zeroes
+   pages for free on EAUG), at a small per-spawn mapping cost. *)
+let sgx2_ablation () =
+  let domains =
+    { Occlum_libos.Domain_mgr.max_domains = 8;
+      domain_code_size = 1024 * 1024; domain_data_size = 2 * 1024 * 1024 }
+  in
+  Printf.printf "%-22s %16s %16s %18s\n" "configuration" "spawn (us)"
+    "boot EPC (MB)" "EPC/idle SIP (MB)";
+  List.iter
+    (fun (label, sgx2) ->
+      let config = { Os.default_config with sgx2; domains } in
+      let os = Os.boot ~config () in
+      Os.install_binary os "/bin/small"
+        (H.build_for H.Occlum (H.sized_program ~code_kb:14));
+      let boot_epc = Occlum_sgx.Epc.used_pages os.Os.epc * 4096 in
+      let spawn_us = H.spawn_latency ~tries:5 os "/bin/small" *. 1e6 in
+      (* EPC held by one idle (not yet exited) SIP *)
+      let before = Occlum_sgx.Epc.used_pages os.Os.epc in
+      ignore (Os.spawn os ~parent_pid:0 ~path:"/bin/small" ~args:[]);
+      let per_sip = (Occlum_sgx.Epc.used_pages os.Os.epc - before) * 4096 in
+      Printf.printf "%-22s %16.0f %16.1f %18.2f\n%!" label spawn_us
+        (float boot_epc /. 1048576.)
+        (float per_sip /. 1048576.))
+    [ ("SGX1 (preallocated)", false); ("SGX2 (EDMM)", true) ]
+
+(* --- RIPE ------------------------------------------------------------------------- *)
+
+let ripe () =
+  Printf.printf "%-30s %-38s %s\n" "attack" "Occlum (MMDSFI)" "unprotected baseline";
+  let prevented = ref 0 and total = ref 0 in
+  List.iter
+    (fun (a : Occlum_workloads.Ripe.attack) ->
+      let o = Occlum_workloads.Ripe.run_on_occlum a in
+      let b = Occlum_workloads.Ripe.run_on_baseline a in
+      incr total;
+      (match o with Occlum_workloads.Ripe.Prevented _ -> incr prevented | _ -> ());
+      Printf.printf "%-30s %-38s %s\n%!" a.name
+        (Occlum_workloads.Ripe.outcome_to_string o)
+        (Occlum_workloads.Ripe.outcome_to_string b))
+    Occlum_workloads.Ripe.corpus;
+  Printf.printf
+    "MMDSFI prevented %d/%d attacks (the survivors are return-to-libc, as in the paper)\n"
+    !prevented !total
+
+(* --- Bechamel micro-benchmarks ------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let spawn_test sys name =
+    let os = H.boot sys in
+    Os.install_binary os "/bin/small" (H.build_for sys (H.sized_program ~code_kb:14));
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let pid = Os.spawn os ~parent_pid:0 ~path:"/bin/small" ~args:[] in
+           ignore (Os.wait_pid_exit ~max_steps:200_000 os pid)))
+  in
+  let page = Bytes.make 4096 'x' in
+  let sefs = Occlum_libos.Sefs.create ~key:"bench" () in
+  (match Occlum_libos.Sefs.write_path sefs "/f" (String.make 65536 'y') with
+  | Ok _ -> ()
+  | Error _ -> ());
+  Occlum_libos.Sefs.flush sefs;
+  let small_binary = H.build_for H.Occlum (H.sized_program ~code_kb:14) in
+  let tests =
+    Test.make_grouped ~name:"occlum"
+      [
+        Test.make ~name:"sha256-eadd-page"
+          (Staged.stage (fun () -> Occlum_util.Sha256.digest_bytes page 0 4096));
+        Test.make ~name:"cipher-sefs-block"
+          (Staged.stage (fun () ->
+               Occlum_util.Cipher.encrypt ~key:(String.make 32 'k')
+                 ~nonce:(String.make 12 'n') (Bytes.to_string page)));
+        Test.make ~name:"sefs-read-64k"
+          (Staged.stage (fun () ->
+               Hashtbl.reset sefs.Occlum_libos.Sefs.cache;
+               match Occlum_libos.Sefs.read_path sefs "/f" with
+               | Ok _ -> ()
+               | Error _ -> ()));
+        Test.make ~name:"verifier-14kb-binary"
+          (Staged.stage (fun () ->
+               ignore (Occlum_verifier.Verify.verify small_binary)));
+        spawn_test H.Occlum "spawn-occlum-sip";
+        spawn_test H.Linux "spawn-linux";
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-34s %14.0f ns/op\n" name est
+      | _ -> Printf.printf "%-34s (no estimate)\n" name)
+    results
+
+let micro_eip () =
+  let os = H.boot H.Graphene in
+  Os.install_binary os "/bin/small"
+    (H.build_for H.Graphene (H.sized_program ~code_kb:14));
+  let t = H.spawn_latency ~tries:3 os "/bin/small" in
+  Printf.printf "%-34s %14.0f ns/op (3-sample median)\n" "occlum/spawn-graphene-eip"
+    (t *. 1e9)
+
+let () =
+  Printf.printf "Occlum reproduction benchmark harness%s\n"
+    (if full then " (--full)" else " (quick mode; pass --full for paper-sized runs)");
+  section "table1" "SIPs vs EIPs" table1;
+  section "fig5a" "fish shell benchmark" fig5a;
+  section "fig5b" "GCC compile pipeline" fig5b;
+  section "fig5c" "lighttpd throughput vs concurrent clients" fig5c;
+  section "fig6a" "process creation time vs binary size" fig6a;
+  section "fig6b" "pipe throughput vs buffer size" fig6b;
+  section "fig6c" "sequential file reads (SEFS vs ext4)" (fig6_file ~write:false);
+  section "fig6d" "sequential file writes (SEFS vs ext4)" (fig6_file ~write:true);
+  section "fig7a" "MMDSFI overhead on SPECint-style kernels" fig7a;
+  section "fig7b" "MMDSFI overhead breakdown (naive vs optimized)" fig7b;
+  section "sgx2" "ablation: SGX1 preallocation vs SGX2 EDMM" sgx2_ablation;
+  section "ripe" "RIPE attack corpus" ripe;
+  section "micro" "Bechamel micro-benchmarks" (fun () ->
+      micro ();
+      micro_eip ())

@@ -1,0 +1,1 @@
+bin/occlum_cc.ml: Arg Bytes Cmd Cmdliner List Occlum_oelf Occlum_toolchain Occlum_verifier Printf Term

@@ -1,0 +1,1 @@
+bin/occlum_run.ml: Arg Cmd Cmdliner Filename Int64 List Occlum_libos Occlum_machine Occlum_oelf Printf String Sys Term

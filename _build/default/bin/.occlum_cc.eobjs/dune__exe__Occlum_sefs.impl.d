@@ -1,0 +1,1 @@
+bin/occlum_sefs.ml: Arg Cmd Cmdliner List Occlum_libos Printf String Sys Term

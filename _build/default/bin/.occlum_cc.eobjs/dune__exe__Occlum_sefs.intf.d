@@ -1,0 +1,1 @@
+bin/occlum_sefs.mli:

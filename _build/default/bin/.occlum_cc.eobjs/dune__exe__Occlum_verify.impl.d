@@ -1,0 +1,1 @@
+bin/occlum_verify.ml: Arg Array Cmd Cmdliner List Occlum_oelf Occlum_verifier Printf Term

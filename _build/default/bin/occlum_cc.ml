@@ -1,0 +1,84 @@
+(* occlum_cc: the Occlum toolchain driver. Compiles an Occlang source
+   file into an OELF binary with MMDSFI instrumentation, optionally
+   verifying and signing it in the same run (like the paper's
+   occlum-gcc wrapper around the patched LLVM). *)
+
+open Cmdliner
+
+let compile input output config_name verify listing =
+  let config =
+    match config_name with
+    | "sfi" -> Occlum_toolchain.Codegen.sfi
+    | "naive" -> Occlum_toolchain.Codegen.sfi_naive
+    | "bare" -> Occlum_toolchain.Codegen.bare
+    | other ->
+        prerr_endline ("unknown config: " ^ other ^ " (sfi|naive|bare)");
+        exit 2
+  in
+  match Occlum_toolchain.Parser.parse_file input with
+  | exception Occlum_toolchain.Parser.Parse_error m ->
+      prerr_endline ("parse error: " ^ m);
+      exit 1
+  | exception Sys_error m ->
+      prerr_endline m;
+      exit 1
+  | prog -> (
+      if listing then print_endline (Occlum_toolchain.Compile.listing ~config prog);
+      match Occlum_toolchain.Compile.compile ~config prog with
+      | exception Occlum_toolchain.Ast.Ill_formed m ->
+          prerr_endline ("error: " ^ m);
+          exit 1
+      | exception Occlum_toolchain.Codegen.Codegen_error m ->
+          prerr_endline ("error: " ^ m);
+          exit 1
+      | oelf, stats ->
+          let oelf =
+            if verify && config_name <> "bare" then
+              match Occlum_verifier.Verify.verify_and_sign oelf with
+              | Ok signed -> signed
+              | Error rs ->
+                  prerr_endline "verification failed:";
+                  List.iter
+                    (fun r ->
+                      prerr_endline
+                        ("  " ^ Occlum_verifier.Verify.rejection_to_string r))
+                    rs;
+                  exit 1
+            else oelf
+          in
+          let oc = open_out_bin output in
+          output_string oc (Occlum_oelf.Oelf.to_string oelf);
+          close_out oc;
+          Printf.printf
+            "%s: %d bytes code, %d bytes data, %d guards (%d before \
+             optimization)%s\n"
+            output
+            (Bytes.length oelf.Occlum_oelf.Oelf.code)
+            (Bytes.length oelf.Occlum_oelf.Oelf.data)
+            stats.Occlum_toolchain.Compile.guards_after_opt
+            stats.guards_before_opt
+            (if oelf.signature <> None then ", verified and signed" else ""))
+
+let input_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.ol")
+
+let output_arg =
+  Arg.(value & opt string "a.oelf" & info [ "o"; "output" ] ~docv:"OUTPUT")
+
+let config_arg =
+  Arg.(value & opt string "sfi" & info [ "c"; "config" ]
+         ~doc:"Instrumentation: sfi (optimized, default), naive, or bare.")
+
+let verify_arg =
+  Arg.(value & flag & info [ "verify" ] ~doc:"Verify and sign the output.")
+
+let listing_arg =
+  Arg.(value & flag & info [ "S"; "listing" ] ~doc:"Print the assembly listing.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "occlum_cc" ~doc:"Occlum toolchain: compile Occlang to OELF")
+    Term.(const compile $ input_arg $ output_arg $ config_arg $ verify_arg
+          $ listing_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,94 @@
+(* occlum_run: boot the Occlum LibOS in a fresh simulated enclave,
+   install the given signed binaries on the encrypted FS, spawn the first
+   one and run the system to completion. *)
+
+open Cmdliner
+
+let run binaries args mode_name fs_image save_fs =
+  let mode =
+    match mode_name with
+    | "sip" | "occlum" -> Occlum_libos.Os.Sip
+    | "eip" | "graphene" -> Occlum_libos.Os.Eip
+    | "linux" -> Occlum_libos.Os.Linux
+    | other ->
+        prerr_endline ("unknown mode: " ^ other ^ " (sip|eip|linux)");
+        exit 2
+  in
+  if binaries = [] then begin
+    prerr_endline "no binaries given";
+    exit 2
+  end;
+  let config = { Occlum_libos.Os.default_config with mode } in
+  let host_fs =
+    match fs_image with
+    | Some path when Sys.file_exists path ->
+        Some (Occlum_libos.Sefs.Host_store.load path)
+    | _ -> None
+  in
+  let os = Occlum_libos.Os.boot ~config ?host_fs () in
+  let install path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    let oelf = Occlum_oelf.Oelf.of_string s in
+    let name = "/bin/" ^ Filename.remove_extension (Filename.basename path) in
+    Occlum_libos.Os.install_binary os name oelf;
+    name
+  in
+  let names = List.map install binaries in
+  let first = List.hd names in
+  Printf.printf "booted (%s mode); installed: %s\nspawning %s %s\n---\n%!"
+    mode_name (String.concat " " names) first (String.concat " " args);
+  (match Occlum_libos.Os.spawn os ~parent_pid:0 ~path:first ~args with
+  | exception Occlum_libos.Os.Spawn_error e ->
+      Printf.eprintf "spawn failed: errno %d\n" e;
+      exit 1
+  | _pid -> ());
+  let status = Occlum_libos.Os.run ~max_steps:50_000_000 os in
+  print_string (Occlum_libos.Os.console_output os);
+  Printf.printf "---\n%s; %d syscalls, %d spawns, vclock %Ld us\n"
+    (match status with
+    | Occlum_libos.Os.All_exited -> "all processes exited"
+    | Occlum_libos.Os.Deadlock pids ->
+        "DEADLOCK: pids "
+        ^ String.concat "," (List.map string_of_int pids)
+    | Occlum_libos.Os.Quota_exhausted -> "step quota exhausted")
+    os.Occlum_libos.Os.syscalls os.Occlum_libos.Os.spawns
+    (Int64.div (Occlum_libos.Os.clock os) 1000L);
+  List.iter
+    (fun (pid, f) ->
+      Printf.printf "fault: pid %d: %s\n" pid (Occlum_machine.Fault.to_string f))
+    os.Occlum_libos.Os.faults;
+  match save_fs with
+  | None -> ()
+  | Some path ->
+      Occlum_libos.Os.flush_fs os;
+      Occlum_libos.Sefs.Host_store.save os.Occlum_libos.Os.sefs.Occlum_libos.Sefs.host path;
+      Printf.printf "file system saved to %s\n" path
+
+let binaries_arg =
+  Arg.(value & pos_all file [] & info [] ~docv:"BINARY.oelf...")
+
+let args_arg =
+  Arg.(value & opt_all string [] & info [ "a"; "arg" ]
+         ~doc:"Argument passed to the first binary (repeatable).")
+
+let mode_arg =
+  Arg.(value & opt string "sip" & info [ "m"; "mode" ]
+         ~doc:"Execution model: sip (Occlum), eip (Graphene-SGX), linux.")
+
+let fs_arg =
+  Arg.(value & opt (some string) None & info [ "fs" ]
+         ~doc:"Boot over an existing encrypted FS image (see occlum_sefs).")
+
+let save_fs_arg =
+  Arg.(value & opt (some string) None & info [ "save-fs" ]
+         ~doc:"Flush and save the encrypted FS image on shutdown.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "occlum_run" ~doc:"Run OELF binaries on the Occlum LibOS")
+    Term.(const run $ binaries_arg $ args_arg $ mode_arg $ fs_arg $ save_fs_arg)
+
+let () = exit (Cmd.eval cmd)

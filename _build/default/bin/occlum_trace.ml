@@ -1,0 +1,127 @@
+(* occlum_trace: single-step a verified binary on a bare domain and print
+   a per-instruction trace — disassembly, registers of interest, bound
+   checks and faults. The debugging companion to occlum_run.
+
+     occlum_trace app.oelf --limit 200 --arg 42 *)
+
+open Cmdliner
+open Occlum_isa
+open Occlum_machine
+module R = Occlum_toolchain.Codegen_regs
+
+let guard = Occlum_oelf.Oelf.guard_size
+let code_base = 0x10000
+
+let trace input limit args watch_regs =
+  let oelf =
+    let ic = open_in_bin input in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Occlum_oelf.Oelf.of_string s
+  in
+  let code_region = Occlum_oelf.Oelf.code_region_size oelf in
+  let d_base = code_base + code_region + guard in
+  let d_size = Occlum_util.Bytes_util.round_up oelf.data_region_size 4096 in
+  let mem =
+    Mem.create ~size:(Occlum_util.Bytes_util.round_up (d_base + d_size + guard) 4096)
+  in
+  Mem.map mem ~addr:code_base ~len:code_region ~perm:Mem.perm_rwx;
+  Mem.map mem ~addr:d_base ~len:d_size ~perm:Mem.perm_rw;
+  let domain_id = 1 in
+  let code = Bytes.copy oelf.code in
+  Occlum_libos.Loader.patch_labels code domain_id;
+  Mem.write_bytes_priv mem ~addr:code_base code;
+  Mem.fill_priv mem ~addr:code_base ~len:Occlum_oelf.Oelf.trampoline_reserved '\x00';
+  let tramp =
+    String.concat ""
+      (List.map Codec.encode
+         [ Insn.Cfi_label (Int32.of_int domain_id); Insn.Syscall_gate;
+           Insn.Pop R.ret_scratch; Insn.Jmp_reg R.ret_scratch ])
+  in
+  Mem.write_bytes_priv mem ~addr:code_base (Bytes.of_string tramp);
+  Mem.write_bytes_priv mem ~addr:d_base oelf.data;
+  let page = Mem.read_bytes_priv mem ~addr:d_base ~len:guard in
+  Occlum_toolchain.Layout.write_args page ~data_base:d_base args;
+  Mem.write_bytes_priv mem ~addr:d_base page;
+  let cpu = Cpu.create () in
+  cpu.Cpu.pc <- code_base + oelf.entry;
+  Cpu.set cpu Reg.sp (Int64.of_int (d_base + oelf.data_region_size - 16));
+  Cpu.set cpu R.code_base (Int64.of_int code_base);
+  Cpu.set cpu R.data_base (Int64.of_int d_base);
+  Cpu.set cpu R.ret_scratch (Int64.of_int code_base);
+  Cpu.set_bnd cpu Reg.bnd0
+    { lower = Int64.of_int d_base; upper = Int64.of_int (d_base + d_size - 1) };
+  let lv = Occlum_libos.Loader.cfi_label_value domain_id in
+  Cpu.set_bnd cpu Reg.bnd1 { lower = lv; upper = lv };
+  (* a reverse symbol map for nice location labels *)
+  let sym_at =
+    let sorted =
+      List.sort (fun (_, a) (_, b) -> compare a b) oelf.symbols
+    in
+    fun off ->
+      let rec go acc = function
+        | (n, o) :: tl when o <= off -> go (Some (n, o)) tl
+        | _ -> acc
+      in
+      match go None sorted with
+      | Some (n, o) when off - o < 4096 -> Printf.sprintf "%s+0x%x" n (off - o)
+      | _ -> Printf.sprintf "0x%x" off
+  in
+  let watched =
+    List.filter_map
+      (fun name ->
+        let names =
+          List.init Reg.count (fun k -> (Reg.name (Reg.of_int k), Reg.of_int k))
+        in
+        List.assoc_opt name names)
+      watch_regs
+  in
+  Printf.printf "entry %s, sp=0x%Lx, D=[0x%x,0x%x)\n" (sym_at oelf.entry)
+    (Cpu.get cpu Reg.sp) d_base (d_base + d_size);
+  let stop = ref None in
+  let steps = ref 0 in
+  while !stop = None && !steps < limit do
+    incr steps;
+    let pc = cpu.Cpu.pc in
+    let text =
+      match Codec.decode (Mem.raw mem) ~pos:pc ~limit:(Mem.size mem) with
+      | Ok (insn, _) -> Insn.to_string insn
+      | Error e -> "<" ^ Codec.error_to_string e ^ ">"
+    in
+    let regs =
+      String.concat " "
+        (List.map
+           (fun r -> Printf.sprintf "%s=0x%Lx" (Reg.name r) (Cpu.get cpu r))
+           watched)
+    in
+    Printf.printf "%6d  %-22s %-40s %s\n" !steps (sym_at (pc - code_base)) text regs;
+    match Interp.step mem cpu with
+    | None -> ()
+    | Some Interp.Stop_syscall ->
+        let nr = Int64.to_int (Cpu.get cpu (Reg.of_int Occlum_abi.Abi.Regs.sys_nr)) in
+        Printf.printf "        syscall nr=%d args=(%Ld, %Ld, %Ld)\n" nr
+          (Cpu.get cpu (Reg.of_int 2)) (Cpu.get cpu (Reg.of_int 3))
+          (Cpu.get cpu (Reg.of_int 4));
+        if nr = Occlum_abi.Abi.Sys.exit then
+          stop := Some (Printf.sprintf "exit(%Ld)" (Cpu.get cpu (Reg.of_int 2)))
+        else Cpu.set cpu R.result 0L
+    | Some (Interp.Stop_fault f) -> stop := Some ("fault: " ^ Fault.to_string f)
+    | Some Interp.Stop_quantum -> ()
+  done;
+  Printf.printf "--- %s after %d instructions (%d cycles, %d bound checks)\n"
+    (match !stop with Some s -> s | None -> "trace limit reached")
+    !steps cpu.Cpu.cycles cpu.Cpu.bound_checks
+
+let cmd =
+  Cmd.v
+    (Cmd.info "occlum_trace" ~doc:"Single-step a binary with a full trace")
+    Term.(
+      const trace
+      $ Arg.(required & pos 0 (some file) None & info [] ~docv:"BINARY.oelf")
+      $ Arg.(value & opt int 100 & info [ "n"; "limit" ] ~doc:"Max instructions.")
+      $ Arg.(value & opt_all string [] & info [ "a"; "arg" ])
+      $ Arg.(value & opt_all string [ "r0"; "r1"; "sp" ] & info [ "w"; "watch" ]
+               ~doc:"Registers to print each step (repeatable)."))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,60 @@
+(* occlum_verify: the independent Occlum verifier as a standalone tool.
+   Reads an OELF binary, runs the four verification stages of §5, and on
+   success emits the signed binary. *)
+
+open Cmdliner
+
+let verify input output disasm =
+  let read_oelf path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Occlum_oelf.Oelf.of_string s
+  in
+  match read_oelf input with
+  | exception Occlum_oelf.Oelf.Malformed m ->
+      prerr_endline ("malformed OELF: " ^ m);
+      exit 1
+  | exception Sys_error m ->
+      prerr_endline m;
+      exit 1
+  | oelf -> (
+      match Occlum_verifier.Verify.verify oelf with
+      | Ok d ->
+          Printf.printf "%s: VERIFIED (%d instructions, %d cfi_labels)\n" input
+            (Array.length d.Occlum_verifier.Disasm.sorted)
+            (List.length d.Occlum_verifier.Disasm.labels);
+          if disasm then print_endline (Occlum_verifier.Disasm.listing d);
+          (match output with
+          | None -> ()
+          | Some out ->
+              let signed = Occlum_verifier.Signer.sign oelf in
+              let oc = open_out_bin out in
+              output_string oc (Occlum_oelf.Oelf.to_string signed);
+              close_out oc;
+              Printf.printf "signed binary written to %s\n" out)
+      | Error rs ->
+          Printf.printf "%s: REJECTED\n" input;
+          List.iter
+            (fun r ->
+              print_endline ("  " ^ Occlum_verifier.Verify.rejection_to_string r))
+            rs;
+          exit 1)
+
+let input_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.oelf")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "sign" ]
+         ~doc:"Write the signed binary here on success.")
+
+let disasm_arg =
+  Arg.(value & flag & info [ "d"; "disasm" ] ~doc:"Print the disassembly.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "occlum_verify"
+       ~doc:"Occlum verifier: check MMDSFI compliance of an OELF binary")
+    Term.(const verify $ input_arg $ output_arg $ disasm_arg)
+
+let () = exit (Cmd.eval cmd)

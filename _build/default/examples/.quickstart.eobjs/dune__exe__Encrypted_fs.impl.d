@@ -1,0 +1,1 @@
+examples/encrypted_fs.ml: Array Bytes Hashtbl Occlum Occlum_libos Occlum_util Printf

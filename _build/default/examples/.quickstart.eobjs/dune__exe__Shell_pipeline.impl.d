@@ -1,0 +1,1 @@
+examples/shell_pipeline.ml: Int64 Occlum_workloads Printf Unix

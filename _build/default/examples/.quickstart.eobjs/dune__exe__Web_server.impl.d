@@ -1,0 +1,1 @@
+examples/web_server.ml: List Occlum_workloads Printf

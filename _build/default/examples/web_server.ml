@@ -1,0 +1,19 @@
+(* Web server: the paper's lighttpd scenario (§9.1). A master SIP opens
+   the listening socket and spawns two workers that inherit it — the
+   configuration of Figure 5c — while this harness plays ApacheBench
+   from outside the enclave and reports throughput for all three
+   execution models.
+
+   Run with: dune exec examples/web_server.exe *)
+
+module H = Occlum_workloads.Harness
+
+let () =
+  print_endline "== lighttpd-style master + 2 workers, 10 KiB pages ==";
+  Printf.printf "%-14s %10s %14s\n" "system" "served" "req/s (vclock)";
+  List.iter
+    (fun sys ->
+      let r = H.run_httpd ~workers:2 ~concurrency:8 ~requests:48 sys in
+      Printf.printf "%-14s %10d %14.0f\n%!" (H.system_name sys) r.served
+        r.throughput_vclock)
+    [ H.Linux; H.Occlum; H.Graphene ]

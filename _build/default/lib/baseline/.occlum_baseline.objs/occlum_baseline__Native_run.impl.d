@@ -1,0 +1,1 @@
+lib/baseline/native_run.ml: Buffer Bytes Codec Cpu Fault Insn Int64 Interp List Mem Occlum_abi Occlum_isa Occlum_machine Occlum_oelf Occlum_toolchain Occlum_util Reg String

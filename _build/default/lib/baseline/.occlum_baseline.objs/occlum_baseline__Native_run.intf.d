@@ -1,0 +1,1 @@
+lib/baseline/native_run.mli: Occlum_machine Occlum_oelf

@@ -1,0 +1,27 @@
+(** Bare-metal runner: executes an OELF image on the simulated machine
+    with no enclave, verifier or LibOS — the "native Linux process" model,
+    and the harness for the Figure-7 CPU benchmarks. *)
+
+type result = {
+  exit_code : int64;
+  stdout : string;
+  cycles : int;
+  insns : int;
+  loads : int;
+  stores : int;
+  bound_checks : int;
+}
+
+exception Runtime_fault of Occlum_machine.Fault.t
+
+val code_base : int
+
+val run :
+  ?fuel:int ->
+  ?args:string list ->
+  ?nx:bool ->
+  Occlum_oelf.Oelf.t ->
+  result
+(** Load and run to exit. [nx:false] maps the data region RWX — the
+    classic unprotected process the RIPE baseline assumes.
+    @raise Runtime_fault on any machine fault. *)

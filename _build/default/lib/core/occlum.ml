@@ -1,0 +1,101 @@
+(* The Occlum system facade: the three components of Figure 1b wired
+   together behind one small API.
+
+       source (Occlang)
+         |  Toolchain.build        compile + MMDSFI instrument + link
+         v
+       OELF binary
+         |  Verifier.check        4-stage static verification + signing
+         v
+       signed OELF
+         |  System.install        placed on the encrypted FS
+         |  System.exec           spawned as an SFI-Isolated Process
+         v
+       running SIP inside the single enclave
+
+   Everything here re-exports the underlying libraries, so advanced
+   users can drop one level down at any point. *)
+
+module Ast = Occlum_toolchain.Ast
+module Runtime = Occlum_toolchain.Runtime
+module Codegen = Occlum_toolchain.Codegen
+module Compile = Occlum_toolchain.Compile
+module Verify = Occlum_verifier.Verify
+module Os = Occlum_libos.Os
+module Oelf = Occlum_oelf.Oelf
+module Abi = Occlum_abi.Abi
+
+type error =
+  | Compile_error of string
+  | Rejected of Occlum_verifier.Verify.rejection list
+
+let error_to_string = function
+  | Compile_error m -> "compile error: " ^ m
+  | Rejected rs ->
+      "verifier rejected the binary:\n"
+      ^ String.concat "\n"
+          (List.map Occlum_verifier.Verify.rejection_to_string rs)
+
+(* Compile an Occlang program with full MMDSFI instrumentation, verify
+   it, and sign it — the complete trusted pipeline. *)
+let build ?(config = Occlum_toolchain.Codegen.sfi) prog =
+  match Occlum_toolchain.Compile.compile ~config prog with
+  | exception Occlum_toolchain.Ast.Ill_formed m -> Error (Compile_error m)
+  | exception Occlum_toolchain.Codegen.Codegen_error m -> Error (Compile_error m)
+  | oelf, _stats -> (
+      match Occlum_verifier.Verify.verify_and_sign oelf with
+      | Ok signed -> Ok signed
+      | Error rs -> Error (Rejected rs))
+
+let build_exn ?config prog =
+  match build ?config prog with
+  | Ok o -> o
+  | Error e -> invalid_arg (error_to_string e)
+
+type t = { os : Occlum_libos.Os.t }
+
+let boot ?config () = { os = Occlum_libos.Os.boot ?config () }
+let os t = t.os
+
+(* Install a signed binary at [path] on the encrypted FS. *)
+let install t ~path signed = Occlum_libos.Os.install_binary t.os path signed
+
+(* Compile + verify + install in one step. *)
+let install_program ?config t ~path prog =
+  Result.map (install t ~path) (build ?config prog)
+
+let install_program_exn ?config t ~path prog =
+  install t ~path (build_exn ?config prog)
+
+type exec_result = {
+  exit_code : int;
+  stdout : string;      (* this process's console writes *)
+  console : string;     (* everything written while it ran *)
+  status : Occlum_libos.Os.run_status;
+}
+
+(* Spawn [path] with [args] and run the system until that process (and
+   whatever it spawned) settles. *)
+let exec ?(args = []) ?(max_steps = 2_000_000) t path =
+  let pid = Occlum_libos.Os.spawn t.os ~parent_pid:0 ~path ~args in
+  let status = Occlum_libos.Os.wait_pid_exit ~max_steps t.os pid in
+  let exit_code =
+    match Occlum_libos.Os.find_proc t.os pid with
+    | Some p -> p.exit_code
+    | None -> 0
+  in
+  {
+    exit_code;
+    stdout = Occlum_libos.Os.proc_output t.os pid;
+    console = Occlum_libos.Os.console_output t.os;
+    status;
+  }
+
+(* One-shot convenience: build, boot a fresh system, run, return output. *)
+let run_program ?config ?(args = []) prog =
+  match build ?config prog with
+  | Error e -> Error e
+  | Ok signed ->
+      let t = boot () in
+      install t ~path:"/bin/app" signed;
+      Ok (exec ~args t "/bin/app")

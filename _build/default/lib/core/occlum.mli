@@ -1,0 +1,76 @@
+(** The Occlum system facade: the three components of Figure 1b wired
+    together behind one small API.
+
+    {v
+    source (Occlang)
+      |  build          compile + MMDSFI instrument + verify + sign
+      v
+    signed OELF binary
+      |  install        placed on the encrypted FS
+      |  exec           spawned as an SFI-Isolated Process
+      v
+    running SIP inside the single enclave
+    v}
+
+    The submodules re-export the underlying libraries so users can drop
+    a level down at any point. *)
+
+module Ast = Occlum_toolchain.Ast
+module Runtime = Occlum_toolchain.Runtime
+module Codegen = Occlum_toolchain.Codegen
+module Compile = Occlum_toolchain.Compile
+module Verify = Occlum_verifier.Verify
+module Os = Occlum_libos.Os
+module Oelf = Occlum_oelf.Oelf
+module Abi = Occlum_abi.Abi
+
+type error =
+  | Compile_error of string
+  | Rejected of Occlum_verifier.Verify.rejection list
+
+val error_to_string : error -> string
+
+val build :
+  ?config:Occlum_toolchain.Codegen.config ->
+  Occlum_toolchain.Ast.program ->
+  (Occlum_oelf.Oelf.t, error) result
+(** Compile with full MMDSFI instrumentation, verify, sign. *)
+
+val build_exn :
+  ?config:Occlum_toolchain.Codegen.config ->
+  Occlum_toolchain.Ast.program ->
+  Occlum_oelf.Oelf.t
+
+type t
+(** A booted system: one enclave, one LibOS instance. *)
+
+val boot : ?config:Occlum_libos.Os.config -> unit -> t
+val os : t -> Occlum_libos.Os.t
+
+val install : t -> path:string -> Occlum_oelf.Oelf.t -> unit
+(** Place a signed binary at [path] on the encrypted FS. *)
+
+val install_program :
+  ?config:Occlum_toolchain.Codegen.config ->
+  t -> path:string -> Occlum_toolchain.Ast.program -> (unit, error) result
+
+val install_program_exn :
+  ?config:Occlum_toolchain.Codegen.config ->
+  t -> path:string -> Occlum_toolchain.Ast.program -> unit
+
+type exec_result = {
+  exit_code : int;
+  stdout : string;   (** this process's console writes *)
+  console : string;  (** everything written while it ran *)
+  status : Occlum_libos.Os.run_status;
+}
+
+val exec : ?args:string list -> ?max_steps:int -> t -> string -> exec_result
+(** Spawn [path] as a SIP and run the system until it settles. *)
+
+val run_program :
+  ?config:Occlum_toolchain.Codegen.config ->
+  ?args:string list ->
+  Occlum_toolchain.Ast.program ->
+  (exec_result, error) result
+(** One-shot: build, boot a fresh system, run, return the output. *)

@@ -1,0 +1,1 @@
+lib/isa/codec.ml: Array Buffer Bytes Char Insn Int32 Int64 List Printf Reg String

@@ -1,0 +1,1 @@
+lib/libos/domain_mgr.ml: Array Mem Occlum_machine Occlum_oelf Occlum_sgx Occlum_util

@@ -1,0 +1,1 @@
+lib/libos/domain_mgr.mli: Occlum_sgx

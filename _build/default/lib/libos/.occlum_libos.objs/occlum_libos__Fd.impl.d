@@ -1,0 +1,1 @@
+lib/libos/fd.ml: List Net Occlum_abi Occlum_util Ring Sefs

@@ -1,0 +1,1 @@
+lib/libos/fd.mli: Net Occlum_util Ring Sefs

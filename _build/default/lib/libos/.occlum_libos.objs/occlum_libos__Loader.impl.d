@@ -1,0 +1,1 @@
+lib/libos/loader.ml: Array Bytes Char Codec Cpu Domain_mgr Insn Int32 Int64 List Mem Occlum_isa Occlum_machine Occlum_oelf Occlum_sgx Occlum_toolchain Occlum_util Occlum_verifier Printf Reg String

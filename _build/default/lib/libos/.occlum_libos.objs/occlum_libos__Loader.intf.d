@@ -1,0 +1,1 @@
+lib/libos/loader.mli: Bytes Domain_mgr Occlum_machine Occlum_oelf Occlum_sgx

@@ -1,0 +1,1 @@
+lib/libos/net.ml: Buffer Bytes Hashtbl List Occlum_abi Ring

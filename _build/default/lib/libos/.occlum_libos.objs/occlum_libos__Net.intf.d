@@ -1,0 +1,1 @@
+lib/libos/net.mli: Bytes Hashtbl Ring

@@ -1,0 +1,1 @@
+lib/libos/os.mli: Buffer Bytes Cpu Domain_mgr Fault Fd Hashtbl Loader Mem Net Occlum_machine Occlum_oelf Occlum_sgx Occlum_util Sefs

@@ -1,0 +1,1 @@
+lib/libos/sefs.ml: Array Buffer Bytes Char Hashtbl List Occlum_abi Occlum_util Option Printf Result String

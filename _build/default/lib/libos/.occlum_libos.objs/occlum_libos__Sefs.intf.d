@@ -1,0 +1,1 @@
+lib/libos/sefs.mli: Bytes Hashtbl

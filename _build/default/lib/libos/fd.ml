@@ -1,0 +1,84 @@
+(* File descriptors. Entries are shared structures: a spawned child
+   inherits its parent's open file table "with minimal overhead" (§6) by
+   sharing the very same entry objects — possible only because all SIPs
+   live inside one LibOS instance. *)
+
+type pipe = {
+  ring : Ring.t;
+  mutable readers : int; (* live reader entries *)
+  mutable writers : int;
+}
+
+type kind =
+  | File of { node : Sefs.inode; mutable pos : int; append : bool; writable : bool }
+  | Pipe_r of pipe
+  | Pipe_w of pipe
+  | Sock of { mutable ep : Net.endpoint option; mutable port : int }
+  | Listener of Net.listener
+  | Dev_null
+  | Dev_zero
+  | Dev_random of Occlum_util.Prng.t
+  | Console of { err : bool }
+  | Proc_file of { content : string; mutable pos : int }
+
+type entry = { mutable refs : int; kind : kind }
+
+let release entry =
+  entry.refs <- entry.refs - 1;
+  if entry.refs = 0 then
+    match entry.kind with
+    | Pipe_r p -> p.readers <- p.readers - 1
+    | Pipe_w p -> p.writers <- p.writers - 1
+    | Sock { ep = Some e; _ } -> Net.close_endpoint e
+    | File _ | Sock { ep = None; _ } | Listener _ | Dev_null | Dev_zero
+    | Dev_random _ | Console _ | Proc_file _ ->
+        ()
+
+type table = { mutable slots : (int * entry) list }
+
+let create () = { slots = [] }
+
+let find t fd = List.assoc_opt fd t.slots
+
+let next_free t =
+  let rec go n = if List.mem_assoc n t.slots then go (n + 1) else n in
+  go 0
+
+let install t entry =
+  let fd = next_free t in
+  t.slots <- (fd, entry) :: t.slots;
+  fd
+
+let install_at t fd entry = t.slots <- (fd, entry) :: List.remove_assoc fd t.slots
+
+let close t fd =
+  match find t fd with
+  | None -> Error Occlum_abi.Abi.Errno.ebadf
+  | Some e ->
+      t.slots <- List.remove_assoc fd t.slots;
+      release e;
+      Ok ()
+
+let close_all t =
+  List.iter (fun (_, e) -> release e) t.slots;
+  t.slots <- []
+
+(* Child inheritance: same entries, bumped refcounts. *)
+let inherit_from parent =
+  let slots = List.map (fun (fd, e) -> e.refs <- e.refs + 1; (fd, e)) parent.slots in
+  { slots }
+
+let dup2 t ~src ~dst =
+  match find t src with
+  | None -> Error Occlum_abi.Abi.Errno.ebadf
+  | Some e ->
+      (match find t dst with
+      | Some old when old != e ->
+          t.slots <- List.remove_assoc dst t.slots;
+          release old
+      | _ -> ());
+      if src <> dst then begin
+        e.refs <- e.refs + 1;
+        install_at t dst e
+      end;
+      Ok dst

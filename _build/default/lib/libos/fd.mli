@@ -1,0 +1,44 @@
+(** File descriptors. Entries are shared structures: a spawned child
+    inherits its parent's open file table "with minimal overhead" (§6)
+    by sharing the very same entry objects — possible only because all
+    SIPs live inside one LibOS instance. *)
+
+type pipe = {
+  ring : Ring.t;
+  mutable readers : int;  (** live reader entries *)
+  mutable writers : int;
+}
+
+type kind =
+  | File of { node : Sefs.inode; mutable pos : int; append : bool; writable : bool }
+  | Pipe_r of pipe
+  | Pipe_w of pipe
+  | Sock of { mutable ep : Net.endpoint option; mutable port : int }
+  | Listener of Net.listener
+  | Dev_null
+  | Dev_zero
+  | Dev_random of Occlum_util.Prng.t
+  | Console of { err : bool }
+  | Proc_file of { content : string; mutable pos : int }
+
+type entry = { mutable refs : int; kind : kind }
+
+val release : entry -> unit
+(** Drop one reference; the last one updates pipe reader/writer counts
+    and closes socket endpoints. *)
+
+type table
+
+val create : unit -> table
+val find : table -> int -> entry option
+val install : table -> entry -> int
+(** Install at the lowest free descriptor. *)
+
+val install_at : table -> int -> entry -> unit
+val close : table -> int -> (unit, int) result
+val close_all : table -> unit
+
+val inherit_from : table -> table
+(** The child's table: same entries, bumped refcounts. *)
+
+val dup2 : table -> src:int -> dst:int -> (int, int) result

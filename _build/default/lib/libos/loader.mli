@@ -1,0 +1,45 @@
+(** The Occlum ELF loader (§6). Beyond a classic loader it: (1) admits
+    only verifier-signed binaries; (2) rewrites every cfi_label's id to
+    the SIP's domain id; (3) injects the syscall trampoline — the only
+    way out of the MMDSFI sandbox — and hands its address to [_start];
+    (4) computes the MPX bound-register values for the domain. *)
+
+exception Load_error of string
+
+val main_gate_off : int
+val sigreturn_gate_off : int
+val thread_exit_gate_off : int
+
+type image = {
+  slot : Domain_mgr.slot;
+  oelf : Occlum_oelf.Oelf.t;
+  entry_pc : int;
+  init_sp : int;
+  bnd0 : Occlum_machine.Cpu.bound;  (** the domain's data-region range *)
+  bnd1 : Occlum_machine.Cpu.bound;  (** [label_value, label_value] *)
+  main_gate : int;        (** pc of the syscall gate instruction *)
+  sigreturn_gate : int;
+  thread_exit_gate : int;
+  label_value : int64;    (** this domain's 8-byte cfi_label encoding *)
+}
+
+val cfi_label_value : int -> int64
+
+val patch_labels : Bytes.t -> int -> unit
+(** Rewrite the id field of every cfi_label in a code image. *)
+
+val load :
+  ?require_signature:bool ->
+  ?dynamic:Occlum_sgx.Enclave.t ->
+  Occlum_machine.Mem.t ->
+  Domain_mgr.slot ->
+  Occlum_oelf.Oelf.t ->
+  args:string list ->
+  image
+(** Scrub the slot if needed (SGX1), or EAUG exactly the pages the
+    binary needs ([dynamic] = the SGX2 enclave), place code (with
+    trampoline) and data (with argv), and describe the initial machine
+    state. @raise Load_error on bad signature or an oversized binary. *)
+
+val init_cpu : image -> Occlum_machine.Cpu.t -> unit
+(** Set pc/sp/base registers/bounds for the SIP's first thread. *)

@@ -1,0 +1,113 @@
+(* The loopback network. §6 "Networking": network operations are mostly
+   delegated to the (untrusted) host OS; the LibOS only redirects,
+   bookkeeps and sanity-checks, so payloads are NOT encrypted by the
+   LibOS — applications must bring TLS. We model the host side as a
+   per-LibOS port registry plus "external" endpoints that the benchmark
+   harness (playing the remote ApacheBench client) can drive directly
+   from OCaml. *)
+
+type endpoint = {
+  inbox : Ring.t;   (* bytes this endpoint can read *)
+  mutable peer : endpoint option;
+  mutable closed : bool; (* our side closed *)
+}
+
+let make_endpoint () = { inbox = Ring.create 65536; peer = None; closed = false }
+
+let pair () =
+  let a = make_endpoint () and b = make_endpoint () in
+  a.peer <- Some b;
+  b.peer <- Some a;
+  (a, b)
+
+type listener = {
+  port : int;
+  backlog : int;
+  mutable pending : endpoint list; (* server-side endpoints to accept *)
+}
+
+type t = {
+  listeners : (int, listener) Hashtbl.t;
+  mutable ocall_bytes : int; (* traffic that crossed the enclave boundary *)
+}
+
+let create () = { listeners = Hashtbl.create 8; ocall_bytes = 0 }
+
+let listen t ~port ~backlog =
+  if Hashtbl.mem t.listeners port then Error Occlum_abi.Abi.Errno.eexist
+  else begin
+    let l = { port; backlog; pending = [] } in
+    Hashtbl.replace t.listeners port l;
+    Ok l
+  end
+
+(* Connect to a port: creates a pair, queues the server side. *)
+let connect t ~port =
+  match Hashtbl.find_opt t.listeners port with
+  | None -> Error Occlum_abi.Abi.Errno.econnrefused
+  | Some l ->
+      if List.length l.pending >= l.backlog then
+        Error Occlum_abi.Abi.Errno.eagain
+      else begin
+        let client_side, server_side = pair () in
+        l.pending <- l.pending @ [ server_side ];
+        Ok client_side
+      end
+
+let accept (l : listener) =
+  match l.pending with
+  | [] -> None
+  | e :: rest ->
+      l.pending <- rest;
+      Some e
+
+let send t (e : endpoint) src off len =
+  match e.peer with
+  | None -> Error Occlum_abi.Abi.Errno.epipe
+  | Some p ->
+      if p.closed then Error Occlum_abi.Abi.Errno.epipe
+      else begin
+        let n = Ring.write p.inbox src off len in
+        t.ocall_bytes <- t.ocall_bytes + n;
+        if n = 0 then Error Occlum_abi.Abi.Errno.eagain else Ok n
+      end
+
+let recv t (e : endpoint) dst off len =
+  let n = Ring.read e.inbox dst off len in
+  if n > 0 then begin
+    t.ocall_bytes <- t.ocall_bytes + n;
+    Ok n
+  end
+  else
+    match e.peer with
+    | Some p when not p.closed -> Error Occlum_abi.Abi.Errno.eagain
+    | _ -> Ok 0 (* orderly EOF *)
+
+let close_endpoint (e : endpoint) = e.closed <- true
+
+(* --- external (harness-side) API ---------------------------------------- *)
+
+(* The benchmark harness acts as a client on the "network" outside the
+   enclave: it connects, writes request bytes and drains responses
+   without going through any SIP. *)
+let external_connect t ~port = connect t ~port
+
+let external_send t e (s : string) =
+  let b = Bytes.of_string s in
+  match send t e b 0 (Bytes.length b) with Ok n -> n | Error _ -> 0
+
+let external_recv_all t e =
+  let buf = Buffer.create 256 in
+  let tmp = Bytes.create 4096 in
+  let rec drain () =
+    match recv t e tmp 0 4096 with
+    | Ok 0 -> ()
+    | Ok n ->
+        Buffer.add_subbytes buf tmp 0 n;
+        drain ()
+    | Error _ -> ()
+  in
+  drain ();
+  Buffer.contents buf
+
+let has_listener t ~port = Hashtbl.mem t.listeners port

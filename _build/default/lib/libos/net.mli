@@ -1,0 +1,37 @@
+(** The loopback network (§6 "Networking"): delegated to the untrusted
+    host, so payloads are not LibOS-encrypted. Endpoints can be held by
+    SIPs (through socket fds) or by the benchmark harness playing an
+    external client. *)
+
+type endpoint = {
+  inbox : Ring.t;
+  mutable peer : endpoint option;
+  mutable closed : bool;
+}
+
+type listener = {
+  port : int;
+  backlog : int;
+  mutable pending : endpoint list;
+}
+
+type t = {
+  listeners : (int, listener) Hashtbl.t;
+  mutable ocall_bytes : int;  (** traffic that crossed the enclave edge *)
+}
+
+val create : unit -> t
+val pair : unit -> endpoint * endpoint
+val listen : t -> port:int -> backlog:int -> (listener, int) result
+val connect : t -> port:int -> (endpoint, int) result
+val accept : listener -> endpoint option
+val send : t -> endpoint -> Bytes.t -> int -> int -> (int, int) result
+val recv : t -> endpoint -> Bytes.t -> int -> int -> (int, int) result
+val close_endpoint : endpoint -> unit
+val has_listener : t -> port:int -> bool
+
+(** {1 External (harness-side) API} *)
+
+val external_connect : t -> port:int -> (endpoint, int) result
+val external_send : t -> endpoint -> string -> int
+val external_recv_all : t -> endpoint -> string

@@ -1,0 +1,1298 @@
+(* The Occlum LibOS: one enclave, one LibOS instance, many SIPs.
+
+   This module owns the process table, the scheduler, and the system-call
+   layer. SIPs are interpreter green-threads over the shared enclave
+   address space, scheduled round-robin with a fixed instruction quantum.
+   Blocking calls use a retry model: a blocked SIP's registers are left
+   untouched and its syscall is re-dispatched when it might make
+   progress — handlers therefore commit no effects before deciding not
+   to block.
+
+   The same engine also runs in EIP mode, modelling the Graphene-SGX
+   baseline: every process creation builds (and measures — real SHA-256)
+   a fresh enclave plus local attestation and an encrypted state
+   transfer; every syscall pays an ocall exit/enter; pipe data is
+   encrypted out and decrypted back in; and the file system is read-only
+   (§3.2's comparison, Table 1). *)
+
+open Occlum_machine
+open Occlum_isa
+module R = Occlum_toolchain.Codegen_regs
+module Sys = Occlum_abi.Abi.Sys
+module Errno = Occlum_abi.Abi.Errno
+module Sig = Occlum_abi.Abi.Signal
+
+type mode = Sip | Eip | Linux
+
+type proc = {
+  pid : int;
+  mutable parent : int;
+  img : Loader.image;
+  cpu : Cpu.t;
+  fds : Fd.table;
+  slot_refs : int ref; (* threads share the slot; last one out frees it *)
+  is_thread : bool;
+  mutable state : [ `Runnable | `Blocked | `Zombie ];
+  mutable exit_code : int;
+  mutable brk : int; (* absolute *)
+  mutable mmaps : (int * int) list;
+  mutable mmap_top : int; (* absolute, grows down *)
+  mutable children : int list;
+  mutable sig_handlers : (int * int64) list;
+  mutable sig_pending : int list;
+  mutable saved_ctx : Cpu.snapshot option;
+  mutable futex_woken : bool;
+  mutable wake_time : int64 option;
+  mutable last_cycles : int;
+  mutable eip_enclave : Occlum_sgx.Enclave.t option;
+  path : string;
+}
+
+type config = {
+  mode : mode;
+  sgx2 : bool; (* EDMM: commit domain pages per binary instead of
+                  preallocating (§6's "can be avoided on SGX 2.0") *)
+  domains : Domain_mgr.config;
+  quantum : int;
+  fs_key : string;
+  (* EIP model knobs *)
+  eip_runtime_image_bytes : int; (* measured on every enclave creation *)
+  eip_ocall_ns : int64;
+  sip_syscall_ns : int64;
+}
+
+let default_config =
+  {
+    mode = Sip;
+    sgx2 = false;
+    domains = Domain_mgr.default_config;
+    quantum = 100_000;
+    fs_key = "occlum-fs-master-key";
+    eip_runtime_image_bytes = 8 * 1024 * 1024;
+    eip_ocall_ns = 6_000L;
+    sip_syscall_ns = 100L;
+  }
+
+type t = {
+  cfg : config;
+  epc : Occlum_sgx.Epc.t;
+  enclave : Occlum_sgx.Enclave.t;
+  mem : Mem.t;
+  domains : Domain_mgr.t;
+  procs : (int, proc) Hashtbl.t;
+  mutable runq : int list;
+  mutable next_pid : int;
+  sefs : Sefs.t;
+  net : Net.t;
+  mutable clock_ns : int64;
+  console : Buffer.t;
+  proc_out : (int, Buffer.t) Hashtbl.t;
+  futexq : (int, int list ref) Hashtbl.t;
+  mutable syscalls : int;
+  mutable spawns : int;
+  mutable faults : (int * Fault.t) list;
+  prng : Occlum_util.Prng.t;
+  eip_runtime_image : Bytes.t; (* stand-in for the Graphene runtime pages *)
+}
+
+let boot ?(config = default_config) ?epc ?host_fs () =
+  let epc =
+    match epc with Some e -> e | None -> Occlum_sgx.Epc.create ~size:(512 * 1024 * 1024) ()
+  in
+  let enclave =
+    Occlum_sgx.Enclave.create
+      ~version:(if config.sgx2 then Occlum_sgx.Enclave.Sgx2 else Occlum_sgx.Enclave.Sgx1)
+      ~epc
+      ~size:(Domain_mgr.enclave_size config.domains)
+      ()
+  in
+  let domains = Domain_mgr.build config.domains enclave in
+  Occlum_sgx.Enclave.init enclave;
+  (* only Occlum gets the writable *encrypted* FS; Graphene-SGX's
+     writable files live on the plaintext host FS (its protected FS is
+     read-only, section 3.2), and the Linux baseline is plain ext4 *)
+  let encrypted = config.mode = Sip in
+  let sefs =
+    match host_fs with
+    | Some host -> Sefs.mount ~encrypted ~key:config.fs_key host
+    | None -> Sefs.create ~encrypted ~key:config.fs_key ()
+  in
+  {
+    cfg = config;
+    epc;
+    enclave;
+    mem = Occlum_sgx.Enclave.mem enclave;
+    domains;
+    procs = Hashtbl.create 32;
+    runq = [];
+    next_pid = 1;
+    sefs;
+    net = Net.create ();
+    clock_ns = 0L;
+    console = Buffer.create 1024;
+    proc_out = Hashtbl.create 8;
+    futexq = Hashtbl.create 8;
+    syscalls = 0;
+    spawns = 0;
+    faults = [];
+    prng = Occlum_util.Prng.create 0x0cc1;
+    eip_runtime_image = Bytes.make config.eip_runtime_image_bytes '\x5a';
+  }
+
+let clock t = t.clock_ns
+let console_output t = Buffer.contents t.console
+
+let proc_output t pid =
+  match Hashtbl.find_opt t.proc_out pid with
+  | Some b -> Buffer.contents b
+  | None -> ""
+
+let find_proc t pid = Hashtbl.find_opt t.procs pid
+
+let live_procs t =
+  Hashtbl.fold (fun _ p acc -> if p.state <> `Zombie then p :: acc else acc) t.procs []
+
+(* --- user memory access -------------------------------------------------- *)
+
+let d_bounds (p : proc) =
+  (Int64.to_int p.img.bnd0.lower, Int64.to_int p.img.bnd0.upper)
+
+let user_ok p addr len =
+  let lo, hi = d_bounds p in
+  len >= 0 && addr >= lo && addr + len - 1 <= hi
+
+let read_user t p addr len =
+  if user_ok p addr len then Some (Mem.read_bytes_priv t.mem ~addr ~len) else None
+
+let write_user t p addr (b : Bytes.t) =
+  if user_ok p addr (Bytes.length b) then begin
+    Mem.write_bytes_priv t.mem ~addr b;
+    true
+  end
+  else false
+
+let read_user_string t p addr len =
+  if len > 65536 then None
+  else Option.map Bytes.to_string (read_user t p addr len)
+
+(* --- binaries on the FS ---------------------------------------------------- *)
+
+let install_binary t path (oelf : Occlum_oelf.Oelf.t) =
+  Sefs.ensure_parents t.sefs path;
+  match Sefs.write_path t.sefs path (Occlum_oelf.Oelf.to_string oelf) with
+  | Ok _ -> ()
+  | Error e -> invalid_arg (Printf.sprintf "install_binary %s: errno %d" path e)
+
+(* --- EIP-mode costs -------------------------------------------------------- *)
+
+(* Graphene-style process creation: a fresh enclave whose every page is
+   measured, local attestation with the parent, then the process state
+   migrates over an encrypted stream. All of it is real computation. *)
+let eip_create_process_enclave t ~parent_enclave (oelf : Occlum_oelf.Oelf.t) =
+  let image_bytes =
+    Bytes.length oelf.code + Bytes.length oelf.data + Bytes.length t.eip_runtime_image
+  in
+  let size = Occlum_util.Bytes_util.round_up (image_bytes + (1 lsl 20)) 4096 in
+  let enclave = Occlum_sgx.Enclave.create ~epc:t.epc ~size () in
+  Occlum_sgx.Enclave.add_pages enclave ~addr:0 ~data:t.eip_runtime_image
+    ~perm:Mem.perm_rx;
+  let code_at = Occlum_util.Bytes_util.round_up (Bytes.length t.eip_runtime_image) 4096 in
+  Occlum_sgx.Enclave.add_pages enclave ~addr:code_at ~data:oelf.code
+    ~perm:Mem.perm_rwx;
+  let data_at =
+    code_at + Occlum_util.Bytes_util.round_up (Bytes.length oelf.code) 4096
+  in
+  Occlum_sgx.Enclave.add_pages enclave ~addr:data_at ~data:oelf.data
+    ~perm:Mem.perm_rw;
+  Occlum_sgx.Enclave.init enclave;
+  (* local attestation, then ship the process state encrypted *)
+  (match
+     Occlum_sgx.Attestation.handshake ~parent:parent_enclave ~child:enclave
+       ~nonce:(string_of_int t.next_pid)
+   with
+  | Error m -> failwith m
+  | Ok session_key ->
+      let state = Bytes.cat oelf.code oelf.data in
+      let nonce = Occlum_util.Cipher.derive_nonce "eip-transfer" t.next_pid in
+      Occlum_util.Cipher.encrypt_bytes
+        ~key:(Occlum_util.Bytes_util.take_prefix 32 session_key) ~nonce state);
+  enclave
+
+(* Every EIP syscall leaves and re-enters the enclave. *)
+let eip_ocall_scratch = Bytes.make 2048 '\x00'
+
+let charge_syscall t (p : proc) =
+  t.syscalls <- t.syscalls + 1;
+  match t.cfg.mode with
+  | Linux -> t.clock_ns <- Int64.add t.clock_ns 150L
+  | Sip -> t.clock_ns <- Int64.add t.clock_ns t.cfg.sip_syscall_ns
+  | Eip ->
+      t.clock_ns <- Int64.add t.clock_ns t.cfg.eip_ocall_ns;
+      (* marshalling through untrusted memory *)
+      let nonce = Occlum_util.Cipher.derive_nonce "ocall" p.pid in
+      Occlum_util.Cipher.encrypt_bytes ~key:(String.make 32 'k') ~nonce
+        eip_ocall_scratch
+
+(* EIP pipes cross enclave boundaries as ciphertext: encrypt on the way
+   out, decrypt on the way in. *)
+let eip_pipe_crypto t chunk =
+  match t.cfg.mode with
+  | Sip | Linux -> ()
+  | Eip ->
+      let nonce = Occlum_util.Cipher.derive_nonce "eip-pipe" t.syscalls in
+      let key = String.make 32 'p' in
+      Occlum_util.Cipher.encrypt_bytes ~key ~nonce chunk;
+      Occlum_util.Cipher.encrypt_bytes ~key ~nonce chunk
+
+(* --- process lifecycle ----------------------------------------------------- *)
+
+exception Spawn_error of int (* errno *)
+
+let console_fds () =
+  let tbl = Fd.create () in
+  Fd.install_at tbl 0 { Fd.refs = 1; kind = Fd.Dev_null };
+  Fd.install_at tbl 1 { Fd.refs = 1; kind = Fd.Console { err = false } };
+  Fd.install_at tbl 2 { Fd.refs = 1; kind = Fd.Console { err = true } };
+  tbl
+
+let make_proc t ~parent ~img ~fds ~is_thread ~slot_refs ~path ~eip_enclave =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let cpu = Cpu.create () in
+  Loader.init_cpu img cpu;
+  let heap_lo, heap_hi = Occlum_oelf.Oelf.heap_zone img.oelf in
+  let p =
+    {
+      pid;
+      parent;
+      img;
+      cpu;
+      fds;
+      slot_refs;
+      is_thread;
+      state = `Runnable;
+      exit_code = 0;
+      brk = Domain_mgr.d_base img.slot + heap_lo;
+      mmaps = [];
+      mmap_top = Domain_mgr.d_base img.slot + heap_hi;
+      children = [];
+      sig_handlers = [];
+      sig_pending = [];
+      saved_ctx = None;
+      futex_woken = false;
+      wake_time = None;
+      last_cycles = 0;
+      eip_enclave;
+      path;
+    }
+  in
+  Hashtbl.replace t.procs pid p;
+  t.runq <- t.runq @ [ pid ];
+  p
+
+(* Spawn a new SIP from a signed binary stored on the encrypted FS. *)
+let spawn t ~parent_pid ~path ~args =
+  t.spawns <- t.spawns + 1;
+  let binary =
+    match Sefs.read_path t.sefs path with
+    | Ok s -> s
+    | Error e -> raise (Spawn_error e)
+  in
+  let oelf =
+    match Occlum_oelf.Oelf.of_string binary with
+    | o -> o
+    | exception Occlum_oelf.Oelf.Malformed _ -> raise (Spawn_error Errno.einval)
+  in
+  let slot =
+    match Domain_mgr.acquire t.domains with
+    | Some s -> s
+    | None -> raise (Spawn_error Errno.eagain)
+  in
+  let parent = find_proc t parent_pid in
+  let eip_enclave =
+    match t.cfg.mode with
+    | Sip | Linux -> None
+    | Eip -> (
+        let parent_enclave =
+          match parent with
+          | Some { eip_enclave = Some e; _ } -> e
+          | _ -> t.enclave
+        in
+        match eip_create_process_enclave t ~parent_enclave oelf with
+        | e -> Some e
+        | exception Occlum_sgx.Epc.Out_of_epc ->
+            Domain_mgr.release slot;
+            raise (Spawn_error Errno.enomem))
+  in
+  let img =
+    match
+      Loader.load
+        ~require_signature:(t.cfg.mode <> Linux)
+        ?dynamic:(if t.cfg.sgx2 then Some t.enclave else None)
+        t.mem slot oelf ~args
+    with
+    | img -> img
+    | exception Loader.Load_error _ ->
+        Domain_mgr.release slot;
+        (match eip_enclave with
+        | Some e -> Occlum_sgx.Enclave.destroy e
+        | None -> ());
+        raise (Spawn_error Errno.eaccess)
+  in
+  let fds =
+    match parent with
+    | Some pp -> Fd.inherit_from pp.fds
+    | None -> console_fds ()
+  in
+  let p =
+    make_proc t ~parent:parent_pid ~img ~fds ~is_thread:false
+      ~slot_refs:(ref 1) ~path ~eip_enclave
+  in
+  (match parent with Some pp -> pp.children <- p.pid :: pp.children | None -> ());
+  p.pid
+
+let spawn_initial t oelf ~args =
+  install_binary t "/bin/init" oelf;
+  spawn t ~parent_pid:0 ~path:"/bin/init" ~args
+
+(* --- exit / signals -------------------------------------------------------- *)
+
+let post_signal p signo =
+  if not (List.mem signo p.sig_pending) then
+    p.sig_pending <- p.sig_pending @ [ signo ]
+
+let rec do_exit t (p : proc) code =
+  if p.state <> `Zombie then begin
+    p.state <- `Zombie;
+    p.exit_code <- code;
+    decr p.slot_refs;
+    if !(p.slot_refs) = 0 then begin
+      Fd.close_all p.fds;
+      (* SGX2: give the dynamically committed pages back to the EPC *)
+      if t.cfg.sgx2 then begin
+        List.iter
+          (fun (addr, len) ->
+            Occlum_sgx.Enclave.eremove_pages t.enclave ~addr ~len)
+          p.img.slot.mapped;
+        p.img.slot.mapped <- []
+      end;
+      Domain_mgr.release p.img.slot
+    end;
+    (match p.eip_enclave with
+    | Some e -> Occlum_sgx.Enclave.destroy e
+    | None -> ());
+    (* drop from any futex queue *)
+    Hashtbl.iter (fun _ q -> q := List.filter (fun pid -> pid <> p.pid) !q) t.futexq;
+    (* children are reparented to init (pid 1); zombie children of a dying
+       parent are reaped here *)
+    List.iter
+      (fun cpid ->
+        match find_proc t cpid with
+        | None -> ()
+        | Some c ->
+            if c.state = `Zombie then Hashtbl.remove t.procs cpid
+            else begin
+              c.parent <- 1;
+              match find_proc t 1 with
+              | Some init when init.state <> `Zombie ->
+                  init.children <- cpid :: init.children
+              | _ -> ()
+            end)
+      p.children;
+    p.children <- [];
+    match find_proc t p.parent with
+    | Some pp when pp.state <> `Zombie -> post_signal pp Sig.sigchld
+    | _ ->
+        (* no one will wait for us *)
+        if p.parent <> 0 then Hashtbl.remove t.procs p.pid
+  end
+
+and kill_proc t p ~fatal_signal =
+  do_exit t p (128 + fatal_signal)
+
+(* Deliver one pending signal before the SIP resumes. Handlers run on the
+   user stack; returning from one lands on the sigreturn gate, where the
+   LibOS restores the saved context (the CFI-compatible version of
+   sigreturn — a handler cannot legally jump back to an arbitrary
+   interrupted pc, since that target carries no cfi_label). *)
+let deliver_signals t (p : proc) =
+  match p.sig_pending with
+  | [] -> ()
+  | signo :: rest -> (
+      if signo = Sig.sigkill then begin
+        p.sig_pending <- rest;
+        kill_proc t p ~fatal_signal:signo
+      end
+      else if p.saved_ctx <> None then () (* finish current handler first *)
+      else begin
+        p.sig_pending <- rest;
+        match List.assoc_opt signo p.sig_handlers with
+        | None ->
+            if signo = Sig.sigchld then () (* default: ignore *)
+            else kill_proc t p ~fatal_signal:signo
+        | Some handler ->
+            let haddr = Int64.to_int handler in
+            let ok =
+              haddr >= Domain_mgr.c_base p.img.slot
+              && haddr + 8 <= Domain_mgr.c_base p.img.slot + p.img.slot.code_size
+              && (t.cfg.mode = Linux
+                 || Int64.equal (Mem.read_u64_priv t.mem haddr) p.img.label_value)
+            in
+            if not ok then kill_proc t p ~fatal_signal:signo
+            else begin
+              p.saved_ctx <- Some (Cpu.save p.cpu);
+              let sp = Int64.to_int (Cpu.get p.cpu Reg.sp) - 16 in
+              if not (user_ok p sp 16) then kill_proc t p ~fatal_signal:signo
+              else begin
+                Mem.write_u64_priv t.mem (sp + 8) (Int64.of_int signo);
+                (* return address: the cfi_label opening the sigreturn gate *)
+                Mem.write_u64_priv t.mem sp
+                  (Int64.of_int (p.img.sigreturn_gate - 8));
+                Cpu.set p.cpu Reg.sp (Int64.of_int sp);
+                p.cpu.pc <- haddr
+              end
+            end
+      end)
+
+(* --- system calls ----------------------------------------------------------- *)
+
+type sysret = Done of int64 | Block | Exited
+
+let ok n = Done (Int64.of_int n)
+let err e = Done (Int64.of_int e)
+
+let arg (p : proc) i = Cpu.get p.cpu (Reg.of_int (Occlum_abi.Abi.Regs.sys_arg0 + i))
+let iarg p i = Int64.to_int (arg p i)
+
+let console_write t (p : proc) bytes =
+  Buffer.add_bytes t.console bytes;
+  let b =
+    match Hashtbl.find_opt t.proc_out p.pid with
+    | Some b -> b
+    | None ->
+        let b = Buffer.create 128 in
+        Hashtbl.replace t.proc_out p.pid b;
+        b
+  in
+  Buffer.add_bytes b bytes
+
+(* Virtual-time cost of moving [n] file bytes: a ~500 MB/s disk for
+   everyone, plus AES-NI-speed encryption/integrity for the SEFS path
+   (the real cipher work still runs inside Sefs for correctness; this
+   charge models the paper's hardware crypto rate on the clock the
+   throughput figures use). *)
+let charge_file_io t ~write n =
+  (* writes defer encryption to batched writeback (dirty page cache
+     lines are sealed once at flush), so their crypto charge is lower *)
+  let crypto = if write then 13 * n / 30 else 13 * n / 10 in
+  let ns = (2 * n) + (if t.cfg.mode = Sip then crypto else 0) in
+  t.clock_ns <- Int64.add t.clock_ns (Int64.of_int ns)
+
+let sys_read t p =
+  let fd = iarg p 0 and buf = iarg p 1 and len = iarg p 2 in
+  if len < 0 || not (user_ok p buf len) then err Errno.efault
+  else
+    match Fd.find p.fds fd with
+    | None -> err Errno.ebadf
+    | Some entry -> (
+        match entry.kind with
+        | Fd.File f ->
+            if f.append && false then err Errno.einval
+            else (
+              match Sefs.read_file t.sefs f.node ~pos:f.pos ~len with
+              | Error e -> err e
+              | Ok bytes ->
+                  f.pos <- f.pos + Bytes.length bytes;
+                  charge_file_io t ~write:false (Bytes.length bytes);
+                  ignore (write_user t p buf bytes);
+                  ok (Bytes.length bytes))
+        | Fd.Pipe_r pipe ->
+            if Ring.is_empty pipe.ring then
+              if pipe.writers > 0 then Block else ok 0
+            else begin
+              let tmp = Bytes.create len in
+              let n = Ring.read pipe.ring tmp 0 len in
+              eip_pipe_crypto t (Bytes.sub tmp 0 n);
+              ignore (write_user t p buf (Bytes.sub tmp 0 n));
+              (* copy-out cost, ~4 GB/s *)
+              t.clock_ns <- Int64.add t.clock_ns (Int64.of_int (n / 4));
+              ok n
+            end
+        | Fd.Pipe_w _ -> err Errno.ebadf
+        | Fd.Sock s -> (
+            match s.ep with
+            | None -> err Errno.einval
+            | Some ep -> (
+                let tmp = Bytes.create len in
+                match Net.recv t.net ep tmp 0 len with
+                | Ok 0 -> ok 0
+                | Ok n ->
+                    (* the 1 Gbps wire of the paper's testbed *)
+                    t.clock_ns <- Int64.add t.clock_ns (Int64.of_int (8 * n));
+                    ignore (write_user t p buf (Bytes.sub tmp 0 n));
+                    ok n
+                | Error e when e = Errno.eagain -> Block
+                | Error e -> err e))
+        | Fd.Listener _ -> err Errno.einval
+        | Fd.Dev_null -> ok 0
+        | Fd.Dev_zero ->
+            ignore (write_user t p buf (Bytes.make len '\x00'));
+            ok len
+        | Fd.Dev_random prng ->
+            ignore (write_user t p buf (Occlum_util.Prng.bytes prng len));
+            ok len
+        | Fd.Console _ -> ok 0
+        | Fd.Proc_file f ->
+            let avail = max 0 (String.length f.content - f.pos) in
+            let n = min len avail in
+            ignore
+              (write_user t p buf (Bytes.of_string (String.sub f.content f.pos n)));
+            f.pos <- f.pos + n;
+            ok n)
+
+let sys_write t p =
+  let fd = iarg p 0 and buf = iarg p 1 and len = iarg p 2 in
+  if len < 0 || not (user_ok p buf len) then err Errno.efault
+  else
+    match Fd.find p.fds fd with
+    | None -> err Errno.ebadf
+    | Some entry -> (
+        let data () = Option.get (read_user t p buf len) in
+        match entry.kind with
+        | Fd.File f ->
+            if not f.writable then err Errno.eaccess
+            else begin
+              if f.append then f.pos <- f.node.size;
+              match Sefs.write_file t.sefs f.node ~pos:f.pos (data ()) with
+              | Error e -> err e
+              | Ok n ->
+                  f.pos <- f.pos + n;
+                  charge_file_io t ~write:true n;
+                  ok n
+            end
+        | Fd.Pipe_w pipe ->
+            if pipe.readers = 0 then err Errno.epipe
+            else if Ring.free_space pipe.ring = 0 then Block
+            else begin
+              let chunk = data () in
+              eip_pipe_crypto t chunk;
+              let n = Ring.write pipe.ring chunk 0 len in
+              t.clock_ns <- Int64.add t.clock_ns (Int64.of_int (n / 4));
+              ok n
+            end
+        | Fd.Pipe_r _ -> err Errno.ebadf
+        | Fd.Sock s -> (
+            match s.ep with
+            | None -> err Errno.einval
+            | Some ep -> (
+                match Net.send t.net ep (data ()) 0 len with
+                | Ok n ->
+                    t.clock_ns <- Int64.add t.clock_ns (Int64.of_int (8 * n));
+                    ok n
+                | Error e when e = Errno.eagain -> Block
+                | Error e -> err e))
+        | Fd.Listener _ -> err Errno.einval
+        | Fd.Dev_null | Fd.Dev_zero | Fd.Dev_random _ -> ok len
+        | Fd.Console _ ->
+            console_write t p (data ());
+            ok len
+        | Fd.Proc_file _ -> err Errno.eaccess)
+
+let procfs_content t p path =
+  match path with
+  | "/proc/meminfo" ->
+      Some
+        (Printf.sprintf "domains_total: %d\ndomains_used: %d\nepc_free_kb: %d\n"
+           t.domains.cfg.max_domains
+           (Domain_mgr.in_use_count t.domains)
+           (Occlum_sgx.Epc.free_pages t.epc * 4))
+  | "/proc/uptime" -> Some (Printf.sprintf "%Ld\n" t.clock_ns)
+  | _ -> (
+      (* /proc/<pid>/status and /proc/self/status *)
+      match Sefs.split_path path with
+      | [ "proc"; who; "status" ] -> (
+          let pid = if who = "self" then Some p.pid else int_of_string_opt who in
+          match pid with
+          | None -> None
+          | Some pid -> (
+              match find_proc t pid with
+              | None -> None
+              | Some q ->
+                  Some
+                    (Printf.sprintf "pid:\t%d\nppid:\t%d\nstate:\t%s\nbin:\t%s\n"
+                       q.pid q.parent
+                       (match q.state with
+                       | `Runnable -> "R"
+                       | `Blocked -> "S"
+                       | `Zombie -> "Z")
+                       q.path)))
+      | _ -> None)
+
+let sys_open t p =
+  let path_ptr = iarg p 0 and path_len = iarg p 1 and flags = iarg p 2 in
+  match read_user_string t p path_ptr path_len with
+  | None -> err Errno.efault
+  | Some path ->
+      let module F = Occlum_abi.Abi.Open_flags in
+      if String.length path >= 5 && String.sub path 0 5 = "/dev/" then
+        let kind =
+          match path with
+          | "/dev/null" -> Some Fd.Dev_null
+          | "/dev/zero" -> Some Fd.Dev_zero
+          | "/dev/urandom" | "/dev/random" ->
+              Some (Fd.Dev_random (Occlum_util.Prng.create (Hashtbl.hash (p.pid, t.syscalls))))
+          | _ -> None
+        in
+        match kind with
+        | None -> err Errno.enoent
+        | Some kind -> ok (Fd.install p.fds { Fd.refs = 1; kind })
+      else if String.length path >= 6 && String.sub path 0 6 = "/proc/" then
+        match procfs_content t p path with
+        | None -> err Errno.enoent
+        | Some content ->
+            ok (Fd.install p.fds
+                  { Fd.refs = 1; kind = Fd.Proc_file { content; pos = 0 } })
+      else
+        let node =
+          if flags land F.creat <> 0 then Sefs.create_file t.sefs path
+          else
+            match Sefs.lookup t.sefs path with
+            | Some n -> Ok n
+            | None -> Error Errno.enoent
+        in
+        match node with
+        | Error e -> err e
+        | Ok node ->
+            if node.kind = Sefs.Dir then err Errno.eisdir
+            else begin
+              if flags land F.trunc <> 0 then node.size <- 0;
+              let writable = flags land (F.wronly lor F.rdwr) <> 0
+                             || flags land F.creat <> 0
+                             || flags land F.append <> 0 in
+              ok (Fd.install p.fds
+                    { Fd.refs = 1;
+                      kind = Fd.File { node; pos = 0;
+                                       append = flags land F.append <> 0;
+                                       writable } })
+            end
+
+let sys_lseek p =
+  let fd = iarg p 0 and off = iarg p 1 and whence = iarg p 2 in
+  match Fd.find p.fds fd with
+  | None -> err Errno.ebadf
+  | Some { kind = Fd.File f; _ } ->
+      let module W = Occlum_abi.Abi.Whence in
+      let base =
+        if whence = W.set then 0
+        else if whence = W.cur then f.pos
+        else f.node.size
+      in
+      let np = base + off in
+      if np < 0 then err Errno.einval
+      else begin
+        f.pos <- np;
+        ok np
+      end
+  | Some { kind = Fd.Proc_file f; _ } ->
+      if whence = Occlum_abi.Abi.Whence.set && off >= 0 then begin
+        f.pos <- off;
+        ok off
+      end
+      else err Errno.einval
+  | Some _ -> err Errno.espipe
+
+let sys_fstat t p =
+  let fd = iarg p 0 and buf = iarg p 1 in
+  if not (user_ok p buf 16) then err Errno.efault
+  else
+    match Fd.find p.fds fd with
+    | None -> err Errno.ebadf
+    | Some entry ->
+        let size, kind_code =
+          match entry.kind with
+          | Fd.File f -> (f.node.size, 1)
+          | Fd.Proc_file f -> (String.length f.content, 1)
+          | Fd.Pipe_r pp | Fd.Pipe_w pp -> (Ring.length pp.ring, 2)
+          | _ -> (0, 3)
+        in
+        let b = Bytes.create 16 in
+        Bytes.set_int64_le b 0 (Int64.of_int size);
+        Bytes.set_int64_le b 8 (Int64.of_int kind_code);
+        ignore (write_user t p buf b);
+        ignore t;
+        ok 0
+
+let sys_pipe t p =
+  let fds_ptr = iarg p 0 in
+  if not (user_ok p fds_ptr 16) then err Errno.efault
+  else begin
+    let pipe = { Fd.ring = Ring.create 65536; readers = 1; writers = 1 } in
+    let rfd = Fd.install p.fds { Fd.refs = 1; kind = Fd.Pipe_r pipe } in
+    let wfd = Fd.install p.fds { Fd.refs = 1; kind = Fd.Pipe_w pipe } in
+    let b = Bytes.create 16 in
+    Bytes.set_int64_le b 0 (Int64.of_int rfd);
+    Bytes.set_int64_le b 8 (Int64.of_int wfd);
+    ignore (write_user t p fds_ptr b);
+    ok 0
+  end
+
+let sys_spawn t p =
+  let path_ptr = iarg p 0 and path_len = iarg p 1 in
+  let argv_ptr = iarg p 2 and argv_len = iarg p 3 in
+  match read_user_string t p path_ptr path_len with
+  | None -> err Errno.efault
+  | Some path -> (
+      let args =
+        if argv_len = 0 then Some []
+        else
+          match read_user_string t p argv_ptr argv_len with
+          | None -> None
+          | Some blob ->
+              Some (String.split_on_char '\x00' blob
+                    |> List.filter (fun s -> s <> ""))
+      in
+      match args with
+      | None -> err Errno.efault
+      | Some args -> (
+          match spawn t ~parent_pid:p.pid ~path ~args with
+          | pid -> ok pid
+          | exception Spawn_error e -> err e))
+
+let sys_wait t p =
+  let want = iarg p 0 and status_ptr = iarg p 1 in
+  if p.children = [] then err Errno.echild
+  else
+    let candidates =
+      List.filter_map
+        (fun cpid ->
+          if want <> -1 && want <> cpid then None
+          else
+            match find_proc t cpid with
+            | Some c when c.state = `Zombie -> Some c
+            | _ -> None)
+        p.children
+    in
+    match candidates with
+    | [] ->
+        if want <> -1 && not (List.mem want p.children) then err Errno.echild
+        else Block
+    | c :: _ ->
+        p.children <- List.filter (fun x -> x <> c.pid) p.children;
+        Hashtbl.remove t.procs c.pid;
+        if status_ptr <> 0 && user_ok p status_ptr 8 then
+          Mem.write_u64_priv t.mem status_ptr (Int64.of_int c.exit_code);
+        ok c.pid
+
+let sys_brk () p =
+  let req = iarg p 0 in
+  let d = Domain_mgr.d_base p.img.slot in
+  let lo, hi = Occlum_oelf.Oelf.heap_zone p.img.oelf in
+  if req = 0 then ok p.brk
+  else if req >= d + lo && req <= d + hi && req <= p.mmap_top then begin
+    p.brk <- req;
+    ok p.brk
+  end
+  else err Errno.enomem
+
+let sys_mmap t p =
+  let _hint = iarg p 0 and len = iarg p 1 and fd = iarg p 2 and off = iarg p 3 in
+  if len <= 0 then err Errno.einval
+  else begin
+    let len = Occlum_util.Bytes_util.round_up len 16 in
+    let newtop = p.mmap_top - len in
+    if newtop < p.brk then err Errno.enomem
+    else begin
+      p.mmap_top <- newtop;
+      p.mmaps <- (newtop, len) :: p.mmaps;
+      (* anonymous mappings are zeroed manually by the LibOS (§6) *)
+      Mem.fill_priv t.mem ~addr:newtop ~len '\x00';
+      (if fd >= 0 then
+         (* file-backed: SGX1 cannot map pages, so the content is copied *)
+         match Fd.find p.fds fd with
+         | Some { kind = Fd.File f; _ } -> (
+             match Sefs.read_file t.sefs f.node ~pos:off ~len with
+             | Ok bytes -> Mem.write_bytes_priv t.mem ~addr:newtop bytes
+             | Error _ -> ())
+         | _ -> ());
+      ok newtop
+    end
+  end
+
+let sys_munmap t p =
+  let addr = iarg p 0 and len = iarg p 1 in
+  match List.assoc_opt addr p.mmaps with
+  | Some l when l = Occlum_util.Bytes_util.round_up len 16 ->
+      p.mmaps <- List.remove_assoc addr p.mmaps;
+      Mem.fill_priv t.mem ~addr ~len:l '\x00';
+      ok 0
+  | _ -> err Errno.einval
+
+let sys_futex_wait t p =
+  let uaddr = iarg p 0 and expected = arg p 1 in
+  if p.futex_woken then begin
+    p.futex_woken <- false;
+    ok 0
+  end
+  else if not (user_ok p uaddr 8) then err Errno.efault
+  else if not (Int64.equal (Mem.read_u64_priv t.mem uaddr) expected) then
+    err Errno.eagain
+  else begin
+    let q =
+      match Hashtbl.find_opt t.futexq uaddr with
+      | Some q -> q
+      | None ->
+          let q = ref [] in
+          Hashtbl.replace t.futexq uaddr q;
+          q
+    in
+    if not (List.mem p.pid !q) then q := !q @ [ p.pid ];
+    Block
+  end
+
+let sys_futex_wake t p =
+  let uaddr = iarg p 0 and nwake = iarg p 1 in
+  match Hashtbl.find_opt t.futexq uaddr with
+  | None -> ok 0
+  | Some q ->
+      let to_wake, rest =
+        let rec split n = function
+          | [] -> ([], [])
+          | l when n = 0 -> ([], l)
+          | x :: tl ->
+              let a, b = split (n - 1) tl in
+              (x :: a, b)
+        in
+        split (max 0 nwake) !q
+      in
+      q := rest;
+      List.iter
+        (fun pid ->
+          match find_proc t pid with
+          | Some wp when wp.state = `Blocked -> wp.futex_woken <- true
+          | _ -> ())
+        to_wake;
+      ok (List.length to_wake)
+
+let sys_socket p =
+  ok (Fd.install p.fds { Fd.refs = 1; kind = Fd.Sock { ep = None; port = 0 } })
+
+let sys_bind p =
+  let fd = iarg p 0 and port = iarg p 1 in
+  match Fd.find p.fds fd with
+  | Some { kind = Fd.Sock s; _ } ->
+      s.port <- port;
+      ok 0
+  | Some _ -> err Errno.einval
+  | None -> err Errno.ebadf
+
+let sys_listen t p =
+  let fd = iarg p 0 and backlog = iarg p 1 in
+  match Fd.find p.fds fd with
+  | Some ({ kind = Fd.Sock s; _ } as entry) -> (
+      match Net.listen t.net ~port:s.port ~backlog:(max 1 backlog) with
+      | Error e -> err e
+      | Ok l ->
+          (* retype the descriptor in place *)
+          Fd.install_at p.fds fd { entry with kind = Fd.Listener l };
+          ok 0)
+  | Some _ -> err Errno.einval
+  | None -> err Errno.ebadf
+
+let sys_accept p =
+  let fd = iarg p 0 in
+  match Fd.find p.fds fd with
+  | Some { kind = Fd.Listener l; _ } -> (
+      match Net.accept l with
+      | None -> Block
+      | Some ep ->
+          ok (Fd.install p.fds
+                { Fd.refs = 1; kind = Fd.Sock { ep = Some ep; port = l.port } }))
+  | Some _ -> err Errno.einval
+  | None -> err Errno.ebadf
+
+let sys_connect t p =
+  let fd = iarg p 0 and port = iarg p 1 in
+  match Fd.find p.fds fd with
+  | Some { kind = Fd.Sock s; _ } -> (
+      match Net.connect t.net ~port with
+      | Error e -> err e
+      | Ok ep ->
+          s.ep <- Some ep;
+          s.port <- port;
+          ok 0)
+  | Some _ -> err Errno.einval
+  | None -> err Errno.ebadf
+
+let sys_readdir t p =
+  let path_ptr = iarg p 0 and path_len = iarg p 1 in
+  let buf = iarg p 2 and buf_len = iarg p 3 in
+  match read_user_string t p path_ptr path_len with
+  | None -> err Errno.efault
+  | Some path -> (
+      match Sefs.readdir t.sefs path with
+      | Error e -> err e
+      | Ok names ->
+          let s = String.concat "\n" names in
+          let n = min (String.length s) buf_len in
+          if n > 0 && not (write_user t p buf (Bytes.of_string (String.sub s 0 n)))
+          then err Errno.efault
+          else ok n)
+
+(* poll: pure readiness checks over an array of
+   {fd; events; revents} entries — consuming nothing, so the blocking
+   retry model applies directly. *)
+let fd_ready (entry : Fd.entry) ~want_in ~want_out =
+  let module P = Occlum_abi.Abi.Poll in
+  let r = ref 0 in
+  (match entry.kind with
+  | Fd.Pipe_r pipe ->
+      if want_in && ((not (Ring.is_empty pipe.ring)) || pipe.writers = 0) then
+        r := !r lor P.pollin
+  | Fd.Pipe_w pipe ->
+      if want_out && (Ring.free_space pipe.ring > 0 || pipe.readers = 0) then
+        r := !r lor P.pollout
+  | Fd.Sock { ep = Some ep; _ } ->
+      if want_in
+         && ((not (Ring.is_empty ep.Net.inbox))
+            || match ep.Net.peer with Some pr -> pr.Net.closed | None -> true)
+      then r := !r lor P.pollin;
+      if want_out
+         && (match ep.Net.peer with
+            | Some pr -> (not pr.Net.closed) && Ring.free_space pr.Net.inbox > 0
+            | None -> false)
+      then r := !r lor P.pollout
+  | Fd.Sock { ep = None; _ } -> ()
+  | Fd.Listener l -> if want_in && l.Net.pending <> [] then r := !r lor P.pollin
+  | Fd.File _ | Fd.Dev_null | Fd.Dev_zero | Fd.Dev_random _ | Fd.Console _
+  | Fd.Proc_file _ ->
+      if want_in then r := !r lor P.pollin;
+      if want_out then r := !r lor P.pollout);
+  !r
+
+let sys_poll t p =
+  let module P = Occlum_abi.Abi.Poll in
+  let entries = iarg p 0 and nfds = iarg p 1 in
+  let deadline = arg p 2 in
+  if nfds < 0 || nfds > 64 || not (user_ok p entries (nfds * P.entry_size)) then
+    err Errno.efault
+  else begin
+    let ready = ref 0 in
+    for k = 0 to nfds - 1 do
+      let base = entries + (k * P.entry_size) in
+      let fd = Int64.to_int (Mem.read_u64_priv t.mem base) in
+      let events = Int64.to_int (Mem.read_u64_priv t.mem (base + 8)) in
+      let revents =
+        match Fd.find p.fds fd with
+        | None -> P.pollnval
+        | Some entry ->
+            fd_ready entry
+              ~want_in:(events land P.pollin <> 0)
+              ~want_out:(events land P.pollout <> 0)
+      in
+      Mem.write_u64_priv t.mem (base + 16) (Int64.of_int revents);
+      if revents <> 0 then incr ready
+    done;
+    if !ready > 0 then begin
+      p.wake_time <- None;
+      ok !ready
+    end
+    else if Int64.equal deadline 0L then ok 0
+    else begin
+      (* block with an absolute virtual-time deadline (negative = forever) *)
+      (match (p.wake_time, Int64.compare deadline 0L > 0) with
+      | None, true -> p.wake_time <- Some (Int64.add t.clock_ns deadline)
+      | _ -> ());
+      match p.wake_time with
+      | Some d when Int64.compare t.clock_ns d >= 0 ->
+          p.wake_time <- None;
+          ok 0
+      | _ -> Block
+    end
+  end
+
+let sys_clone t p =
+  let entry = iarg p 0 and stack_top = iarg p 1 and tharg = arg p 2 in
+  (* the entry must open with this domain's cfi_label *)
+  let c0 = Domain_mgr.c_base p.img.slot in
+  if entry < c0 || entry + 8 > c0 + p.img.slot.code_size
+     || not (Int64.equal (Mem.read_u64_priv t.mem entry) p.img.label_value)
+  then err Errno.einval
+  else if not (user_ok p (stack_top - 16) 16) then err Errno.efault
+  else begin
+    incr p.slot_refs;
+    let child =
+      make_proc t ~parent:p.pid ~img:p.img ~fds:p.fds ~is_thread:true
+        ~slot_refs:p.slot_refs ~path:p.path ~eip_enclave:None
+    in
+    (* share the fd table object: make_proc got it directly *)
+    Mem.write_u64_priv t.mem (stack_top - 8) tharg;
+    Mem.write_u64_priv t.mem (stack_top - 16)
+      (Int64.of_int (p.img.thread_exit_gate - 8));
+    Cpu.set child.cpu Reg.sp (Int64.of_int (stack_top - 16));
+    child.cpu.pc <- entry;
+    p.children <- child.pid :: p.children;
+    ok child.pid
+  end
+
+let dispatch t (p : proc) : sysret =
+  let nr = Int64.to_int (Cpu.get p.cpu (Reg.of_int Occlum_abi.Abi.Regs.sys_nr)) in
+  if nr = Sys.exit then begin
+    do_exit t p (iarg p 0);
+    Exited
+  end
+  else if nr = Sys.read then sys_read t p
+  else if nr = Sys.write then sys_write t p
+  else if nr = Sys.open_ then sys_open t p
+  else if nr = Sys.close then
+    match Fd.close p.fds (iarg p 0) with Ok () -> ok 0 | Error e -> err e
+  else if nr = Sys.lseek then sys_lseek p
+  else if nr = Sys.fstat then sys_fstat t p
+  else if nr = Sys.pipe then sys_pipe t p
+  else if nr = Sys.dup2 then begin
+    match Fd.dup2 p.fds ~src:(iarg p 0) ~dst:(iarg p 1) with
+    | Ok fd -> ok fd
+    | Error e -> err e
+  end
+  else if nr = Sys.spawn then sys_spawn t p
+  else if nr = Sys.wait then sys_wait t p
+  else if nr = Sys.getpid then ok p.pid
+  else if nr = Sys.yield then ok 0
+  else if nr = Sys.gettime then Done t.clock_ns
+  else if nr = Sys.nanosleep then begin
+    let deadline =
+      match p.wake_time with
+      | Some d -> d
+      | None ->
+          let d = Int64.add t.clock_ns (arg p 0) in
+          p.wake_time <- Some d;
+          d
+    in
+    if Int64.compare t.clock_ns deadline >= 0 then begin
+      p.wake_time <- None;
+      ok 0
+    end
+    else Block
+  end
+  else if nr = Sys.brk then sys_brk () p
+  else if nr = Sys.mmap then sys_mmap t p
+  else if nr = Sys.munmap then sys_munmap t p
+  else if nr = Sys.futex_wait then sys_futex_wait t p
+  else if nr = Sys.futex_wake then sys_futex_wake t p
+  else if nr = Sys.kill then begin
+    let pid = iarg p 0 and signo = iarg p 1 in
+    match find_proc t pid with
+    | Some target when target.state <> `Zombie ->
+        if signo >= 1 && signo <= Sig.max_signo then begin
+          post_signal target signo;
+          ok 0
+        end
+        else err Errno.einval
+    | _ -> err Errno.esrch
+  end
+  else if nr = Sys.sigaction then begin
+    let signo = iarg p 0 and handler = arg p 1 in
+    if signo < 1 || signo > Sig.max_signo || signo = Sig.sigkill then
+      err Errno.einval
+    else begin
+      p.sig_handlers <- (signo, handler) :: List.remove_assoc signo p.sig_handlers;
+      ok 0
+    end
+  end
+  else if nr = Sys.socket then sys_socket p
+  else if nr = Sys.bind then sys_bind p
+  else if nr = Sys.listen then sys_listen t p
+  else if nr = Sys.accept then sys_accept p
+  else if nr = Sys.connect then sys_connect t p
+  else if nr = Sys.send then sys_write t p
+  else if nr = Sys.recv then sys_read t p
+  else if nr = Sys.mkdir then begin
+    match read_user_string t p (iarg p 0) (iarg p 1) with
+    | None -> err Errno.efault
+    | Some path -> (
+        match Sefs.mkdir t.sefs path with Ok _ -> ok 0 | Error e -> err e)
+  end
+  else if nr = Sys.unlink then begin
+    match read_user_string t p (iarg p 0) (iarg p 1) with
+    | None -> err Errno.efault
+    | Some path -> (
+        match Sefs.unlink t.sefs path with Ok () -> ok 0 | Error e -> err e)
+  end
+  else if nr = Sys.rename then begin
+    match
+      ( read_user_string t p (iarg p 0) (iarg p 1),
+        read_user_string t p (iarg p 2) (iarg p 3) )
+    with
+    | Some src, Some dst -> (
+        match Sefs.rename t.sefs src dst with Ok () -> ok 0 | Error e -> err e)
+    | _ -> err Errno.efault
+  end
+  else if nr = Sys.ftruncate then begin
+    match Fd.find p.fds (iarg p 0) with
+    | Some { kind = Fd.File f; _ } -> (
+        match Sefs.truncate t.sefs f.node (max 0 (iarg p 1)) with
+        | Ok () -> ok 0
+        | Error e -> err e)
+    | Some _ -> err Errno.einval
+    | None -> err Errno.ebadf
+  end
+  else if nr = Sys.readdir then sys_readdir t p
+  else if nr = Sys.clone then sys_clone t p
+  else if nr = Sys.poll then sys_poll t p
+  else err Errno.enosys
+
+(* Paper §6: before returning to the SIP, the LibOS ensures the return
+   target is a cfi_label of the SIP's own domain. *)
+let return_target_ok t p =
+  let sp = Int64.to_int (Cpu.get p.cpu Reg.sp) in
+  if not (user_ok p sp 8) then false
+  else
+    let ret = Int64.to_int (Mem.read_u64_priv t.mem sp) in
+    let c0 = Domain_mgr.c_base p.img.slot in
+    ret >= c0
+    && ret + 8 <= c0 + p.img.slot.code_size
+    && Int64.equal (Mem.read_u64_priv t.mem ret) p.img.label_value
+
+(* --- the scheduler ----------------------------------------------------------- *)
+
+type run_status = All_exited | Deadlock of int list | Quota_exhausted
+
+let cycles_to_ns c = Int64.of_int (c / 3)
+
+let handle_gate t (p : proc) : unit =
+  (* pc has advanced past the Syscall_gate; classify which gate fired *)
+  let gate_pc = p.cpu.pc - 1 in
+  if t.cfg.mode = Linux && gate_pc <> p.img.sigreturn_gate
+     && gate_pc <> p.img.thread_exit_gate then begin
+    (* native model: any inline syscall instruction is legitimate, and
+       there is no return-target CFI check *)
+    charge_syscall t p;
+    match dispatch t p with
+    | Done v -> Cpu.set p.cpu R.result v
+    | Block -> p.state <- `Blocked
+    | Exited -> ()
+  end
+  else if gate_pc = p.img.sigreturn_gate then begin
+    match p.saved_ctx with
+    | Some ctx ->
+        Cpu.restore p.cpu ctx;
+        p.saved_ctx <- None
+    | None -> kill_proc t p ~fatal_signal:Sig.sigkill
+  end
+  else if gate_pc = p.img.thread_exit_gate then begin
+    do_exit t p (Int64.to_int (Cpu.get p.cpu R.result))
+  end
+  else if gate_pc = p.img.main_gate then begin
+    charge_syscall t p;
+    match dispatch t p with
+    | Done v ->
+        Cpu.set p.cpu R.result v;
+        if not (return_target_ok t p) then
+          kill_proc t p ~fatal_signal:Sig.sigkill
+    | Block -> p.state <- `Blocked
+    | Exited -> ()
+  end
+  else
+    (* a gate at an unexpected pc: not possible for verified binaries *)
+    kill_proc t p ~fatal_signal:Sig.sigkill
+
+let retry_blocked t =
+  Hashtbl.iter
+    (fun _ p ->
+      if p.state = `Blocked then begin
+        match dispatch t p with
+        | Done v ->
+            Cpu.set p.cpu R.result v;
+            if t.cfg.mode = Linux || return_target_ok t p then
+              p.state <- `Runnable
+            else kill_proc t p ~fatal_signal:Sig.sigkill
+        | Block -> ()
+        | Exited -> ()
+      end)
+    t.procs
+
+(* Run one quantum of one SIP. Returns false if nothing was runnable. *)
+let step t =
+  retry_blocked t;
+  let rec pick tries =
+    if tries = 0 then None
+    else
+      match t.runq with
+      | [] -> None
+      | pid :: rest -> (
+          t.runq <- rest;
+          match find_proc t pid with
+          | Some p when p.state = `Runnable ->
+              t.runq <- t.runq @ [ pid ];
+              Some p
+          | Some p when p.state = `Blocked ->
+              t.runq <- t.runq @ [ pid ];
+              pick (tries - 1)
+          | _ -> pick (tries - 1))
+  in
+  match pick (List.length t.runq + 1) with
+  | None -> false
+  | Some p -> (
+      deliver_signals t p;
+      if p.state <> `Runnable then true
+      else begin
+        let before = p.cpu.cycles in
+        let stop = Interp.run t.mem p.cpu ~fuel:t.cfg.quantum in
+        t.clock_ns <- Int64.add t.clock_ns (cycles_to_ns (p.cpu.cycles - before));
+        (match stop with
+        | Interp.Stop_quantum -> ()
+        | Interp.Stop_syscall -> handle_gate t p
+        | Interp.Stop_fault f ->
+            (* AEX -> the LibOS captures the exception and kills the SIP *)
+            t.faults <- (p.pid, f) :: t.faults;
+            Occlum_sgx.Enclave.aex t.enclave p.cpu;
+            Occlum_sgx.Enclave.resume t.enclave p.cpu;
+            kill_proc t p ~fatal_signal:11);
+        true
+      end)
+
+let run ?(max_steps = 1_000_000) t =
+  let rec go n =
+    if n = 0 then Quota_exhausted
+    else if live_procs t = [] then All_exited
+    else if step t then go (n - 1)
+    else begin
+      (* nothing runnable: either sleepers (advance the clock) or deadlock *)
+      let sleepers =
+        List.filter_map (fun p -> p.wake_time) (live_procs t)
+      in
+      match sleepers with
+      | [] ->
+          retry_blocked t;
+          if List.exists (fun p -> p.state = `Runnable) (live_procs t) then
+            go (n - 1)
+          else Deadlock (List.map (fun p -> p.pid) (live_procs t))
+      | ws ->
+          t.clock_ns <- List.fold_left min (List.hd ws) ws;
+          go (n - 1)
+    end
+  in
+  go max_steps
+
+(* Convenience: run until a specific process has exited (it may already
+   be reaped by its parent; absence counts as exited). *)
+let wait_pid_exit ?(max_steps = 1_000_000) t pid =
+  let rec go n =
+    if n = 0 then Quota_exhausted
+    else
+      match find_proc t pid with
+      | None -> All_exited
+      | Some { state = `Zombie; _ } -> All_exited
+      | Some _ ->
+          if step t then go (n - 1)
+          else begin
+            let sleepers = List.filter_map (fun p -> p.wake_time) (live_procs t) in
+            match sleepers with
+            | [] -> Deadlock (List.map (fun p -> p.pid) (live_procs t))
+            | ws ->
+                t.clock_ns <- List.fold_left min (List.hd ws) ws;
+                go (n - 1)
+          end
+  in
+  go max_steps
+
+let flush_fs t = Sefs.flush t.sefs

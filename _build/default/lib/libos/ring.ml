@@ -1,0 +1,40 @@
+(* A bounded byte ring buffer: the kernel-side object behind pipes and
+   loopback sockets. Because all SIPs share the LibOS's address space,
+   IPC is a plain copy through this buffer — no encryption, no enclave
+   exit — which is the SIP IPC advantage of Table 1. *)
+
+type t = {
+  buf : Bytes.t;
+  mutable rpos : int;
+  mutable len : int;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Ring.create";
+  { buf = Bytes.create capacity; rpos = 0; len = 0 }
+
+let capacity t = Bytes.length t.buf
+let length t = t.len
+let free_space t = capacity t - t.len
+let is_empty t = t.len = 0
+
+(* Write as much of [src] as fits; returns bytes consumed. *)
+let write t src off len =
+  let n = min len (free_space t) in
+  let cap = capacity t in
+  for k = 0 to n - 1 do
+    Bytes.set t.buf ((t.rpos + t.len + k) mod cap) (Bytes.get src (off + k))
+  done;
+  t.len <- t.len + n;
+  n
+
+(* Read up to [len] bytes into [dst]; returns bytes produced. *)
+let read t dst off len =
+  let n = min len t.len in
+  let cap = capacity t in
+  for k = 0 to n - 1 do
+    Bytes.set dst (off + k) (Bytes.get t.buf ((t.rpos + k) mod cap))
+  done;
+  t.rpos <- (t.rpos + n) mod cap;
+  t.len <- t.len - n;
+  n

@@ -1,0 +1,108 @@
+(** SEFS: Occlum's writable encrypted file system (§6). All metadata and
+    data live — encrypted and MAC'd — in an untrusted host store; the
+    single in-enclave LibOS instance holds the keys, a page cache of
+    decrypted blocks shared by all SIPs, and the authoritative metadata.
+    This is the capability Table 1 reserves to SIPs: Graphene-SGX's
+    per-process enclaves cannot maintain one consistent writable view.
+
+    Confidentiality: per-(block, generation) nonces. Integrity: an HMAC
+    per block over identity, generation and ciphertext; host tampering
+    surfaces as {!Corrupt} on the next cold read. *)
+
+val block_size : int
+
+exception Corrupt of string
+
+(** The untrusted host side: ciphertext blocks plus a sealed metadata
+    blob. Serializable to the occlum_sefs image format without keys. *)
+module Host_store : sig
+  type entry = { cipher : string; mac : string }
+
+  type t = {
+    blocks : (int, entry) Hashtbl.t;
+    mutable meta : (int * entry) option;  (** public generation + blob *)
+    mutable reads : int;
+    mutable writes : int;
+  }
+
+  val create : unit -> t
+  val put : t -> int -> entry -> unit
+  val get : t -> int -> entry option
+
+  val to_string : t -> string
+  exception Bad_image of string
+  val of_string : string -> t
+  val save : t -> string -> unit
+  val load : string -> t
+
+  val tamper : t -> int -> bool
+  (** Flip a ciphertext bit of a block (integrity demos/tests). *)
+end
+
+type kind = File | Dir
+
+type inode = {
+  ino : int;
+  mutable kind : kind;
+  mutable size : int;
+  mutable blocks : int array;  (** host block ids; -1 = hole *)
+  mutable entries : (string * int) list;  (** directories only *)
+  mutable nlink : int;
+}
+
+type meta = {
+  mutable inodes : (int * inode) list;
+  mutable next_ino : int;
+  mutable next_block : int;
+  mutable gens : (int * int) list;
+}
+
+type t = {
+  host : Host_store.t;
+  data_key : string;
+  mac_key : string;
+  volume : string;
+  encrypted : bool;  (** false models a plain ext4-style host FS *)
+  mutable m : meta;
+  cache : (int, cache_line) Hashtbl.t;  (** shared page cache, all SIPs *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+and cache_line = { mutable data : Bytes.t; mutable dirty : bool }
+
+val root_ino : int
+
+val create : ?volume:string -> ?encrypted:bool -> key:string -> unit -> t
+
+val mount : ?volume:string -> ?encrypted:bool -> key:string -> Host_store.t -> t
+(** Reload a volume (e.g. a fresh LibOS boot over the same host files).
+    @raise Corrupt on tampered or wrong-key metadata. *)
+
+val flush : t -> unit
+(** Write back dirty cache lines and seal the metadata. *)
+
+val inode : t -> int -> inode option
+
+(** {1 Namespace} *)
+
+val split_path : string -> string list
+val lookup : t -> string -> inode option
+val create_file : t -> string -> (inode, int) result
+val mkdir : t -> string -> (inode, int) result
+val unlink : t -> string -> (unit, int) result
+val rename : t -> string -> string -> (unit, int) result
+val readdir : t -> string -> (string list, int) result
+val ensure_parents : t -> string -> unit
+(** mkdir -p for the directories leading to the path's parent. *)
+
+(** {1 File data} *)
+
+val read_file : t -> inode -> pos:int -> len:int -> (Bytes.t, int) result
+val write_file : t -> inode -> pos:int -> Bytes.t -> (int, int) result
+val truncate : t -> inode -> int -> (unit, int) result
+
+val write_path : t -> string -> string -> (inode, int) result
+(** Create/replace a whole file (images and tests). *)
+
+val read_path : t -> string -> (string, int) result

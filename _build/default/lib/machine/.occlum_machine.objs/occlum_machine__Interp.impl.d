@@ -1,0 +1,1 @@
+lib/machine/interp.ml: Codec Cost Cpu Fault Insn Int64 Mem Occlum_isa Reg

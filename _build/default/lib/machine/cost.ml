@@ -1,0 +1,22 @@
+(* Cycle cost model. One place holds every constant so the SPEC-style
+   overhead benchmarks (Fig. 7) and the ablations are driven by a single
+   calibration. Values are loosely shaped on a Kaby Lake core: ALU ops
+   are cheap, memory traffic costs more, bound checks are one cheap uop
+   each (the reason MPX-based SFI is viable at ~36% overhead). *)
+
+let alu = 1
+let mov = 1
+let load = 4 (* L1 hit latency-ish *)
+let store = 2
+let push = 3
+let pop = 4
+let lea = 1
+let branch = 2
+let branch_indirect = 6
+let call = 4
+let ret = 5
+let bound_check = 2 (* check itself plus the extra address generation *)
+let cfi_label = 1 (* an 8-byte nop still occupies a slot *)
+let nop = 1
+let syscall_gate = 60 (* enter/leave the LibOS: stack + TLS switch, sanity checks *)
+let div = 20

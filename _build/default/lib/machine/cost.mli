@@ -1,0 +1,22 @@
+(** The cycle cost model — one place for every constant so the Figure-7
+    overhead benchmarks and their ablations share a single calibration.
+    Loosely shaped on a Kaby Lake core: ALU ops cheap, memory dearer,
+    MPX bound checks a couple of cycles including the extra address
+    generation. *)
+
+val alu : int
+val mov : int
+val load : int
+val store : int
+val push : int
+val pop : int
+val lea : int
+val branch : int
+val branch_indirect : int
+val call : int
+val ret : int
+val bound_check : int
+val cfi_label : int
+val nop : int
+val syscall_gate : int
+val div : int

@@ -1,0 +1,33 @@
+(** Architectural state of one simulated hardware thread: 16 GPRs, four
+    MPX bound registers, comparison flags, the program counter, and the
+    cycle/instruction counters the benchmarks read. *)
+
+type bound = { lower : int64; upper : int64 }  (** inclusive range *)
+
+type t = {
+  regs : int64 array;
+  bnds : bound array;
+  mutable pc : int;
+  mutable flag_eq : bool;
+  mutable flag_lt : bool;  (** signed [a < b] of the last [cmp] *)
+  mutable cycles : int;
+  mutable insns : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable bound_checks : int;
+}
+
+val create : unit -> t
+
+val get : t -> Occlum_isa.Reg.t -> int64
+val set : t -> Occlum_isa.Reg.t -> int64 -> unit
+val get_bnd : t -> Occlum_isa.Reg.bnd -> bound
+val set_bnd : t -> Occlum_isa.Reg.bnd -> bound -> unit
+
+type snapshot
+(** Saved CPU state: what SGX spills to the SSA on an AEX — including the
+    MPX bound registers (§2.3) — and what the LibOS uses to context
+    switch between SIPs. *)
+
+val save : t -> snapshot
+val restore : t -> snapshot -> unit

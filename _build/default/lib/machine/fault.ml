@@ -1,0 +1,29 @@
+(* Hardware faults raised by the simulated CPU. Inside an enclave these
+   cause an AEX; the LibOS captures them and kills or signals the SIP. *)
+
+type access = Read | Write | Exec
+
+type t =
+  | Page_fault of { addr : int; access : access }
+      (* unmapped page (e.g. an MMDSFI guard region) or permission denial *)
+  | Bound_fault of { bnd : int; value : int64 }
+      (* MPX #BR: a mem_guard or cfi_guard check failed *)
+  | Decode_fault of { addr : int; reason : string }
+      (* execution reached bytes that are not a valid instruction *)
+  | Div_by_zero of { addr : int }
+  | Privileged of { addr : int; insn : string }
+      (* SGX/MPX-modifying/misc instruction executed by user code *)
+
+let access_to_string = function Read -> "read" | Write -> "write" | Exec -> "exec"
+
+let to_string = function
+  | Page_fault { addr; access } ->
+      Printf.sprintf "#PF %s at 0x%x" (access_to_string access) addr
+  | Bound_fault { bnd; value } ->
+      Printf.sprintf "#BR bnd%d value 0x%Lx" bnd value
+  | Decode_fault { addr; reason } ->
+      Printf.sprintf "#UD at 0x%x (%s)" addr reason
+  | Div_by_zero { addr } -> Printf.sprintf "#DE at 0x%x" addr
+  | Privileged { addr; insn } -> Printf.sprintf "#GP at 0x%x (%s)" addr insn
+
+exception Fault of t

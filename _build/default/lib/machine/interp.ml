@@ -1,0 +1,286 @@
+(* The fetch/decode/execute loop. Runs untrusted SIP code only; the LibOS
+   itself is OCaml and interacts with the machine through [Cpu] and
+   [Mem]. Execution stops on a syscall gate, a fault (→ AEX, captured by
+   the LibOS) or quantum expiry (→ preemption). *)
+
+open Occlum_isa
+
+type stop =
+  | Stop_syscall   (* reached the LibOS trampoline's syscall_gate *)
+  | Stop_fault of Fault.t
+  | Stop_quantum   (* fuel exhausted; SIP is preempted *)
+
+let stop_to_string = function
+  | Stop_syscall -> "syscall"
+  | Stop_fault f -> "fault: " ^ Fault.to_string f
+  | Stop_quantum -> "quantum"
+
+let addr_mask = 0xFF_FFFF_FFFFL (* treat effective addresses as 40-bit *)
+
+let effective_address mem cpu (m : Insn.mem) ~end_pc =
+  let open Int64 in
+  let v =
+    match m with
+    | Sib { base; index; scale; disp } ->
+        let b = Cpu.get cpu base in
+        let i =
+          match index with
+          | None -> 0L
+          | Some r -> mul (Cpu.get cpu r) (of_int scale)
+        in
+        add (add b i) (of_int disp)
+    | Rip_rel disp -> of_int (end_pc + disp)
+    | Abs a -> a
+  in
+  ignore mem;
+  (* out-of-space addresses page-fault when accessed; clamp the int
+     conversion so wrap-around cannot alias back into valid memory *)
+  if compare (logand v addr_mask) v <> 0 then Int64.to_int addr_mask
+  else to_int v
+
+let unsigned_lt a b = Int64.unsigned_compare a b < 0
+
+let read_sized mem addr size =
+  if size = 1 then Int64.of_int (Mem.read_u8 mem addr) else Mem.read_u64 mem addr
+
+let write_sized mem addr size v =
+  if size = 1 then Mem.write_u8 mem addr (Int64.to_int (Int64.logand v 0xFFL))
+  else Mem.write_u64 mem addr v
+
+let operand_value cpu = function
+  | Insn.O_reg r -> Cpu.get cpu r
+  | Insn.O_imm v -> v
+
+let alu_exec op a b ~pc =
+  let open Int64 in
+  match (op : Insn.alu_op) with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Mul -> mul a b
+  | Divu ->
+      if b = 0L then raise (Fault.Fault (Div_by_zero { addr = pc }))
+      else unsigned_div a b
+  | Remu ->
+      if b = 0L then raise (Fault.Fault (Div_by_zero { addr = pc }))
+      else unsigned_rem a b
+  | And -> logand a b
+  | Or -> logor a b
+  | Xor -> logxor a b
+  | Shl -> shift_left a (to_int (logand b 63L))
+  | Shr -> shift_right_logical a (to_int (logand b 63L))
+
+let cond_holds cpu = function
+  | Insn.Eq -> cpu.Cpu.flag_eq
+  | Insn.Ne -> not cpu.Cpu.flag_eq
+  | Insn.Lt -> cpu.Cpu.flag_lt
+  | Insn.Le -> cpu.Cpu.flag_lt || cpu.Cpu.flag_eq
+  | Insn.Gt -> not (cpu.Cpu.flag_lt || cpu.Cpu.flag_eq)
+  | Insn.Ge -> not cpu.Cpu.flag_lt
+
+let bound_check cpu bnd value ~lower =
+  cpu.Cpu.bound_checks <- cpu.Cpu.bound_checks + 1;
+  let b = Cpu.get_bnd cpu bnd in
+  let fails =
+    if lower then unsigned_lt value b.lower else unsigned_lt b.upper value
+  in
+  if fails then
+    raise (Fault.Fault (Bound_fault { bnd = Reg.bnd_to_int bnd; value }))
+
+let ea_value mem cpu ea ~end_pc =
+  match (ea : Insn.ea) with
+  | Ea_reg r -> Cpu.get cpu r
+  | Ea_mem m -> Int64.of_int (effective_address mem cpu m ~end_pc)
+
+let push_u64 mem cpu v =
+  let sp = Int64.sub (Cpu.get cpu Reg.sp) 8L in
+  Cpu.set cpu Reg.sp sp;
+  Mem.write_u64 mem (Int64.to_int (Int64.logand sp addr_mask)) v
+
+let pop_u64 mem cpu =
+  let sp = Cpu.get cpu Reg.sp in
+  let v = Mem.read_u64 mem (Int64.to_int (Int64.logand sp addr_mask)) in
+  Cpu.set cpu Reg.sp (Int64.add sp 8L);
+  v
+
+(* Execute exactly one instruction. Returns [Some stop] when control
+   leaves the interpreter. *)
+let step mem cpu : stop option =
+  let pc = cpu.Cpu.pc in
+  match
+    (* the fetch itself must be executable *)
+    Mem.check_access mem pc 1 Exec;
+    Codec.decode (Mem.raw mem) ~pos:pc ~limit:(Mem.size mem)
+  with
+  | exception Fault.Fault f -> Some (Stop_fault f)
+  | Error e ->
+      Some (Stop_fault (Decode_fault { addr = pc; reason = Codec.error_to_string e }))
+  | Ok (insn, len) -> (
+      let end_pc = pc + len in
+      (* the whole instruction must lie in executable pages *)
+      match
+        Mem.check_access mem pc len Exec;
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        let goto target = cpu.Cpu.pc <- target in
+        let next () = goto end_pc in
+        let charge c = cpu.Cpu.cycles <- cpu.Cpu.cycles + c in
+        match insn with
+        | Nop ->
+            charge Cost.nop;
+            next ();
+            None
+        | Cfi_label _ ->
+            charge Cost.cfi_label;
+            next ();
+            None
+        | Mov_imm (r, v) ->
+            charge Cost.mov;
+            Cpu.set cpu r v;
+            next ();
+            None
+        | Mov_reg (d, s) ->
+            charge Cost.mov;
+            Cpu.set cpu d (Cpu.get cpu s);
+            next ();
+            None
+        | Load { dst; src; size } ->
+            charge Cost.load;
+            cpu.Cpu.loads <- cpu.Cpu.loads + 1;
+            let addr = effective_address mem cpu src ~end_pc in
+            Cpu.set cpu dst (read_sized mem addr size);
+            next ();
+            None
+        | Store { dst; src; size } ->
+            charge Cost.store;
+            cpu.Cpu.stores <- cpu.Cpu.stores + 1;
+            let addr = effective_address mem cpu dst ~end_pc in
+            write_sized mem addr size (Cpu.get cpu src);
+            next ();
+            None
+        | Push r ->
+            charge Cost.push;
+            cpu.Cpu.stores <- cpu.Cpu.stores + 1;
+            push_u64 mem cpu (Cpu.get cpu r);
+            next ();
+            None
+        | Pop r ->
+            charge Cost.pop;
+            cpu.Cpu.loads <- cpu.Cpu.loads + 1;
+            let v = pop_u64 mem cpu in
+            Cpu.set cpu r v;
+            next ();
+            None
+        | Lea (r, m) ->
+            charge Cost.lea;
+            Cpu.set cpu r (Int64.of_int (effective_address mem cpu m ~end_pc));
+            next ();
+            None
+        | Alu (op, d, o) ->
+            charge (match op with Divu | Remu -> Cost.div | _ -> Cost.alu);
+            Cpu.set cpu d (alu_exec op (Cpu.get cpu d) (operand_value cpu o) ~pc);
+            next ();
+            None
+        | Cmp (a, o) ->
+            charge Cost.alu;
+            let x = Cpu.get cpu a and y = operand_value cpu o in
+            cpu.Cpu.flag_eq <- Int64.equal x y;
+            cpu.Cpu.flag_lt <- Int64.compare x y < 0;
+            next ();
+            None
+        | Jmp rel ->
+            charge Cost.branch;
+            goto (end_pc + rel);
+            None
+        | Jcc (c, rel) ->
+            charge Cost.branch;
+            if cond_holds cpu c then goto (end_pc + rel) else next ();
+            None
+        | Call rel ->
+            charge Cost.call;
+            push_u64 mem cpu (Int64.of_int end_pc);
+            goto (end_pc + rel);
+            None
+        | Jmp_reg r ->
+            charge Cost.branch_indirect;
+            goto (Int64.to_int (Int64.logand (Cpu.get cpu r) addr_mask));
+            None
+        | Call_reg r ->
+            charge Cost.branch_indirect;
+            push_u64 mem cpu (Int64.of_int end_pc);
+            goto (Int64.to_int (Int64.logand (Cpu.get cpu r) addr_mask));
+            None
+        | Jmp_mem m ->
+            charge Cost.branch_indirect;
+            let addr = effective_address mem cpu m ~end_pc in
+            goto (Int64.to_int (Int64.logand (Mem.read_u64 mem addr) addr_mask));
+            None
+        | Call_mem m ->
+            charge Cost.branch_indirect;
+            let addr = effective_address mem cpu m ~end_pc in
+            let target = Mem.read_u64 mem addr in
+            push_u64 mem cpu (Int64.of_int end_pc);
+            goto (Int64.to_int (Int64.logand target addr_mask));
+            None
+        | Ret ->
+            charge Cost.ret;
+            goto (Int64.to_int (Int64.logand (pop_u64 mem cpu) addr_mask));
+            None
+        | Ret_imm n ->
+            charge Cost.ret;
+            let target = pop_u64 mem cpu in
+            Cpu.set cpu Reg.sp (Int64.add (Cpu.get cpu Reg.sp) (Int64.of_int n));
+            goto (Int64.to_int (Int64.logand target addr_mask));
+            None
+        | Bndcl (b, ea) ->
+            charge Cost.bound_check;
+            bound_check cpu b (ea_value mem cpu ea ~end_pc) ~lower:true;
+            next ();
+            None
+        | Bndcu (b, ea) ->
+            charge Cost.bound_check;
+            bound_check cpu b (ea_value mem cpu ea ~end_pc) ~lower:false;
+            next ();
+            None
+        | Syscall_gate ->
+            charge Cost.syscall_gate;
+            next ();
+            Some Stop_syscall
+        | Hlt -> Some (Stop_fault (Privileged { addr = pc; insn = "hlt" }))
+        | Bndmk _ -> Some (Stop_fault (Privileged { addr = pc; insn = "bndmk" }))
+        | Bndmov _ -> Some (Stop_fault (Privileged { addr = pc; insn = "bndmov" }))
+        | Eexit -> Some (Stop_fault (Privileged { addr = pc; insn = "eexit" }))
+        | Emodpe -> Some (Stop_fault (Privileged { addr = pc; insn = "emodpe" }))
+        | Eaccept -> Some (Stop_fault (Privileged { addr = pc; insn = "eaccept" }))
+        | Xrstor -> Some (Stop_fault (Privileged { addr = pc; insn = "xrstor" }))
+        | Wrfsbase _ ->
+            Some (Stop_fault (Privileged { addr = pc; insn = "wrfsbase" }))
+        | Wrgsbase _ ->
+            Some (Stop_fault (Privileged { addr = pc; insn = "wrgsbase" }))
+        | Vscatter { base; index; scale; src } ->
+            (* one instruction, multiple non-contiguous stores — the
+               reason Stage 4 rejects it (Figure 4) *)
+            charge (Cost.store * 4);
+            let b = Cpu.get cpu base and i = Cpu.get cpu index in
+            for lane = 0 to 3 do
+              let a =
+                Int64.add b
+                  (Int64.mul (Int64.add i (Int64.of_int lane)) (Int64.of_int scale))
+              in
+              Mem.write_u64 mem
+                (Int64.to_int (Int64.logand a addr_mask))
+                (Cpu.get cpu src)
+            done;
+            next ();
+            None
+      with
+      | exception Fault.Fault f -> Some (Stop_fault f)
+      | r -> r)
+
+let run mem cpu ~fuel =
+  let rec loop fuel =
+    if fuel <= 0 then Stop_quantum
+    else
+      match step mem cpu with
+      | Some stop -> stop
+      | None -> loop (fuel - 1)
+  in
+  loop fuel

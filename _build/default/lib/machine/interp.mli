@@ -1,0 +1,16 @@
+(** The fetch/decode/execute loop. Runs untrusted SIP code; the LibOS is
+    OCaml and interacts through {!Cpu} and {!Mem}. *)
+
+type stop =
+  | Stop_syscall  (** reached a LibOS trampoline's syscall gate *)
+  | Stop_fault of Fault.t  (** AEX: captured by the LibOS *)
+  | Stop_quantum  (** fuel exhausted; the SIP is preempted *)
+
+val stop_to_string : stop -> string
+
+val step : Mem.t -> Cpu.t -> stop option
+(** Execute exactly one instruction; [Some stop] when control leaves the
+    interpreter. *)
+
+val run : Mem.t -> Cpu.t -> fuel:int -> stop
+(** Run until a stop condition or [fuel] executed instructions. *)

@@ -1,0 +1,114 @@
+(* Flat, paged, permission-checked memory: the single address space of an
+   enclave. MMDSFI guard regions are simply pages left unmapped, so any
+   access to them raises a page fault — exactly the mechanism §4.1 relies
+   on. *)
+
+let page_size = 4096
+
+type perm = { r : bool; w : bool; x : bool }
+
+let perm_rw = { r = true; w = true; x = false }
+let perm_rx = { r = true; w = false; x = true }
+let perm_rwx = { r = true; w = true; x = true }
+let perm_ro = { r = true; w = false; x = false }
+
+let perm_to_string p =
+  Printf.sprintf "%c%c%c" (if p.r then 'r' else '-') (if p.w then 'w' else '-')
+    (if p.x then 'x' else '-')
+
+type t = {
+  data : Bytes.t;
+  pages : perm option array; (* None = unmapped *)
+  size : int;
+}
+
+let create ~size =
+  if size <= 0 || size mod page_size <> 0 then
+    invalid_arg "Mem.create: size must be a positive multiple of the page size";
+  { data = Bytes.make size '\x00'; pages = Array.make (size / page_size) None; size }
+
+let size t = t.size
+let page_count t = Array.length t.pages
+
+let check_range t addr len =
+  if addr < 0 || len < 0 || addr + len > t.size then
+    invalid_arg (Printf.sprintf "Mem: range [0x%x, +%d) outside address space" addr len)
+
+let map t ~addr ~len ~perm =
+  check_range t addr len;
+  if addr mod page_size <> 0 || len mod page_size <> 0 then
+    invalid_arg "Mem.map: unaligned";
+  for p = addr / page_size to ((addr + len) / page_size) - 1 do
+    t.pages.(p) <- Some perm
+  done
+
+let unmap t ~addr ~len =
+  check_range t addr len;
+  if addr mod page_size <> 0 || len mod page_size <> 0 then
+    invalid_arg "Mem.unmap: unaligned";
+  for p = addr / page_size to ((addr + len) / page_size) - 1 do
+    t.pages.(p) <- None
+  done
+
+let perm_at t addr =
+  if addr < 0 || addr >= t.size then None else t.pages.(addr / page_size)
+
+(* Fault-checking access used by the interpreter. The whole byte span
+   must be readable/writable; an access that starts in a mapped page and
+   spills into a guard page faults, which is what makes base-address-only
+   mem_guards sound. *)
+let check_access t addr len (access : Fault.access) =
+  if addr < 0 || addr + len > t.size then
+    raise (Fault.Fault (Page_fault { addr; access }));
+  for p = addr / page_size to (addr + len - 1) / page_size do
+    match t.pages.(p) with
+    | None -> raise (Fault.Fault (Page_fault { addr; access }))
+    | Some perm ->
+        let allowed =
+          match access with
+          | Read -> perm.r
+          | Write -> perm.w
+          | Exec -> perm.x
+        in
+        if not allowed then raise (Fault.Fault (Page_fault { addr; access }))
+  done
+
+let read_u8 t addr =
+  check_access t addr 1 Read;
+  Char.code (Bytes.get t.data addr)
+
+let write_u8 t addr v =
+  check_access t addr 1 Write;
+  Bytes.set t.data addr (Char.chr (v land 0xFF))
+
+let read_u64 t addr =
+  check_access t addr 8 Read;
+  Bytes.get_int64_le t.data addr
+
+let write_u64 t addr v =
+  check_access t addr 8 Write;
+  Bytes.set_int64_le t.data addr v
+
+(* Privileged accessors for the LibOS / loader: no permission checks,
+   still bounds-checked. The LibOS is trusted (§3.1). *)
+let read_bytes_priv t ~addr ~len =
+  check_range t addr len;
+  Bytes.sub t.data addr len
+
+let write_bytes_priv t ~addr bytes =
+  check_range t addr (Bytes.length bytes);
+  Bytes.blit bytes 0 t.data addr (Bytes.length bytes)
+
+let read_u64_priv t addr =
+  check_range t addr 8;
+  Bytes.get_int64_le t.data addr
+
+let write_u64_priv t addr v =
+  check_range t addr 8;
+  Bytes.set_int64_le t.data addr v
+
+let fill_priv t ~addr ~len c =
+  check_range t addr len;
+  Bytes.fill t.data addr len c
+
+let raw t = t.data

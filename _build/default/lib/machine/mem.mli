@@ -1,0 +1,58 @@
+(** Flat, paged, permission-checked memory: the single address space of
+    an enclave. MMDSFI guard regions are pages left unmapped, so any
+    access to them raises {!Fault.Fault} — the mechanism §4.1 of the
+    paper relies on. *)
+
+val page_size : int
+(** 4096. *)
+
+type perm = { r : bool; w : bool; x : bool }
+
+val perm_rw : perm
+val perm_rx : perm
+val perm_rwx : perm
+val perm_ro : perm
+val perm_to_string : perm -> string
+
+type t
+
+val create : size:int -> t
+(** [create ~size] is a zeroed address space of [size] bytes (a positive
+    page multiple), with every page unmapped. *)
+
+val size : t -> int
+val page_count : t -> int
+
+val map : t -> addr:int -> len:int -> perm:perm -> unit
+(** Map a page-aligned range with the given permissions. *)
+
+val unmap : t -> addr:int -> len:int -> unit
+
+val perm_at : t -> int -> perm option
+(** [None] if the address is unmapped or out of range. *)
+
+val check_access : t -> int -> int -> Fault.access -> unit
+(** Fault-checking span test used by the interpreter: the whole byte span
+    must be mapped with the needed permission.
+    @raise Fault.Fault with [Page_fault] otherwise. *)
+
+(** {1 Checked accessors (user-mode semantics)} *)
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_u64 : t -> int -> int64
+val write_u64 : t -> int -> int64 -> unit
+
+(** {1 Privileged accessors}
+
+    For the LibOS and loader (the runtime TCB): bounds-checked but not
+    permission-checked. *)
+
+val read_bytes_priv : t -> addr:int -> len:int -> Bytes.t
+val write_bytes_priv : t -> addr:int -> Bytes.t -> unit
+val read_u64_priv : t -> int -> int64
+val write_u64_priv : t -> int -> int64 -> unit
+val fill_priv : t -> addr:int -> len:int -> char -> unit
+
+val raw : t -> Bytes.t
+(** The backing store (used by the decoder for zero-copy fetch). *)

@@ -1,0 +1,1 @@
+lib/oelf/oelf.ml: Buffer Bytes Int32 List Occlum_util Printf String

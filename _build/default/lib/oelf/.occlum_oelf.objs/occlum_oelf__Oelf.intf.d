@@ -1,0 +1,1 @@
+lib/oelf/oelf.mli: Bytes

@@ -1,0 +1,1 @@
+lib/sgx/attestation.ml: Enclave Occlum_util Printf String

@@ -1,0 +1,1 @@
+lib/sgx/enclave.ml: Bytes Cpu Epc Mem Occlum_machine Occlum_util Printf

@@ -1,0 +1,35 @@
+(* Local attestation between two enclaves on the same platform, modelled
+   on the EREPORT/EGETKEY flow. An EIP creation (Graphene-style) must do
+   this handshake with its parent before the encrypted process state can
+   be transferred (§3.2) — part of why EIP process creation is slow. *)
+
+(* The platform key never leaves the CPU on real hardware; here it is a
+   module-private constant standing in for the fused key. *)
+let platform_key = Occlum_util.Sha256.digest "occlum-sim-platform-fuse-key"
+
+type report = { body : string; tag : string }
+
+(* EREPORT: a MAC over the enclave's measurement plus user data, keyed so
+   only enclaves on the same platform can verify it. *)
+let report ~enclave ~user_data =
+  let body =
+    Printf.sprintf "measurement=%s;user=%s"
+      (Occlum_util.Sha256.to_hex (Enclave.measurement enclave))
+      user_data
+  in
+  { body; tag = Occlum_util.Hmac.mac ~key:platform_key body }
+
+let verify r = Occlum_util.Hmac.verify ~key:platform_key ~tag:r.tag r.body
+
+(* Mutual attestation: both sides exchange reports and derive a shared
+   session key for the encrypted channel between their enclaves. Real
+   work (four HMAC computations + key derivation) so the handshake has
+   honest cost in benchmarks. *)
+let handshake ~parent ~child ~nonce =
+  let r1 = report ~enclave:parent ~user_data:nonce in
+  let r2 = report ~enclave:child ~user_data:nonce in
+  if not (verify r1 && verify r2) then Error "attestation report rejected"
+  else
+    Ok
+      (Occlum_util.Sha256.digest
+         (String.concat "|" [ "session"; r1.tag; r2.tag; nonce ]))

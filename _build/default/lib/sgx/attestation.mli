@@ -1,0 +1,16 @@
+(** Local attestation (EREPORT/EGETKEY flow): what an EIP creation must
+    do between parent and child enclaves before the encrypted
+    process-state transfer (§3.2). *)
+
+type report = { body : string; tag : string }
+
+val report : enclave:Enclave.t -> user_data:string -> report
+(** A MAC over the enclave's measurement plus caller data, keyed by the
+    (simulated) platform fuse key. *)
+
+val verify : report -> bool
+
+val handshake :
+  parent:Enclave.t -> child:Enclave.t -> nonce:string -> (string, string) result
+(** Mutual attestation; on success returns a derived 32-byte session key
+    for the encrypted channel between the enclaves. *)

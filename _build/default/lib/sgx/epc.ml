@@ -1,0 +1,34 @@
+(* The Enclave Page Cache: the finite pool of protected physical pages
+   shared by all enclaves on the platform. SGX1 machines shipped with
+   ~93 MiB usable; going past it is either an error (our model) or
+   dramatic paging cost (real hardware). The EIP baseline burns one
+   enclave's worth of EPC per process, while Occlum's SIPs share one
+   enclave — a resource-pressure difference Table 1 alludes to. *)
+
+type t = { total_pages : int; mutable free_pages : int }
+
+let page_size = Occlum_machine.Mem.page_size
+
+let default_size = 93 * 1024 * 1024
+
+let create ?(size = default_size) () =
+  if size <= 0 || size mod page_size <> 0 then
+    invalid_arg "Epc.create: size must be a positive multiple of the page size";
+  let pages = size / page_size in
+  { total_pages = pages; free_pages = pages }
+
+exception Out_of_epc
+
+let alloc t ~pages =
+  if pages < 0 then invalid_arg "Epc.alloc";
+  if t.free_pages < pages then raise Out_of_epc;
+  t.free_pages <- t.free_pages - pages
+
+let release t ~pages =
+  if pages < 0 || t.free_pages + pages > t.total_pages then
+    invalid_arg "Epc.release";
+  t.free_pages <- t.free_pages + pages
+
+let free_pages t = t.free_pages
+let total_pages t = t.total_pages
+let used_pages t = t.total_pages - t.free_pages

@@ -1,0 +1,21 @@
+(** The Enclave Page Cache: the finite pool of protected pages shared by
+    all enclaves on the platform. The EIP baseline burns an enclave's
+    worth per process; Occlum's SIPs share one enclave. *)
+
+type t
+
+val page_size : int
+
+val default_size : int
+(** 93 MiB, the usable EPC of SGX1-era parts. *)
+
+val create : ?size:int -> unit -> t
+exception Out_of_epc
+
+val alloc : t -> pages:int -> unit
+(** @raise Out_of_epc when the pool is exhausted. *)
+
+val release : t -> pages:int -> unit
+val free_pages : t -> int
+val total_pages : t -> int
+val used_pages : t -> int

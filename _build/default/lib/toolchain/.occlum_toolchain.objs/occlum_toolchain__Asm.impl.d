@@ -1,0 +1,1 @@
+lib/toolchain/asm.ml: Buffer Codec Codegen_regs Hashtbl Insn Int64 List Occlum_isa Printf Reg

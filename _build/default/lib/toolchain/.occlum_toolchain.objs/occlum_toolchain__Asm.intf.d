@@ -1,0 +1,1 @@
+lib/toolchain/asm.mli: Bytes Hashtbl Insn Occlum_isa Reg

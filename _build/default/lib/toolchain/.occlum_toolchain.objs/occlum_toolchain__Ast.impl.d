@@ -1,0 +1,1 @@
+lib/toolchain/ast.ml: Int64 List Printf

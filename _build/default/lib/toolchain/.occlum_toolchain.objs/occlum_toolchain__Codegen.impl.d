@@ -1,0 +1,1 @@
+lib/toolchain/codegen.ml: Asm Ast Codegen_regs Hashtbl Insn Int64 Layout List Occlum_abi Occlum_isa Option Printf Reg

@@ -1,0 +1,1 @@
+lib/toolchain/codegen_regs.ml: Occlum_isa Reg

@@ -1,0 +1,1 @@
+lib/toolchain/compile.ml: Asm Codegen Linker List Optimize String

@@ -1,0 +1,1 @@
+lib/toolchain/compile.mli: Asm Ast Codegen Layout Occlum_oelf

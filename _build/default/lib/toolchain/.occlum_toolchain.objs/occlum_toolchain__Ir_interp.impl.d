@@ -1,0 +1,1 @@
+lib/toolchain/ir_interp.ml: Array Ast Buffer Bytes Char Hashtbl Int64 Layout List Occlum_abi Printf

@@ -1,0 +1,1 @@
+lib/toolchain/ir_interp.mli: Ast Bytes

@@ -1,0 +1,1 @@
+lib/toolchain/layout.ml: Ast Bytes Int64 List Occlum_oelf Occlum_util String

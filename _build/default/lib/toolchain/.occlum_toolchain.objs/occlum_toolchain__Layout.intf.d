@@ -1,0 +1,1 @@
+lib/toolchain/layout.mli: Ast Bytes

@@ -1,0 +1,1 @@
+lib/toolchain/linker.ml: Asm Bytes Hashtbl Layout List Occlum_oelf String

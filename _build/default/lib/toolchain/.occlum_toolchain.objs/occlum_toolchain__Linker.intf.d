@@ -1,0 +1,1 @@
+lib/toolchain/linker.mli: Asm Layout Occlum_oelf

@@ -1,0 +1,1 @@
+lib/toolchain/optimize.ml: Array Asm Codegen_regs Hashtbl Insn Int64 List Occlum_isa Occlum_oelf Option Queue Reg String

@@ -1,0 +1,1 @@
+lib/toolchain/parser.ml: Ast Buffer Int64 List Printf Runtime String

@@ -1,0 +1,1 @@
+lib/toolchain/runtime.ml: Ast Layout Occlum_abi

@@ -1,0 +1,1 @@
+lib/toolchain/runtime.mli: Ast

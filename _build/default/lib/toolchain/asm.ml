@@ -1,0 +1,104 @@
+(* Assembly layer between the code generator and raw bytes: symbolic
+   labels, label-relative control transfers, and the three MMDSFI
+   pseudo-instructions of Figure 2b, expanded here into their machine
+   sequences. Assembly is two-pass: item sizes are position-independent,
+   so pass one assigns offsets and pass two emits resolved bytes. *)
+
+open Occlum_isa
+
+type item =
+  | Ins of Insn.t
+  | Label of string                  (* no bytes; a link-time symbol *)
+  | Jmp_l of string
+  | Jcc_l of Insn.cond * string
+  | Call_l of string
+  | Lea_code of Reg.t * string       (* reg := code_base + offset(label) *)
+  | Mem_guard of Insn.mem            (* bndcl+bndcu %bnd0 on the operand *)
+  | Cfi_guard of Reg.t               (* load+bndcl+bndcu %bnd1 (Fig. 2b) *)
+  | Cfi_label_here                   (* domain id patched by the loader *)
+
+let item_to_string = function
+  | Ins i -> "  " ^ Insn.to_string i
+  | Label l -> l ^ ":"
+  | Jmp_l l -> "  jmp " ^ l
+  | Jcc_l (c, l) -> Printf.sprintf "  j%s %s" (Insn.cond_name c) l
+  | Call_l l -> "  call " ^ l
+  | Lea_code (r, l) -> Printf.sprintf "  lea_code %s, %s" (Reg.name r) l
+  | Mem_guard m -> "  mem_guard " ^ Insn.mem_to_string m
+  | Cfi_guard r -> "  cfi_guard " ^ Reg.name r
+  | Cfi_label_here -> "  cfi_label"
+
+(* Expansion of pseudo-instructions and label forms into concrete
+   instructions (with displacement 0 placeholders — all operand encodings
+   are fixed-size, so placeholder and final bytes have equal length). *)
+let expand ?(target = 0) item : Insn.t list =
+  match item with
+  | Ins i -> [ i ]
+  | Label _ -> []
+  | Jmp_l _ -> [ Jmp target ]
+  | Jcc_l (c, _) -> [ Jcc (c, target) ]
+  | Call_l _ -> [ Call target ]
+  | Lea_code (r, _) ->
+      [ Mov_reg (r, Codegen_regs.code_base); Alu (Add, r, O_imm (Int64.of_int target)) ]
+  | Mem_guard m -> [ Bndcl (Reg.bnd0, Ea_mem m); Bndcu (Reg.bnd0, Ea_mem m) ]
+  | Cfi_guard r ->
+      [
+        Load
+          { dst = Reg.scratch;
+            src = Sib { base = r; index = None; scale = 1; disp = 0 };
+            size = 8;
+          };
+        Bndcl (Reg.bnd1, Ea_reg Reg.scratch);
+        Bndcu (Reg.bnd1, Ea_reg Reg.scratch);
+      ]
+  | Cfi_label_here -> [ Cfi_label 0l ]
+
+let item_size item =
+  List.fold_left (fun acc i -> acc + Codec.length i) 0 (expand item)
+
+exception Unknown_label of string
+
+(* [assemble items ~base] lays the items out starting at code offset
+   [base] and returns the bytes plus the symbol table. Displacements for
+   label forms are relative to the end of the transfer instruction, as
+   the machine defines them. *)
+let assemble items ~base =
+  let offsets = Hashtbl.create 64 in
+  let pos = ref base in
+  let item_offsets =
+    List.map
+      (fun item ->
+        (match item with
+        | Label l ->
+            if Hashtbl.mem offsets l then invalid_arg ("Asm: duplicate label " ^ l);
+            Hashtbl.replace offsets l !pos
+        | _ -> ());
+        let o = !pos in
+        pos := !pos + item_size item;
+        o)
+      items
+  in
+  let lookup l =
+    match Hashtbl.find_opt offsets l with
+    | Some o -> o
+    | None -> raise (Unknown_label l)
+  in
+  let buf = Buffer.create 4096 in
+  List.iter2
+    (fun item off ->
+      let emit insns = List.iter (Codec.encode_into buf) insns in
+      match item with
+      | Label _ -> ()
+      | Jmp_l l ->
+          let insn_end = off + item_size item in
+          emit [ Insn.Jmp (lookup l - insn_end) ]
+      | Jcc_l (c, l) ->
+          let insn_end = off + item_size item in
+          emit [ Insn.Jcc (c, lookup l - insn_end) ]
+      | Call_l l ->
+          let insn_end = off + item_size item in
+          emit [ Insn.Call (lookup l - insn_end) ]
+      | Lea_code (_, l) -> emit (expand ~target:(lookup l) item)
+      | Ins _ | Mem_guard _ | Cfi_guard _ | Cfi_label_here -> emit (expand item))
+    items item_offsets;
+  (Buffer.to_bytes buf, offsets)

@@ -1,0 +1,30 @@
+(** Assembly layer between the code generator and raw bytes: symbolic
+    labels, label-relative control transfers, and the three MMDSFI
+    pseudo-instructions of Figure 2b, expanded into machine sequences. *)
+
+open Occlum_isa
+
+type item =
+  | Ins of Insn.t
+  | Label of string                 (** no bytes; a link-time symbol *)
+  | Jmp_l of string
+  | Jcc_l of Insn.cond * string
+  | Call_l of string
+  | Lea_code of Reg.t * string      (** reg := code_base + offset(label) *)
+  | Mem_guard of Insn.mem           (** bndcl+bndcu %bnd0 on the operand *)
+  | Cfi_guard of Reg.t              (** load+bndcl+bndcu %bnd1 (Fig. 2b) *)
+  | Cfi_label_here                  (** id patched by the loader *)
+
+val item_to_string : item -> string
+
+val expand : ?target:int -> item -> Insn.t list
+(** The concrete instructions an item assembles to; label forms take the
+    resolved [target]. All expansions are fixed-size per item. *)
+
+val item_size : item -> int
+
+exception Unknown_label of string
+
+val assemble : item list -> base:int -> Bytes.t * (string, int) Hashtbl.t
+(** Two-pass assembly starting at code offset [base]; returns the bytes
+    and the symbol table. @raise Unknown_label on unresolved references. *)

@@ -1,0 +1,207 @@
+(* Occlang: the small imperative language the Occlum toolchain compiles.
+   It stands in for the C programs the paper builds with its LLVM-based
+   toolchain. The language is deliberately low-level — flat memory,
+   explicit loads/stores, function pointers, syscalls — so that compiled
+   programs exercise every instruction category the verifier must judge.
+
+   Semantics notes (shared by the reference interpreter and the machine):
+   - all values are 64-bit integers;
+   - [Div]/[Rem] are unsigned, comparisons are signed and yield 0/1;
+   - argument evaluation order is right to left;
+   - memory is the process's data region; dereferencing outside it is a
+     fault (machine: #PF/#BR; interpreter: [Interp_fault]). *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+type unop = Neg | Not (* bitwise complement *) | Lnot (* 1 if zero *)
+
+type expr =
+  | Int of int64
+  | Str of string          (* address of an interned literal in the pool *)
+  | Var of string          (* local, parameter, or register variable *)
+  | Global_addr of string  (* address of a global buffer *)
+  | Data_addr of int       (* address D.begin + fixed offset (argv area etc.) *)
+  | Frame_addr of string    (* address of a stack local's slot (enables the
+                               RIPE-style overflow workloads; unsupported by
+                               the reference interpreter) *)
+  | Load of expr           (* 64-bit load *)
+  | Load1 of expr          (* byte load, zero-extended *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+  | Call_ptr of expr * expr list  (* indirect call through a function pointer *)
+  | Func_addr of string
+  | Syscall of int * expr list    (* LibOS system call, up to 5 arguments *)
+
+type stmt =
+  | Let of string * expr   (* declare-and-init a local (or reuse its slot) *)
+  | Assign of string * expr
+  | Store of expr * expr   (* Store (addr, value), 64-bit *)
+  | Store1 of expr * expr  (* byte store *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr
+  | Expr of expr
+
+type func = {
+  name : string;
+  params : string list;
+  reg_vars : string list;
+      (* up to 3 variables pinned to callee registers; loop pointers put
+         here become visible to the range analysis, enabling the loop
+         check hoisting of §4.3 *)
+  body : stmt list;
+}
+
+type program = {
+  globals : (string * int) list; (* name, size in bytes *)
+  funcs : func list;             (* must include "main" *)
+}
+
+let max_reg_vars = 3
+
+(* --- convenience constructors for workload code ------------------------ *)
+
+let i n = Int (Int64.of_int n)
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+let ( *: ) a b = Binop (Mul, a, b)
+let ( /: ) a b = Binop (Div, a, b)
+let ( %: ) a b = Binop (Rem, a, b)
+let ( <: ) a b = Binop (Lt, a, b)
+let ( <=: ) a b = Binop (Le, a, b)
+let ( >: ) a b = Binop (Gt, a, b)
+let ( >=: ) a b = Binop (Ge, a, b)
+let ( =: ) a b = Binop (Eq, a, b)
+let ( <>: ) a b = Binop (Ne, a, b)
+let ( &: ) a b = Binop (And, a, b)
+let ( |: ) a b = Binop (Or, a, b)
+let ( ^: ) a b = Binop (Xor, a, b)
+let ( <<: ) a b = Binop (Shl, a, b)
+let ( >>: ) a b = Binop (Shr, a, b)
+let v x = Var x
+
+let func ?(reg_vars = []) name params body = { name; params; reg_vars; body }
+
+(* --- well-formedness ---------------------------------------------------- *)
+
+exception Ill_formed of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Ill_formed m)) fmt
+
+let check_program (p : program) =
+  if not (List.exists (fun f -> f.name = "main") p.funcs) then
+    fail "program has no main";
+  let fnames = List.map (fun f -> f.name) p.funcs in
+  let dup l =
+    let sorted = List.sort compare l in
+    let rec find = function
+      | a :: b :: _ when a = b -> Some a
+      | _ :: tl -> find tl
+      | [] -> None
+    in
+    find sorted
+  in
+  (match dup fnames with
+  | Some n -> fail "duplicate function %s" n
+  | None -> ());
+  (match dup (List.map fst p.globals) with
+  | Some n -> fail "duplicate global %s" n
+  | None -> ());
+  List.iter
+    (fun (n, size) -> if size <= 0 then fail "global %s has size %d" n size)
+    p.globals;
+  let globals = List.map fst p.globals in
+  List.iter
+    (fun f ->
+      if List.length f.reg_vars > max_reg_vars then
+        fail "%s: too many reg_vars" f.name;
+      let rec locals_of_stmts acc = function
+        | [] -> acc
+        | Let (x, _) :: tl -> locals_of_stmts (x :: acc) tl
+        | If (_, a, b) :: tl ->
+            locals_of_stmts (locals_of_stmts (locals_of_stmts acc a) b) tl
+        | While (_, b) :: tl -> locals_of_stmts (locals_of_stmts acc b) tl
+        | (Assign _ | Store _ | Store1 _ | Return _ | Expr _) :: tl ->
+            locals_of_stmts acc tl
+      in
+      let locals = locals_of_stmts [] f.body in
+      let known = f.params @ f.reg_vars @ locals in
+      let check_var x =
+        if not (List.mem x known) then fail "%s: unknown variable %s" f.name x
+      in
+      let rec check_expr = function
+        | Int _ | Str _ | Data_addr _ -> ()
+        | Frame_addr x -> check_var x
+        | Var x -> check_var x
+        | Global_addr g ->
+            if not (List.mem g globals) then fail "%s: unknown global %s" f.name g
+        | Load e | Load1 e | Unop (_, e) -> check_expr e
+        | Binop (_, a, b) ->
+            check_expr a;
+            check_expr b
+        | Call (g, args) ->
+            if not (List.mem g fnames) then fail "%s: unknown function %s" f.name g;
+            List.iter check_expr args
+        | Call_ptr (e, args) ->
+            check_expr e;
+            List.iter check_expr args
+        | Func_addr g ->
+            if not (List.mem g fnames) then fail "%s: unknown function %s" f.name g
+        | Syscall (_, args) ->
+            if List.length args > 5 then fail "%s: syscall with >5 args" f.name;
+            List.iter check_expr args
+      in
+      let rec check_stmt = function
+        | Let (_, e) | Return e | Expr e -> check_expr e
+        | Assign (x, e) ->
+            check_var x;
+            check_expr e
+        | Store (a, b) | Store1 (a, b) ->
+            check_expr a;
+            check_expr b
+        | If (c, t, e) ->
+            check_expr c;
+            List.iter check_stmt t;
+            List.iter check_stmt e
+        | While (c, b) ->
+            check_expr c;
+            List.iter check_stmt b
+      in
+      List.iter check_stmt f.body)
+    p.funcs
+
+(* Collect every string literal in the program, for the literal pool. *)
+let literals (p : program) =
+  let acc = ref [] in
+  let add s = if not (List.mem s !acc) then acc := s :: !acc in
+  let rec expr = function
+    | Str s -> add s
+    | Int _ | Var _ | Global_addr _ | Func_addr _ | Data_addr _ | Frame_addr _ -> ()
+    | Load e | Load1 e | Unop (_, e) -> expr e
+    | Binop (_, a, b) ->
+        expr a;
+        expr b
+    | Call (_, args) | Syscall (_, args) -> List.iter expr args
+    | Call_ptr (e, args) ->
+        expr e;
+        List.iter expr args
+  in
+  let rec stmt = function
+    | Let (_, e) | Assign (_, e) | Return e | Expr e -> expr e
+    | Store (a, b) | Store1 (a, b) ->
+        expr a;
+        expr b
+    | If (c, t, e) ->
+        expr c;
+        List.iter stmt t;
+        List.iter stmt e
+    | While (c, b) ->
+        expr c;
+        List.iter stmt b
+  in
+  List.iter (fun f -> List.iter stmt f.body) p.funcs;
+  List.rev !acc

@@ -1,0 +1,522 @@
+(* Occlang -> OASM code generation with MMDSFI instrumentation.
+
+   Instrumentation (Figure 2c):
+   - every load/store (including stack traffic from push/pop/call) gets a
+     mem_guard when the corresponding [guard_loads]/[guard_stores] flag
+     is on;
+   - with [guard_control], every indirect transfer is preceded by a
+     cfi_guard, every transfer target (function entry, call return site)
+     carries a cfi_label, and returns compile to pop+cfi_guard+jmp
+     instead of ret;
+   - with [optimize], guards are still emitted naively here and the
+     {!Optimize} pass deletes the ones the range analysis proves
+     redundant (plus hoists loop guards); prologue anchor guards are
+     added so stack traffic after the first check is provably safe.
+
+   Calling convention: arguments are evaluated right-to-left and pushed
+   (so arg1 sits just above the return address); the callee cleans up.
+   Stack frame: [locals][saved by pushes]... with parameters addressed
+   above the return address. reg_vars live in r6..r8 and are caller-saved
+   around calls and syscalls. *)
+
+open Occlum_isa
+module R = Codegen_regs
+
+type config = {
+  guard_loads : bool;
+  guard_stores : bool;
+  guard_control : bool;
+  optimize : bool;
+  heap_size : int;
+  stack_size : int;
+}
+
+let sfi =
+  {
+    guard_loads = true;
+    guard_stores = true;
+    guard_control = true;
+    optimize = true;
+    heap_size = 256 * 1024;
+    stack_size = 64 * 1024;
+  }
+
+let sfi_naive = { sfi with optimize = false }
+let bare = { sfi with guard_loads = false; guard_stores = false;
+             guard_control = false; optimize = false }
+
+exception Codegen_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Codegen_error m)) fmt
+
+type fstate = {
+  cfg : config;
+  layout : Layout.t;
+  fname : string;
+  mutable items : Asm.item list; (* reversed *)
+  slots : (string, int) Hashtbl.t;   (* local -> frame offset *)
+  regs : (string, Reg.t) Hashtbl.t;  (* reg_var -> register *)
+  param_index : (string, int) Hashtbl.t;
+  frame_size : int;
+  nparams : int;
+  reg_var_list : Reg.t list;
+  mutable push_depth : int;
+  fresh : unit -> string;
+}
+
+let emit st item = st.items <- item :: st.items
+let emit_ins st i = emit st (Asm.Ins i)
+
+let func_label name = "f_" ^ name
+
+let sp_mem ?(disp = 0) () : Insn.mem =
+  Sib { base = Reg.sp; index = None; scale = 1; disp }
+
+let guard_if st cond mem = if cond then emit st (Asm.Mem_guard mem)
+
+let push st r =
+  guard_if st st.cfg.guard_stores (sp_mem ~disp:(-8) ());
+  emit_ins st (Push r);
+  st.push_depth <- st.push_depth + 1
+
+let pop st r =
+  guard_if st st.cfg.guard_loads (sp_mem ());
+  emit_ins st (Pop r);
+  st.push_depth <- st.push_depth - 1
+
+(* Stack offset of a local/param, corrected for temporaries currently
+   pushed above sp. *)
+let var_location st x =
+  match Hashtbl.find_opt st.regs x with
+  | Some r -> `Reg r
+  | None -> (
+      match Hashtbl.find_opt st.slots x with
+      | Some off -> `Stack (off + (8 * st.push_depth))
+      | None -> (
+          match Hashtbl.find_opt st.param_index x with
+          | Some i ->
+              `Stack (st.frame_size + 8 + (8 * i) + (8 * st.push_depth))
+          | None -> fail "%s: unbound variable %s" st.fname x))
+
+let load_var st d x =
+  let rd = R.depth_reg d in
+  match var_location st x with
+  | `Reg r -> emit_ins st (Mov_reg (rd, r))
+  | `Stack off ->
+      let m = sp_mem ~disp:off () in
+      guard_if st st.cfg.guard_loads m;
+      emit_ins st (Load { dst = rd; src = m; size = 8 })
+
+let store_var st x src =
+  match var_location st x with
+  | `Reg r -> emit_ins st (Mov_reg (r, src))
+  | `Stack off ->
+      let m = sp_mem ~disp:off () in
+      guard_if st st.cfg.guard_stores m;
+      emit_ins st (Store { dst = m; src; size = 8 })
+
+let data_address st d off =
+  let rd = R.depth_reg d in
+  emit_ins st (Mov_reg (rd, R.data_base));
+  if off <> 0 then emit_ins st (Alu (Add, rd, O_imm (Int64.of_int off)))
+
+let cond_of_binop : Ast.binop -> Insn.cond option = function
+  | Eq -> Some Eq | Ne -> Some Ne | Lt -> Some Lt | Le -> Some Le
+  | Gt -> Some Gt | Ge -> Some Ge
+  | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr -> None
+
+let negate : Insn.cond -> Insn.cond = function
+  | Eq -> Ne | Ne -> Eq | Lt -> Ge | Ge -> Lt | Le -> Gt | Gt -> Le
+
+let alu_of_binop : Ast.binop -> Insn.alu_op option = function
+  | Add -> Some Add | Sub -> Some Sub | Mul -> Some Mul | Div -> Some Divu
+  | Rem -> Some Remu | And -> Some And | Or -> Some Or | Xor -> Some Xor
+  | Shl -> Some Shl | Shr -> Some Shr
+  | Eq | Ne | Lt | Le | Gt | Ge -> None
+
+(* Save/restore the live registers around a call-like sequence: live
+   expression temporaries r1..r(d-1) plus this function's reg_vars. *)
+let saved_regs st d =
+  List.init (d - R.depth_base) (fun i -> R.depth_reg (R.depth_base + i))
+  @ st.reg_var_list
+
+(* Purity and register need (Sethi-Ullman), used to evaluate the deeper
+   side of a pure binop first so left-nested chains fit the window. *)
+let rec pure_expr : Ast.expr -> bool = function
+  | Int _ | Str _ | Var _ | Global_addr _ | Data_addr _ | Func_addr _ | Frame_addr _ -> true
+  | Load e | Load1 e | Unop (_, e) -> pure_expr e
+  | Binop (_, a, b) -> pure_expr a && pure_expr b
+  | Call _ | Call_ptr _ | Syscall _ -> false
+
+let rec need_regs : Ast.expr -> int = function
+  | Int _ | Str _ | Var _ | Global_addr _ | Data_addr _ | Func_addr _
+  | Frame_addr _ -> 1
+  | Load e | Load1 e | Unop (_, e) -> need_regs e
+  | Binop (_, a, b) ->
+      let na = need_regs a and nb = need_regs b in
+      if pure_expr a && pure_expr b then
+        if na = nb then na + 1 else max na nb
+      else max nb (na + 1)
+  | Call (_, args) | Call_ptr (_, args) | Syscall (_, args) ->
+      List.fold_left (fun acc e -> max acc (need_regs e)) 1 args
+
+let rec gen_expr st d (e : Ast.expr) =
+  let rd = R.depth_reg d in
+  match e with
+  | Int v -> emit_ins st (Mov_imm (rd, v))
+  | Str s -> data_address st d (Layout.literal_offset st.layout s)
+  | Global_addr g -> data_address st d (Layout.global_offset st.layout g)
+  | Data_addr off -> data_address st d off
+  | Frame_addr x -> (
+      match var_location st x with
+      | `Reg _ -> fail "%s: Frame_addr of a register variable %s" st.fname x
+      | `Stack off -> emit_ins st (Lea (rd, sp_mem ~disp:off ())))
+  | Var x -> load_var st d x
+  | Load e ->
+      gen_expr st d e;
+      let m : Insn.mem = Sib { base = rd; index = None; scale = 1; disp = 0 } in
+      guard_if st st.cfg.guard_loads m;
+      emit_ins st (Load { dst = rd; src = m; size = 8 })
+  | Load1 e ->
+      gen_expr st d e;
+      let m : Insn.mem = Sib { base = rd; index = None; scale = 1; disp = 0 } in
+      guard_if st st.cfg.guard_loads m;
+      emit_ins st (Load { dst = rd; src = m; size = 1 })
+  | Unop (Neg, e) ->
+      gen_expr st d e;
+      emit_ins st (Mov_reg (R.ret_scratch, rd));
+      emit_ins st (Mov_imm (rd, 0L));
+      emit_ins st (Alu (Sub, rd, O_reg R.ret_scratch))
+  | Unop (Not, e) ->
+      gen_expr st d e;
+      emit_ins st (Alu (Xor, rd, O_imm (-1L)))
+  | Unop (Lnot, e) ->
+      gen_expr st d e;
+      let l = st.fresh () in
+      emit_ins st (Cmp (rd, O_imm 0L));
+      emit_ins st (Mov_imm (rd, 1L));
+      emit st (Asm.Jcc_l (Eq, l));
+      emit_ins st (Mov_imm (rd, 0L));
+      emit st (Asm.Label l)
+  | Binop (op, a, b) -> (
+      (* default order is right-to-left (b first); when both sides are
+         pure and a is deeper, evaluate a first so the chain fits the
+         register window — order is unobservable for pure operands *)
+      let a_first = pure_expr a && pure_expr b && need_regs a > need_regs b in
+      let ra =
+        if a_first then begin
+          gen_expr st d a;
+          gen_expr st (d + 1) b;
+          rd
+        end
+        else begin
+          gen_expr st d b;
+          gen_expr st (d + 1) a;
+          R.depth_reg (d + 1)
+        end
+      in
+      let rb = if ra = rd then R.depth_reg (d + 1) else rd in
+      match alu_of_binop op with
+      | Some alu ->
+          emit_ins st (Alu (alu, ra, O_reg rb));
+          if ra <> rd then emit_ins st (Mov_reg (rd, ra))
+      | None -> (
+          match cond_of_binop op with
+          | None -> assert false
+          | Some c ->
+              let l = st.fresh () in
+              emit_ins st (Cmp (ra, O_reg rb));
+              emit_ins st (Mov_imm (rd, 1L));
+              emit st (Asm.Jcc_l (c, l));
+              emit_ins st (Mov_imm (rd, 0L));
+              emit st (Asm.Label l)))
+  | Call (f, args) -> gen_call st d ~target:(`Direct f) args
+  | Call_ptr (fe, args) -> gen_call st d ~target:(`Indirect fe) args
+  | Func_addr f -> emit st (Asm.Lea_code (rd, func_label f))
+  | Syscall (nr, args) -> gen_syscall st d nr args
+
+and gen_call st d ~target args =
+  let saved = saved_regs st d in
+  List.iter (push st) saved;
+  (* an indirect target is evaluated (right-to-left: after the args are
+     not yet evaluated — target is the "callee expression", evaluated
+     last so that argument side effects happen first) *)
+  List.iter
+    (fun a ->
+      gen_expr st d a;
+      push st (R.depth_reg d))
+    (List.rev args);
+  (match target with
+  | `Direct f ->
+      guard_if st st.cfg.guard_stores (sp_mem ~disp:(-8) ());
+      emit st (Asm.Call_l (func_label f))
+  | `Indirect fe ->
+      gen_expr st d fe;
+      let rt = R.depth_reg d in
+      emit_ins st (Mov_reg (R.call_scratch, rt));
+      guard_if st st.cfg.guard_stores (sp_mem ~disp:(-8) ());
+      if st.cfg.guard_control then emit st (Asm.Cfi_guard R.call_scratch);
+      emit_ins st (Call_reg R.call_scratch));
+  if st.cfg.guard_control then emit st Asm.Cfi_label_here;
+  st.push_depth <- st.push_depth - List.length args;
+  emit_ins st (Mov_reg (R.depth_reg d, R.result));
+  List.iter (pop st) (List.rev saved)
+
+and gen_syscall st d nr args =
+  if List.length args > Occlum_abi.Abi.Regs.max_args then
+    fail "%s: syscall with too many arguments" st.fname;
+  let saved = saved_regs st d in
+  List.iter (push st) saved;
+  List.iter
+    (fun a ->
+      gen_expr st d a;
+      push st (R.depth_reg d))
+    (List.rev args);
+  (* pop arguments into the syscall registers r2..r6 *)
+  List.iteri
+    (fun i _ -> pop st (Reg.of_int (Occlum_abi.Abi.Regs.sys_arg0 + i)))
+    args;
+  emit_ins st (Mov_imm (Reg.of_int Occlum_abi.Abi.Regs.sys_nr, Int64.of_int nr));
+  if st.cfg.guard_control then begin
+    (* full SFI build: go through the LibOS trampoline, whose address
+       _start stored at D+0 *)
+    let slot : Insn.mem =
+      Sib { base = R.data_base; index = None; scale = 1; disp = Layout.tramp_slot }
+    in
+    guard_if st st.cfg.guard_loads slot;
+    emit_ins st (Load { dst = R.call_scratch; src = slot; size = 8 });
+    guard_if st st.cfg.guard_stores (sp_mem ~disp:(-8) ());
+    emit st (Asm.Cfi_guard R.call_scratch);
+    emit_ins st (Call_reg R.call_scratch);
+    emit st Asm.Cfi_label_here
+  end
+  else
+    (* bare build: inline gate, handled by the bench runner *)
+    emit_ins st Syscall_gate;
+  emit_ins st (Mov_reg (R.depth_reg d, R.result));
+  List.iter (pop st) (List.rev saved)
+
+and gen_cond st d e ~jump_if ~label =
+  match e with
+  | Ast.Binop (op, a, b) when cond_of_binop op <> None ->
+      let c = Option.get (cond_of_binop op) in
+      gen_expr st d b;
+      gen_expr st (d + 1) a;
+      emit_ins st (Cmp (R.depth_reg (d + 1), O_reg (R.depth_reg d)));
+      emit st (Asm.Jcc_l ((if jump_if then c else negate c), label))
+  | _ ->
+      gen_expr st d e;
+      emit_ins st (Cmp (R.depth_reg d, O_imm 0L));
+      emit st (Asm.Jcc_l ((if jump_if then Ne else Eq), label))
+
+let gen_epilogue st =
+  if st.frame_size > 0 then
+    emit_ins st (Alu (Add, Reg.sp, O_imm (Int64.of_int st.frame_size)));
+  if st.cfg.guard_control then begin
+    guard_if st st.cfg.guard_loads (sp_mem ());
+    emit_ins st (Pop R.ret_scratch);
+    if st.nparams > 0 then
+      emit_ins st (Alu (Add, Reg.sp, O_imm (Int64.of_int (8 * st.nparams))));
+    emit st (Asm.Cfi_guard R.ret_scratch);
+    emit_ins st (Jmp_reg R.ret_scratch)
+  end
+  else if st.nparams > 0 then emit_ins st (Ret_imm (8 * st.nparams))
+  else emit_ins st Ret
+
+let rec gen_stmt st (s : Ast.stmt) =
+  let depth_before = st.push_depth in
+  (match s with
+  | Let (x, e) | Assign (x, e) -> (
+      (* pinned increment: x += c compiles to a single add, keeping the
+         register visible to the range analysis (enables loop hoisting) *)
+      match (var_location st x, e) with
+      | `Reg r, Ast.Binop (Add, Var y, Int c) when y = x ->
+          emit_ins st (Alu (Add, r, O_imm c))
+      | `Reg r, Ast.Binop (Sub, Var y, Int c) when y = x ->
+          emit_ins st (Alu (Sub, r, O_imm c))
+      | _ ->
+          gen_expr st R.depth_base e;
+          store_var st x (R.depth_reg R.depth_base))
+  | Store (a, v) ->
+      gen_expr st R.depth_base v;
+      gen_expr st (R.depth_base + 1) a;
+      let ra = R.depth_reg (R.depth_base + 1) in
+      let m : Insn.mem = Sib { base = ra; index = None; scale = 1; disp = 0 } in
+      guard_if st st.cfg.guard_stores m;
+      emit_ins st (Store { dst = m; src = R.depth_reg R.depth_base; size = 8 })
+  | Store1 (a, v) ->
+      gen_expr st R.depth_base v;
+      gen_expr st (R.depth_base + 1) a;
+      let ra = R.depth_reg (R.depth_base + 1) in
+      let m : Insn.mem = Sib { base = ra; index = None; scale = 1; disp = 0 } in
+      guard_if st st.cfg.guard_stores m;
+      emit_ins st (Store { dst = m; src = R.depth_reg R.depth_base; size = 1 })
+  | If (c, t, e) ->
+      let l_else = st.fresh () and l_end = st.fresh () in
+      gen_cond st R.depth_base c ~jump_if:false ~label:l_else;
+      List.iter (gen_stmt st) t;
+      emit st (Asm.Jmp_l l_end);
+      emit st (Asm.Label l_else);
+      List.iter (gen_stmt st) e;
+      emit st (Asm.Label l_end)
+  | While (c, body) ->
+      (* rotated loop: entry test, then a body that re-tests at the
+         bottom. The preheader (just before l_head) only runs when the
+         body will, so the optimizer may hoist guards there. *)
+      let l_head = st.fresh () and l_end = st.fresh () in
+      gen_cond st R.depth_base c ~jump_if:false ~label:l_end;
+      emit st (Asm.Label l_head);
+      List.iter (gen_stmt st) body;
+      gen_cond st R.depth_base c ~jump_if:true ~label:l_head;
+      emit st (Asm.Label l_end)
+  | Return e ->
+      gen_expr st R.depth_base e;
+      emit_ins st (Mov_reg (R.result, R.depth_reg R.depth_base));
+      gen_epilogue st
+  | Expr e -> gen_expr st R.depth_base e);
+  if st.push_depth <> depth_before then
+    fail "%s: unbalanced stack in statement" st.fname
+
+let collect_locals (f : Ast.func) =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let add x =
+    if
+      (not (Hashtbl.mem seen x))
+      && (not (List.mem x f.params))
+      && not (List.mem x f.reg_vars)
+    then begin
+      Hashtbl.replace seen x ();
+      order := x :: !order
+    end
+  in
+  let rec stmt = function
+    | Ast.Let (x, _) -> add x
+    | If (_, a, b) ->
+        List.iter stmt a;
+        List.iter stmt b
+    | While (_, b) -> List.iter stmt b
+    | Assign _ | Store _ | Store1 _ | Return _ | Expr _ -> ()
+  in
+  List.iter stmt f.body;
+  List.rev !order
+
+(* Anchor guards for the prologue: prove sp-relative offsets across the
+   whole frame (+ params + slack for pushes) are inside D, so that the
+   optimizer can drop per-access stack guards. One guard covers +-4095
+   around its displacement. *)
+let prologue_guards st =
+  let reach = st.frame_size + 8 + (8 * st.nparams) + 256 in
+  let k = ref 0 in
+  while !k - 4095 < reach do
+    emit st (Asm.Mem_guard (sp_mem ~disp:!k ()));
+    k := !k + 8000
+  done
+
+let gen_func st (f : Ast.func) =
+  emit st (Asm.Label (func_label f.name));
+  if st.cfg.guard_control then emit st Asm.Cfi_label_here;
+  if st.frame_size > 0 then
+    emit_ins st (Alu (Sub, Reg.sp, O_imm (Int64.of_int st.frame_size)));
+  if st.cfg.optimize && (st.cfg.guard_loads || st.cfg.guard_stores) then
+    prologue_guards st;
+  List.iter (gen_stmt st) f.body;
+  (* implicit return 0 *)
+  emit_ins st (Mov_imm (R.result, 0L));
+  gen_epilogue st
+
+let make_fstate cfg layout fresh (f : Ast.func) =
+  let locals = collect_locals f in
+  let slots = Hashtbl.create 16 in
+  List.iteri (fun i x -> Hashtbl.replace slots x (8 * i)) locals;
+  let regs = Hashtbl.create 4 in
+  List.iteri (fun i x -> Hashtbl.replace regs x (R.reg_var i)) f.reg_vars;
+  let param_index = Hashtbl.create 8 in
+  List.iteri (fun i x -> Hashtbl.replace param_index x i) f.params;
+  {
+    cfg;
+    layout;
+    fname = f.name;
+    items = [];
+    slots;
+    regs;
+    param_index;
+    frame_size = 8 * List.length locals;
+    nparams = List.length f.params;
+    reg_var_list = List.map (Hashtbl.find regs) f.reg_vars;
+    push_depth = 0;
+    fresh;
+  }
+
+(* The synthetic entry stub: stores the trampoline pointer (passed in
+   r10 by the loader), calls main, then exits with main's result. *)
+let gen_start cfg fresh =
+  let st =
+    {
+      cfg;
+      layout = Layout.of_program { globals = []; funcs = [] };
+      fname = "_start";
+      items = [];
+      slots = Hashtbl.create 1;
+      regs = Hashtbl.create 1;
+      param_index = Hashtbl.create 1;
+      frame_size = 0;
+      nparams = 0;
+      reg_var_list = [];
+      push_depth = 0;
+      fresh;
+    }
+  in
+  emit st (Asm.Label "_start");
+  if cfg.guard_control then emit st Asm.Cfi_label_here;
+  let slot : Insn.mem =
+    Sib { base = R.data_base; index = None; scale = 1; disp = Layout.tramp_slot }
+  in
+  guard_if st cfg.guard_stores slot;
+  emit_ins st (Store { dst = slot; src = R.ret_scratch; size = 8 });
+  guard_if st cfg.guard_stores (sp_mem ~disp:(-8) ());
+  emit st (Asm.Call_l (func_label "main"));
+  if cfg.guard_control then emit st Asm.Cfi_label_here;
+  emit_ins st (Mov_reg (Reg.of_int Occlum_abi.Abi.Regs.sys_arg0, R.result));
+  emit_ins st
+    (Mov_imm (Reg.of_int Occlum_abi.Abi.Regs.sys_nr,
+              Int64.of_int Occlum_abi.Abi.Sys.exit));
+  if cfg.guard_control then begin
+    guard_if st cfg.guard_loads slot;
+    emit_ins st (Load { dst = R.call_scratch; src = slot; size = 8 });
+    guard_if st cfg.guard_stores (sp_mem ~disp:(-8) ());
+    emit st (Asm.Cfi_guard R.call_scratch);
+    emit_ins st (Call_reg R.call_scratch);
+    emit st Asm.Cfi_label_here
+  end
+  else emit_ins st Syscall_gate;
+  (* exit does not return; defensive spin otherwise *)
+  let l = st.fresh () in
+  emit st (Asm.Label l);
+  emit st (Asm.Jmp_l l);
+  List.rev st.items
+
+(* Generate the whole program as one item list (start stub first, then
+   each function). The trampoline pointer in r10 at entry is the only
+   loader-provided value user code touches. *)
+let gen_program cfg (p : Ast.program) =
+  Ast.check_program p;
+  (match List.find_opt (fun (f : Ast.func) -> f.name = "main") p.funcs with
+  | Some f when f.params <> [] -> fail "main must take no parameters"
+  | _ -> ());
+  let layout = Layout.of_program ~heap_size:cfg.heap_size ~stack_size:cfg.stack_size p in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf ".L%d" !counter
+  in
+  let start_items = gen_start cfg fresh in
+  let func_items =
+    List.concat_map
+      (fun f ->
+        let st = make_fstate cfg layout fresh f in
+        gen_func st f;
+        List.rev st.items)
+      p.funcs
+  in
+  (layout, start_items @ func_items)

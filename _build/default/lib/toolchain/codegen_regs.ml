@@ -1,0 +1,29 @@
+(* Register conventions of the Occlum toolchain's code generator.
+
+   r0          function result
+   r1..r5      expression evaluation window (depth-allocated)
+   r6..r8      reg_vars: variables pinned to registers for a function
+   r9, r10     call/return scratch (trampoline target, popped return addr)
+   r11         code base, set by the loader, never written by user code
+   r12         data base (D.begin), ditto
+   r13         unused
+   sp  (r14)   stack pointer
+   scr (r15)   MMDSFI scratch, reserved for cfi_guard sequences *)
+
+open Occlum_isa
+
+let result = Reg.r0
+let depth_base = 1
+let depth_limit = 5 (* expression regs r1..r5 *)
+let reg_var_base = 6 (* r6..r8 *)
+let call_scratch = Reg.r9
+let ret_scratch = Reg.r10
+let code_base = Reg.r11
+let data_base = Reg.r12
+
+let depth_reg d =
+  if d < depth_base || d > depth_limit then
+    invalid_arg "Codegen: expression too deep (max 5 nested temporaries)";
+  Reg.of_int d
+
+let reg_var i = Reg.of_int (reg_var_base + i)

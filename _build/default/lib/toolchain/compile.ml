@@ -1,0 +1,33 @@
+(* The compiler driver: Occlang -> instrumented OASM -> OELF binary.
+   This is the whole "Occlum toolchain" of Figure 1b; its output still
+   has to pass the independent verifier before the LibOS will load it. *)
+
+type stats = {
+  items : int;
+  guards_before_opt : int;
+  guards_after_opt : int;
+}
+
+let to_items ?(config = Codegen.sfi) prog =
+  let layout, items = Codegen.gen_program config prog in
+  let before = Optimize.count_guards items in
+  let items = if config.optimize then Optimize.run items else items in
+  let stats =
+    {
+      items = List.length items;
+      guards_before_opt = before;
+      guards_after_opt = Optimize.count_guards items;
+    }
+  in
+  (layout, items, stats)
+
+let compile ?(config = Codegen.sfi) prog =
+  let layout, items, stats = to_items ~config prog in
+  (Linker.link layout items, stats)
+
+let compile_exn ?config prog = fst (compile ?config prog)
+
+(* Textual listing of the generated assembly, for debugging and docs. *)
+let listing ?config prog =
+  let _, items, _ = to_items ?config prog in
+  String.concat "\n" (List.map Asm.item_to_string items)

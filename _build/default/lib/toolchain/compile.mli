@@ -1,0 +1,25 @@
+(** The compiler driver: Occlang → instrumented OASM → OELF binary.
+    This is the whole "Occlum toolchain" of Figure 1b; its output still
+    has to pass the independent verifier before the LibOS loads it. *)
+
+type stats = {
+  items : int;               (** assembly items after all passes *)
+  guards_before_opt : int;   (** mem_guards emitted by naive instrumentation *)
+  guards_after_opt : int;    (** mem_guards surviving the §4.3 optimizer *)
+}
+
+val to_items :
+  ?config:Codegen.config -> Ast.program -> Layout.t * Asm.item list * stats
+(** Compile to assembly items (after optimization if enabled). *)
+
+val compile :
+  ?config:Codegen.config -> Ast.program -> Occlum_oelf.Oelf.t * stats
+(** Compile and link. The result is unsigned; see
+    {!Occlum_verifier.Verify.verify_and_sign}.
+    @raise Ast.Ill_formed on malformed programs.
+    @raise Codegen.Codegen_error on code-generation limits. *)
+
+val compile_exn : ?config:Codegen.config -> Ast.program -> Occlum_oelf.Oelf.t
+
+val listing : ?config:Codegen.config -> Ast.program -> string
+(** The generated assembly, one item per line. *)

@@ -1,0 +1,207 @@
+(* Reference interpreter for Occlang. It executes the AST directly over
+   a data region laid out by {!Layout}, so a compiled binary run on the
+   simulated machine and the same program run here must produce the same
+   observable behaviour (syscall trace, memory effects, exit value).
+   The test suite uses this for differential testing of the whole
+   toolchain + machine stack, including under instrumentation. *)
+
+exception Interp_fault of string
+
+let fault fmt = Printf.ksprintf (fun m -> raise (Interp_fault m)) fmt
+
+(* Function "addresses" live in a distinct id space; programs that mix
+   function pointers with data-pointer arithmetic are out of scope. *)
+let func_id_base = 0x7F00_0000L
+
+type env = {
+  prog : Ast.program;
+  layout : Layout.t;
+  mem : Bytes.t; (* the data region, D-relative addressing *)
+  syscall : int -> int64 array -> Bytes.t -> int64;
+  mutable fuel : int;
+  funcs : (string, Ast.func) Hashtbl.t;
+  func_ids : (string * int64) list;
+}
+
+exception Return_value of int64
+
+let check_addr env addr size =
+  let a = Int64.to_int addr in
+  if Int64.compare addr 0L < 0
+     || Int64.compare addr (Int64.of_int (Bytes.length env.mem)) >= 0
+     || a + size > Bytes.length env.mem
+  then fault "memory access out of data region: 0x%Lx" addr;
+  a
+
+let load64 env addr = Bytes.get_int64_le env.mem (check_addr env addr 8)
+let load8 env addr = Int64.of_int (Char.code (Bytes.get env.mem (check_addr env addr 1)))
+let store64 env addr v = Bytes.set_int64_le env.mem (check_addr env addr 8) v
+
+let store8 env addr v =
+  Bytes.set env.mem (check_addr env addr 1)
+    (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+
+let burn env =
+  env.fuel <- env.fuel - 1;
+  if env.fuel <= 0 then fault "out of fuel"
+
+let binop op a b =
+  let open Int64 in
+  let of_bool c = if c then 1L else 0L in
+  match (op : Ast.binop) with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Mul -> mul a b
+  | Div -> if b = 0L then fault "division by zero" else unsigned_div a b
+  | Rem -> if b = 0L then fault "division by zero" else unsigned_rem a b
+  | And -> logand a b
+  | Or -> logor a b
+  | Xor -> logxor a b
+  | Shl -> shift_left a (to_int (logand b 63L))
+  | Shr -> shift_right_logical a (to_int (logand b 63L))
+  | Eq -> of_bool (equal a b)
+  | Ne -> of_bool (not (equal a b))
+  | Lt -> of_bool (compare a b < 0)
+  | Le -> of_bool (compare a b <= 0)
+  | Gt -> of_bool (compare a b > 0)
+  | Ge -> of_bool (compare a b >= 0)
+
+let unop op a =
+  match (op : Ast.unop) with
+  | Neg -> Int64.neg a
+  | Not -> Int64.lognot a
+  | Lnot -> if Int64.equal a 0L then 1L else 0L
+
+let rec eval env frame (e : Ast.expr) =
+  burn env;
+  match e with
+  | Int v -> v
+  | Str s -> Int64.of_int (Layout.literal_offset env.layout s)
+  | Var x -> (
+      match Hashtbl.find_opt frame x with
+      | Some v -> v
+      | None -> fault "unbound variable %s" x)
+  | Global_addr g -> Int64.of_int (Layout.global_offset env.layout g)
+  | Data_addr off -> Int64.of_int off
+  | Frame_addr _ -> fault "Frame_addr is not supported by the reference interpreter"
+  | Load e -> load64 env (eval env frame e)
+  | Load1 e -> load8 env (eval env frame e)
+  | Unop (op, e) -> unop op (eval env frame e)
+  | Binop (op, a, b) ->
+      (* right-to-left, matching the code generator *)
+      let vb = eval env frame b in
+      let va = eval env frame a in
+      binop op va vb
+  | Call (f, args) -> call env f (eval_args env frame args)
+  | Call_ptr (e, args) ->
+      let vs = eval_args env frame args in
+      let target = eval env frame e in
+      let name =
+        match List.find_opt (fun (_, id) -> Int64.equal id target) env.func_ids with
+        | Some (n, _) -> n
+        | None -> fault "indirect call to non-function value 0x%Lx" target
+      in
+      call env name vs
+  | Func_addr f -> (
+      match List.assoc_opt f env.func_ids with
+      | Some id -> id
+      | None -> fault "unknown function %s" f)
+  | Syscall (nr, args) ->
+      let vs = eval_args env frame args in
+      env.syscall nr (Array.of_list vs) env.mem
+
+and eval_args env frame args =
+  (* evaluate right-to-left but return in source order *)
+  List.rev (List.map (eval env frame) (List.rev args))
+
+and call env fname args =
+  let f =
+    match Hashtbl.find_opt env.funcs fname with
+    | Some f -> f
+    | None -> fault "unknown function %s" fname
+  in
+  if List.length args <> List.length f.params then
+    fault "%s: arity mismatch" fname;
+  let frame = Hashtbl.create 16 in
+  List.iter2 (fun p a -> Hashtbl.replace frame p a) f.params args;
+  match exec_block env frame f.body with
+  | () -> 0L (* fall off the end: return 0 *)
+  | exception Return_value v -> v
+
+and exec_block env frame stmts = List.iter (exec_stmt env frame) stmts
+
+and exec_stmt env frame (s : Ast.stmt) =
+  burn env;
+  match s with
+  | Let (x, e) | Assign (x, e) -> Hashtbl.replace frame x (eval env frame e)
+  | Store (a, v) ->
+      let vv = eval env frame v in
+      let va = eval env frame a in
+      store64 env va vv
+  | Store1 (a, v) ->
+      let vv = eval env frame v in
+      let va = eval env frame a in
+      store8 env va vv
+  | If (c, t, e) ->
+      if not (Int64.equal (eval env frame c) 0L) then exec_block env frame t
+      else exec_block env frame e
+  | While (c, body) ->
+      while not (Int64.equal (eval env frame c) 0L) do
+        exec_block env frame body
+      done
+  | Return e -> raise (Return_value (eval env frame e))
+  | Expr e -> ignore (eval env frame e)
+
+let run ?(fuel = 50_000_000) ?(args = []) ~syscall (prog : Ast.program) =
+  Ast.check_program prog;
+  let layout = Layout.of_program prog in
+  let mem = Bytes.make layout.data_region_size '\x00' in
+  Bytes.blit (Layout.initial_data_image layout) 0 mem 0 layout.data_init_size;
+  Layout.write_args mem ~data_base:0 args;
+  let funcs = Hashtbl.create 16 in
+  List.iter (fun (f : Ast.func) -> Hashtbl.replace funcs f.name f) prog.funcs;
+  let func_ids =
+    List.mapi
+      (fun idx (f : Ast.func) -> (f.name, Int64.add func_id_base (Int64.of_int idx)))
+      prog.funcs
+  in
+  let env = { prog; layout; mem; syscall; fuel; funcs; func_ids } in
+  call env "main" []
+
+(* A standard harness for pure programs: supports exit/write(1|2)/brk,
+   captures output, returns (exit_or_main_value, stdout). *)
+exception Exited of int64
+
+let run_pure ?fuel ?args prog =
+  let out = Buffer.create 256 in
+  let layout = Layout.of_program prog in
+  let brk = ref layout.heap_start in
+  let syscall nr (a : int64 array) mem =
+    let arg i = if i < Array.length a then a.(i) else 0L in
+    if nr = Occlum_abi.Abi.Sys.exit then raise (Exited (arg 0))
+    else if nr = Occlum_abi.Abi.Sys.write then begin
+      let fd = Int64.to_int (arg 0) in
+      let ptr = Int64.to_int (arg 1) and len = Int64.to_int (arg 2) in
+      if fd <> 1 && fd <> 2 then Int64.of_int Occlum_abi.Abi.Errno.ebadf
+      else if ptr < 0 || len < 0 || ptr + len > Bytes.length mem then
+        Int64.of_int Occlum_abi.Abi.Errno.efault
+      else begin
+        Buffer.add_subbytes out mem ptr len;
+        Int64.of_int len
+      end
+    end
+    else if nr = Occlum_abi.Abi.Sys.brk then begin
+      let req = Int64.to_int (arg 0) in
+      if req = 0 then Int64.of_int !brk
+      else if req >= layout.heap_start && req <= layout.heap_start + layout.heap_size
+      then begin
+        brk := req;
+        Int64.of_int !brk
+      end
+      else Int64.of_int Occlum_abi.Abi.Errno.enomem
+    end
+    else Int64.of_int Occlum_abi.Abi.Errno.enosys
+  in
+  match run ?fuel ?args ~syscall prog with
+  | v -> (v, Buffer.contents out)
+  | exception Exited v -> (v, Buffer.contents out)

@@ -1,0 +1,39 @@
+(* The MMDSFI-aware linker (§8): it reserves the loader-owned trampoline
+   area at the top of the code image, keeps the code segment pure code
+   (the literal pool lives in the data image, never in C), and relies on
+   the loader to place the 4 KiB guard gap between the segments. *)
+
+exception Link_error of string
+
+let link (layout : Layout.t) items =
+  let base = Occlum_oelf.Oelf.trampoline_reserved in
+  let code_body, label_offsets =
+    try Asm.assemble items ~base
+    with Asm.Unknown_label l -> raise (Link_error ("unresolved label " ^ l))
+  in
+  let code = Bytes.make (base + Bytes.length code_body) '\x00' in
+  Bytes.blit code_body 0 code base (Bytes.length code_body);
+  let entry =
+    match Hashtbl.find_opt label_offsets "_start" with
+    | Some o -> o
+    | None -> raise (Link_error "no _start")
+  in
+  let symbols =
+    Hashtbl.fold
+      (fun l off acc ->
+        if l = "_start" || (String.length l > 2 && String.sub l 0 2 = "f_") then
+          (l, off) :: acc
+        else acc)
+      label_offsets []
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  {
+    Occlum_oelf.Oelf.code;
+    data = Layout.initial_data_image layout;
+    data_region_size = layout.data_region_size;
+    heap_start = layout.heap_start;
+    stack_size = layout.stack_size;
+    entry;
+    symbols;
+    signature = None;
+  }

@@ -1,0 +1,9 @@
+(** The MMDSFI-aware linker (§8): reserves the loader-owned trampoline
+    area at the head of the code image, keeps the code segment pure code
+    (literals live in the data image), and emits the OELF with the
+    layout the loader expects (4 KiB guard gap between segments). *)
+
+exception Link_error of string
+
+val link : Layout.t -> Asm.item list -> Occlum_oelf.Oelf.t
+(** @raise Link_error on unresolved labels or a missing [_start]. *)

@@ -1,0 +1,409 @@
+(* The range-analysis guard optimizer of §4.3.
+
+   The abstract domain, per program point:
+   - facts: base register -> interval [lo, hi] meaning "for every d in
+     [lo, hi], the address (base + d) lies in D or a guard region" —
+     accessing it either succeeds inside D or faults in a guard page;
+   - aliases: (d, s, k) records d = s + k, so a fact refreshed through a
+     copy of a pointer also refreshes the original.
+
+   Facts are created by mem_guards (which prove the exact address is in
+   D, hence +-(G-1) around it is in D∪G) and refreshed by *verified*
+   accesses (a verified access that does not fault must be in D, by the
+   same guard-slack argument). Increments by small constants shift an
+   interval; any other write kills it. cfi_labels and calls reset the
+   state to top, because any indirect transfer may land there.
+
+   Two rewrites, exactly the ones the paper names:
+   1. redundant check elimination — delete a mem_guard whose operand is
+      already covered by the incoming facts;
+   2. loop check hoisting — copy a guard from a loop body's straight-line
+      prefix to the preheader (codegen rotates loops, so the preheader
+      runs only when the body will), after which pass 1 usually deletes
+      the in-loop original.
+
+   The optimizer is untrusted: the verifier independently re-derives all
+   of this over the final bytes, so a bug here can break performance or
+   verifiability, never safety. *)
+
+open Occlum_isa
+
+let slack = Occlum_oelf.Oelf.guard_size - 1 (* 4095 *)
+let shift_limit = 1 lsl 20
+
+type state = {
+  facts : (int * (int * int)) list; (* reg -> interval *)
+  aliases : (int * int * int) list; (* (d, s, k): d = s + k *)
+}
+
+let top = { facts = []; aliases = [] }
+
+let normalize s =
+  {
+    facts = List.sort_uniq compare s.facts;
+    aliases = List.sort_uniq compare s.aliases;
+  }
+
+let meet a b =
+  let facts =
+    List.filter_map
+      (fun (r, (lo, hi)) ->
+        match List.assoc_opt r b.facts with
+        | Some (lo', hi') ->
+            let lo = max lo lo' and hi = min hi hi' in
+            if lo <= hi then Some (r, (lo, hi)) else None
+        | None -> None)
+      a.facts
+  in
+  let aliases = List.filter (fun al -> List.mem al b.aliases) a.aliases in
+  normalize { facts; aliases }
+
+let kill_reg s r =
+  {
+    facts = List.remove_assoc r s.facts;
+    aliases = List.filter (fun (d, src, _) -> d <> r && src <> r) s.aliases;
+  }
+
+(* r := r + c *)
+let shift_reg s r c =
+  if abs c > shift_limit then kill_reg s r
+  else
+    {
+      facts =
+        List.filter_map
+          (fun (r', (lo, hi)) ->
+            if r' = r then
+              let lo = lo - c and hi = hi - c in
+              if hi < -shift_limit || lo > shift_limit then None
+              else Some (r', (lo, hi))
+            else Some (r', (lo, hi)))
+          s.facts;
+      aliases =
+        List.map
+          (fun (d, src, k) ->
+            if d = r then (d, src, k + c)
+            else if src = r then (d, src, k - c)
+            else (d, src, k))
+          s.aliases;
+    }
+
+(* d := s (+0) *)
+let copy_reg s d src =
+  if d = src then s
+  else
+    let s = kill_reg s d in
+    let facts =
+      match List.assoc_opt src s.facts with
+      | Some intv -> (d, intv) :: s.facts
+      | None -> s.facts
+    in
+    { facts; aliases = (d, src, 0) :: s.aliases }
+
+(* Set the fact "base + anchor is in D" (from a guard or a verified
+   access), propagating through aliases. The new interval is hulled with
+   any overlapping existing one (both are true, and overlapping true
+   intervals union to their hull), which keeps the transfer monotone for
+   the fixpoint; clamping keeps the lattice finite. *)
+let clamp_bound = 131071
+
+let set_anchor s base anchor =
+  let set facts r a =
+    let fresh = (a - slack, a + slack) in
+    let combined =
+      match List.assoc_opt r facts with
+      | Some (lo, hi) when lo <= snd fresh + 1 && fst fresh <= hi + 1 ->
+          (min lo (fst fresh), max hi (snd fresh))
+      | _ -> fresh
+    in
+    let lo = max (fst combined) (-clamp_bound)
+    and hi = min (snd combined) clamp_bound in
+    if lo <= hi then (r, (lo, hi)) :: List.remove_assoc r facts
+    else List.remove_assoc r facts
+  in
+  let facts = set s.facts base anchor in
+  let facts =
+    List.fold_left
+      (fun facts (d, src, k) ->
+        if d = base then set facts src (anchor + k)
+        else if src = base then set facts d (anchor - k)
+        else facts)
+      facts s.aliases
+  in
+  { s with facts }
+
+let covers s base lo hi =
+  match List.assoc_opt base s.facts with
+  | Some (flo, fhi) -> flo <= lo && hi <= fhi
+  | None -> false
+
+(* A simple (index-free) SIB operand. *)
+let simple_sib (m : Insn.mem) =
+  match m with
+  | Sib { base; index = None; scale = _; disp } -> Some (Reg.to_int base, disp)
+  | Sib _ | Rip_rel _ | Abs _ -> None
+
+(* Model one access: if provable, refresh; in the optimizer all accesses
+   are still guard-protected during analysis, so unprovable accesses just
+   leave the state unchanged. *)
+let access s m ~size =
+  match simple_sib m with
+  | None -> s
+  | Some (base, disp) ->
+      if covers s base disp (disp + size - 1) then set_anchor s base disp else s
+
+let sp = Reg.to_int Reg.sp
+
+let push_effect s =
+  (* store at [sp-8], then sp -= 8 *)
+  let s = if covers s sp (-8) (-1) then set_anchor s sp (-8) else s in
+  shift_reg s sp (-8)
+
+let pop_effect s dst =
+  let s = if covers s sp 0 7 then set_anchor s sp 0 else s in
+  let s = shift_reg s sp 8 in
+  match dst with Some r -> kill_reg s (Reg.to_int r) | None -> s
+
+(* Which registers does an instruction write? Used by hoist trace-back. *)
+let insn_writes (i : Insn.t) =
+  match i with
+  | Mov_imm (r, _) | Mov_reg (r, _) | Lea (r, _) | Alu (_, r, _)
+  | Wrfsbase r | Wrgsbase r ->
+      [ Reg.to_int r ]
+  | Load { dst; _ } -> [ Reg.to_int dst ]
+  | Pop r -> [ Reg.to_int r; sp ]
+  | Push _ -> [ sp ]
+  | Ret | Ret_imm _ -> [ sp ]
+  | Call _ | Call_reg _ | Call_mem _ -> [ sp ]
+  | Cmp _ | Store _ | Jmp _ | Jcc _ | Jmp_reg _ | Jmp_mem _ | Nop
+  | Syscall_gate | Hlt | Bndcl _ | Bndcu _ | Bndmk _ | Bndmov _
+  | Cfi_label _ | Eexit | Emodpe | Eaccept | Xrstor | Vscatter _ ->
+      []
+
+let item_writes (item : Asm.item) =
+  match item with
+  | Ins i -> insn_writes i
+  | Lea_code (r, _) -> [ Reg.to_int r ]
+  | Cfi_guard _ -> [ Reg.to_int Reg.scratch ]
+  | Call_l _ -> [ sp ]
+  | Label _ | Jmp_l _ | Jcc_l _ | Mem_guard _ | Cfi_label_here -> []
+
+(* --- dataflow over the item array -------------------------------------- *)
+
+type flow = {
+  next : bool;          (* falls through to the next item *)
+  next_top : bool;      (* ... but with state reset (returns from a call) *)
+  targets : string list; (* direct label successors *)
+}
+
+let flow_of (item : Asm.item) =
+  match item with
+  | Jmp_l l -> { next = false; next_top = false; targets = [ l ] }
+  | Jcc_l (_, l) -> { next = true; next_top = false; targets = [ l ] }
+  | Call_l _ -> { next = true; next_top = true; targets = [] }
+  | Ins (Jmp _ | Jmp_reg _ | Jmp_mem _ | Ret | Ret_imm _ | Hlt) ->
+      { next = false; next_top = false; targets = [] }
+  | Ins (Call _ | Call_reg _ | Call_mem _) ->
+      { next = true; next_top = true; targets = [] }
+  | _ -> { next = true; next_top = false; targets = [] }
+
+let transfer (item : Asm.item) s =
+  match item with
+  | Label _ -> s
+  | Cfi_label_here -> top
+  | Mem_guard m -> (
+      match simple_sib m with
+      | Some (base, disp) -> set_anchor s base disp
+      | None -> s)
+  | Cfi_guard _ -> kill_reg s (Reg.to_int Reg.scratch)
+  | Jmp_l _ | Jcc_l _ -> s
+  | Call_l _ -> push_effect s (* the return-address push *)
+  | Lea_code (r, _) -> kill_reg s (Reg.to_int r)
+  | Ins i -> (
+      match i with
+      | Load { dst; src; size } ->
+          let s = access s src ~size in
+          kill_reg s (Reg.to_int dst)
+      | Store { dst; size; _ } -> access s dst ~size
+      | Push _ -> push_effect s
+      | Pop r -> pop_effect s (Some r)
+      | Call _ | Call_reg _ | Call_mem _ -> push_effect s
+      | Ret | Ret_imm _ -> pop_effect s None
+      | Mov_reg (d, src) -> copy_reg s (Reg.to_int d) (Reg.to_int src)
+      | Mov_imm (r, _) -> kill_reg s (Reg.to_int r)
+      | Alu (Add, r, O_imm c) when Int64.abs c < Int64.of_int shift_limit ->
+          shift_reg s (Reg.to_int r) (Int64.to_int c)
+      | Alu (Sub, r, O_imm c) when Int64.abs c < Int64.of_int shift_limit ->
+          shift_reg s (Reg.to_int r) (- Int64.to_int c)
+      | Alu (_, r, _) -> kill_reg s (Reg.to_int r)
+      | Lea (r, _) -> kill_reg s (Reg.to_int r)
+      | Syscall_gate -> kill_reg s (Reg.to_int Codegen_regs.result)
+      | Wrfsbase r | Wrgsbase r -> kill_reg s (Reg.to_int r)
+      | Cmp _ | Nop | Jmp _ | Jcc _ | Jmp_reg _ | Jmp_mem _ | Hlt
+      | Bndcl _ | Bndcu _ | Bndmk _ | Bndmov _ | Cfi_label _ | Eexit
+      | Emodpe | Eaccept | Xrstor | Vscatter _ ->
+          s)
+
+let is_entry_label l =
+  String.length l > 2 && (String.sub l 0 2 = "f_" || l = "_start")
+
+let analyze (items : Asm.item array) =
+  let n = Array.length items in
+  let label_idx = Hashtbl.create 64 in
+  Array.iteri
+    (fun i item ->
+      match item with Asm.Label l -> Hashtbl.replace label_idx l i | _ -> ())
+    items;
+  let in_state : state option array = Array.make n None in
+  let work = Queue.create () in
+  let join i s =
+    let s' =
+      match in_state.(i) with None -> Some s | Some old -> Some (meet old s)
+    in
+    if s' <> in_state.(i) then begin
+      in_state.(i) <- s';
+      Queue.push i work
+    end
+  in
+  Array.iteri
+    (fun i item ->
+      match item with
+      | Asm.Cfi_label_here -> join i top
+      | Asm.Label l when is_entry_label l -> join i top
+      | _ -> if i = 0 then join i top)
+    items;
+  while not (Queue.is_empty work) do
+    let i = Queue.pop work in
+    match in_state.(i) with
+    | None -> ()
+    | Some s ->
+        let out = transfer items.(i) s in
+        let { next; next_top; targets } = flow_of items.(i) in
+        if next && i + 1 < n then join (i + 1) (if next_top then top else out);
+        List.iter
+          (fun l ->
+            match Hashtbl.find_opt label_idx l with
+            | Some j -> join j out
+            | None -> ())
+          targets
+    done;
+  in_state
+
+(* --- pass 2: loop check hoisting ---------------------------------------- *)
+
+(* Trace an operand (base, disp) backwards through the straight-line
+   prefix to express it in terms of registers live at the loop head. *)
+let trace_back prefix_items base disp =
+  let rec go items base disp =
+    match items with
+    | [] -> Some (base, disp)
+    | item :: rest -> (
+        match item with
+        | Asm.Ins (Mov_reg (d, src)) when Reg.to_int d = base ->
+            go rest (Reg.to_int src) disp
+        | Asm.Ins (Alu (Add, r, O_imm c))
+          when Reg.to_int r = base && Int64.abs c < Int64.of_int shift_limit ->
+            go rest base (disp + Int64.to_int c)
+        | Asm.Ins (Alu (Sub, r, O_imm c))
+          when Reg.to_int r = base && Int64.abs c < Int64.of_int shift_limit ->
+            go rest base (disp - Int64.to_int c)
+        | _ -> if List.mem base (item_writes item) then None else go rest base disp)
+  in
+  (* prefix_items are in program order; walk backwards *)
+  go (List.rev prefix_items) base disp
+
+let is_block_end (item : Asm.item) =
+  match item with
+  | Label _ | Jmp_l _ | Jcc_l _ | Call_l _ | Cfi_label_here | Cfi_guard _ -> true
+  | Ins (Jmp _ | Jcc _ | Call _ | Jmp_reg _ | Call_reg _ | Jmp_mem _
+        | Call_mem _ | Ret | Ret_imm _ | Syscall_gate | Hlt) ->
+      true
+  | Ins _ | Mem_guard _ | Lea_code _ -> false
+
+(* Find loops (a backward branch to a label) and compute the guards to
+   insert before each loop-head label. *)
+let hoist_candidates (items : Asm.item array) =
+  let n = Array.length items in
+  let label_idx = Hashtbl.create 64 in
+  Array.iteri
+    (fun i item ->
+      match item with Asm.Label l -> Hashtbl.replace label_idx l i | _ -> ())
+    items;
+  let to_insert = Hashtbl.create 8 in (* head index -> guard list *)
+  for j = 0 to n - 1 do
+    let backedge_label =
+      match items.(j) with
+      | Asm.Jmp_l l | Asm.Jcc_l (_, l) -> (
+          match Hashtbl.find_opt label_idx l with
+          | Some h when h < j -> Some h
+          | _ -> None)
+      | _ -> None
+    in
+    match backedge_label with
+    | None -> ()
+    | Some h ->
+        (* straight-line prefix of the loop body *)
+        let rec scan i prefix =
+          if i >= n || is_block_end items.(i) then ()
+          else begin
+            (match items.(i) with
+            | Asm.Mem_guard m -> (
+                match simple_sib m with
+                | Some (base, disp) -> (
+                    match trace_back (List.rev prefix) base disp with
+                    | Some (root, disp0) ->
+                        let g =
+                          Asm.Mem_guard
+                            (Sib
+                               { base = Reg.of_int root; index = None;
+                                 scale = 1; disp = disp0 })
+                        in
+                        let old =
+                          Option.value (Hashtbl.find_opt to_insert h) ~default:[]
+                        in
+                        if not (List.mem g old) then
+                          Hashtbl.replace to_insert h (g :: old)
+                    | None -> ())
+                | None -> ())
+            | _ -> ());
+            scan (i + 1) (items.(i) :: prefix)
+          end
+        in
+        scan (h + 1) []
+  done;
+  to_insert
+
+let insert_hoists items =
+  let arr = Array.of_list items in
+  let to_insert = hoist_candidates arr in
+  if Hashtbl.length to_insert = 0 then items
+  else
+    List.concat
+      (List.mapi
+         (fun i item ->
+           match Hashtbl.find_opt to_insert i with
+           | Some guards -> List.rev_append guards [ item ]
+           | None -> [ item ])
+         items)
+
+(* --- pass 3: redundant check elimination -------------------------------- *)
+
+let delete_redundant items =
+  let arr = Array.of_list items in
+  let states = analyze arr in
+  List.filteri
+    (fun i item ->
+      match item with
+      | Asm.Mem_guard m -> (
+          match (simple_sib m, states.(i)) with
+          | Some (base, disp), Some s -> not (covers s base disp (disp + 7))
+          | _ -> true)
+      | _ -> true)
+    items
+
+let run items =
+  let items = insert_hoists items in
+  delete_redundant items
+
+(* Exposed for tests and stats. *)
+let count_guards items =
+  List.length (List.filter (function Asm.Mem_guard _ -> true | _ -> false) items)

@@ -1,0 +1,466 @@
+(* A textual frontend for Occlang, so binaries can be built from source
+   files by the occlum_cc command-line tool (and so examples can ship
+   readable programs).
+
+   Syntax (C-flavoured):
+
+     global buf[4096];
+
+     fn add(a, b) { return a + b; }
+
+     fn main() regs(p) {
+       let k = 0;
+       p = buf;                    // a global's name is its address
+       while (k < 10) {
+         store64(p, add(k, 1));    // store64/store8/load64/load8 builtins
+         p = p + 8;
+         k = k + 1;
+       }
+       if (k == 10) { print_int(load64(buf)); } else { exit(1); }
+       return 0;
+     }
+
+   Identifier resolution: parameters/locals/reg-vars are variables;
+   global names evaluate to their address; bare function names evaluate
+   to their code address (function pointer); "name(args)" is a direct
+   call; callptr(e, args) is an indirect call; syscall(n, args) is a raw
+   system call. String literals evaluate to the address of an interned
+   NUL-terminated copy in the literal pool. *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+(* --- lexer ----------------------------------------------------------------- *)
+
+type token =
+  | T_int of int64
+  | T_ident of string
+  | T_string of string
+  | T_punct of string
+  | T_eof
+
+let keywords = [ "global"; "fn"; "regs"; "let"; "if"; "else"; "while"; "return" ]
+
+let lex (src : string) =
+  let toks = ref [] in
+  let n = String.length src in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let cur () = peek 0 in
+  let advance () =
+    (match cur () with Some '\n' -> incr line | _ -> ());
+    incr pos
+  in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let push t = toks := (t, !line) :: !toks in
+  while !pos < n do
+    match cur () with
+    | None -> ()
+    | Some c ->
+        if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+        else if c = '/' && peek 1 = Some '/' then
+          while cur () <> None && cur () <> Some '\n' do advance () done
+        else if c >= '0' && c <= '9' then begin
+          let start = !pos in
+          let hex = c = '0' && peek 1 = Some 'x' in
+          if hex then begin advance (); advance () end;
+          while
+            match cur () with
+            | Some d ->
+                (d >= '0' && d <= '9')
+                || (hex && ((d >= 'a' && d <= 'f') || (d >= 'A' && d <= 'F')))
+            | None -> false
+          do
+            advance ()
+          done;
+          let text = String.sub src start (!pos - start) in
+          match Int64.of_string_opt text with
+          | Some v -> push (T_int v)
+          | None -> fail "line %d: bad integer literal %s" !line text
+        end
+        else if is_ident_char c && not (c >= '0' && c <= '9') then begin
+          let start = !pos in
+          while match cur () with Some d -> is_ident_char d | None -> false do
+            advance ()
+          done;
+          push (T_ident (String.sub src start (!pos - start)))
+        end
+        else if c = '"' then begin
+          advance ();
+          let b = Buffer.create 16 in
+          let rec go () =
+            match cur () with
+            | None -> fail "line %d: unterminated string" !line
+            | Some '"' -> advance ()
+            | Some '\\' -> (
+                advance ();
+                match cur () with
+                | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+                | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+                | Some '0' -> Buffer.add_char b '\x00'; advance (); go ()
+                | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
+                | Some '"' -> Buffer.add_char b '"'; advance (); go ()
+                | _ -> fail "line %d: bad escape" !line)
+            | Some ch ->
+                Buffer.add_char b ch;
+                advance ();
+                go ()
+          in
+          go ();
+          push (T_string (Buffer.contents b))
+        end
+        else begin
+          (* multi-char operators first *)
+          let two =
+            if !pos + 1 < n then Some (String.sub src !pos 2) else None
+          in
+          match two with
+          | Some (("=="|"!="|"<="|">="|"<<"|">>"|"&&"|"||") as op) ->
+              push (T_punct op);
+              advance ();
+              advance ()
+          | _ ->
+              let s = String.make 1 c in
+              if String.contains "+-*/%&|^~!<>=(){},;[]" c then begin
+                push (T_punct s);
+                advance ()
+              end
+              else fail "line %d: unexpected character %C" !line c
+        end
+  done;
+  List.rev ((T_eof, !line) :: !toks)
+
+(* --- parser ---------------------------------------------------------------- *)
+
+type state = {
+  mutable toks : (token * int) list;
+  mutable globals : (string * int) list;
+  mutable fn_names : string list;
+}
+
+let cur st = match st.toks with [] -> (T_eof, 0) | t :: _ -> t
+let advance st = match st.toks with [] -> () | _ :: tl -> st.toks <- tl
+
+let expect_punct st p =
+  match cur st with
+  | T_punct q, _ when q = p -> advance st
+  | t, ln ->
+      fail "line %d: expected '%s', found %s" ln p
+        (match t with
+        | T_punct q -> "'" ^ q ^ "'"
+        | T_ident id -> id
+        | T_int v -> Int64.to_string v
+        | T_string _ -> "string"
+        | T_eof -> "end of file")
+
+let expect_ident st =
+  match cur st with
+  | T_ident id, _ when not (List.mem id keywords) ->
+      advance st;
+      id
+  | _, ln -> fail "line %d: expected identifier" ln
+
+let accept_punct st p =
+  match cur st with
+  | T_punct q, _ when q = p ->
+      advance st;
+      true
+  | _ -> false
+
+let accept_keyword st k =
+  match cur st with
+  | T_ident id, _ when id = k ->
+      advance st;
+      true
+  | _ -> false
+
+(* precedence climbing: higher binds tighter *)
+let binop_of = function
+  | "||" -> Some (1, Ast.Or)   (* no short-circuit; bitwise on 0/1 values *)
+  | "&&" -> Some (2, Ast.And)
+  | "|" -> Some (3, Ast.Or)
+  | "^" -> Some (4, Ast.Xor)
+  | "&" -> Some (5, Ast.And)
+  | "==" -> Some (6, Ast.Eq)
+  | "!=" -> Some (6, Ast.Ne)
+  | "<" -> Some (7, Ast.Lt)
+  | "<=" -> Some (7, Ast.Le)
+  | ">" -> Some (7, Ast.Gt)
+  | ">=" -> Some (7, Ast.Ge)
+  | "<<" -> Some (8, Ast.Shl)
+  | ">>" -> Some (8, Ast.Shr)
+  | "+" -> Some (9, Ast.Add)
+  | "-" -> Some (9, Ast.Sub)
+  | "*" -> Some (10, Ast.Mul)
+  | "/" -> Some (10, Ast.Div)
+  | "%" -> Some (10, Ast.Rem)
+  | _ -> None
+
+let rec parse_expr st min_prec =
+  let lhs = ref (parse_unary st) in
+  let rec loop () =
+    match cur st with
+    | T_punct p, _ -> (
+        match binop_of p with
+        | Some (prec, op) when prec >= min_prec ->
+            advance st;
+            let rhs = parse_expr st (prec + 1) in
+            lhs := Ast.Binop (op, !lhs, rhs);
+            loop ()
+        | _ -> ())
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_unary st =
+  match cur st with
+  | T_punct "-", _ ->
+      advance st;
+      Ast.Unop (Ast.Neg, parse_unary st)
+  | T_punct "~", _ ->
+      advance st;
+      Ast.Unop (Ast.Not, parse_unary st)
+  | T_punct "!", _ ->
+      advance st;
+      Ast.Unop (Ast.Lnot, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_args st =
+  expect_punct st "(";
+  if accept_punct st ")" then []
+  else
+    let rec go acc =
+      let e = parse_expr st 1 in
+      if accept_punct st "," then go (e :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+
+and parse_primary st =
+  match cur st with
+  | T_int v, _ ->
+      advance st;
+      Ast.Int v
+  | T_string s, _ ->
+      advance st;
+      Ast.Str s
+  | T_punct "(", _ ->
+      advance st;
+      let e = parse_expr st 1 in
+      expect_punct st ")";
+      e
+  | T_ident _, ln -> (
+      let id = expect_ident st in
+      match cur st with
+      | T_punct "(", _ -> (
+          let args = parse_args st in
+          match (id, args) with
+          | "load64", [ a ] -> Ast.Load a
+          | "load8", [ a ] -> Ast.Load1 a
+          | ("load64" | "load8"), _ -> fail "line %d: %s takes 1 argument" ln id
+          | "frameaddr", [ Ast.Var x ] -> Ast.Frame_addr x
+          | "syscall", nr :: rest -> (
+              match nr with
+              | Ast.Int n -> Ast.Syscall (Int64.to_int n, rest)
+              | _ -> fail "line %d: syscall number must be a literal" ln)
+          | "callptr", target :: rest -> Ast.Call_ptr (target, rest)
+          | _ -> Ast.Call (id, args))
+      | _ -> Ast.Var id (* resolved against globals/functions later *))
+  | T_punct p, ln -> fail "line %d: unexpected '%s'" ln p
+  | T_eof, ln -> fail "line %d: unexpected end of file" ln
+
+let rec parse_block st =
+  expect_punct st "{";
+  let rec go acc =
+    if accept_punct st "}" then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmt st =
+  if accept_keyword st "let" then begin
+    let name = expect_ident st in
+    expect_punct st "=";
+    let e = parse_expr st 1 in
+    expect_punct st ";";
+    Ast.Let (name, e)
+  end
+  else if accept_keyword st "if" then begin
+    expect_punct st "(";
+    let c = parse_expr st 1 in
+    expect_punct st ")";
+    let t = parse_block st in
+    let e = if accept_keyword st "else" then parse_block st else [] in
+    Ast.If (c, t, e)
+  end
+  else if accept_keyword st "while" then begin
+    expect_punct st "(";
+    let c = parse_expr st 1 in
+    expect_punct st ")";
+    Ast.While (c, parse_block st)
+  end
+  else if accept_keyword st "return" then begin
+    let e = parse_expr st 1 in
+    expect_punct st ";";
+    Ast.Return e
+  end
+  else
+    (* store builtins, assignment, or expression statement *)
+    match cur st with
+    | T_ident "store64", _ | T_ident "store8", _ ->
+        let id = expect_ident st in
+        let args = parse_args st in
+        expect_punct st ";";
+        (match (id, args) with
+        | "store64", [ a; v ] -> Ast.Store (a, v)
+        | "store8", [ a; v ] -> Ast.Store1 (a, v)
+        | _ -> fail "%s takes 2 arguments" id)
+    | T_ident name, _ when not (List.mem name keywords) -> (
+        (* lookahead: IDENT '=' is an assignment *)
+        match st.toks with
+        | (T_ident _, _) :: (T_punct "=", _) :: _ ->
+            let name = expect_ident st in
+            expect_punct st "=";
+            let e = parse_expr st 1 in
+            expect_punct st ";";
+            Ast.Assign (name, e)
+        | _ ->
+            ignore name;
+            let e = parse_expr st 1 in
+            expect_punct st ";";
+            Ast.Expr e)
+    | _ ->
+        let e = parse_expr st 1 in
+        expect_punct st ";";
+        Ast.Expr e
+
+let parse_fn st =
+  let name = expect_ident st in
+  expect_punct st "(";
+  let params =
+    if accept_punct st ")" then []
+    else
+      let rec go acc =
+        let p = expect_ident st in
+        if accept_punct st "," then go (p :: acc)
+        else begin
+          expect_punct st ")";
+          List.rev (p :: acc)
+        end
+      in
+      go []
+  in
+  let reg_vars =
+    if accept_keyword st "regs" then begin
+      expect_punct st "(";
+      let rec go acc =
+        let r = expect_ident st in
+        if accept_punct st "," then go (r :: acc)
+        else begin
+          expect_punct st ")";
+          List.rev (r :: acc)
+        end
+      in
+      go []
+    end
+    else []
+  in
+  let body = parse_block st in
+  Ast.func ~reg_vars name params body
+
+(* Resolve bare identifiers: variables win, then globals (address), then
+   function names (function pointer). *)
+let resolve (p : Ast.program) : Ast.program =
+  let fn_names = List.map (fun (f : Ast.func) -> f.Ast.name) p.funcs in
+  let global_names = List.map fst p.globals in
+  let resolve_fn (f : Ast.func) =
+    let rec scope_of stmts =
+      List.concat_map
+        (function
+          | Ast.Let (x, _) -> [ x ]
+          | Ast.If (_, a, b) -> scope_of a @ scope_of b
+          | Ast.While (_, b) -> scope_of b
+          | _ -> [])
+        stmts
+    in
+    let vars = f.Ast.params @ f.Ast.reg_vars @ scope_of f.Ast.body in
+    let rec ex (e : Ast.expr) : Ast.expr =
+      match e with
+      | Ast.Var id when List.mem id vars -> e
+      | Ast.Var id when List.mem id global_names -> Ast.Global_addr id
+      | Ast.Var id when List.mem id fn_names -> Ast.Func_addr id
+      | Ast.Var _ | Ast.Int _ | Ast.Str _ | Ast.Global_addr _ | Ast.Data_addr _
+      | Ast.Frame_addr _ | Ast.Func_addr _ ->
+          e
+      | Ast.Load a -> Ast.Load (ex a)
+      | Ast.Load1 a -> Ast.Load1 (ex a)
+      | Ast.Unop (o, a) -> Ast.Unop (o, ex a)
+      | Ast.Binop (o, a, b) -> Ast.Binop (o, ex a, ex b)
+      | Ast.Call (f, args) -> Ast.Call (f, List.map ex args)
+      | Ast.Call_ptr (t, args) -> Ast.Call_ptr (ex t, List.map ex args)
+      | Ast.Syscall (n, args) -> Ast.Syscall (n, List.map ex args)
+    in
+    let rec stmt (s : Ast.stmt) : Ast.stmt =
+      match s with
+      | Ast.Let (x, e) -> Ast.Let (x, ex e)
+      | Ast.Assign (x, e) -> Ast.Assign (x, ex e)
+      | Ast.Store (a, b) -> Ast.Store (ex a, ex b)
+      | Ast.Store1 (a, b) -> Ast.Store1 (ex a, ex b)
+      | Ast.If (c, a, b) -> Ast.If (ex c, List.map stmt a, List.map stmt b)
+      | Ast.While (c, b) -> Ast.While (ex c, List.map stmt b)
+      | Ast.Return e -> Ast.Return (ex e)
+      | Ast.Expr e -> Ast.Expr (ex e)
+    in
+    { f with Ast.body = List.map stmt f.Ast.body }
+  in
+  { p with funcs = List.map resolve_fn p.funcs }
+
+(* Parse a whole source file into a program linked against the runtime
+   library. *)
+let parse (src : string) : Ast.program =
+  let st = { toks = lex src; globals = []; fn_names = [] } in
+  let funcs = ref [] in
+  let rec go () =
+    match cur st with
+    | T_eof, _ -> ()
+    | _ ->
+        if accept_keyword st "global" then begin
+          let name = expect_ident st in
+          expect_punct st "[";
+          let size =
+            match cur st with
+            | T_int v, _ ->
+                advance st;
+                Int64.to_int v
+            | _, ln -> fail "line %d: expected a size" ln
+          in
+          expect_punct st "]";
+          expect_punct st ";";
+          st.globals <- st.globals @ [ (name, size) ];
+          go ()
+        end
+        else if accept_keyword st "fn" then begin
+          funcs := parse_fn st :: !funcs;
+          go ()
+        end
+        else
+          let _, ln = cur st in
+          fail "line %d: expected 'global' or 'fn'" ln
+  in
+  go ();
+  resolve (Runtime.program ~globals:st.globals (List.rev !funcs))
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse s

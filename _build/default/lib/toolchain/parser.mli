@@ -1,0 +1,25 @@
+(** A textual frontend for Occlang (the input to [bin/occlum_cc]).
+
+    C-flavoured syntax:
+    {v
+    global buf[4096];
+    fn main() regs(p) {
+      let k = 0;
+      p = buf;                       // a global's name is its address
+      while (k < 10) { store64(p, k); p = p + 8; k = k + 1; }
+      if (k == 10) { print_int(load64(buf)); } else { exit(1); }
+      return 0;
+    }
+    v}
+
+    Builtins: [load64]/[load8]/[store64]/[store8], [syscall(n, ...)],
+    [callptr(f, ...)], [frameaddr(x)]. Bare global names evaluate to
+    their address; bare function names to their code address. Programs
+    are linked against {!Runtime}. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.program
+(** @raise Parse_error with a line-numbered message. *)
+
+val parse_file : string -> Ast.program

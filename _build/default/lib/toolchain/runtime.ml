@@ -1,0 +1,197 @@
+(* The Occlang runtime library — the musl-libc stand-in of §8. A set of
+   Occlang functions (string helpers, formatted output, syscall wrappers,
+   a bump allocator over brk, posix_spawn) linked into every program that
+   asks for them. posix_spawn maps directly onto Occlum's spawn system
+   call, exactly the rewrite the paper makes in musl. *)
+
+open Ast
+module Sys = Occlum_abi.Abi.Sys
+
+let globals =
+  [
+    ("_rt_itoa_buf", 32);
+    ("_rt_spawn_buf", 512); (* argv block assembly area *)
+    ("_rt_misc_buf", 64);
+  ]
+
+let funcs =
+  [
+    (* --- strings --- *)
+    func ~reg_vars:[ "q" ] "strlen" [ "p" ]
+      [
+        Let ("n", i 0);
+        Assign ("q", v "p");
+        While
+          ( Load1 (v "q") <>: i 0,
+            [ Assign ("q", v "q" +: i 1); Assign ("n", v "n" +: i 1) ] );
+        Return (v "n");
+      ];
+    func ~reg_vars:[ "d"; "s" ] "memcpy" [ "dst"; "src"; "n" ]
+      [
+        Let ("k", i 0);
+        Assign ("d", v "dst");
+        Assign ("s", v "src");
+        While
+          ( v "k" <: v "n",
+            [
+              Store1 (v "d", Load1 (v "s"));
+              Assign ("d", v "d" +: i 1);
+              Assign ("s", v "s" +: i 1);
+              Assign ("k", v "k" +: i 1);
+            ] );
+        Return (v "dst");
+      ];
+    func ~reg_vars:[ "d" ] "memset" [ "dst"; "c"; "n" ]
+      [
+        Let ("k", i 0);
+        Assign ("d", v "dst");
+        While
+          ( v "k" <: v "n",
+            [
+              Store1 (v "d", v "c");
+              Assign ("d", v "d" +: i 1);
+              Assign ("k", v "k" +: i 1);
+            ] );
+        Return (v "dst");
+      ];
+    (* lexicographic compare of NUL-terminated strings: -1/0/1 *)
+    func "strcmp" [ "a"; "b" ]
+      [
+        Let ("pa", v "a");
+        Let ("pb", v "b");
+        Let ("ca", i 0);
+        Let ("cb", i 0);
+        Let ("res", i 0);
+        Let ("go", i 1);
+        While
+          ( v "go",
+            [
+              Assign ("ca", Load1 (v "pa"));
+              Assign ("cb", Load1 (v "pb"));
+              If
+                ( v "ca" <>: v "cb",
+                  [
+                    If (v "ca" <: v "cb",
+                        [ Assign ("res", i (-1)) ],
+                        [ Assign ("res", i 1) ]);
+                    Assign ("go", i 0);
+                  ],
+                  [
+                    If (v "ca" =: i 0, [ Assign ("go", i 0) ],
+                        [
+                          Assign ("pa", v "pa" +: i 1);
+                          Assign ("pb", v "pb" +: i 1);
+                        ]);
+                  ] );
+            ] );
+        Return (v "res");
+      ];
+    (* --- numbers --- *)
+    (* unsigned decimal into _rt_itoa_buf; returns (ptr, via global) length *)
+    func "itoa" [ "n" ]
+      [
+        Let ("buf", Global_addr "_rt_itoa_buf");
+        Let ("end", v "buf" +: i 31);
+        Let ("p", v "end");
+        Let ("x", v "n");
+        If
+          ( v "x" =: i 0,
+            [ Assign ("p", v "p" -: i 1); Store1 (v "p", i 48) ],
+            [
+              While
+                ( v "x" >: i 0,
+                  [
+                    Assign ("p", v "p" -: i 1);
+                    Store1 (v "p", i 48 +: (v "x" %: i 10));
+                    Assign ("x", v "x" /: i 10);
+                  ] );
+            ] );
+        Return (v "p");
+      ];
+    func "atoi" [ "p" ]
+      [
+        Let ("x", i 0);
+        Let ("q", v "p");
+        Let ("c", Load1 (v "q"));
+        While
+          ( Binop (And, v "c" >=: i 48, v "c" <=: i 57),
+            [
+              Assign ("x", (v "x" *: i 10) +: (v "c" -: i 48));
+              Assign ("q", v "q" +: i 1);
+              Assign ("c", Load1 (v "q"));
+            ] );
+        Return (v "x");
+      ];
+    (* --- I/O wrappers --- *)
+    func "write" [ "fd"; "buf"; "len" ]
+      [ Return (Syscall (Sys.write, [ v "fd"; v "buf"; v "len" ])) ];
+    func "read" [ "fd"; "buf"; "len" ]
+      [ Return (Syscall (Sys.read, [ v "fd"; v "buf"; v "len" ])) ];
+    func "open" [ "path"; "len"; "flags" ]
+      [ Return (Syscall (Sys.open_, [ v "path"; v "len"; v "flags" ])) ];
+    func "close" [ "fd" ] [ Return (Syscall (Sys.close, [ v "fd" ])) ];
+    func "puts" [ "p"; "len" ]
+      [ Return (Syscall (Sys.write, [ i 1; v "p"; v "len" ])) ];
+    func "print_cstr" [ "p" ]
+      [ Return (Syscall (Sys.write, [ i 1; v "p"; Call ("strlen", [ v "p" ]) ])) ];
+    func "print_int" [ "n" ]
+      [
+        Let ("p", Call ("itoa", [ v "n" ]));
+        Let ("len", (Global_addr "_rt_itoa_buf" +: i 31) -: v "p");
+        Return (Syscall (Sys.write, [ i 1; v "p"; v "len" ]));
+      ];
+    (* --- process --- *)
+    func "getpid" [] [ Return (Syscall (Sys.getpid, [])) ];
+    func "exit" [ "code" ] [ Return (Syscall (Sys.exit, [ v "code" ])) ];
+    func "waitpid" [ "pid"; "status_ptr" ]
+      [ Return (Syscall (Sys.wait, [ v "pid"; v "status_ptr" ])) ];
+    func "yield" [] [ Return (Syscall (Sys.yield, [])) ];
+    (* close every descriptor above stderr: children of a shell drop the
+       pipe ends they inherited but do not use (closefrom(3)) *)
+    func "close_extra" []
+      [
+        Let ("k", i 3);
+        While (v "k" <=: i 15,
+               [ Expr (Syscall (Sys.close, [ v "k" ])); Assign ("k", v "k" +: i 1) ]);
+        Return (i 0);
+      ];
+    (* posix_spawn(path, path_len): no extra argv *)
+    func "spawn0" [ "path"; "len" ]
+      [ Return (Syscall (Sys.spawn, [ v "path"; v "len"; i 0; i 0 ])) ];
+    (* spawn with one string argument *)
+    func "spawn1" [ "path"; "plen"; "a1"; "a1len" ]
+      [
+        Let ("buf", Global_addr "_rt_spawn_buf");
+        Expr (Call ("memcpy", [ v "buf"; v "a1"; v "a1len" ]));
+        Store1 (v "buf" +: v "a1len", i 0);
+        Return
+          (Syscall (Sys.spawn, [ v "path"; v "plen"; v "buf"; v "a1len" +: i 1 ]));
+      ];
+    (* spawn with a caller-packed argv block ('\0'-separated strings) *)
+    func "spawn_argv" [ "path"; "plen"; "argv"; "argv_len" ]
+      [
+        Return (Syscall (Sys.spawn, [ v "path"; v "plen"; v "argv"; v "argv_len" ]));
+      ];
+    (* --- args --- *)
+    func "argc" [] [ Return (Load (Data_addr Layout.argc_off)) ];
+    func "argv" [ "idx" ]
+      [ Return (Load (Data_addr Layout.argv_off +: (v "idx" *: i 8))) ];
+    (* --- allocator: bump over brk --- *)
+    func "malloc" [ "n" ]
+      [
+        Let ("cur", Syscall (Sys.brk, [ i 0 ]));
+        Let ("want", v "cur" +: ((v "n" +: i 15) &: Unop (Not, i 15)));
+        Let ("got", Syscall (Sys.brk, [ v "want" ]));
+        If (v "got" <: v "want", [ Return (i 0) ], []);
+        Return (v "cur");
+      ];
+    (* --- time --- *)
+    func "gettime" [] [ Return (Syscall (Sys.gettime, [])) ];
+  ]
+
+(* Merge a user program with the runtime. Name clashes are rejected by
+   the well-formedness check at compile time. *)
+let program ?(globals = []) user_funcs : Ast.program =
+  { globals = globals @ [ ("_rt_itoa_buf", 32); ("_rt_spawn_buf", 512);
+                          ("_rt_misc_buf", 64) ];
+    funcs = user_funcs @ funcs }

@@ -1,0 +1,16 @@
+(** The Occlang runtime library — the musl-libc stand-in of §8: string
+    helpers ([strlen], [memcpy], [memset], [strcmp]), number formatting
+    ([itoa]/[atoi]/[print_int]), I/O wrappers ([open]/[read]/[write]/
+    [close]/[puts]/[print_cstr]), process control ([spawn0]/[spawn1]/
+    [spawn_argv] — posix_spawn mapped onto Occlum's spawn, exactly the
+    paper's musl rewrite — plus [waitpid]/[exit]/[getpid]/[yield]/
+    [close_extra]), a brk-based [malloc], [argc]/[argv], and [gettime]. *)
+
+val funcs : Ast.func list
+(** The library functions themselves. *)
+
+val globals : (string * int) list
+(** Scratch globals the library needs. *)
+
+val program : ?globals:(string * int) list -> Ast.func list -> Ast.program
+(** [program ~globals fns] links user functions against the runtime. *)

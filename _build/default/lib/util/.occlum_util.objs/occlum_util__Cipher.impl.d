@@ -1,0 +1,1 @@
+lib/util/cipher.ml: Array Bytes Char Printf Sha256 String

@@ -1,0 +1,1 @@
+lib/util/cipher.mli: Bytes

@@ -1,0 +1,34 @@
+(* Small byte-level helpers shared by the encoder, the binary format and
+   the file system. *)
+
+let hex_of_string s =
+  let b = Buffer.create (String.length s * 2) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let round_up n align =
+  if align <= 0 then invalid_arg "round_up: align must be positive";
+  (n + align - 1) / align * align
+
+let is_aligned n align = n mod align = 0
+
+(* Find all occurrences of [needle] in [hay], including overlapping ones.
+   Used by the verifier's byte-by-byte cfi_label scan (Algorithm 1, line 2). *)
+let find_all ~needle hay =
+  let nl = String.length needle and hl = Bytes.length hay in
+  if nl = 0 then invalid_arg "find_all: empty needle";
+  let rec scan i acc =
+    if i + nl > hl then List.rev acc
+    else
+      let matches =
+        let rec check j = j = nl || (Bytes.get hay (i + j) = needle.[j] && check (j + 1)) in
+        check 0
+      in
+      scan (i + 1) (if matches then i :: acc else acc)
+  in
+  scan 0 []
+
+(* Does [needle] occur anywhere in [hay]? *)
+let contains ~needle hay = find_all ~needle hay <> []
+
+let take_prefix n s = String.sub s 0 (min n (String.length s))

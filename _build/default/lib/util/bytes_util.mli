@@ -1,0 +1,12 @@
+(** Byte-level helpers for the encoder, binary format and verifier. *)
+
+val hex_of_string : string -> string
+val round_up : int -> int -> int
+val is_aligned : int -> int -> bool
+
+val find_all : needle:string -> Bytes.t -> int list
+(** All (possibly overlapping) occurrence offsets of [needle], ascending.
+    The verifier's byte-by-byte [cfi_label] scan. *)
+
+val contains : needle:string -> Bytes.t -> bool
+val take_prefix : int -> string -> string

@@ -1,0 +1,29 @@
+(* HMAC-SHA-256 (RFC 2104). The Occlum verifier signs accepted binaries
+   with an HMAC; the LibOS loader recomputes it before loading. SEFS uses
+   it as the per-block integrity tag. *)
+
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let padded = Bytes.make block_size '\x00' in
+  Bytes.blit_string key 0 padded 0 (String.length key);
+  padded
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let ipad = Bytes.map (fun c -> Char.chr (Char.code c lxor 0x36)) key in
+  let opad = Bytes.map (fun c -> Char.chr (Char.code c lxor 0x5c)) key in
+  let inner = Sha256.digest (Bytes.to_string ipad ^ msg) in
+  Sha256.digest (Bytes.to_string opad ^ inner)
+
+let verify ~key ~tag msg =
+  let expected = mac ~key msg in
+  (* constant-time comparison: accumulate the xor of all byte pairs *)
+  String.length tag = String.length expected
+  &&
+  let acc = ref 0 in
+  String.iteri
+    (fun i c -> acc := !acc lor (Char.code c lxor Char.code expected.[i]))
+    tag;
+  !acc = 0

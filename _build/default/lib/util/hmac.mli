@@ -1,0 +1,7 @@
+(** HMAC-SHA-256 (RFC 2104): binary signing and SEFS block integrity. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte authentication tag of [msg]. *)
+
+val verify : key:string -> tag:string -> string -> bool
+(** [verify ~key ~tag msg] checks [tag] in constant time. *)

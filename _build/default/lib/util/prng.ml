@@ -1,0 +1,37 @@
+(* SplitMix64: a small deterministic PRNG for workload generation and
+   property tests. Deterministic seeding keeps every benchmark and test
+   reproducible run-to-run. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* mask to 62 bits so the Int64 -> int conversion stays non-negative *)
+  let v = Int64.to_int (Int64.logand (next_int64 t) 0x3FFF_FFFF_FFFF_FFFFL) in
+  v mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bytes t n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set b i (Char.chr (int t 256))
+  done;
+  b
+
+let string t n = Bytes.unsafe_to_string (bytes t n)
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))

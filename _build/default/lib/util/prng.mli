@@ -1,0 +1,19 @@
+(** SplitMix64 deterministic PRNG for workload generation. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a generator with the given seed. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform-ish in [\[0, bound)]. Requires [bound > 0]. *)
+
+val bool : t -> bool
+val bytes : t -> int -> Bytes.t
+val string : t -> int -> string
+
+val pick : t -> 'a array -> 'a
+(** [pick t arr] is a uniformly chosen element of non-empty [arr]. *)

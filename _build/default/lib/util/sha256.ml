@@ -1,0 +1,147 @@
+(* SHA-256 implemented from FIPS 180-4. Used for enclave measurement
+   (EEXTEND hashes every enclave page) and as the compression function of
+   HMAC signatures on verified binaries.
+
+   The arithmetic uses native ints masked to 32 bits: OCaml Int32 values
+   are boxed and an Int32-based implementation is an order of magnitude
+   slower, which would distort every enclave-creation benchmark. *)
+
+let mask = 0xFFFFFFFF
+
+type ctx = {
+  h : int array; (* 8 words of chaining state, 32-bit values in ints *)
+  buf : Bytes.t; (* 64-byte block buffer *)
+  mutable buf_len : int;
+  mutable total : int64; (* total message length in bytes *)
+}
+
+let k =
+  [|
+    0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+    0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+    0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+    0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+    0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+    0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+    0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+    0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+    0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+    0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+    0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2;
+  |]
+
+let init () =
+  {
+    h =
+      [|
+        0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
+        0x1f83d9ab; 0x5be0cd19;
+      |];
+    buf = Bytes.create 64;
+    buf_len = 0;
+    total = 0L;
+  }
+
+let[@inline] rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+
+let w = Array.make 64 0
+
+let compress ctx block off =
+  for idx = 0 to 15 do
+    w.(idx) <-
+      (Char.code (Bytes.unsafe_get block (off + (idx * 4))) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (off + (idx * 4) + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (off + (idx * 4) + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (off + (idx * 4) + 3))
+  done;
+  for idx = 16 to 63 do
+    let x15 = Array.unsafe_get w (idx - 15) and x2 = Array.unsafe_get w (idx - 2) in
+    let s0 = rotr x15 7 lxor rotr x15 18 lxor (x15 lsr 3) in
+    let s1 = rotr x2 17 lxor rotr x2 19 lxor (x2 lsr 10) in
+    Array.unsafe_set w idx
+      ((Array.unsafe_get w (idx - 16) + s0 + Array.unsafe_get w (idx - 7) + s1)
+       land mask)
+  done;
+  let h = ctx.h in
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for idx = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = !e land !f lxor (lnot !e land mask land !g) in
+    let temp1 =
+      (!hh + s1 + ch + Array.unsafe_get k idx + Array.unsafe_get w idx) land mask
+    in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = !a land !b lxor (!a land !c) lxor (!b land !c) in
+    let temp2 = (s0 + maj) land mask in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := (!d + temp1) land mask;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := (temp1 + temp2) land mask
+  done;
+  h.(0) <- (h.(0) + !a) land mask;
+  h.(1) <- (h.(1) + !b) land mask;
+  h.(2) <- (h.(2) + !c) land mask;
+  h.(3) <- (h.(3) + !d) land mask;
+  h.(4) <- (h.(4) + !e) land mask;
+  h.(5) <- (h.(5) + !f) land mask;
+  h.(6) <- (h.(6) + !g) land mask;
+  h.(7) <- (h.(7) + !hh) land mask
+
+let feed_bytes ctx data off len =
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let off = ref off and len = ref len in
+  if ctx.buf_len > 0 then begin
+    let need = min (64 - ctx.buf_len) !len in
+    Bytes.blit data !off ctx.buf ctx.buf_len need;
+    ctx.buf_len <- ctx.buf_len + need;
+    off := !off + need;
+    len := !len - need;
+    if ctx.buf_len = 64 then begin
+      compress ctx ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  while !len >= 64 do
+    compress ctx data !off;
+    off := !off + 64;
+    len := !len - 64
+  done;
+  if !len > 0 then begin
+    Bytes.blit data !off ctx.buf 0 !len;
+    ctx.buf_len <- !len
+  end
+
+let feed ctx s = feed_bytes ctx (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let finalize ctx =
+  let bit_len = Int64.mul ctx.total 8L in
+  let pad_len =
+    let r = (ctx.buf_len + 1 + 8) mod 64 in
+    if r = 0 then 1 + 8 else 1 + 8 + (64 - r)
+  in
+  let pad = Bytes.make pad_len '\x00' in
+  Bytes.set pad 0 '\x80';
+  Bytes.set_int64_be pad (pad_len - 8) bit_len;
+  feed_bytes ctx pad 0 pad_len;
+  let out = Bytes.create 32 in
+  for idx = 0 to 7 do
+    Bytes.set_int32_be out (idx * 4) (Int32.of_int ctx.h.(idx))
+  done;
+  Bytes.unsafe_to_string out
+
+let digest_bytes data off len =
+  let ctx = init () in
+  feed_bytes ctx data off len;
+  finalize ctx
+
+let digest s = digest_bytes (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let to_hex d =
+  let b = Buffer.create (String.length d * 2) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) d;
+  Buffer.contents b

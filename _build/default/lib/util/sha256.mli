@@ -1,0 +1,26 @@
+(** SHA-256 (FIPS 180-4). Used for enclave page measurement and as the
+    hash underlying {!Hmac} signatures on verified binaries. *)
+
+type ctx
+(** Streaming hash state. *)
+
+val init : unit -> ctx
+(** [init ()] is a fresh hash state. *)
+
+val feed_bytes : ctx -> Bytes.t -> int -> int -> unit
+(** [feed_bytes ctx b off len] absorbs [len] bytes of [b] at [off]. *)
+
+val feed : ctx -> string -> unit
+(** [feed ctx s] absorbs all of [s]. *)
+
+val finalize : ctx -> string
+(** [finalize ctx] is the 32-byte digest. The context must not be reused. *)
+
+val digest : string -> string
+(** [digest s] is the 32-byte SHA-256 of [s]. *)
+
+val digest_bytes : Bytes.t -> int -> int -> string
+(** [digest_bytes b off len] hashes a byte slice. *)
+
+val to_hex : string -> string
+(** [to_hex d] renders a digest in lowercase hex. *)

@@ -1,0 +1,1 @@
+lib/verifier/disasm.ml: Array Bytes Codec Hashtbl Insn List Occlum_isa Occlum_util Printf Queue Reg String Unit_kind

@@ -1,0 +1,1 @@
+lib/verifier/disasm.mli: Bytes Hashtbl Unit_kind

@@ -1,0 +1,1 @@
+lib/verifier/range.ml: Insn List Occlum_isa Occlum_oelf Reg

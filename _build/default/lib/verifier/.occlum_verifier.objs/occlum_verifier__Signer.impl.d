@@ -1,0 +1,1 @@
+lib/verifier/signer.ml: Occlum_oelf Occlum_util

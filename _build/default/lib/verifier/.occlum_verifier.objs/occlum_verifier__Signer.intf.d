@@ -1,0 +1,1 @@
+lib/verifier/signer.mli: Occlum_oelf

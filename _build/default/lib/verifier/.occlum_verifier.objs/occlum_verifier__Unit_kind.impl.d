@@ -1,0 +1,1 @@
+lib/verifier/unit_kind.ml: Insn Occlum_isa Printf Reg

@@ -1,0 +1,1 @@
+lib/verifier/unit_kind.mli: Occlum_isa

@@ -1,0 +1,1 @@
+lib/verifier/verify.ml: Array Disasm Hashtbl Insn Int64 List Occlum_isa Occlum_oelf Printf Queue Range Reg Signer Unit_kind

@@ -1,0 +1,1 @@
+lib/verifier/verify.mli: Disasm Occlum_oelf

@@ -1,0 +1,115 @@
+(* Stage 4: cfi_label-aware range analysis over the disassembled units
+   (§4.3, §5 Stage 4), independent from — and stronger than — the
+   toolchain's optimizer, which this analysis must be able to re-prove.
+
+   Facts: "base register + d is inside D∪G for all d in [lo, hi]".
+   Created by mem_guard pseudo-instructions (which prove the checked
+   address is in D, so ±(G-1) around it is in D∪G), refreshed by verified
+   accesses (a verified access that executes without faulting must have
+   landed in D), shifted by constant add/sub, copied by register moves,
+   and destroyed by any other write. cfi_labels reset the state to top
+   because any indirect transfer may land on them. Calls reset the state
+   of their return site (the callee may clobber anything). *)
+
+open Occlum_isa
+
+let slack = Occlum_oelf.Oelf.guard_size - 1
+let shift_limit = 1 lsl 20
+let clamp_bound = 131071
+
+type state = {
+  facts : (int * (int * int)) list;
+  aliases : (int * int * int) list; (* (d, s, k): d = s + k *)
+}
+
+let top = { facts = []; aliases = [] }
+
+let normalize s =
+  { facts = List.sort_uniq compare s.facts;
+    aliases = List.sort_uniq compare s.aliases }
+
+let meet a b =
+  let facts =
+    List.filter_map
+      (fun (r, (lo, hi)) ->
+        match List.assoc_opt r b.facts with
+        | Some (lo', hi') ->
+            let lo = max lo lo' and hi = min hi hi' in
+            if lo <= hi then Some (r, (lo, hi)) else None
+        | None -> None)
+      a.facts
+  in
+  let aliases = List.filter (fun al -> List.mem al b.aliases) a.aliases in
+  normalize { facts; aliases }
+
+let kill_reg s r =
+  { facts = List.remove_assoc r s.facts;
+    aliases = List.filter (fun (d, src, _) -> d <> r && src <> r) s.aliases }
+
+let shift_reg s r c =
+  if abs c > shift_limit then kill_reg s r
+  else
+    { facts =
+        List.filter_map
+          (fun (r', (lo, hi)) ->
+            if r' = r then
+              let lo = lo - c and hi = hi - c in
+              if hi < -clamp_bound || lo > clamp_bound then None
+              else Some (r', (max lo (-clamp_bound), min hi clamp_bound))
+            else Some (r', (lo, hi)))
+          s.facts;
+      aliases =
+        List.map
+          (fun (d, src, k) ->
+            if d = r then (d, src, k + c)
+            else if src = r then (d, src, k - c)
+            else (d, src, k))
+          s.aliases }
+
+let copy_reg s d src =
+  if d = src then s
+  else
+    let s = kill_reg s d in
+    let facts =
+      match List.assoc_opt src s.facts with
+      | Some intv -> (d, intv) :: s.facts
+      | None -> s.facts
+    in
+    { facts; aliases = (d, src, 0) :: s.aliases }
+
+let set_anchor s base anchor =
+  let set facts r a =
+    let fresh = (a - slack, a + slack) in
+    let combined =
+      match List.assoc_opt r facts with
+      | Some (lo, hi) when lo <= snd fresh + 1 && fst fresh <= hi + 1 ->
+          (min lo (fst fresh), max hi (snd fresh))
+      | _ -> fresh
+    in
+    let lo = max (fst combined) (-clamp_bound)
+    and hi = min (snd combined) clamp_bound in
+    if lo <= hi then (r, (lo, hi)) :: List.remove_assoc r facts
+    else List.remove_assoc r facts
+  in
+  let facts = set s.facts base anchor in
+  let facts =
+    List.fold_left
+      (fun facts (d, src, k) ->
+        if d = base then set facts src (anchor + k)
+        else if src = base then set facts d (anchor - k)
+        else facts)
+      facts s.aliases
+  in
+  { s with facts }
+
+let covers s base lo hi =
+  match List.assoc_opt base s.facts with
+  | Some (flo, fhi) -> flo <= lo && hi <= fhi
+  | None -> false
+
+let simple_sib (m : Insn.mem) =
+  match m with
+  | Sib { base; index = None; scale = _; disp } -> Some (Reg.to_int base, disp)
+  | Sib _ | Rip_rel _ | Abs _ -> None
+
+let sp = Reg.to_int Reg.sp

@@ -1,0 +1,6 @@
+(** Signing of verified binaries: the verifier MACs accepted binaries and
+    the LibOS loader checks the tag before loading (§5 excludes the
+    toolchain — but not the verifier's signature — from the TCB). *)
+
+val sign : Occlum_oelf.Oelf.t -> Occlum_oelf.Oelf.t
+val check : Occlum_oelf.Oelf.t -> bool

@@ -1,0 +1,20 @@
+(* Verification units: either a single machine instruction or one of the
+   MMDSFI pseudo-instructions of Figure 2b, recognized by the Stage-1
+   disassembler and treated as indivisible (§4.2: "some instruction
+   sequences must be treated as a whole"). *)
+
+open Occlum_isa
+
+type t =
+  | U_insn of Insn.t
+  | U_mem_guard of Insn.mem (* bndcl+bndcu %bnd0 on the same operand *)
+  | U_cfi_guard of Reg.t    (* load+bndcl+bndcu %bnd1 (Fig. 2b) *)
+  | U_cfi_label of int32
+
+type unit_at = { addr : int; len : int; kind : t }
+
+let to_string = function
+  | U_insn i -> Insn.to_string i
+  | U_mem_guard m -> "mem_guard " ^ Insn.mem_to_string m
+  | U_cfi_guard r -> "cfi_guard " ^ Reg.name r
+  | U_cfi_label id -> Printf.sprintf "cfi_label <%ld>" id

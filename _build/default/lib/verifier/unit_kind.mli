@@ -1,0 +1,14 @@
+(** Verification units: a machine instruction or one of the MMDSFI
+    pseudo-instructions of Figure 2b, which Stage 1 merges and treats as
+    indivisible (§4.2: "some instruction sequences must be treated as a
+    whole"). *)
+
+type t =
+  | U_insn of Occlum_isa.Insn.t
+  | U_mem_guard of Occlum_isa.Insn.mem  (** bndcl+bndcu %bnd0, same operand *)
+  | U_cfi_guard of Occlum_isa.Reg.t     (** load+bndcl+bndcu %bnd1 *)
+  | U_cfi_label of int32
+
+type unit_at = { addr : int; len : int; kind : t }
+
+val to_string : t -> string

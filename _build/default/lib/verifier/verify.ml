@@ -1,0 +1,323 @@
+(* The Occlum verifier (§5): an independent static checker that decides
+   whether an ELF binary complies with MMDSFI's two security policies —
+   memory accesses confined to [D.begin, D.end), control transfers
+   confined to [C.begin, C.end) — without trusting the toolchain.
+
+   Stage 1  complete disassembly        ({!Disasm}, Algorithm 1)
+   Stage 2  instruction-set verification (no SGX/MPX-modifying/misc ops)
+   Stage 3  control-transfer verification (Figure 3)
+   Stage 4  memory-access verification   (Figure 4 + range analysis)
+
+   Only a binary passing all four stages is signed ({!Signer}) and will
+   be accepted by the LibOS loader. *)
+
+open Occlum_isa
+module U = Unit_kind
+
+type rejection = { stage : int; addr : int; reason : string }
+
+let rejection_to_string r =
+  Printf.sprintf "stage %d @0x%x: %s" r.stage r.addr r.reason
+
+exception Rejected of rejection list
+
+let stage1 (oelf : Occlum_oelf.Oelf.t) =
+  match Disasm.run oelf.code with
+  | d -> d
+  | exception Disasm.Reject { addr; reason } ->
+      raise (Rejected [ { stage = 1; addr; reason } ])
+
+let stage2 (d : Disasm.t) =
+  let bad = ref [] in
+  Array.iter
+    (fun (u : U.unit_at) ->
+      (if u.addr < Occlum_oelf.Oelf.trampoline_reserved then
+         bad :=
+           { stage = 2; addr = u.addr; reason = "code in loader-reserved area" }
+           :: !bad);
+      match u.kind with
+      | U.U_insn i -> (
+          match Insn.danger_of i with
+          | Some danger ->
+              let what =
+                match danger with
+                | Sgx_instruction -> "SGX instruction"
+                | Mpx_modification -> "MPX bound modification"
+                | Misc_privileged -> "privileged instruction"
+                | Libos_gate -> "syscall gate outside the loader trampoline"
+              in
+              bad :=
+                { stage = 2; addr = u.addr;
+                  reason = what ^ ": " ^ Insn.to_string i }
+                :: !bad
+          | None -> ())
+      | U.U_mem_guard _ | U.U_cfi_guard _ | U.U_cfi_label _ -> ())
+    d.sorted;
+  if !bad <> [] then raise (Rejected (List.rev !bad))
+
+let stage3 (d : Disasm.t) =
+  let bad = ref [] in
+  let reject addr reason = bad := { stage = 3; addr; reason } :: !bad in
+  Array.iteri
+    (fun idx (u : U.unit_at) ->
+      match u.kind with
+      | U.U_insn i -> (
+          match Insn.control_transfer_of i with
+          | Ct_direct { rel; _ } -> (
+              let target = u.addr + u.len + rel in
+              match Disasm.find d target with
+              | None -> reject u.addr "direct transfer into unmapped code"
+              | Some t -> (
+                  match t.kind with
+                  | U.U_insn ti -> (
+                      match Insn.control_transfer_of ti with
+                      | Ct_register _ ->
+                          reject u.addr
+                            "direct transfer targets a register-based \
+                             indirect transfer (would skip its cfi_guard)"
+                      | Ct_direct _ | Ct_memory | Ct_return | Ct_none -> ())
+                  | U.U_mem_guard _ | U.U_cfi_guard _ | U.U_cfi_label _ -> ()))
+          | Ct_register r -> (
+              (* must be immediately preceded by a cfi_guard on the same
+                 register (Figure 3, row 2) *)
+              let prev =
+                if idx = 0 then None
+                else
+                  let p = d.sorted.(idx - 1) in
+                  if p.addr + p.len = u.addr then Some p else None
+              in
+              match prev with
+              | Some { kind = U.U_cfi_guard r'; _ } when r' = r -> ()
+              | _ ->
+                  reject u.addr
+                    (Printf.sprintf
+                       "indirect transfer through %s not guarded by a \
+                        cfi_guard" (Reg.name r)))
+          | Ct_memory ->
+              reject u.addr "memory-based indirect transfer (Figure 3: reject)"
+          | Ct_return ->
+              reject u.addr "return-based indirect transfer (Figure 3: reject)"
+          | Ct_none -> ())
+      | U.U_mem_guard _ | U.U_cfi_guard _ | U.U_cfi_label _ -> ())
+    d.sorted;
+  if !bad <> [] then raise (Rejected (List.rev !bad))
+
+(* --- Stage 4 ------------------------------------------------------------ *)
+
+type succ = Next | Next_top | Target of int
+
+let succs_of (u : U.unit_at) =
+  match u.kind with
+  | U.U_insn i -> (
+      match i with
+      | Jmp rel -> [ Target (u.addr + u.len + rel) ]
+      | Jcc (_, rel) -> [ Next; Target (u.addr + u.len + rel) ]
+      | Call _ | Call_reg _ | Call_mem _ -> [ Next_top ]
+      | Jmp_reg _ | Jmp_mem _ | Ret | Ret_imm _ | Hlt | Eexit -> []
+      | _ -> [ Next ])
+  | U.U_mem_guard _ | U.U_cfi_guard _ | U.U_cfi_label _ -> [ Next ]
+
+let transfer (u : U.unit_at) (s : Range.state) =
+  let open Range in
+  match u.kind with
+  | U.U_cfi_label _ -> top
+  | U.U_mem_guard m -> (
+      match simple_sib m with
+      | Some (base, disp) -> set_anchor s base disp
+      | None -> s)
+  | U.U_cfi_guard _ -> kill_reg s (Reg.to_int Reg.scratch)
+  | U.U_insn i -> (
+      match i with
+      | Load { dst; src; size } ->
+          let s =
+            match simple_sib src with
+            | Some (base, disp) when covers s base disp (disp + size - 1) ->
+                set_anchor s base disp
+            | _ -> s
+          in
+          kill_reg s (Reg.to_int dst)
+      | Store { dst; size; _ } -> (
+          match simple_sib dst with
+          | Some (base, disp) when covers s base disp (disp + size - 1) ->
+              set_anchor s base disp
+          | _ -> s)
+      | Push _ | Call _ | Call_reg _ | Call_mem _ ->
+          let s = if covers s sp (-8) (-1) then set_anchor s sp (-8) else s in
+          shift_reg s sp (-8)
+      | Pop r ->
+          let s = if covers s sp 0 7 then set_anchor s sp 0 else s in
+          let s = shift_reg s sp 8 in
+          kill_reg s (Reg.to_int r)
+      | Ret | Ret_imm _ ->
+          let s = shift_reg s sp 8 in
+          s
+      | Mov_reg (d, src) -> copy_reg s (Reg.to_int d) (Reg.to_int src)
+      | Mov_imm (r, _) -> kill_reg s (Reg.to_int r)
+      | Alu (Add, r, O_imm c) when Int64.abs c < Int64.of_int shift_limit ->
+          shift_reg s (Reg.to_int r) (Int64.to_int c)
+      | Alu (Sub, r, O_imm c) when Int64.abs c < Int64.of_int shift_limit ->
+          shift_reg s (Reg.to_int r) (- Int64.to_int c)
+      | Alu (_, r, _) -> kill_reg s (Reg.to_int r)
+      | Lea (r, _) -> kill_reg s (Reg.to_int r)
+      | Wrfsbase r | Wrgsbase r -> kill_reg s (Reg.to_int r)
+      | Vscatter _ | Syscall_gate -> s (* rejected elsewhere *)
+      | Cmp _ | Nop | Jmp _ | Jcc _ | Jmp_reg _ | Jmp_mem _ | Hlt
+      | Bndcl _ | Bndcu _ | Bndmk _ | Bndmov _ | Cfi_label _ | Eexit
+      | Emodpe | Eaccept | Xrstor ->
+          s)
+
+let stage4 (oelf : Occlum_oelf.Oelf.t) (d : Disasm.t) =
+  let n = Array.length d.sorted in
+  let index_of = Hashtbl.create (2 * n) in
+  Array.iteri (fun i (u : U.unit_at) -> Hashtbl.replace index_of u.addr i) d.sorted;
+  let in_state : Range.state option array = Array.make n None in
+  let work = Queue.create () in
+  let join i s =
+    let s' =
+      match in_state.(i) with
+      | None -> Some s
+      | Some old -> Some (Range.meet old s)
+    in
+    if s' <> in_state.(i) then begin
+      in_state.(i) <- s';
+      Queue.push i work
+    end
+  in
+  (* seeds: every cfi_label (indirect transfers may land there) and the
+     program entry *)
+  Array.iteri
+    (fun i (u : U.unit_at) ->
+      match u.kind with U.U_cfi_label _ -> join i Range.top | _ -> ())
+    d.sorted;
+  (match Hashtbl.find_opt index_of oelf.entry with
+  | Some i -> join i Range.top
+  | None -> ());
+  while not (Queue.is_empty work) do
+    let i = Queue.pop work in
+    match in_state.(i) with
+    | None -> ()
+    | Some s ->
+        let u = d.sorted.(i) in
+        let out = transfer u s in
+        List.iter
+          (fun succ ->
+            match succ with
+            | Next ->
+                if i + 1 < n && d.sorted.(i + 1).addr = u.addr + u.len then
+                  join (i + 1) out
+            | Next_top ->
+                if i + 1 < n && d.sorted.(i + 1).addr = u.addr + u.len then
+                  join (i + 1) Range.top
+            | Target a -> (
+                match Hashtbl.find_opt index_of a with
+                | Some j -> join j out
+                | None -> ()))
+          (succs_of u)
+  done;
+  (* verification pass over the fixpoint *)
+  let bad = ref [] in
+  let reject addr reason = bad := { stage = 4; addr; reason } :: !bad in
+  let d_begin = Occlum_oelf.Oelf.d_begin_rel oelf in
+  let d_end = d_begin + oelf.data_region_size in
+  let guarded_by i (operand : Insn.mem) =
+    (* adjacency: the immediately preceding unit is a mem_guard with an
+       identical operand *)
+    i > 0
+    &&
+    let p = d.sorted.(i - 1) and u = d.sorted.(i) in
+    p.addr + p.len = u.addr
+    && match p.kind with U.U_mem_guard m -> m = operand | _ -> false
+  in
+  let sp_mem disp : Insn.mem =
+    Sib { base = Reg.sp; index = None; scale = 1; disp }
+  in
+  Array.iteri
+    (fun i (u : U.unit_at) ->
+      match in_state.(i) with
+      | None ->
+          (* in R but never reached by the CFG seeds: contradicts the
+             reachability argument of Stage 1; reject conservatively *)
+          reject u.addr "disassembled unit unreachable in the verified CFG"
+      | Some s -> (
+          let check_sp_access ~push_like operand_disp =
+            let lo, hi = if push_like then (-8, -1) else (0, 7) in
+            if
+              Range.covers s Range.sp lo hi
+              || guarded_by i (sp_mem operand_disp)
+            then ()
+            else
+              reject u.addr
+                (if push_like then "implicit stack store not provably in D"
+                 else "implicit stack load not provably in D")
+          in
+          match u.kind with
+          | U.U_mem_guard _ | U.U_cfi_guard _ | U.U_cfi_label _ -> ()
+          | U.U_insn insn -> (
+              (match insn with
+              | Call _ | Call_reg _ -> check_sp_access ~push_like:true (-8)
+              | _ -> ());
+              match Insn.mem_access_of insn with
+              | Ma_none -> ()
+              | Ma_implicit { push } ->
+                  check_sp_access ~push_like:push (if push then -8 else 0)
+              | Ma_sib { base; index; scale; disp; size; is_store = _ } -> (
+                  let operand : Insn.mem =
+                    Sib { base; index; scale; disp }
+                  in
+                  if guarded_by i operand then ()
+                  else
+                    match index with
+                    | None ->
+                        if
+                          Range.covers s (Reg.to_int base) disp
+                            (disp + size - 1)
+                        then ()
+                        else
+                          reject u.addr
+                            (Printf.sprintf
+                               "memory access %s not provably within D"
+                               (Insn.mem_to_string operand))
+                    | Some _ ->
+                        reject u.addr
+                          "indexed access without an adjacent mem_guard"
+                  )
+              | Ma_rip_rel { disp; size; is_store = _ } ->
+                  let t = u.addr + u.len + disp in
+                  if t >= d_begin && t + size <= d_end then ()
+                  else
+                    reject u.addr
+                      (Printf.sprintf
+                         "rip-relative access to 0x%x outside D [0x%x,0x%x)"
+                         t d_begin d_end)
+              | Ma_direct_offset ->
+                  reject u.addr "direct memory offset (Figure 4: reject)"
+              | Ma_vector_sib ->
+                  reject u.addr "vector SIB (Figure 4: reject)")))
+    d.sorted;
+  if !bad <> [] then raise (Rejected (List.rev !bad))
+
+(* --- top level ----------------------------------------------------------- *)
+
+let verify (oelf : Occlum_oelf.Oelf.t) =
+  try
+    let d = stage1 oelf in
+    (* the entry point must itself be a cfi_label: the LibOS starts
+       execution only at labels *)
+    (match Disasm.find d oelf.entry with
+    | Some { kind = U.U_cfi_label _; _ } -> ()
+    | _ ->
+        raise
+          (Rejected
+             [ { stage = 1; addr = oelf.entry;
+                 reason = "entry point is not a cfi_label" } ]));
+    stage2 d;
+    stage3 d;
+    stage4 oelf d;
+    Ok d
+  with Rejected rs -> Error rs
+
+(* Verify and, on success, sign: the artifact the LibOS loader accepts. *)
+let verify_and_sign oelf =
+  match verify oelf with
+  | Ok _ -> Ok (Signer.sign oelf)
+  | Error rs -> Error rs

@@ -1,0 +1,1 @@
+lib/workloads/fish.ml: Occlum_abi Occlum_toolchain

@@ -1,0 +1,1 @@
+lib/workloads/fish.mli: Occlum_toolchain

@@ -1,0 +1,1 @@
+lib/workloads/gcc_pipeline.ml: Buffer Occlum_abi Occlum_toolchain Printf

@@ -1,0 +1,1 @@
+lib/workloads/gcc_pipeline.mli: Occlum_toolchain

@@ -1,0 +1,1 @@
+lib/workloads/harness.ml: Buffer Fish Gcc_pipeline Hashtbl Httpd Int64 List Occlum_abi Occlum_libos Occlum_toolchain Occlum_verifier Printf String Unix

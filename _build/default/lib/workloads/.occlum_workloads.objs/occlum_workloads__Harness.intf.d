@@ -1,0 +1,1 @@
+lib/workloads/harness.mli: Occlum_libos Occlum_oelf Occlum_toolchain

@@ -1,0 +1,1 @@
+lib/workloads/httpd.ml: Occlum_abi Occlum_toolchain

@@ -1,0 +1,1 @@
+lib/workloads/httpd.mli: Occlum_toolchain

@@ -1,0 +1,1 @@
+lib/workloads/ripe.ml: Bytes Char Codec Insn Int32 Int64 List Occlum_abi Occlum_baseline Occlum_isa Occlum_libos Occlum_machine Occlum_oelf Occlum_toolchain Occlum_verifier Printf Reg String

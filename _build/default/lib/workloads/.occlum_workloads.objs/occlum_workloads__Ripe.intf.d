@@ -1,0 +1,1 @@
+lib/workloads/ripe.mli: Occlum_oelf Occlum_toolchain

@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Occlum_toolchain

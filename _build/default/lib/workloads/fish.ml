@@ -1,0 +1,209 @@
+(* The fish-shell benchmark (Fig. 5a): a UnixBench-style script that
+   pushes data through a pipeline of separate utility processes —
+   generator | tr | filter | wc — repeatedly. Every stage is its own
+   SIP, so the workload is dominated by process creation and pipe IPC,
+   exactly the regime where SIPs beat EIPs by orders of magnitude.
+
+   The shell wires children's stdio by dup2-ing its own fd 0/1 before
+   each spawn (posix_spawn file-actions style) and restoring them after. *)
+
+open Occlum_toolchain.Ast
+module Sys = Occlum_abi.Abi.Sys
+
+(* gen: write [lines] lines of 32 chars to stdout *)
+let gen_prog =
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("line", 64) ]
+    [
+      func "main" []
+        [
+          Expr (Call ("close_extra", []));
+          Let ("lines", Call ("atoi", [ Call ("argv", [ i 0 ]) ]));
+          Let ("k", i 0);
+          While
+            ( v "k" <: i 32,
+              [
+                Store1 (Global_addr "line" +: v "k", i 97 +: (v "k" %: i 26));
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Store1 (Global_addr "line" +: i 32, i 10);
+          Let ("n", i 0);
+          While
+            ( v "n" <: v "lines",
+              [
+                (* vary the first byte per line *)
+                Store1 (Global_addr "line", i 97 +: (v "n" %: i 26));
+                Expr (Call ("write", [ i 1; Global_addr "line"; i 33 ]));
+                Assign ("n", v "n" +: i 1);
+              ] );
+          Return (i 0);
+        ];
+    ]
+
+(* tr: uppercase a-z while copying stdin to stdout *)
+let tr_prog =
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("buf", 4096) ]
+    [
+      func ~reg_vars:[ "p" ] "main" []
+        [
+          Expr (Call ("close_extra", []));
+          Let ("go", i 1);
+          While
+            ( v "go",
+              [
+                Let ("n", Call ("read", [ i 0; Global_addr "buf"; i 4096 ]));
+                If
+                  ( v "n" <=: i 0,
+                    [ Assign ("go", i 0) ],
+                    [
+                      Let ("k", i 0);
+                      Assign ("p", Global_addr "buf");
+                      While
+                        ( v "k" <: v "n",
+                          [
+                            Let ("c", Load1 (v "p"));
+                            If
+                              ( Binop (And, v "c" >=: i 97, v "c" <=: i 122),
+                                [ Store1 (v "p", v "c" -: i 32) ],
+                                [] );
+                            Assign ("p", v "p" +: i 1);
+                            Assign ("k", v "k" +: i 1);
+                          ] );
+                      Expr (Call ("write", [ i 1; Global_addr "buf"; v "n" ]));
+                    ] );
+              ] );
+          Return (i 0);
+        ];
+    ]
+
+(* grep-ish filter: copy only lines whose first byte matches argv[0] *)
+let filter_prog =
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("buf", 4096) ]
+    [
+      func "main" []
+        [
+          Expr (Call ("close_extra", []));
+          Let ("want", Load1 (Call ("argv", [ i 0 ])));
+          Let ("go", i 1);
+          While
+            ( v "go",
+              [
+                Let ("n", Call ("read", [ i 0; Global_addr "buf"; i 4096 ]));
+                If
+                  ( v "n" <=: i 0,
+                    [ Assign ("go", i 0) ],
+                    [
+                      (* line-structured input: 33-byte records *)
+                      Let ("off", i 0);
+                      While
+                        ( v "off" +: i 33 <=: v "n",
+                          [
+                            If
+                              ( Load1 (Global_addr "buf" +: v "off") =: v "want",
+                                [
+                                  Expr
+                                    (Call ("write",
+                                           [ i 1; Global_addr "buf" +: v "off"; i 33 ]));
+                                ],
+                                [] );
+                            Assign ("off", v "off" +: i 33);
+                          ] );
+                    ] );
+              ] );
+          Return (i 0);
+        ];
+    ]
+
+(* wc: count bytes on stdin, print the count *)
+let wc_prog =
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("buf", 4096) ]
+    [
+      func "main" []
+        [
+          Expr (Call ("close_extra", []));
+          Let ("total", i 0);
+          Let ("go", i 1);
+          While
+            ( v "go",
+              [
+                Let ("n", Call ("read", [ i 0; Global_addr "buf"; i 4096 ]));
+                If (v "n" <=: i 0, [ Assign ("go", i 0) ],
+                    [ Assign ("total", v "total" +: v "n") ]);
+              ] );
+          Expr (Call ("print_int", [ v "total" ]));
+          Expr (Call ("puts", [ Str "\n"; i 1 ]));
+          Return (i 0);
+        ];
+    ]
+
+(* The shell: [repeats] rounds of gen N | tr | filter A | wc. argv[0] =
+   repeats, argv[1] = lines per round. *)
+let shell_prog =
+  let dup2 a b = Expr (Syscall (Sys.dup2, [ a; b ])) in
+  let close e = Expr (Call ("close", [ e ])) in
+  let pipe_at addr = Expr (Syscall (Sys.pipe, [ addr ])) in
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("fdbuf", 64); ("lines_str", 16) ]
+    [
+      func "main" []
+        [
+          Let ("repeats", Call ("atoi", [ Call ("argv", [ i 0 ]) ]));
+          Let ("lines", Call ("atoi", [ Call ("argv", [ i 1 ]) ]));
+          (* keep copies of the console stdio *)
+          Expr (Syscall (Sys.dup2, [ i 1; i 9 ])); (* dup2(1, 9): saved stdout *)
+          Let ("round", i 0);
+          While
+            ( v "round" <: v "repeats",
+              [
+                (* three pipes: p0 gen->tr, p1 tr->filter, p2 filter->wc *)
+                pipe_at (Global_addr "fdbuf");
+                pipe_at (Global_addr "fdbuf" +: i 16);
+                pipe_at (Global_addr "fdbuf" +: i 32);
+                Let ("p0r", Load (Global_addr "fdbuf"));
+                Let ("p0w", Load (Global_addr "fdbuf" +: i 8));
+                Let ("p1r", Load (Global_addr "fdbuf" +: i 16));
+                Let ("p1w", Load (Global_addr "fdbuf" +: i 24));
+                Let ("p2r", Load (Global_addr "fdbuf" +: i 32));
+                Let ("p2w", Load (Global_addr "fdbuf" +: i 40));
+                (* gen: stdout -> p0w *)
+                dup2 (v "p0w") (i 1);
+                Let ("g",
+                     Call ("spawn1",
+                           [ Str "/bin/gen"; i 8;
+                             Call ("itoa", [ v "lines" ]);
+                             (Global_addr "_rt_itoa_buf" +: i 31)
+                             -: Call ("itoa", [ v "lines" ]) ]));
+                (* tr: stdin p0r, stdout p1w *)
+                dup2 (v "p0r") (i 0);
+                dup2 (v "p1w") (i 1);
+                Let ("t", Call ("spawn0", [ Str "/bin/tr"; i 7 ]));
+                (* filter: stdin p1r, stdout p2w; keep lines starting 'A' *)
+                dup2 (v "p1r") (i 0);
+                dup2 (v "p2w") (i 1);
+                Let ("f", Call ("spawn1", [ Str "/bin/filter"; i 11; Str "A"; i 1 ]));
+                (* wc: stdin p2r, stdout console *)
+                dup2 (v "p2r") (i 0);
+                dup2 (i 9) (i 1);
+                Let ("w", Call ("spawn0", [ Str "/bin/wc"; i 7 ]));
+                (* the shell closes every pipe end it still holds *)
+                close (v "p0r"); close (v "p0w");
+                close (v "p1r"); close (v "p1w");
+                close (v "p2r"); close (v "p2w");
+                close (i 0);
+                dup2 (i 9) (i 1);
+                Expr (Call ("waitpid", [ v "g"; i 0 ]));
+                Expr (Call ("waitpid", [ v "t"; i 0 ]));
+                Expr (Call ("waitpid", [ v "f"; i 0 ]));
+                Expr (Call ("waitpid", [ v "w"; i 0 ]));
+                Assign ("round", v "round" +: i 1);
+              ] );
+          Return (i 0);
+        ];
+    ]
+
+let binaries =
+  [ ("/bin/gen", gen_prog); ("/bin/tr", tr_prog); ("/bin/filter", filter_prog);
+    ("/bin/wc", wc_prog); ("/bin/fish", shell_prog) ]

@@ -1,0 +1,248 @@
+(* The GCC benchmark (Fig. 5b): a compiler driver that, like gcc, runs
+   its phases as separate processes — cc (driver) spawns cpp -> cc1 ->
+   as -> ld, communicating through temporary files on the (encrypted)
+   file system. cc1 burns CPU proportional to input size, so the three
+   input sizes (5 LoC "hello", 5K LoC "gzip", 50K LoC "ogg") reproduce
+   the paper's sweep from spawn-dominated to compute-dominated. *)
+
+open Occlum_toolchain.Ast
+module F = Occlum_abi.Abi.Open_flags
+
+(* Shared skeleton: open argv0 for read and argv1 for write, then stream
+   chunks through [transform], a function name applied as
+   transform(bufptr, n, state_ptr) -> bytes_to_write. *)
+let stage_main transform =
+  func "main" []
+    [
+      Expr (Call ("close_extra", []));
+      Let ("inp", Call ("argv", [ i 0 ]));
+      Let ("outp", Call ("argv", [ i 1 ]));
+      Let ("ifd", Call ("open", [ v "inp"; Call ("strlen", [ v "inp" ]); i 0 ]));
+      Let ("ofd",
+           Call ("open",
+                 [ v "outp"; Call ("strlen", [ v "outp" ]);
+                   i (F.creat lor F.wronly lor F.trunc) ]));
+      If (Binop (Or, v "ifd" <: i 0, v "ofd" <: i 0), [ Return (i 1) ], []);
+      Let ("go", i 1);
+      While
+        ( v "go",
+          [
+            Let ("n", Call ("read", [ v "ifd"; Global_addr "buf"; i 4096 ]));
+            If
+              ( v "n" <=: i 0,
+                [ Assign ("go", i 0) ],
+                [
+                  Let ("m", Call (transform, [ Global_addr "buf"; v "n" ]));
+                  If (v "m" >: i 0,
+                      [ Expr (Call ("write", [ v "ofd"; Global_addr "obuf"; v "m" ])) ],
+                      []);
+                ] );
+          ] );
+      Expr (Call ("close", [ v "ifd" ]));
+      Expr (Call ("close", [ v "ofd" ]));
+      Return (i 0);
+    ]
+
+let stage_globals = [ ("buf", 4096); ("obuf", 8192); ("state", 64) ]
+
+(* cpp: drop lines that start with '#' (directives) or "//" (comments).
+   state[0] = 0 copying-at-line-start, 1 mid-line copy, 2 skipping *)
+let cpp_prog =
+  Occlum_toolchain.Runtime.program ~globals:stage_globals
+    [
+      func ~reg_vars:[ "p"; "q" ] "transform" [ "ptr"; "n" ]
+        [
+          Let ("m", i 0);
+          Let ("k", i 0);
+          Assign ("p", v "ptr");
+          Assign ("q", Global_addr "obuf");
+          Let ("mode", Load (Global_addr "state"));
+          While
+            ( v "k" <: v "n",
+              [
+                Let ("c", Load1 (v "p"));
+                If
+                  ( v "mode" =: i 0,
+                    [
+                      If
+                        ( v "c" =: i 35 (* '#' *),
+                          [ Assign ("mode", i 2) ],
+                          [
+                            Store1 (v "q", v "c");
+                            Assign ("q", v "q" +: i 1);
+                            Assign ("m", v "m" +: i 1);
+                            If (v "c" =: i 10, [], [ Assign ("mode", i 1) ]);
+                          ] );
+                    ],
+                    [
+                      If
+                        ( v "mode" =: i 1,
+                          [
+                            Store1 (v "q", v "c");
+                            Assign ("q", v "q" +: i 1);
+                            Assign ("m", v "m" +: i 1);
+                            If (v "c" =: i 10, [ Assign ("mode", i 0) ], []);
+                          ],
+                          [ If (v "c" =: i 10, [ Assign ("mode", i 0) ], []) ] );
+                    ] );
+                Assign ("p", v "p" +: i 1);
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Store (Global_addr "state", v "mode");
+          Return (v "m");
+        ];
+      stage_main "transform";
+    ]
+
+(* cc1: the compiler proper — CPU-heavy mixing per input byte, emits one
+   8-byte "instruction" per 8 input bytes *)
+let cc1_prog =
+  Occlum_toolchain.Runtime.program ~globals:stage_globals
+    [
+      func ~reg_vars:[ "p"; "q" ] "transform" [ "ptr"; "n" ]
+        [
+          Let ("m", i 0);
+          Let ("k", i 0);
+          Assign ("p", v "ptr");
+          Assign ("q", Global_addr "obuf");
+          Let ("acc", Load (Global_addr "state"));
+          While
+            ( v "k" <: v "n",
+              [
+                Let ("x", v "acc" +: Load1 (v "p"));
+                (* optimization passes: a fixed mixing pipeline per byte *)
+                Let ("it", i 0);
+                While
+                  ( v "it" <: i 12,
+                    [
+                      Assign ("x", v "x" ^: (v "x" <<: i 13));
+                      Assign ("x", v "x" ^: (v "x" >>: i 7));
+                      Assign ("x", (v "x" *: i 31) +: i 17);
+                      Assign ("it", v "it" +: i 1);
+                    ] );
+                Assign ("acc", v "x");
+                If
+                  ( (v "k" &: i 7) =: i 7,
+                    [
+                      Store (v "q", v "acc");
+                      Assign ("q", v "q" +: i 8);
+                      Assign ("m", v "m" +: i 8);
+                    ],
+                    [] );
+                Assign ("p", v "p" +: i 1);
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Store (Global_addr "state", v "acc");
+          Return (v "m");
+        ];
+      stage_main "transform";
+    ]
+
+(* as: 1-to-1 byte encoding *)
+let as_prog =
+  Occlum_toolchain.Runtime.program ~globals:stage_globals
+    [
+      func ~reg_vars:[ "p"; "q" ] "transform" [ "ptr"; "n" ]
+        [
+          Let ("k", i 0);
+          Assign ("p", v "ptr");
+          Assign ("q", Global_addr "obuf");
+          While
+            ( v "k" <: v "n",
+              [
+                Store1 (v "q", Load1 (v "p") ^: i 90);
+                Assign ("p", v "p" +: i 1);
+                Assign ("q", v "q" +: i 1);
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Return (v "n");
+        ];
+      stage_main "transform";
+    ]
+
+(* ld: copy through and count; prints the final size like a link map *)
+let ld_prog =
+  Occlum_toolchain.Runtime.program ~globals:stage_globals
+    [
+      func "transform" [ "ptr"; "n" ]
+        [
+          Expr (Call ("memcpy", [ Global_addr "obuf"; v "ptr"; v "n" ]));
+          Store (Global_addr "state", Load (Global_addr "state") +: v "n");
+          Return (v "n");
+        ];
+      func "main" []
+        [
+          Expr (Call ("close_extra", []));
+          Let ("inp", Call ("argv", [ i 0 ]));
+          Let ("outp", Call ("argv", [ i 1 ]));
+          Let ("ifd", Call ("open", [ v "inp"; Call ("strlen", [ v "inp" ]); i 0 ]));
+          Let ("ofd",
+               Call ("open",
+                     [ v "outp"; Call ("strlen", [ v "outp" ]);
+                       i (F.creat lor F.wronly lor F.trunc) ]));
+          Expr (Call ("write", [ v "ofd"; Str "OEXE"; i 4 ]));
+          Let ("go", i 1);
+          While
+            ( v "go",
+              [
+                Let ("n", Call ("read", [ v "ifd"; Global_addr "buf"; i 4096 ]));
+                If
+                  ( v "n" <=: i 0,
+                    [ Assign ("go", i 0) ],
+                    [
+                      Let ("m", Call ("transform", [ Global_addr "buf"; v "n" ]));
+                      Expr (Call ("write", [ v "ofd"; Global_addr "obuf"; v "m" ]));
+                    ] );
+              ] );
+          Expr (Call ("print_int", [ Load (Global_addr "state") ]));
+          Expr (Call ("puts", [ Str "\n"; i 1 ]));
+          Expr (Call ("close", [ v "ifd" ]));
+          Expr (Call ("close", [ v "ofd" ]));
+          Return (i 0);
+        ];
+    ]
+
+(* cc: the driver. argv0 = source path. Spawns each phase with
+   "in\0out" argv blocks and waits for it, exactly like gcc -pipe off. *)
+let cc_prog =
+  let phase bin binlen inpath outpath =
+    [
+      (* pack argv block: in \0 out \0 *)
+      Let ("blk", Global_addr "argvblk");
+      Let ("l1", Call ("strlen", [ inpath ]));
+      Expr (Call ("memcpy", [ v "blk"; inpath; v "l1" ]));
+      Store1 (v "blk" +: v "l1", i 0);
+      Let ("l2", Call ("strlen", [ outpath ]));
+      Expr (Call ("memcpy", [ v "blk" +: v "l1" +: i 1; outpath; v "l2" ]));
+      Store1 (v "blk" +: v "l1" +: i 1 +: v "l2", i 0);
+      Let ("pid",
+           Call ("spawn_argv",
+                 [ bin; i binlen; v "blk"; v "l1" +: v "l2" +: i 2 ]));
+      If (v "pid" <: i 0, [ Return (i 1) ], []);
+      Expr (Call ("waitpid", [ v "pid"; i 0 ]));
+    ]
+  in
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("argvblk", 256) ]
+    [
+      func "main" []
+        (phase (Str "/bin/cpp") 8 (Call ("argv", [ i 0 ])) (Str "/tmp/cc.i")
+        @ phase (Str "/bin/cc1") 8 (Str "/tmp/cc.i") (Str "/tmp/cc.s")
+        @ phase (Str "/bin/as") 7 (Str "/tmp/cc.s") (Str "/tmp/cc.o")
+        @ phase (Str "/bin/ld") 7 (Str "/tmp/cc.o") (Str "/tmp/a.out")
+        @ [ Return (i 0) ]);
+    ]
+
+let binaries =
+  [ ("/bin/cpp", cpp_prog); ("/bin/cc1", cc1_prog); ("/bin/as", as_prog);
+    ("/bin/ld", ld_prog); ("/bin/cc", cc_prog) ]
+
+(* Synthetic "C" sources of a given line count. *)
+let source_file ~lines =
+  let b = Buffer.create (lines * 30) in
+  Buffer.add_string b "#include <stdio.h>\n";
+  for k = 1 to lines do
+    if k mod 10 = 0 then Buffer.add_string b "// comment line\n"
+    else Buffer.add_string b (Printf.sprintf "int v%d = f(%d) + %d;\n" k k (k * 7))
+  done;
+  Buffer.contents b

@@ -1,0 +1,17 @@
+(** The GCC benchmark (Fig. 5b): a compiler driver running its phases as
+    separate processes — cc spawns cpp → cc1 → as → ld — through
+    temporary files on the (encrypted) file system, with cc1 burning CPU
+    proportional to input size. *)
+
+val cpp_prog : Occlum_toolchain.Ast.program
+val cc1_prog : Occlum_toolchain.Ast.program
+val as_prog : Occlum_toolchain.Ast.program
+val ld_prog : Occlum_toolchain.Ast.program
+
+val cc_prog : Occlum_toolchain.Ast.program
+(** The driver: argv[0] = source path; output lands at /tmp/a.out. *)
+
+val binaries : (string * Occlum_toolchain.Ast.program) list
+
+val source_file : lines:int -> string
+(** A synthetic "C" source of the given line count. *)

@@ -1,0 +1,367 @@
+(* Shared benchmark harness: boots a LibOS in one of the three execution
+   models of the evaluation and runs the application workloads on it.
+
+     Occlum   — SIP mode: SFI-instrumented, verified binaries; one enclave
+     Graphene — EIP mode: same binaries, one enclave per process
+     Linux    — native mode: uninstrumented binaries, plaintext FS
+
+   Results carry both wall-clock time of the real simulation work and
+   the simulated virtual clock; the paper's figures are about ratios, so
+   either axis reproduces the shapes. *)
+
+module Os = Occlum_libos.Os
+
+type system = Occlum | Graphene | Linux
+
+let system_name = function
+  | Occlum -> "Occlum"
+  | Graphene -> "Graphene-SGX"
+  | Linux -> "Linux"
+
+let mode_of = function Occlum -> Os.Sip | Graphene -> Os.Eip | Linux -> Os.Linux
+
+let codegen_config = function
+  | Occlum | Graphene -> Occlum_toolchain.Codegen.sfi
+  | Linux -> Occlum_toolchain.Codegen.bare
+
+(* Compile (and for SGX systems verify + sign) a program for [system]. *)
+let build_for system prog =
+  let oelf =
+    Occlum_toolchain.Compile.compile_exn ~config:(codegen_config system) prog
+  in
+  match system with
+  | Linux -> oelf
+  | Occlum | Graphene -> (
+      match Occlum_verifier.Verify.verify_and_sign oelf with
+      | Ok signed -> signed
+      | Error rs ->
+          invalid_arg
+            ("harness: verification failed: "
+            ^ Occlum_verifier.Verify.rejection_to_string (List.hd rs)))
+
+let boot ?(domains = Occlum_libos.Domain_mgr.default_config) system =
+  let config = { Os.default_config with mode = mode_of system; domains } in
+  Os.boot ~config ()
+
+let install os system binaries =
+  List.iter (fun (path, prog) -> Os.install_binary os path (build_for system prog))
+    binaries
+
+type run_result = {
+  wall_s : float;
+  vclock_ns : int64;
+  status : Os.run_status;
+  console : string;
+  spawns : int;
+  syscalls : int;
+  faults : int;
+}
+
+(* Spawn [path] and run the system to completion, timing it. *)
+let timed_run ?(args = []) ?(max_steps = 20_000_000) os path =
+  let t0 = Unix.gettimeofday () in
+  let v0 = Os.clock os in
+  ignore (Os.spawn os ~parent_pid:0 ~path ~args);
+  let status = Os.run ~max_steps os in
+  {
+    wall_s = Unix.gettimeofday () -. t0;
+    vclock_ns = Int64.sub (Os.clock os) v0;
+    status;
+    console = Os.console_output os;
+    spawns = os.Os.spawns;
+    syscalls = os.Os.syscalls;
+    faults = List.length os.Os.faults;
+  }
+
+(* --- Fig 5a: fish ------------------------------------------------------- *)
+
+let run_fish ?(repeats = 3) ?(lines = 100) system =
+  let os = boot system in
+  install os system Fish.binaries;
+  timed_run os "/bin/fish" ~args:[ string_of_int repeats; string_of_int lines ]
+
+(* --- Fig 5b: gcc -------------------------------------------------------- *)
+
+let run_gcc ?(lines = 5) system =
+  let os = boot system in
+  install os system Gcc_pipeline.binaries;
+  Occlum_libos.Sefs.ensure_parents os.Os.sefs "/src/x";
+  Occlum_libos.Sefs.ensure_parents os.Os.sefs "/tmp/x";
+  (match
+     Occlum_libos.Sefs.write_path os.Os.sefs "/src/input.c"
+       (Gcc_pipeline.source_file ~lines)
+   with
+  | Ok _ -> ()
+  | Error e -> invalid_arg ("run_gcc: " ^ string_of_int e));
+  timed_run ~max_steps:200_000_000 os "/bin/cc" ~args:[ "/src/input.c" ]
+
+(* --- Fig 5c: lighttpd ---------------------------------------------------- *)
+
+type httpd_result = {
+  served : int;
+  h_wall_s : float;
+  h_vclock_ns : int64;
+  throughput_wall : float; (* requests per wall second *)
+  throughput_vclock : float; (* requests per virtual second *)
+}
+
+(* [concurrency] simultaneous client connections, [requests] total, all
+   injected from outside the enclave like the paper's ApacheBench box. *)
+let run_httpd ?(workers = 2) ?(concurrency = 8) ?(requests = 64) system =
+  let os = boot system in
+  install os system Httpd.binaries;
+  let per_worker = (requests + workers - 1) / workers in
+  ignore
+    (Os.spawn_initial os
+       (build_for system Httpd.master_prog)
+       ~args:[ string_of_int workers; string_of_int per_worker ]);
+  let guard = ref 0 in
+  while
+    (not (Occlum_libos.Net.has_listener os.Os.net ~port:Httpd.port))
+    && !guard < 200_000
+  do
+    incr guard;
+    ignore (Os.step os)
+  done;
+  let t0 = Unix.gettimeofday () in
+  let v0 = Os.clock os in
+  let served = ref 0 in
+  let outstanding = ref [] in
+  let launched = ref 0 in
+  let expected = 10 * 1024 in
+  let pump () =
+    (* top up to [concurrency] live connections *)
+    while List.length !outstanding < concurrency && !launched < requests do
+      match Occlum_libos.Net.external_connect os.Os.net ~port:Httpd.port with
+      | Error _ -> launched := requests (* listener gone *)
+      | Ok ep ->
+          ignore (Occlum_libos.Net.external_send os.Os.net ep Httpd.request);
+          incr launched;
+          outstanding := (ep, Buffer.create 256) :: !outstanding
+    done
+  in
+  pump ();
+  let stuck = ref 0 in
+  while !outstanding <> [] && !stuck < 2_000_000 do
+    incr stuck;
+    ignore (Os.step os);
+    outstanding :=
+      List.filter
+        (fun (ep, buf) ->
+          Buffer.add_string buf (Occlum_libos.Net.external_recv_all os.Os.net ep);
+          if Buffer.length buf >= expected then begin
+            incr served;
+            Occlum_libos.Net.close_endpoint ep;
+            false
+          end
+          else true)
+        !outstanding;
+    pump ()
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let vns = Int64.sub (Os.clock os) v0 in
+  {
+    served = !served;
+    h_wall_s = wall;
+    h_vclock_ns = vns;
+    throughput_wall = float !served /. max wall 1e-9;
+    throughput_vclock = float !served /. (Int64.to_float vns /. 1e9);
+  }
+
+(* --- Fig 6a: process creation ------------------------------------------- *)
+
+(* A program whose binary is padded to roughly [code_kb] KiB of code. *)
+let sized_program ~code_kb =
+  let filler k =
+    Occlum_toolchain.Ast.func (Printf.sprintf "filler%d" k) [ "x" ]
+      [
+        Occlum_toolchain.Ast.Return
+          Occlum_toolchain.Ast.(v "x" *: i 3 +: i (k * 7));
+      ]
+  in
+  (* an instrumented filler assembles to ~220 bytes *)
+  let n = max 1 (code_kb * 1024 / 220) in
+  Occlum_toolchain.Runtime.program
+    (Occlum_toolchain.Ast.func "main" [] [ Occlum_toolchain.Ast.Return (Occlum_toolchain.Ast.i 0) ]
+     :: List.init n filler)
+
+(* Median wall seconds to spawn + run-to-exit one instance of [path]. *)
+let spawn_latency ?(tries = 5) os path =
+  let samples =
+    List.init tries (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        let pid = Os.spawn os ~parent_pid:0 ~path ~args:[] in
+        ignore (Os.wait_pid_exit ~max_steps:200_000 os pid);
+        Unix.gettimeofday () -. t0)
+  in
+  let sorted = List.sort compare samples in
+  List.nth sorted (tries / 2)
+
+(* --- Fig 6b: pipe throughput --------------------------------------------- *)
+
+let pipe_writer_prog =
+  let open Occlum_toolchain.Ast in
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("buf", 8192) ]
+    [
+      func "main" []
+        [
+          Expr (Call ("close", [ i 3 ])); (* writer drops the read end *)
+          Let ("bufsz", Call ("atoi", [ Call ("argv", [ i 0 ]) ]));
+          Let ("total", Call ("atoi", [ Call ("argv", [ i 1 ]) ]));
+          Let ("sent", i 0);
+          While
+            ( v "sent" <: v "total",
+              [
+                Let ("w", Call ("write", [ i 4; Global_addr "buf"; v "bufsz" ]));
+                If (v "w" <=: i 0, [ Return (i 1) ], []);
+                Assign ("sent", v "sent" +: v "w");
+              ] );
+          Expr (Call ("close", [ i 4 ]));
+          Return (i 0);
+        ];
+    ]
+
+let pipe_reader_prog =
+  let open Occlum_toolchain.Ast in
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("buf", 8192) ]
+    [
+      func "main" []
+        [
+          Expr (Call ("close", [ i 4 ])); (* reader drops the write end *)
+          Let ("bufsz", Call ("atoi", [ Call ("argv", [ i 0 ]) ]));
+          Let ("got", i 0);
+          Let ("go", i 1);
+          While
+            ( v "go",
+              [
+                Let ("n", Call ("read", [ i 3; Global_addr "buf"; v "bufsz" ]));
+                If (v "n" <=: i 0, [ Assign ("go", i 0) ],
+                    [ Assign ("got", v "got" +: v "n") ]);
+              ] );
+          Expr (Call ("print_int", [ v "got" ]));
+          Return (i 0);
+        ];
+    ]
+
+let pipe_parent_prog =
+  let open Occlum_toolchain.Ast in
+  let module S = Occlum_abi.Abi.Sys in
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("fds", 16); ("blk", 64) ]
+    [
+      func "main" []
+        [
+          (* argv0 = bufsz, argv1 = total bytes *)
+          Expr (Syscall (S.pipe, [ Global_addr "fds" ]));
+          (* pipe lands at fds 3 (read) and 4 (write) *)
+          Let ("wpid",
+               Call ("spawn_argv",
+                     [ Str "/bin/pipe_writer"; i 16;
+                       Call ("argv", [ i 0 ]);
+                       Call ("strlen", [ Call ("argv", [ i 0 ]) ])
+                       +: i 1
+                       +: Call ("strlen", [ Call ("argv", [ i 1 ]) ]) ]));
+          Let ("rpid",
+               Call ("spawn1",
+                     [ Str "/bin/pipe_reader"; i 16;
+                       Call ("argv", [ i 0 ]);
+                       Call ("strlen", [ Call ("argv", [ i 0 ]) ]) ]));
+          (* parent must release its pipe ends so EOF propagates *)
+          Expr (Call ("close", [ i 3 ]));
+          Expr (Call ("close", [ i 4 ]));
+          Expr (Call ("waitpid", [ v "wpid"; i 0 ]));
+          Expr (Call ("waitpid", [ v "rpid"; i 0 ]));
+          Return (i 0);
+        ];
+    ]
+
+let pipe_binaries =
+  [ ("/bin/pipe_writer", pipe_writer_prog); ("/bin/pipe_reader", pipe_reader_prog);
+    ("/bin/pipe_bench", pipe_parent_prog) ]
+
+(* Throughput in MB/s (wall and virtual) for one buffer size. *)
+let run_pipe ?(total = 1 lsl 20) ~bufsz system =
+  let os = boot system in
+  install os system pipe_binaries;
+  let r =
+    timed_run ~max_steps:50_000_000 os "/bin/pipe_bench"
+      ~args:[ string_of_int bufsz; string_of_int total ]
+  in
+  let mb = float total /. 1048576.0 in
+  ( mb /. max r.wall_s 1e-9,
+    mb /. (Int64.to_float r.vclock_ns /. 1e9),
+    r )
+
+(* --- Fig 6c/6d: file I/O -------------------------------------------------- *)
+
+let file_io_prog =
+  let open Occlum_toolchain.Ast in
+  let module F = Occlum_abi.Abi.Open_flags in
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("buf", 16384) ]
+    [
+      (* argv0 = "r"|"w", argv1 = bufsz, argv2 = total *)
+      func "main" []
+        [
+          Let ("mode", Load1 (Call ("argv", [ i 0 ])));
+          Let ("bufsz", Call ("atoi", [ Call ("argv", [ i 1 ]) ]));
+          Let ("total", Call ("atoi", [ Call ("argv", [ i 2 ]) ]));
+          Let ("done_", i 0);
+          If
+            ( v "mode" =: i 119 (* 'w' *),
+              [
+                Let ("fd",
+                     Call ("open",
+                           [ Str "/data/bench.dat"; i 15;
+                             i (F.creat lor F.wronly lor F.trunc) ]));
+                While
+                  ( v "done_" <: v "total",
+                    [
+                      Let ("w", Call ("write", [ v "fd"; Global_addr "buf"; v "bufsz" ]));
+                      If (v "w" <=: i 0, [ Return (i 1) ], []);
+                      Assign ("done_", v "done_" +: v "w");
+                    ] );
+                Expr (Call ("close", [ v "fd" ]));
+              ],
+              [
+                Let ("fd2", Call ("open", [ Str "/data/bench.dat"; i 15; i 0 ]));
+                Let ("go", i 1);
+                While
+                  ( v "go",
+                    [
+                      Let ("n", Call ("read", [ v "fd2"; Global_addr "buf"; v "bufsz" ]));
+                      If (v "n" <=: i 0, [ Assign ("go", i 0) ],
+                          [ Assign ("done_", v "done_" +: v "n") ]);
+                    ] );
+                Expr (Call ("close", [ v "fd2" ]));
+              ] );
+          Return (i 0);
+        ];
+    ]
+
+(* Sequential file read/write throughput. Reads happen against a cold
+   cache (fresh boot, the data written by a previous instance and
+   flushed), so the decryption cost is actually paid. *)
+let run_file_io ?(total = 1 lsl 20) ~bufsz ~write system =
+  let os = boot system in
+  install os system [ ("/bin/fileio", file_io_prog) ];
+  Occlum_libos.Sefs.ensure_parents os.Os.sefs "/data/x";
+  if not write then begin
+    (* pre-create the file, then evict the cache to force decryption *)
+    let seed = String.concat "" (List.init (total / 16) (fun k -> Printf.sprintf "%016d" k)) in
+    (match Occlum_libos.Sefs.write_path os.Os.sefs "/data/bench.dat" seed with
+    | Ok _ -> ()
+    | Error e -> invalid_arg ("run_file_io: " ^ string_of_int e));
+    Occlum_libos.Sefs.flush os.Os.sefs;
+    Hashtbl.reset os.Os.sefs.Occlum_libos.Sefs.cache
+  end;
+  let r =
+    timed_run ~max_steps:100_000_000 os "/bin/fileio"
+      ~args:[ (if write then "w" else "r"); string_of_int bufsz; string_of_int total ]
+  in
+  let mb = float total /. 1048576.0 in
+  (* virtual-clock throughput: the wall clock would be dominated by the
+     pure-OCaml cipher, whereas the paper's testbed had AES-NI *)
+  (mb /. (Int64.to_float r.vclock_ns /. 1e9), r)

@@ -1,0 +1,71 @@
+(** Benchmark harness: boots a LibOS in one of the evaluation's three
+    execution models and runs the application workloads on it. Results
+    carry both wall-clock time of the real simulation work and the
+    simulated virtual clock (see EXPERIMENTS.md for the calibration). *)
+
+module Os = Occlum_libos.Os
+
+type system =
+  | Occlum    (** SIP mode: instrumented, verified binaries; one enclave *)
+  | Graphene  (** EIP mode: one enclave per process *)
+  | Linux     (** native mode: uninstrumented binaries, plaintext FS *)
+
+val system_name : system -> string
+val mode_of : system -> Os.mode
+val codegen_config : system -> Occlum_toolchain.Codegen.config
+
+val build_for : system -> Occlum_toolchain.Ast.program -> Occlum_oelf.Oelf.t
+(** Compile for the system, verifying + signing for the SGX systems. *)
+
+val boot : ?domains:Occlum_libos.Domain_mgr.config -> system -> Os.t
+val install : Os.t -> system -> (string * Occlum_toolchain.Ast.program) list -> unit
+
+type run_result = {
+  wall_s : float;
+  vclock_ns : int64;
+  status : Os.run_status;
+  console : string;
+  spawns : int;
+  syscalls : int;
+  faults : int;
+}
+
+val timed_run : ?args:string list -> ?max_steps:int -> Os.t -> string -> run_result
+
+(** {1 Per-figure workload drivers} *)
+
+val run_fish : ?repeats:int -> ?lines:int -> system -> run_result
+(** Fig 5a: the gen|tr|filter|wc pipeline, [repeats] times. *)
+
+val run_gcc : ?lines:int -> system -> run_result
+(** Fig 5b: the cpp→cc1→as→ld pipeline over a [lines]-line source. *)
+
+type httpd_result = {
+  served : int;
+  h_wall_s : float;
+  h_vclock_ns : int64;
+  throughput_wall : float;
+  throughput_vclock : float;
+}
+
+val run_httpd :
+  ?workers:int -> ?concurrency:int -> ?requests:int -> system -> httpd_result
+(** Fig 5c: master + workers, external clients injected by the harness. *)
+
+val sized_program : code_kb:int -> Occlum_toolchain.Ast.program
+(** A program padded to roughly [code_kb] KiB of code (Fig 6a). *)
+
+val spawn_latency : ?tries:int -> Os.t -> string -> float
+(** Median wall seconds to spawn + run-to-exit one instance. *)
+
+val pipe_binaries : (string * Occlum_toolchain.Ast.program) list
+
+val run_pipe :
+  ?total:int -> bufsz:int -> system -> float * float * run_result
+(** Fig 6b: (wall MB/s, virtual MB/s, raw result). *)
+
+val file_io_prog : Occlum_toolchain.Ast.program
+
+val run_file_io :
+  ?total:int -> bufsz:int -> write:bool -> system -> float * run_result
+(** Fig 6c/6d: sequential file throughput (virtual MB/s, raw result). *)

@@ -1,0 +1,219 @@
+(* The lighttpd benchmark (Fig. 5c): a pre-forking web server. The
+   master opens the listening socket, spawns [workers] worker processes
+   that inherit it (possible because spawned SIPs inherit the open file
+   table, §6), and every worker accepts and serves connections — the
+   exact configuration the paper uses (master + 2 workers sharing the
+   listening socket). Each response carries a 10 KiB page.
+
+   Workers serve argv[0] requests each and exit; the master waits for
+   them. The benchmark harness plays ApacheBench from outside the
+   enclave through [Net]'s external endpoints. *)
+
+open Occlum_toolchain.Ast
+module Sys = Occlum_abi.Abi.Sys
+
+let port = 8000
+let page_size = 10 * 1024
+
+let worker_prog =
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("req", 1024); ("page", page_size + 256) ]
+    [
+      (* build the 10 KiB page + a small HTTP header *)
+      func ~reg_vars:[ "p" ] "build_page" []
+        [
+          Let ("hdr", Str "HTTP/1.1 200 OK\r\nContent-Length: 10240\r\n\r\n");
+          Let ("hl", Call ("strlen", [ v "hdr" ]));
+          Expr (Call ("memcpy", [ Global_addr "page"; v "hdr"; v "hl" ]));
+          Let ("k", i 0);
+          Assign ("p", Global_addr "page" +: v "hl");
+          While
+            ( v "k" <: i page_size,
+              [
+                Store1 (v "p", i 97 +: (v "k" %: i 26));
+                Assign ("p", v "p" +: i 1);
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Return (v "hl" +: i page_size);
+        ];
+      func "main" []
+        [
+          (* fd 3 is the inherited listening socket *)
+          Let ("quota", Call ("atoi", [ Call ("argv", [ i 0 ]) ]));
+          Let ("total", Call ("build_page", []));
+          Let ("served", i 0);
+          While
+            ( v "served" <: v "quota",
+              [
+                Let ("conn", Syscall (Sys.accept, [ i 3 ]));
+                If
+                  ( v "conn" >=: i 0,
+                    [
+                      (* read the request (single read is enough for the
+                         benchmark client's short GET) *)
+                      Expr (Call ("read", [ v "conn"; Global_addr "req"; i 1024 ]));
+                      (* send header+page, handling partial writes *)
+                      Let ("sent", i 0);
+                      While
+                        ( v "sent" <: v "total",
+                          [
+                            Let ("w",
+                                 Call ("write",
+                                       [ v "conn";
+                                         Global_addr "page" +: v "sent";
+                                         v "total" -: v "sent" ]));
+                            If (v "w" <=: i 0, [ Assign ("sent", v "total") ],
+                                [ Assign ("sent", v "sent" +: v "w") ]);
+                          ] );
+                      Expr (Call ("close", [ v "conn" ]));
+                      Assign ("served", v "served" +: i 1);
+                    ],
+                    [] );
+              ] );
+          Return (v "served");
+        ];
+    ]
+
+(* master: argv0 = workers, argv1 = requests per worker *)
+let master_prog =
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("pids", 128) ]
+    [
+      func "main" []
+        [
+          Let ("workers", Call ("atoi", [ Call ("argv", [ i 0 ]) ]));
+          Let ("quota", Call ("atoi", [ Call ("argv", [ i 1 ]) ]));
+          Let ("sock", Syscall (Sys.socket, []));
+          Expr (Syscall (Sys.bind, [ v "sock"; i port ]));
+          Expr (Syscall (Sys.listen, [ v "sock"; i 128 ]));
+          (* the listener must be at fd 3 for the workers *)
+          If (v "sock" <>: i 3,
+              [ Expr (Syscall (Sys.dup2, [ v "sock"; i 3 ])) ], []);
+          Let ("k", i 0);
+          While
+            ( v "k" <: v "workers",
+              [
+                Let ("p",
+                     Call ("spawn1",
+                           [ Str "/bin/httpd_worker"; i 17;
+                             Call ("itoa", [ v "quota" ]);
+                             (Global_addr "_rt_itoa_buf" +: i 31)
+                             -: Call ("itoa", [ v "quota" ]) ]));
+                Store (Global_addr "pids" +: (v "k" *: i 8), v "p");
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Assign ("k", i 0);
+          While
+            ( v "k" <: v "workers",
+              [
+                Expr (Call ("waitpid",
+                            [ Load (Global_addr "pids" +: (v "k" *: i 8)); i 0 ]));
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Return (i 0);
+        ];
+    ]
+
+(* The artifact's multithreaded mode: one process whose request loop
+   runs in [threads] LibOS threads (clone) sharing the listening socket
+   and the page buffer — "LibOS threads are treated as SIPs that happen
+   to share resources" (§6). Each thread polls the listener, serves its
+   quota, and exits; main clones them and waits. argv: threads, quota *)
+let mt_prog =
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("req", 1024); ("page", page_size + 256); ("total", 8);
+               ("tids", 128) ]
+    [
+      func ~reg_vars:[ "p" ] "build_page" []
+        [
+          Let ("hdr", Str "HTTP/1.1 200 OK\r\nContent-Length: 10240\r\n\r\n");
+          Let ("hl", Call ("strlen", [ v "hdr" ]));
+          Expr (Call ("memcpy", [ Global_addr "page"; v "hdr"; v "hl" ]));
+          Let ("k", i 0);
+          Assign ("p", Global_addr "page" +: v "hl");
+          While
+            ( v "k" <: i page_size,
+              [
+                Store1 (v "p", i 97 +: (v "k" %: i 26));
+                Assign ("p", v "p" +: i 1);
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Return (v "hl" +: i page_size);
+        ];
+      func "serve_loop" [ "quota" ]
+        [
+          Let ("served", i 0);
+          Let ("pollent", Call ("malloc", [ i 24 ]));
+          While
+            ( v "served" <: v "quota",
+              [
+                (* event-driven: poll the shared listener, then accept *)
+                Store (v "pollent", i 3);
+                Store (v "pollent" +: i 8, i 1);
+                Store (v "pollent" +: i 16, i 0);
+                Expr (Syscall (Occlum_abi.Abi.Sys.poll, [ v "pollent"; i 1; i (-1) ]));
+                Let ("conn", Syscall (Sys.accept, [ i 3 ]));
+                If
+                  ( v "conn" >=: i 0,
+                    [
+                      Expr (Call ("read", [ v "conn"; Global_addr "req"; i 1024 ]));
+                      Let ("sent", i 0);
+                      Let ("totlen", Load (Global_addr "total"));
+                      While
+                        ( v "sent" <: v "totlen",
+                          [
+                            Let ("w",
+                                 Call ("write",
+                                       [ v "conn"; Global_addr "page" +: v "sent";
+                                         v "totlen" -: v "sent" ]));
+                            If (v "w" <=: i 0, [ Assign ("sent", v "totlen") ],
+                                [ Assign ("sent", v "sent" +: v "w") ]);
+                          ] );
+                      Expr (Call ("close", [ v "conn" ]));
+                      Assign ("served", v "served" +: i 1);
+                    ],
+                    [] );
+              ] );
+          Return (v "served");
+        ];
+      func "thread_main" [ "quota" ]
+        [ Return (Call ("serve_loop", [ v "quota" ])) ];
+      func "main" []
+        [
+          Let ("threads", Call ("atoi", [ Call ("argv", [ i 0 ]) ]));
+          Let ("quota", Call ("atoi", [ Call ("argv", [ i 1 ]) ]));
+          Store (Global_addr "total", Call ("build_page", []));
+          Let ("sock", Syscall (Sys.socket, []));
+          Expr (Syscall (Sys.bind, [ v "sock"; i port ]));
+          Expr (Syscall (Sys.listen, [ v "sock"; i 128 ]));
+          If (v "sock" <>: i 3, [ Expr (Syscall (Sys.dup2, [ v "sock"; i 3 ])) ], []);
+          Let ("k", i 0);
+          While
+            ( v "k" <: v "threads",
+              [
+                Let ("stack", Syscall (Sys.mmap, [ i 0; i 16384; i (-1); i 0 ]));
+                Let ("tid",
+                     Syscall (Occlum_abi.Abi.Sys.clone,
+                              [ Func_addr "thread_main"; v "stack" +: i 16384;
+                                v "quota" ]));
+                If (v "tid" <: i 0, [ Return (i 1) ], []);
+                Store (Global_addr "tids" +: (v "k" *: i 8), v "tid");
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Assign ("k", i 0);
+          While
+            ( v "k" <: v "threads",
+              [
+                Expr (Call ("waitpid",
+                            [ Load (Global_addr "tids" +: (v "k" *: i 8)); i 0 ]));
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Return (i 0);
+        ];
+    ]
+
+let binaries =
+  [ ("/bin/httpd_worker", worker_prog); ("/bin/httpd", master_prog);
+    ("/bin/httpd_mt", mt_prog) ]
+
+let request = "GET /index.html HTTP/1.1\r\nHost: bench\r\n\r\n"

@@ -1,0 +1,20 @@
+(** The lighttpd benchmark (Fig. 5c): a pre-forking web server — master +
+    workers sharing the inherited listening socket — plus the artifact's
+    multithreaded mode (one SIP whose request loop runs in LibOS threads
+    using poll + accept). Responses carry a 10 KiB page; the harness
+    plays ApacheBench from outside the enclave. *)
+
+val port : int
+val page_size : int
+
+val worker_prog : Occlum_toolchain.Ast.program
+(** Serves argv[0] requests from the inherited listener (fd 3). *)
+
+val master_prog : Occlum_toolchain.Ast.program
+(** argv: workers, requests-per-worker. *)
+
+val mt_prog : Occlum_toolchain.Ast.program
+(** The multithreaded server. argv: threads, requests-per-thread. *)
+
+val binaries : (string * Occlum_toolchain.Ast.program) list
+val request : string

@@ -1,0 +1,779 @@
+(* Twelve CPU-bound Occlang kernels shaped after the SPECint2006 suite
+   used in Figure 7. Each mirrors the computational character of its
+   namesake (string processing, compression, DP matrices, graph
+   relaxation, game-tree search, ...), prints a checksum, and makes no
+   system calls besides the final write+exit — so instrumented-vs-plain
+   cycle counts isolate MMDSFI's CPU overhead exactly as the paper's
+   SPEC runs do. *)
+
+open Occlum_toolchain.Ast
+
+let checksum_epilogue =
+  [
+    Expr (Call ("print_int", [ v "check" ]));
+    Expr (Call ("puts", [ Str "\n"; i 1 ]));
+    Return (i 0);
+  ]
+
+(* xorshift-style PRNG usable from kernels *)
+let prng_funcs =
+  [
+    func "rnd_next" [ "s" ]
+      [
+        Let ("x", v "s");
+        Assign ("x", v "x" ^: (v "x" <<: i 13));
+        Assign ("x", v "x" ^: (v "x" >>: i 7));
+        Assign ("x", v "x" ^: (v "x" <<: i 17));
+        Return (v "x");
+      ];
+  ]
+
+(* 400.perlbench: string scanning/hashing over a text buffer *)
+let perlbench n =
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("text", 4096); ("tbl", 2048) ]
+    (prng_funcs
+    @ [
+        func ~reg_vars:[ "p" ] "fill_text" []
+          [
+            Let ("k", i 0);
+            Assign ("p", Global_addr "text");
+            While
+              ( v "k" <: i 4096,
+                [
+                  Store1 (v "p", i 97 +: (v "k" %: i 26));
+                  Assign ("p", v "p" +: i 1);
+                  Assign ("k", v "k" +: i 1);
+                ] );
+            Return (i 0);
+          ];
+        func ~reg_vars:[ "p" ] "hash_pass" [ "seed" ]
+          [
+            Let ("h", v "seed");
+            Let ("k", i 0);
+            Assign ("p", Global_addr "text");
+            While
+              ( v "k" <: i 4096,
+                [
+                  Assign ("h", ((v "h" *: i 31) +: Load1 (v "p")) %: i 1000003);
+                  Assign ("p", v "p" +: i 1);
+                  Assign ("k", v "k" +: i 1);
+                ] );
+            Store (Global_addr "tbl" +: ((v "h" %: i 256) *: i 8), v "h");
+            Return (v "h");
+          ];
+        func "main" []
+          ([
+             Expr (Call ("fill_text", []));
+             Let ("check", i 0);
+             Let ("r", i 0);
+             While
+               ( v "r" <: i n,
+                 [
+                   Assign ("check", Call ("hash_pass", [ v "check" +: v "r" ]));
+                   Assign ("r", v "r" +: i 1);
+                 ] );
+           ]
+          @ checksum_epilogue);
+      ])
+
+(* 401.bzip2: run-length encoding + move-to-front over a buffer *)
+let bzip2 n =
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("src", 4096); ("dst", 8192); ("mtf", 256 * 8) ]
+    [
+      func ~reg_vars:[ "p" ] "prepare" []
+        [
+          Let ("k", i 0);
+          Assign ("p", Global_addr "src");
+          While
+            ( v "k" <: i 4096,
+              [
+                Store1 (v "p", (v "k" *: v "k" >>: i 3) %: i 17);
+                Assign ("p", v "p" +: i 1);
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Return (i 0);
+        ];
+      func "mtf_encode" []
+        [
+          (* init the move-to-front table *)
+          Let ("k", i 0);
+          While
+            ( v "k" <: i 256,
+              [
+                Store (Global_addr "mtf" +: (v "k" *: i 8), v "k");
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Let ("acc", i 0);
+          Let ("j", i 0);
+          While
+            ( v "j" <: i 4096,
+              [
+                Let ("c", Load1 (Global_addr "src" +: v "j"));
+                (* find rank of c *)
+                Let ("r", i 0);
+                While
+                  ( Load (Global_addr "mtf" +: (v "r" *: i 8)) <>: v "c",
+                    [ Assign ("r", v "r" +: i 1) ] );
+                Assign ("acc", (v "acc" +: v "r") %: i 65521);
+                (* move to front *)
+                Let ("m", v "r");
+                While
+                  ( v "m" >: i 0,
+                    [
+                      Store
+                        ( Global_addr "mtf" +: (v "m" *: i 8),
+                          Load (Global_addr "mtf" +: ((v "m" -: i 1) *: i 8)) );
+                      Assign ("m", v "m" -: i 1);
+                    ] );
+                Store (Global_addr "mtf", v "c");
+                Assign ("j", v "j" +: i 1);
+              ] );
+          Return (v "acc");
+        ];
+      func "main" []
+        ([
+           Expr (Call ("prepare", []));
+           Let ("check", i 0);
+           Let ("r", i 0);
+           While
+             ( v "r" <: i n,
+               [
+                 Assign ("check", (v "check" +: Call ("mtf_encode", [])) %: i 1000003);
+                 Assign ("r", v "r" +: i 1);
+               ] );
+         ]
+        @ checksum_epilogue);
+    ]
+
+(* 403.gcc: symbol-table/graph manipulation — build and walk a small DAG *)
+let gcc_kernel n =
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("nodes", 512 * 16); ("worklist", 512 * 8) ]
+    [
+      func "build" [ "seed" ]
+        [
+          (* node i: [value; succ] pairs of 8 bytes *)
+          Let ("k", i 0);
+          While
+            ( v "k" <: i 512,
+              [
+                Store
+                  ( Global_addr "nodes" +: (v "k" *: i 16),
+                    (v "k" *: v "seed") %: i 4099 );
+                Store
+                  ( Global_addr "nodes" +: (v "k" *: i 16) +: i 8,
+                    (v "k" +: (v "seed" %: i 37) +: i 1) %: i 512 );
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Return (i 0);
+        ];
+      func "propagate" []
+        [
+          Let ("sum", i 0);
+          Let ("k", i 0);
+          While
+            ( v "k" <: i 512,
+              [
+                Let ("cur", v "k");
+                Let ("depth", i 0);
+                While
+                  ( v "depth" <: i 16,
+                    [
+                      Assign ("sum",
+                              (v "sum" +: Load (Global_addr "nodes" +: (v "cur" *: i 16)))
+                              %: i 1000003);
+                      Assign ("cur", Load (Global_addr "nodes" +: (v "cur" *: i 16) +: i 8));
+                      Assign ("depth", v "depth" +: i 1);
+                    ] );
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Return (v "sum");
+        ];
+      func "main" []
+        ([
+           Let ("check", i 0);
+           Let ("r", i 0);
+           While
+             ( v "r" <: i n,
+               [
+                 Expr (Call ("build", [ v "r" +: i 3 ]));
+                 Assign ("check", (v "check" +: Call ("propagate", [])) %: i 1000003);
+                 Assign ("r", v "r" +: i 1);
+               ] );
+         ]
+        @ checksum_epilogue);
+    ]
+
+(* 429.mcf: Bellman-Ford-style relaxation over an arc array *)
+let mcf n =
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("dist", 256 * 8); ("arcs", 1024 * 24) ]
+    [
+      func "setup" []
+        [
+          Let ("k", i 0);
+          While
+            ( v "k" <: i 256,
+              [
+                Store (Global_addr "dist" +: (v "k" *: i 8), i 1000000);
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Store (Global_addr "dist", i 0);
+          Let ("a", i 0);
+          While
+            ( v "a" <: i 1024,
+              [
+                Store (Global_addr "arcs" +: (v "a" *: i 24), v "a" %: i 256);
+                Store
+                  ( Global_addr "arcs" +: (v "a" *: i 24) +: i 8,
+                    ((v "a" *: i 7) +: i 13) %: i 256 );
+                Store
+                  ( Global_addr "arcs" +: (v "a" *: i 24) +: i 16,
+                    (v "a" %: i 97) +: i 1 );
+                Assign ("a", v "a" +: i 1);
+              ] );
+          Return (i 0);
+        ];
+      func ~reg_vars:[ "arc" ] "relax" []
+        [
+          Let ("changed", i 0);
+          Let ("a", i 0);
+          Assign ("arc", Global_addr "arcs");
+          While
+            ( v "a" <: i 1024,
+              [
+                Let ("u", Load (v "arc"));
+                Let ("w", Load (v "arc" +: i 8));
+                Let ("c", Load (v "arc" +: i 16));
+                Let ("du", Load (Global_addr "dist" +: (v "u" *: i 8)));
+                Let ("dw", Load (Global_addr "dist" +: (v "w" *: i 8)));
+                If
+                  ( v "du" +: v "c" <: v "dw",
+                    [
+                      Store (Global_addr "dist" +: (v "w" *: i 8), v "du" +: v "c");
+                      Assign ("changed", v "changed" +: i 1);
+                    ],
+                    [] );
+                Assign ("arc", v "arc" +: i 24);
+                Assign ("a", v "a" +: i 1);
+              ] );
+          Return (v "changed");
+        ];
+      func "main" []
+        ([
+           Let ("check", i 0);
+           Let ("r", i 0);
+           While
+             ( v "r" <: i n,
+               [
+                 Expr (Call ("setup", []));
+                 Let ("rounds", i 0);
+                 While
+                   ( Binop (And, Call ("relax", []) >: i 0, v "rounds" <: i 20),
+                     [ Assign ("rounds", v "rounds" +: i 1) ] );
+                 Let ("k", i 0);
+                 While
+                   ( v "k" <: i 256,
+                     [
+                       Assign ("check",
+                               (v "check" +: Load (Global_addr "dist" +: (v "k" *: i 8)))
+                               %: i 1000003);
+                       Assign ("k", v "k" +: i 1);
+                     ] );
+                 Assign ("r", v "r" +: i 1);
+               ] );
+         ]
+        @ checksum_epilogue);
+    ]
+
+(* 445.gobmk: positional evaluation sweeps over a 19x19 board *)
+let gobmk n =
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("board", 361 * 8) ]
+    [
+      func "seed_board" [ "s" ]
+        [
+          Let ("k", i 0);
+          While
+            ( v "k" <: i 361,
+              [
+                Store (Global_addr "board" +: (v "k" *: i 8),
+                       ((v "k" *: v "s") +: i 5) %: i 3);
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Return (i 0);
+        ];
+      func "influence" []
+        [
+          Let ("score", i 0);
+          Let ("y", i 1);
+          While
+            ( v "y" <: i 18,
+              [
+                Let ("x", i 1);
+                While
+                  ( v "x" <: i 18,
+                    [
+                      Let ("idx", (v "y" *: i 19) +: v "x");
+                      Let ("c", Load (Global_addr "board" +: (v "idx" *: i 8)));
+                      Let ("nb",
+                           Load (Global_addr "board" +: ((v "idx" -: i 1) *: i 8))
+                           +: Load (Global_addr "board" +: ((v "idx" +: i 1) *: i 8))
+                           +: Load (Global_addr "board" +: ((v "idx" -: i 19) *: i 8))
+                           +: Load (Global_addr "board" +: ((v "idx" +: i 19) *: i 8)));
+                      If (v "c" =: i 1, [ Assign ("score", v "score" +: v "nb") ],
+                          [ If (v "c" =: i 2,
+                                [ Assign ("score", v "score" -: v "nb") ], []) ]);
+                      Assign ("x", v "x" +: i 1);
+                    ] );
+                Assign ("y", v "y" +: i 1);
+              ] );
+          Return (v "score" &: i 0xFFFFFF);
+        ];
+      func "main" []
+        ([
+           Let ("check", i 0);
+           Let ("r", i 0);
+           While
+             ( v "r" <: i n,
+               [
+                 Expr (Call ("seed_board", [ v "r" +: i 2 ]));
+                 Assign ("check", (v "check" +: Call ("influence", [])) %: i 1000003);
+                 Assign ("r", v "r" +: i 1);
+               ] );
+         ]
+        @ checksum_epilogue);
+    ]
+
+(* 456.hmmer: Viterbi-style dynamic-programming matrix fill *)
+let hmmer n =
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("dp", 2 * 128 * 8); ("seq", 256) ]
+    [
+      func "main" []
+        ([
+           Let ("k", i 0);
+           While
+             ( v "k" <: i 256,
+               [
+                 Store1 (Global_addr "seq" +: v "k", (v "k" *: i 31) %: i 4);
+                 Assign ("k", v "k" +: i 1);
+               ] );
+           Let ("check", i 0);
+           Let ("r", i 0);
+           While
+             ( v "r" <: i n,
+               [
+                 (* rolling two-row DP *)
+                 Let ("row", i 0);
+                 Let ("t", i 0);
+                 While
+                   ( v "t" <: i 256,
+                     [
+                       Let ("cur", (v "row" ^: i 1) *: i 1024);
+                       Let ("prev", v "row" *: i 1024);
+                       Let ("s", Load1 (Global_addr "seq" +: v "t"));
+                       Let ("j", i 1);
+                       While
+                         ( v "j" <: i 128,
+                           [
+                             Let ("m", Load (Global_addr "dp" +: v "prev" +: ((v "j" -: i 1) *: i 8))
+                                       +: (v "s" *: v "j"));
+                             Let ("d", Load (Global_addr "dp" +: v "cur" +: ((v "j" -: i 1) *: i 8)) +: i 3);
+                             If (v "d" >: v "m", [ Assign ("m", v "d") ], []);
+                             Store (Global_addr "dp" +: v "cur" +: (v "j" *: i 8),
+                                    v "m" %: i 1000003);
+                             Assign ("j", v "j" +: i 1);
+                           ] );
+                       Assign ("row", v "row" ^: i 1);
+                       Assign ("t", v "t" +: i 1);
+                     ] );
+                 Assign ("check",
+                         (v "check" +: Load (Global_addr "dp" +: i (127 * 8))) %: i 1000003);
+                 Assign ("r", v "r" +: i 1);
+               ] );
+         ]
+        @ checksum_epilogue);
+    ]
+
+(* 458.sjeng: fixed-depth negamax over a synthetic move tree *)
+let sjeng n =
+  Occlum_toolchain.Runtime.program
+    (prng_funcs
+    @ [
+        func "negamax" [ "state"; "depth" ]
+          [
+            If (v "depth" =: i 0, [ Return (v "state" %: i 1009) ], []);
+            Let ("best", i (-100000));
+            Let ("m", i 0);
+            While
+              ( v "m" <: i 4,
+                [
+                  Let ("child", Call ("rnd_next", [ v "state" +: v "m" +: i 1 ]));
+                  Let ("sc", i 0 -: Call ("negamax", [ v "child"; v "depth" -: i 1 ]));
+                  If (v "sc" >: v "best", [ Assign ("best", v "sc") ], []);
+                  Assign ("m", v "m" +: i 1);
+                ] );
+            Return (v "best");
+          ];
+        func "main" []
+          ([
+             Let ("check", i 0);
+             Let ("r", i 0);
+             While
+               ( v "r" <: i n,
+                 [
+                   Assign ("check",
+                           (v "check" +: Call ("negamax", [ v "r" +: i 7; i 6 ]) +: i 100000)
+                           %: i 1000003);
+                   Assign ("r", v "r" +: i 1);
+                 ] );
+           ]
+          @ checksum_epilogue);
+      ])
+
+(* 462.libquantum: quantum register simulation as bit-twiddling sweeps *)
+let libquantum n =
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("reg", 2048 * 8) ]
+    [
+      func ~reg_vars:[ "p" ] "gates" [ "phase" ]
+        [
+          Let ("acc", i 0);
+          Let ("k", i 0);
+          Assign ("p", Global_addr "reg");
+          While
+            ( v "k" <: i 2048,
+              [
+                Let ("amp", Load (v "p"));
+                Assign ("amp", v "amp" ^: (v "amp" <<: i 1) ^: v "phase");
+                Assign ("amp", v "amp" &: i 0xFFFFFFFF);
+                Store (v "p", v "amp");
+                Assign ("acc", (v "acc" +: (v "amp" >>: i 5)) %: i 1000003);
+                Assign ("p", v "p" +: i 8);
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Return (v "acc");
+        ];
+      func "main" []
+        ([
+           Let ("check", i 0);
+           Let ("r", i 0);
+           While
+             ( v "r" <: i n,
+               [
+                 Assign ("check", (v "check" +: Call ("gates", [ v "r" ])) %: i 1000003);
+                 Assign ("r", v "r" +: i 1);
+               ] );
+         ]
+        @ checksum_epilogue);
+    ]
+
+(* 464.h264ref: sum-of-absolute-differences motion search over frames *)
+let h264ref n =
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("frame0", 4096); ("frame1", 4096) ]
+    [
+      func "fill_frames" []
+        [
+          Let ("k", i 0);
+          While
+            ( v "k" <: i 4096,
+              [
+                Store1 (Global_addr "frame0" +: v "k", (v "k" *: i 13) %: i 251);
+                Store1 (Global_addr "frame1" +: v "k", ((v "k" +: i 7) *: i 11) %: i 251);
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Return (i 0);
+        ];
+      func "sad_block" [ "off0"; "off1" ]
+        [
+          Let ("sad", i 0);
+          Let ("y", i 0);
+          While
+            ( v "y" <: i 8,
+              [
+                Let ("x", i 0);
+                While
+                  ( v "x" <: i 8,
+                    [
+                      Let ("a", Load1 (Global_addr "frame0" +: v "off0"
+                                       +: (v "y" *: i 64) +: v "x"));
+                      Let ("b", Load1 (Global_addr "frame1" +: v "off1"
+                                       +: (v "y" *: i 64) +: v "x"));
+                      If (v "a" >: v "b",
+                          [ Assign ("sad", v "sad" +: (v "a" -: v "b")) ],
+                          [ Assign ("sad", v "sad" +: (v "b" -: v "a")) ]);
+                      Assign ("x", v "x" +: i 1);
+                    ] );
+                Assign ("y", v "y" +: i 1);
+              ] );
+          Return (v "sad");
+        ];
+      func "main" []
+        ([
+           Expr (Call ("fill_frames", []));
+           Let ("check", i 0);
+           Let ("r", i 0);
+           While
+             ( v "r" <: i n,
+               [
+                 Let ("best", i 1000000);
+                 Let ("c", i 0);
+                 While
+                   ( v "c" <: i 32,
+                     [
+                       Let ("s", Call ("sad_block", [ i 520; (v "c" *: i 8) +: i 8 ]));
+                       If (v "s" <: v "best", [ Assign ("best", v "s") ], []);
+                       Assign ("c", v "c" +: i 1);
+                     ] );
+                 Assign ("check", (v "check" +: v "best") %: i 1000003);
+                 Assign ("r", v "r" +: i 1);
+               ] );
+         ]
+        @ checksum_epilogue);
+    ]
+
+(* 471.omnetpp: discrete-event simulation over a binary-heap queue *)
+let omnetpp n =
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("heap", 1024 * 8); ("hsize", 8) ]
+    (prng_funcs
+    @ [
+        func "heap_push" [ "val" ]
+          [
+            Let ("sz", Load (Global_addr "hsize"));
+            Store (Global_addr "heap" +: (v "sz" *: i 8), v "val");
+            Let ("c", v "sz");
+            While
+              ( Binop
+                  ( And,
+                    v "c" >: i 0,
+                    Load (Global_addr "heap" +: (((v "c" -: i 1) /: i 2) *: i 8))
+                    >: Load (Global_addr "heap" +: (v "c" *: i 8)) ),
+                [
+                  Let ("par", (v "c" -: i 1) /: i 2);
+                  Let ("tmp", Load (Global_addr "heap" +: (v "par" *: i 8)));
+                  Store (Global_addr "heap" +: (v "par" *: i 8),
+                         Load (Global_addr "heap" +: (v "c" *: i 8)));
+                  Store (Global_addr "heap" +: (v "c" *: i 8), v "tmp");
+                  Assign ("c", v "par");
+                ] );
+            Store (Global_addr "hsize", v "sz" +: i 1);
+            Return (i 0);
+          ];
+        func "heap_pop" []
+          [
+            Let ("sz", Load (Global_addr "hsize") -: i 1);
+            Let ("top", Load (Global_addr "heap"));
+            Store (Global_addr "heap", Load (Global_addr "heap" +: (v "sz" *: i 8)));
+            Store (Global_addr "hsize", v "sz");
+            Let ("c", i 0);
+            Let ("go", i 1);
+            While
+              ( v "go",
+                [
+                  Let ("l", (v "c" *: i 2) +: i 1);
+                  Let ("rr", (v "c" *: i 2) +: i 2);
+                  Let ("m", v "c");
+                  If
+                    ( Binop
+                        ( And,
+                          v "l" <: v "sz",
+                          Load (Global_addr "heap" +: (v "l" *: i 8))
+                          <: Load (Global_addr "heap" +: (v "m" *: i 8)) ),
+                      [ Assign ("m", v "l") ], [] );
+                  If
+                    ( Binop
+                        ( And,
+                          v "rr" <: v "sz",
+                          Load (Global_addr "heap" +: (v "rr" *: i 8))
+                          <: Load (Global_addr "heap" +: (v "m" *: i 8)) ),
+                      [ Assign ("m", v "rr") ], [] );
+                  If
+                    ( v "m" =: v "c",
+                      [ Assign ("go", i 0) ],
+                      [
+                        Let ("tmp", Load (Global_addr "heap" +: (v "m" *: i 8)));
+                        Store (Global_addr "heap" +: (v "m" *: i 8),
+                               Load (Global_addr "heap" +: (v "c" *: i 8)));
+                        Store (Global_addr "heap" +: (v "c" *: i 8), v "tmp");
+                        Assign ("c", v "m");
+                      ] );
+                ] );
+            Return (v "top");
+          ];
+        func "main" []
+          ([
+             Let ("check", i 0);
+             Let ("r", i 0);
+             While
+               ( v "r" <: i n,
+                 [
+                   Store (Global_addr "hsize", i 0);
+                   Let ("s", v "r" +: i 99);
+                   Let ("e", i 0);
+                   While
+                     ( v "e" <: i 400,
+                       [
+                         Assign ("s", Call ("rnd_next", [ v "s" ]));
+                         Expr (Call ("heap_push", [ v "s" &: i 0xFFFF ]));
+                         Assign ("e", v "e" +: i 1);
+                       ] );
+                   While
+                     ( Load (Global_addr "hsize") >: i 0,
+                       [
+                         Assign ("check", (v "check" +: Call ("heap_pop", [])) %: i 1000003);
+                       ] );
+                   Assign ("r", v "r" +: i 1);
+                 ] );
+           ]
+          @ checksum_epilogue);
+      ])
+
+(* 473.astar: breadth-first wavefront pathfinding on a weighted grid *)
+let astar n =
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("grid", 1024 * 8); ("cost", 1024 * 8) ]
+    [
+      func "main" []
+        ([
+           Let ("k", i 0);
+           While
+             ( v "k" <: i 1024,
+               [
+                 Store (Global_addr "grid" +: (v "k" *: i 8), ((v "k" *: i 37) %: i 9) +: i 1);
+                 Assign ("k", v "k" +: i 1);
+               ] );
+           Let ("check", i 0);
+           Let ("r", i 0);
+           While
+             ( v "r" <: i n,
+               [
+                 (* reset costs *)
+                 Let ("j", i 0);
+                 While
+                   ( v "j" <: i 1024,
+                     [
+                       Store (Global_addr "cost" +: (v "j" *: i 8), i 1000000);
+                       Assign ("j", v "j" +: i 1);
+                     ] );
+                 Store (Global_addr "cost", i 0);
+                 (* relaxation sweeps (32x32 grid, 4-neighbourhood) *)
+                 Let ("sweep", i 0);
+                 While
+                   ( v "sweep" <: i 8,
+                     [
+                       Let ("y", i 0);
+                       While
+                         ( v "y" <: i 32,
+                           [
+                             Let ("x", i 0);
+                             While
+                               ( v "x" <: i 32,
+                                 [
+                                   Let ("idx", (v "y" *: i 32) +: v "x");
+                                   Let ("c", Load (Global_addr "cost" +: (v "idx" *: i 8)));
+                                   Let ("w", Load (Global_addr "grid" +: (v "idx" *: i 8)));
+                                   If
+                                     ( v "x" >: i 0,
+                                       [
+                                         Let ("nc",
+                                              Load (Global_addr "cost"
+                                                    +: ((v "idx" -: i 1) *: i 8))
+                                              +: v "w");
+                                         If (v "nc" <: v "c", [ Assign ("c", v "nc") ], []);
+                                       ],
+                                       [] );
+                                   If
+                                     ( v "y" >: i 0,
+                                       [
+                                         Let ("nc2",
+                                              Load (Global_addr "cost"
+                                                    +: ((v "idx" -: i 32) *: i 8))
+                                              +: v "w");
+                                         If (v "nc2" <: v "c", [ Assign ("c", v "nc2") ], []);
+                                       ],
+                                       [] );
+                                   Store (Global_addr "cost" +: (v "idx" *: i 8), v "c");
+                                   Assign ("x", v "x" +: i 1);
+                                 ] );
+                             Assign ("y", v "y" +: i 1);
+                           ] );
+                       Assign ("sweep", v "sweep" +: i 1);
+                     ] );
+                 Assign ("check",
+                         (v "check" +: Load (Global_addr "cost" +: i (1023 * 8)))
+                         %: i 1000003);
+                 Assign ("r", v "r" +: i 1);
+               ] );
+         ]
+        @ checksum_epilogue);
+    ]
+
+(* 483.xalancbmk: tree transformation — build, rotate and fold an AST *)
+let xalancbmk n =
+  Occlum_toolchain.Runtime.program
+    ~globals:[ ("tree", 1024 * 24) ]
+    [
+      (* node: [tag; left; right] *)
+      func "build_tree" [ "seed" ]
+        [
+          Let ("k", i 0);
+          While
+            ( v "k" <: i 1024,
+              [
+                Store (Global_addr "tree" +: (v "k" *: i 24),
+                       (v "k" *: v "seed") %: i 11);
+                Store (Global_addr "tree" +: (v "k" *: i 24) +: i 8,
+                       ((v "k" *: i 2) +: i 1) %: i 1024);
+                Store (Global_addr "tree" +: (v "k" *: i 24) +: i 16,
+                       ((v "k" *: i 2) +: i 2) %: i 1024);
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Return (i 0);
+        ];
+      func "fold" [ "node"; "depth" ]
+        [
+          If (v "depth" =: i 0, [ Return (i 1) ], []);
+          Let ("tag", Load (Global_addr "tree" +: (v "node" *: i 24)));
+          Let ("l", Load (Global_addr "tree" +: (v "node" *: i 24) +: i 8));
+          Let ("rr", Load (Global_addr "tree" +: (v "node" *: i 24) +: i 16));
+          Let ("a", Call ("fold", [ v "l"; v "depth" -: i 1 ]));
+          Let ("b", Call ("fold", [ v "rr"; v "depth" -: i 1 ]));
+          Return (((v "tag" +: i 1) *: (v "a" +: v "b")) %: i 1000003);
+        ];
+      func "main" []
+        ([
+           Let ("check", i 0);
+           Let ("r", i 0);
+           While
+             ( v "r" <: i n,
+               [
+                 Expr (Call ("build_tree", [ v "r" +: i 5 ]));
+                 Assign ("check", (v "check" +: Call ("fold", [ i 0; i 9 ])) %: i 1000003);
+                 Assign ("r", v "r" +: i 1);
+               ] );
+         ]
+        @ checksum_epilogue);
+    ]
+
+(* 400-omitted hmmm: 456 covered; the 12th kernel, 400.perlbench above,
+   458, ... list below ties names to builders. *)
+let all ~scale =
+  [
+    ("perlbench", perlbench (4 * scale));
+    ("bzip2", bzip2 scale);
+    ("gcc", gcc_kernel (8 * scale));
+    ("mcf", mcf (2 * scale));
+    ("gobmk", gobmk (16 * scale));
+    ("hmmer", hmmer scale);
+    ("sjeng", sjeng scale);
+    ("libquantum", libquantum (8 * scale));
+    ("h264ref", h264ref (8 * scale));
+    ("omnetpp", omnetpp (4 * scale));
+    ("astar", astar (2 * scale));
+    ("xalancbmk", xalancbmk (4 * scale));
+  ]

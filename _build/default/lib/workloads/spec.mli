@@ -1,0 +1,10 @@
+(** Twelve CPU-bound Occlang kernels shaped after the SPECint2006 suite
+    of Figure 7 — string hashing, MTF compression, graph walks, min-cost
+    relaxation, board evaluation, DP matrices, game-tree search, bit
+    manipulation, SAD motion search, an event-queue simulation, grid
+    pathfinding, and tree folding. Each prints a checksum and makes no
+    system calls besides the final write+exit, so instrumented-vs-plain
+    cycle counts isolate MMDSFI's CPU overhead. *)
+
+val all : scale:int -> (string * Occlum_toolchain.Ast.program) list
+(** The kernels, with iteration counts multiplied by [scale]. *)

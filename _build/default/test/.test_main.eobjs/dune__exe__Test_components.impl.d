@@ -1,0 +1,1 @@
+test/test_components.ml: Alcotest Buffer Bytes Codec Fd Gen Hashtbl Insn List Net Occlum_abi Occlum_baseline Occlum_isa Occlum_libos Occlum_toolchain QCheck QCheck_alcotest Reg Ring String

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Bytes Char Codec Insn Int32 List Occlum_isa QCheck QCheck_alcotest Reg String

@@ -1,0 +1,1 @@
+test/test_libos.ml: Alcotest List Occlum Occlum_abi Occlum_libos Occlum_sgx Occlum_toolchain Occlum_verifier Printf String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Bytes Codec Cpu Fault Insn Int64 Interp List Mem Occlum_isa Occlum_machine Printf Reg

@@ -1,0 +1,1 @@
+test/test_oelf.ml: Alcotest Bytes List Occlum_oelf Occlum_verifier Oelf String

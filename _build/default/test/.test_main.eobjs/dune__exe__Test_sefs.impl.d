@@ -1,0 +1,1 @@
+test/test_sefs.ml: Alcotest Bytes Char Hashtbl List Occlum_abi Occlum_libos Occlum_util Printf Sefs String

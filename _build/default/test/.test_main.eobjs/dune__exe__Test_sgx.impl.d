@@ -1,0 +1,1 @@
+test/test_sgx.ml: Alcotest Attestation Bytes Cpu Enclave Epc Mem Occlum_isa Occlum_machine Occlum_sgx Occlum_util String

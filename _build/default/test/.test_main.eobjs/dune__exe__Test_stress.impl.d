@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Char List Occlum_abi Occlum_libos Occlum_sgx Occlum_toolchain Occlum_verifier Printf String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bytes Bytes_util Char Cipher Fun Gen Hmac List Occlum_util Prng QCheck QCheck_alcotest Sha256 String

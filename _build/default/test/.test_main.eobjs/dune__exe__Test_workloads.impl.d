@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Buffer List Occlum_baseline Occlum_libos Occlum_toolchain Occlum_workloads Printf String

@@ -1,0 +1,248 @@
+(* ISA tests: codec roundtrips (hand-picked and property-based), total
+   decoding over arbitrary bytes, the cfi_label magic-byte invariant the
+   whole verification story rests on, and the Fig. 3/4 classifiers. *)
+
+open Occlum_isa
+
+(* --- generators ---------------------------------------------------------- *)
+
+let gen_reg = QCheck.Gen.map Reg.of_int (QCheck.Gen.int_range 0 15)
+let gen_bnd = QCheck.Gen.map Reg.bnd_of_int (QCheck.Gen.int_range 0 3)
+let gen_scale = QCheck.Gen.oneofl [ 1; 2; 4; 8 ]
+let gen_size = QCheck.Gen.oneofl [ 1; 8 ]
+let gen_disp = QCheck.Gen.int_range (-0x8000_0000) 0x7FFF_FFFF
+let gen_imm = QCheck.Gen.int64
+
+let gen_mem =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun (base, index) (scale, disp) -> Insn.Sib { base; index; scale; disp })
+          (pair gen_reg (opt gen_reg))
+          (pair gen_scale gen_disp);
+        map (fun d -> Insn.Rip_rel d) gen_disp;
+        map (fun a -> Insn.Abs a) gen_imm;
+      ])
+
+let gen_operand =
+  QCheck.Gen.(
+    oneof [ map (fun r -> Insn.O_reg r) gen_reg; map (fun v -> Insn.O_imm v) gen_imm ])
+
+let gen_alu =
+  QCheck.Gen.oneofl
+    [ Insn.Add; Sub; Mul; Divu; Remu; And; Or; Xor; Shl; Shr ]
+
+let gen_cond = QCheck.Gen.oneofl [ Insn.Eq; Ne; Lt; Le; Gt; Ge ]
+
+let gen_ea =
+  QCheck.Gen.(
+    oneof [ map (fun r -> Insn.Ea_reg r) gen_reg; map (fun m -> Insn.Ea_mem m) gen_mem ])
+
+let gen_insn : Insn.t QCheck.Gen.t =
+  QCheck.Gen.(
+    oneof
+      [
+        return Insn.Nop;
+        map2 (fun r v -> Insn.Mov_imm (r, v)) gen_reg gen_imm;
+        map2 (fun d s -> Insn.Mov_reg (d, s)) gen_reg gen_reg;
+        map3 (fun dst src size -> Insn.Load { dst; src; size }) gen_reg gen_mem gen_size;
+        map3 (fun dst src size -> Insn.Store { dst; src; size }) gen_mem gen_reg gen_size;
+        map (fun r -> Insn.Push r) gen_reg;
+        map (fun r -> Insn.Pop r) gen_reg;
+        map2 (fun r m -> Insn.Lea (r, m)) gen_reg gen_mem;
+        map3 (fun op r o -> Insn.Alu (op, r, o)) gen_alu gen_reg gen_operand;
+        map2 (fun r o -> Insn.Cmp (r, o)) gen_reg gen_operand;
+        map (fun d -> Insn.Jmp d) gen_disp;
+        map2 (fun c d -> Insn.Jcc (c, d)) gen_cond gen_disp;
+        map (fun d -> Insn.Call d) gen_disp;
+        map (fun r -> Insn.Jmp_reg r) gen_reg;
+        map (fun r -> Insn.Call_reg r) gen_reg;
+        map (fun m -> Insn.Jmp_mem m) gen_mem;
+        map (fun m -> Insn.Call_mem m) gen_mem;
+        return Insn.Ret;
+        map (fun n -> Insn.Ret_imm n) (int_range 0 1024);
+        return Insn.Syscall_gate;
+        return Insn.Hlt;
+        map2 (fun b ea -> Insn.Bndcl (b, ea)) gen_bnd gen_ea;
+        map2 (fun b ea -> Insn.Bndcu (b, ea)) gen_bnd gen_ea;
+        map2 (fun b m -> Insn.Bndmk (b, m)) gen_bnd gen_mem;
+        map2 (fun a b -> Insn.Bndmov (a, b)) gen_bnd gen_bnd;
+        map (fun id -> Insn.Cfi_label (Int32.of_int id)) (int_range 0 0xFFFF);
+        return Insn.Eexit;
+        return Insn.Emodpe;
+        return Insn.Eaccept;
+        return Insn.Xrstor;
+        map (fun r -> Insn.Wrfsbase r) gen_reg;
+        map (fun r -> Insn.Wrgsbase r) gen_reg;
+        map3
+          (fun base index (scale, src) -> Insn.Vscatter { base; index; scale; src })
+          gen_reg gen_reg (pair gen_scale gen_reg);
+      ])
+
+let arb_insn = QCheck.make ~print:Insn.to_string gen_insn
+
+(* --- properties ---------------------------------------------------------- *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:2000 arb_insn (fun insn ->
+      let s = Codec.encode insn in
+      match Codec.decode (Bytes.of_string s) ~pos:0 ~limit:(String.length s) with
+      | Ok (decoded, len) -> decoded = insn && len = String.length s
+      | Error _ -> false)
+
+let prop_magic_invariant =
+  QCheck.Test.make ~name:"0xF4 appears only in cfi_label encodings" ~count:2000
+    arb_insn (fun insn ->
+      let s = Codec.encode insn in
+      match insn with
+      | Insn.Cfi_label _ -> s.[0] = '\xF4'
+      | _ -> not (String.contains s '\xF4'))
+
+let prop_decode_total =
+  QCheck.Test.make ~name:"decode never raises on arbitrary bytes" ~count:2000
+    QCheck.(string_of_size (QCheck.Gen.int_range 1 40))
+    (fun s ->
+      match Codec.decode (Bytes.of_string s) ~pos:0 ~limit:(String.length s) with
+      | Ok _ | Error _ -> true)
+
+let prop_decode_prefix_safety =
+  QCheck.Test.make ~name:"truncated encodings fail to decode" ~count:500 arb_insn
+    (fun insn ->
+      let s = Codec.encode insn in
+      String.length s <= 1
+      ||
+      let cut = String.sub s 0 (String.length s - 1) in
+      match Codec.decode (Bytes.of_string cut) ~pos:0 ~limit:(String.length cut) with
+      | Error _ -> true
+      | Ok (_, len) -> len <= String.length cut (* decoded a shorter insn *))
+
+(* --- unit tests ------------------------------------------------------------ *)
+
+let test_cfi_label_encoding () =
+  let s = Codec.encode (Insn.Cfi_label 0x1234l) in
+  Alcotest.(check int) "8 bytes" 8 (String.length s);
+  Alcotest.(check string) "magic prefix" Codec.cfi_magic (String.sub s 0 4);
+  Alcotest.(check int) "id lo" 0x34 (Char.code s.[4]);
+  Alcotest.(check int) "id hi" 0x12 (Char.code s.[5]);
+  Alcotest.check_raises "id range"
+    (Invalid_argument "Codec: cfi_label domain id must be in [0, 65536)")
+    (fun () -> ignore (Codec.encode (Insn.Cfi_label 0x10000l)))
+
+let test_escape_bytes () =
+  (* immediates full of 0xF4 bytes must roundtrip without raw 0xF4 *)
+  let insn = Insn.Mov_imm (Reg.r3, 0xF4F4F4F4F4F4F4F4L) in
+  let s = Codec.encode insn in
+  Alcotest.(check bool) "no F4" false (String.contains s '\xF4');
+  (match Codec.decode (Bytes.of_string s) ~pos:0 ~limit:(String.length s) with
+  | Ok (d, _) -> Alcotest.(check bool) "roundtrip" true (d = insn)
+  | Error _ -> Alcotest.fail "decode failed");
+  (* negative displacement that ends with byte 0xF4 *)
+  let j = Insn.Jmp (-12) in
+  let sj = Codec.encode j in
+  Alcotest.(check bool) "jmp -12 no F4" false (String.contains sj '\xF4')
+
+let test_variable_length () =
+  let lengths =
+    List.sort_uniq compare
+      (List.map Codec.length
+         [ Insn.Nop; Insn.Push Reg.r0; Insn.Mov_reg (Reg.r0, Reg.r1);
+           Insn.Jmp 0; Insn.Mov_imm (Reg.r0, 0L); Insn.Cfi_label 0l ])
+  in
+  Alcotest.(check bool) "several distinct lengths" true (List.length lengths >= 5)
+
+let test_classification () =
+  let ct i = Insn.control_transfer_of i in
+  (match ct (Insn.Jmp 4) with
+  | Insn.Ct_direct { cond = false; rel = 4 } -> ()
+  | _ -> Alcotest.fail "jmp direct");
+  (match ct (Insn.Jcc (Eq, -2)) with
+  | Insn.Ct_direct { cond = true; rel = -2 } -> ()
+  | _ -> Alcotest.fail "jcc direct");
+  (match ct (Insn.Jmp_reg Reg.r5) with
+  | Insn.Ct_register r when r = Reg.r5 -> ()
+  | _ -> Alcotest.fail "jmp_reg");
+  (match ct (Insn.Jmp_mem (Rip_rel 0)) with
+  | Insn.Ct_memory -> ()
+  | _ -> Alcotest.fail "jmp_mem");
+  (match ct Insn.Ret with Insn.Ct_return -> () | _ -> Alcotest.fail "ret");
+  (match ct (Insn.Ret_imm 8) with Insn.Ct_return -> () | _ -> Alcotest.fail "ret n");
+  (match ct Insn.Nop with Insn.Ct_none -> () | _ -> Alcotest.fail "nop");
+  (* Figure 4 categories *)
+  let ma i = Insn.mem_access_of i in
+  (match ma (Insn.Load { dst = Reg.r0;
+                         src = Sib { base = Reg.r1; index = None; scale = 1; disp = 0 };
+                         size = 8 })
+   with
+  | Insn.Ma_sib { is_store = false; _ } -> ()
+  | _ -> Alcotest.fail "sib load");
+  (match ma (Insn.Push Reg.r0) with
+  | Insn.Ma_implicit { push = true } -> ()
+  | _ -> Alcotest.fail "push implicit");
+  (match ma (Insn.Store { dst = Rip_rel 16; src = Reg.r0; size = 8 }) with
+  | Insn.Ma_rip_rel { is_store = true; _ } -> ()
+  | _ -> Alcotest.fail "rip");
+  (match ma (Insn.Load { dst = Reg.r0; src = Abs 4096L; size = 8 }) with
+  | Insn.Ma_direct_offset -> ()
+  | _ -> Alcotest.fail "abs");
+  (match ma (Insn.Vscatter { base = Reg.r0; index = Reg.r1; scale = 4; src = Reg.r2 })
+   with
+  | Insn.Ma_vector_sib -> ()
+  | _ -> Alcotest.fail "vscatter")
+
+let test_danger_classes () =
+  let d i = Insn.danger_of i in
+  Alcotest.(check bool) "eexit" true (d Insn.Eexit = Some Insn.Sgx_instruction);
+  Alcotest.(check bool) "bndmk" true
+    (d (Insn.Bndmk (Reg.bnd0, Rip_rel 0)) = Some Insn.Mpx_modification);
+  Alcotest.(check bool) "bndmov" true
+    (d (Insn.Bndmov (Reg.bnd0, Reg.bnd1)) = Some Insn.Mpx_modification);
+  Alcotest.(check bool) "wrfsbase" true
+    (d (Insn.Wrfsbase Reg.r0) = Some Insn.Misc_privileged);
+  Alcotest.(check bool) "gate" true (d Insn.Syscall_gate = Some Insn.Libos_gate);
+  Alcotest.(check bool) "bndcl is fine" true
+    (d (Insn.Bndcl (Reg.bnd0, Ea_reg Reg.r0)) = None);
+  Alcotest.(check bool) "cfi_label is fine" true (d (Insn.Cfi_label 3l) = None)
+
+let test_decode_errors () =
+  let dec s = Codec.decode (Bytes.of_string s) ~pos:0 ~limit:(String.length s) in
+  (match dec "\xFF" with
+  | Error (Codec.Bad_opcode 0xFF) -> ()
+  | _ -> Alcotest.fail "bad opcode");
+  (match dec "\x11" (* mov_imm truncated *) with
+  | Error Codec.Truncated -> ()
+  | _ -> Alcotest.fail "truncated");
+  (* cfi magic with wrong tail *)
+  (match dec "\xF4\x1A\xBE\x12\x00\x00\x00\x00" with
+  | Error (Codec.Bad_opcode 0xF4) -> ()
+  | _ -> Alcotest.fail "bad magic tail");
+  (* cfi id with nonzero high bytes *)
+  (match dec "\xF4\x1A\xBE\x11\x01\x02\x03\x00" with
+  | Error (Codec.Bad_operand _) -> ()
+  | _ -> Alcotest.fail "bad id");
+  (* bad register *)
+  (match dec "\x12\x20\x00" with
+  | Error (Codec.Bad_operand _) -> ()
+  | _ -> Alcotest.fail "bad reg")
+
+let test_reg_names () =
+  Alcotest.(check string) "sp" "sp" (Reg.name Reg.sp);
+  Alcotest.(check string) "scratch" "scr" (Reg.name Reg.scratch);
+  Alcotest.(check string) "r3" "r3" (Reg.name Reg.r3);
+  Alcotest.check_raises "range" (Invalid_argument "Reg.of_int") (fun () ->
+      ignore (Reg.of_int 16))
+
+let suite =
+  [
+    Alcotest.test_case "cfi_label encoding" `Quick test_cfi_label_encoding;
+    Alcotest.test_case "escape bytes" `Quick test_escape_bytes;
+    Alcotest.test_case "variable length" `Quick test_variable_length;
+    Alcotest.test_case "fig3/fig4 classification" `Quick test_classification;
+    Alcotest.test_case "stage-2 danger classes" `Quick test_danger_classes;
+    Alcotest.test_case "decode errors" `Quick test_decode_errors;
+    Alcotest.test_case "register names" `Quick test_reg_names;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_magic_invariant;
+    QCheck_alcotest.to_alcotest prop_decode_total;
+    QCheck_alcotest.to_alcotest prop_decode_prefix_safety;
+  ]

@@ -1,0 +1,697 @@
+(* LibOS tests: processes (spawn/wait/exit/argv), file descriptors and
+   inheritance, pipes, dup2, the FS syscalls, devfs/procfs, memory
+   management, signals, threads+futex, sockets, scheduling corner cases,
+   and the EIP/Linux execution modes. Programs are written in Occlang and
+   run through the full compile->verify->load->execute pipeline. *)
+
+open Occlum_toolchain.Ast
+module Sys = Occlum_abi.Abi.Sys
+module Errno = Occlum_abi.Abi.Errno
+module F = Occlum_abi.Abi.Open_flags
+module Os = Occlum_libos.Os
+module Sysm = Occlum
+
+let rt = Occlum_toolchain.Runtime.program
+
+(* Build a system with [binaries] installed and run /bin/app. *)
+let run_system ?(mode = Os.Sip) ?(binaries = []) ?(args = []) main_prog =
+  let config = { Os.default_config with mode } in
+  let os = Os.boot ~config () in
+  let build prog =
+    let cfg =
+      if mode = Os.Linux then Occlum_toolchain.Codegen.bare
+      else Occlum_toolchain.Codegen.sfi
+    in
+    let oelf = Occlum_toolchain.Compile.compile_exn ~config:cfg prog in
+    if mode = Os.Linux then oelf
+    else
+      match Occlum_verifier.Verify.verify_and_sign oelf with
+      | Ok s -> s
+      | Error rs ->
+          failwith (Occlum_verifier.Verify.rejection_to_string (List.hd rs))
+  in
+  List.iter (fun (p, prog) -> Os.install_binary os p (build prog)) binaries;
+  Os.install_binary os "/bin/app" (build main_prog);
+  let pid = Os.spawn os ~parent_pid:0 ~path:"/bin/app" ~args in
+  let status = Os.run ~max_steps:2_000_000 os in
+  let exit_code =
+    match Os.find_proc os pid with Some p -> p.exit_code | None -> 0
+  in
+  (os, status, exit_code)
+
+let check_run ?mode ?binaries ?args ~exit_code ~output prog =
+  let os, status, code = run_system ?mode ?binaries ?args prog in
+  (match status with
+  | Os.All_exited -> ()
+  | Os.Deadlock pids ->
+      Alcotest.fail
+        ("deadlock: " ^ String.concat "," (List.map string_of_int pids))
+  | Os.Quota_exhausted -> Alcotest.fail "quota exhausted");
+  Alcotest.(check int) "exit code" exit_code code;
+  Alcotest.(check string) "console" output (Os.console_output os);
+  os
+
+let test_hello () =
+  ignore
+    (check_run ~exit_code:5 ~output:"hello libos\n"
+       (rt
+          [
+            func "main" []
+              [
+                Expr (Call ("print_cstr", [ Str "hello libos\n" ]));
+                Return (i 5);
+              ];
+          ]))
+
+let test_spawn_wait_argv () =
+  let child =
+    rt
+      [
+        func "main" []
+          [
+            Expr (Call ("print_cstr", [ Call ("argv", [ i 0 ]) ]));
+            Expr (Call ("puts", [ Str "\n"; i 1 ]));
+            Return (Call ("atoi", [ Call ("argv", [ i 1 ]) ]));
+          ];
+      ]
+  in
+  let parent =
+    rt
+      [
+        func "main" []
+          [
+            Let ("blk", Global_addr "_rt_spawn_buf");
+            Expr (Call ("memcpy", [ v "blk"; Str "first"; i 5 ]));
+            Store1 (v "blk" +: i 5, i 0);
+            Expr (Call ("memcpy", [ v "blk" +: i 6; Str "42"; i 2 ]));
+            Store1 (v "blk" +: i 8, i 0);
+            Let ("pid", Call ("spawn_argv", [ Str "/bin/child"; i 10; v "blk"; i 9 ]));
+            Let ("st", Global_addr "_rt_misc_buf");
+            Let ("got", Call ("waitpid", [ v "pid"; v "st" ]));
+            If (v "got" <>: v "pid", [ Return (i 1) ], []);
+            Expr (Call ("print_int", [ Load (v "st") ]));
+            Expr (Call ("puts", [ Str "\n"; i 1 ]));
+            Return (i 0);
+          ];
+      ]
+  in
+  ignore
+    (check_run
+       ~binaries:[ ("/bin/child", child) ]
+       ~exit_code:0 ~output:"first\n42\n" parent)
+
+let test_spawn_missing_binary () =
+  ignore
+    (check_run ~exit_code:(-Errno.enoent)
+       ~output:""
+       (rt
+          [
+            func "main" []
+              [ Return (Unop (Neg, Call ("spawn0", [ Str "/bin/ghost"; i 10 ]))) ];
+          ]))
+
+let test_wait_echild () =
+  ignore
+    (check_run ~exit_code:(-Errno.echild) ~output:""
+       (rt
+          [
+            func "main" []
+              [ Return (Unop (Neg, Call ("waitpid", [ i 99; i 0 ]))) ];
+          ]))
+
+let test_pipe_roundtrip () =
+  ignore
+    (check_run ~exit_code:0 ~output:"12345"
+       (rt
+          [
+            func "main" []
+              [
+                Let ("fds", Global_addr "_rt_misc_buf");
+                Expr (Syscall (Sys.pipe, [ v "fds" ]));
+                Let ("r", Load (v "fds"));
+                Let ("w", Load (v "fds" +: i 8));
+                Expr (Call ("write", [ v "w"; Str "12345"; i 5 ]));
+                Let ("buf", Call ("malloc", [ i 16 ]));
+                Let ("n", Call ("read", [ v "r"; v "buf"; i 16 ]));
+                Expr (Call ("puts", [ v "buf"; v "n" ]));
+                Return (i 0);
+              ];
+          ]))
+
+let test_pipe_eof_and_epipe () =
+  ignore
+    (check_run ~exit_code:0 ~output:""
+       (rt
+          [
+            func "main" []
+              [
+                Let ("fds", Global_addr "_rt_misc_buf");
+                Expr (Syscall (Sys.pipe, [ v "fds" ]));
+                (* close the writer: read returns 0 (EOF) *)
+                Expr (Call ("close", [ Load (v "fds" +: i 8) ]));
+                Let ("buf", Call ("malloc", [ i 8 ]));
+                Let ("n", Call ("read", [ Load (v "fds"); v "buf"; i 8 ]));
+                If (v "n" <>: i 0, [ Return (i 1) ], []);
+                (* new pipe; close the reader: write returns EPIPE *)
+                Expr (Syscall (Sys.pipe, [ v "fds" ]));
+                Expr (Call ("close", [ Load (v "fds") ]));
+                Let ("m", Call ("write", [ Load (v "fds" +: i 8); v "buf"; i 4 ]));
+                If (v "m" <>: i (Errno.epipe), [ Return (i 2) ], []);
+                Return (i 0);
+              ];
+          ]))
+
+let test_fs_syscalls () =
+  ignore
+    (check_run ~exit_code:0 ~output:"content|content"
+       (rt
+          [
+            func "main" []
+              [
+                Let ("fd", Call ("open", [ Str "/f.txt"; i 6;
+                                           i (F.creat lor F.wronly) ]));
+                If (v "fd" <: i 0, [ Return (i 1) ], []);
+                Expr (Call ("write", [ v "fd"; Str "content"; i 7 ]));
+                Expr (Call ("close", [ v "fd" ]));
+                (* read back *)
+                Let ("fd2", Call ("open", [ Str "/f.txt"; i 6; i 0 ]));
+                Let ("buf", Call ("malloc", [ i 32 ]));
+                Let ("n", Call ("read", [ v "fd2"; v "buf"; i 32 ]));
+                Expr (Call ("puts", [ v "buf"; v "n" ]));
+                Expr (Call ("puts", [ Str "|"; i 1 ]));
+                (* lseek back to 0 and reread *)
+                Expr (Syscall (Sys.lseek, [ v "fd2"; i 0; i 0 ]));
+                Let ("m", Call ("read", [ v "fd2"; v "buf"; i 32 ]));
+                Expr (Call ("puts", [ v "buf"; v "m" ]));
+                (* fstat: size must be 7 *)
+                Let ("stat", Global_addr "_rt_misc_buf");
+                Expr (Syscall (Sys.fstat, [ v "fd2"; v "stat" ]));
+                If (Load (v "stat") <>: i 7, [ Return (i 3) ], []);
+                Expr (Call ("close", [ v "fd2" ]));
+                (* unlink, then the open must fail *)
+                Expr (Syscall (Sys.unlink, [ Str "/f.txt"; i 6 ]));
+                Let ("fd3", Call ("open", [ Str "/f.txt"; i 6; i 0 ]));
+                If (v "fd3" <>: i Errno.enoent, [ Return (i 4) ], []);
+                Return (i 0);
+              ];
+          ]))
+
+let test_append_and_trunc () =
+  ignore
+    (check_run ~exit_code:0 ~output:"abXY|Z"
+       (rt
+          [
+            func "main" []
+              [
+                Let ("fd", Call ("open", [ Str "/f"; i 2; i (F.creat lor F.wronly) ]));
+                Expr (Call ("write", [ v "fd"; Str "ab"; i 2 ]));
+                Expr (Call ("close", [ v "fd" ]));
+                (* append *)
+                Let ("fa", Call ("open", [ Str "/f"; i 2; i F.append ]));
+                Expr (Call ("write", [ v "fa"; Str "XY"; i 2 ]));
+                Expr (Call ("close", [ v "fa" ]));
+                Let ("buf", Call ("malloc", [ i 16 ]));
+                Let ("fr", Call ("open", [ Str "/f"; i 2; i 0 ]));
+                Let ("n", Call ("read", [ v "fr"; v "buf"; i 16 ]));
+                Expr (Call ("puts", [ v "buf"; v "n" ]));
+                Expr (Call ("close", [ v "fr" ]));
+                Expr (Call ("puts", [ Str "|"; i 1 ]));
+                (* truncate *)
+                Let ("ft", Call ("open", [ Str "/f"; i 2;
+                                           i (F.wronly lor F.trunc) ]));
+                Expr (Call ("write", [ v "ft"; Str "Z"; i 1 ]));
+                Expr (Call ("close", [ v "ft" ]));
+                Let ("fr2", Call ("open", [ Str "/f"; i 2; i 0 ]));
+                Let ("m", Call ("read", [ v "fr2"; v "buf"; i 16 ]));
+                Expr (Call ("puts", [ v "buf"; v "m" ]));
+                Return (i 0);
+              ];
+          ]))
+
+let test_devfs_procfs () =
+  ignore
+    (check_run ~exit_code:0 ~output:"ok"
+       (rt
+          [
+            func "main" []
+              [
+                Let ("buf", Call ("malloc", [ i 64 ]));
+                (* /dev/zero reads zeros *)
+                Let ("fz", Call ("open", [ Str "/dev/zero"; i 9; i 0 ]));
+                Expr (Call ("read", [ v "fz"; v "buf"; i 8 ]));
+                If (Load (v "buf") <>: i 0, [ Return (i 1) ], []);
+                (* /dev/null swallows writes, reads EOF *)
+                Let ("fn", Call ("open", [ Str "/dev/null"; i 9; i 1 ]));
+                If (Call ("write", [ v "fn"; v "buf"; i 8 ]) <>: i 8,
+                    [ Return (i 2) ], []);
+                If (Call ("read", [ v "fn"; v "buf"; i 8 ]) <>: i 0,
+                    [ Return (i 3) ], []);
+                (* /dev/urandom returns bytes *)
+                Let ("fr", Call ("open", [ Str "/dev/urandom"; i 12; i 0 ]));
+                If (Call ("read", [ v "fr"; v "buf"; i 8 ]) <>: i 8,
+                    [ Return (i 4) ], []);
+                (* /proc/self/status mentions our pid *)
+                Let ("fp", Call ("open", [ Str "/proc/self/status"; i 17; i 0 ]));
+                Let ("n", Call ("read", [ v "fp"; v "buf"; i 64 ]));
+                If (v "n" <=: i 0, [ Return (i 5) ], []);
+                (* /proc/meminfo exists *)
+                Let ("fm", Call ("open", [ Str "/proc/meminfo"; i 13; i 0 ]));
+                If (Call ("read", [ v "fm"; v "buf"; i 64 ]) <=: i 0,
+                    [ Return (i 6) ], []);
+                Expr (Call ("puts", [ Str "ok"; i 2 ]));
+                Return (i 0);
+              ];
+          ]))
+
+let test_mmap_brk () =
+  ignore
+    (check_run ~exit_code:0 ~output:""
+       (rt
+          [
+            func "main" []
+              [
+                (* brk grows and shrinks *)
+                Let ("cur", Syscall (Sys.brk, [ i 0 ]));
+                Let ("grown", Syscall (Sys.brk, [ v "cur" +: i 4096 ]));
+                If (v "grown" <>: v "cur" +: i 4096, [ Return (i 1) ], []);
+                (* mmap returns zeroed writable memory *)
+                Let ("m", Syscall (Sys.mmap, [ i 0; i 8192; i (-1); i 0 ]));
+                If (v "m" <=: i 0, [ Return (i 2) ], []);
+                If (Load (v "m") <>: i 0, [ Return (i 3) ], []);
+                Store (v "m", i 77);
+                If (Load (v "m") <>: i 77, [ Return (i 4) ], []);
+                (* munmap exact range works; wrong range is EINVAL *)
+                If (Syscall (Sys.munmap, [ v "m"; i 4096 ]) <>: i Errno.einval,
+                    [ Return (i 5) ], []);
+                If (Syscall (Sys.munmap, [ v "m"; i 8192 ]) <>: i 0,
+                    [ Return (i 6) ], []);
+                (* overgrown brk fails with ENOMEM *)
+                If (Syscall (Sys.brk, [ v "cur" +: i (64 * 1024 * 1024) ])
+                    <>: i Errno.enomem,
+                    [ Return (i 7) ], []);
+                Return (i 0);
+              ];
+          ]))
+
+let test_signals () =
+  (* parent registers a SIGUSR1 handler; child kills parent; handler
+     runs, then control returns to the interrupted loop via sigreturn *)
+  let child =
+    rt
+      [
+        func "main" []
+          [
+            Let ("ppid", Call ("atoi", [ Call ("argv", [ i 0 ]) ]));
+            Expr (Syscall (Sys.kill, [ v "ppid"; i 10 ]));
+            Return (i 0);
+          ];
+      ]
+  in
+  let parent =
+    rt
+      ~globals:[ ("flag", 8) ]
+      [
+        func "on_usr1" [ "signo" ]
+          [
+            Expr (Call ("print_cstr", [ Str "sig=" ]));
+            Expr (Call ("print_int", [ v "signo" ]));
+            Expr (Call ("puts", [ Str "\n"; i 1 ]));
+            Store (Global_addr "flag", i 1);
+            Return (i 0);
+          ];
+        func "main" []
+          [
+            Expr (Syscall (Sys.sigaction, [ i 10; Func_addr "on_usr1" ]));
+            Let ("pid",
+                 Call ("spawn1",
+                       [ Str "/bin/child"; i 10;
+                         Call ("itoa", [ Call ("getpid", []) ]);
+                         (Global_addr "_rt_itoa_buf" +: i 31)
+                         -: Call ("itoa", [ Call ("getpid", []) ]) ]));
+            Expr (Call ("waitpid", [ v "pid"; i 0 ]));
+            (* wait until the handler has run *)
+            While (Load (Global_addr "flag") =: i 0,
+                   [ Expr (Call ("yield", [])) ]);
+            Expr (Call ("print_cstr", [ Str "handled\n" ]));
+            Return (i 0);
+          ];
+      ]
+  in
+  ignore
+    (check_run
+       ~binaries:[ ("/bin/child", child) ]
+       ~exit_code:0 ~output:"sig=10\nhandled\n" parent)
+
+let test_default_signal_kills () =
+  let target =
+    rt [ func "main" [] [ While (i 1, [ Expr (Call ("yield", [])) ]); Return (i 0) ] ]
+  in
+  let killer =
+    rt
+      [
+        func "main" []
+          [
+            Let ("pid", Call ("spawn0", [ Str "/bin/victim"; i 11 ]));
+            Expr (Syscall (Sys.kill, [ v "pid"; i 15 ]));
+            Let ("st", Global_addr "_rt_misc_buf");
+            Expr (Call ("waitpid", [ v "pid"; v "st" ]));
+            Return (Load (v "st"));
+          ];
+      ]
+  in
+  let _, _, code = run_system ~binaries:[ ("/bin/victim", target) ] killer in
+  Alcotest.(check int) "128+SIGTERM" (128 + 15) code
+
+let test_threads_futex () =
+  (* clone a thread that increments a shared counter and futex-wakes *)
+  let prog =
+    rt
+      ~globals:[ ("counter", 8); ("futex", 8) ]
+      [
+        func "worker" [ "arg" ]
+          [
+            Store (Global_addr "counter", v "arg" +: i 100);
+            Store (Global_addr "futex", i 1);
+            Expr (Syscall (Sys.futex_wake, [ Global_addr "futex"; i 1 ]));
+            Return (i 0);
+          ];
+        func "main" []
+          [
+            Let ("stack", Syscall (Sys.mmap, [ i 0; i 16384; i (-1); i 0 ]));
+            Let ("tid",
+                 Syscall (Sys.clone, [ Func_addr "worker"; v "stack" +: i 16384; i 5 ]));
+            If (v "tid" <: i 0, [ Return (i 1) ], []);
+            (* futex-wait until the worker signals *)
+            While (Load (Global_addr "futex") =: i 0,
+                   [ Expr (Syscall (Sys.futex_wait, [ Global_addr "futex"; i 0 ])) ]);
+            Expr (Call ("waitpid", [ v "tid"; i 0 ]));
+            Return (Load (Global_addr "counter"));
+          ];
+      ]
+  in
+  let _, status, code = run_system prog in
+  Alcotest.(check bool) "finished" true (status = Os.All_exited);
+  Alcotest.(check int) "shared memory" 105 code
+
+let test_sockets () =
+  let prog =
+    rt
+      [
+        func "main" []
+          [
+            (* connect to a port nobody listens on *)
+            Let ("s0", Syscall (Sys.socket, []));
+            If (Syscall (Sys.connect, [ v "s0"; i 7777 ]) <>: i Errno.econnrefused,
+                [ Return (i 1) ], []);
+            (* self-talk through the loopback: listen, connect, accept *)
+            Let ("ls", Syscall (Sys.socket, []));
+            Expr (Syscall (Sys.bind, [ v "ls"; i 9000 ]));
+            If (Syscall (Sys.listen, [ v "ls"; i 4 ]) <>: i 0, [ Return (i 2) ], []);
+            Let ("cl", Syscall (Sys.socket, []));
+            If (Syscall (Sys.connect, [ v "cl"; i 9000 ]) <>: i 0, [ Return (i 3) ], []);
+            Let ("srv", Syscall (Sys.accept, [ v "ls" ]));
+            If (v "srv" <: i 0, [ Return (i 4) ], []);
+            Expr (Syscall (Sys.send, [ v "cl"; Str "ping"; i 4 ]));
+            Let ("buf", Call ("malloc", [ i 16 ]));
+            Let ("n", Syscall (Sys.recv, [ v "srv"; v "buf"; i 16 ]));
+            Expr (Call ("puts", [ v "buf"; v "n" ]));
+            Expr (Syscall (Sys.send, [ v "srv"; Str "pong"; i 4 ]));
+            Let ("m", Syscall (Sys.recv, [ v "cl"; v "buf"; i 16 ]));
+            Expr (Call ("puts", [ v "buf"; v "m" ]));
+            Return (i 0);
+          ];
+      ]
+  in
+  ignore
+    (match run_system prog with
+    | os, Os.All_exited, 0 ->
+        Alcotest.(check string) "ping-pong" "pingpong" (Os.console_output os)
+    | _, _, code -> Alcotest.fail (Printf.sprintf "exit %d" code))
+
+let test_dup2_inheritance () =
+  (* covered heavily by the fish workload; check the syscall surface *)
+  ignore
+    (check_run ~exit_code:0 ~output:"to-nine"
+       (rt
+          [
+            func "main" []
+              [
+                If (Syscall (Sys.dup2, [ i 1; i 9 ]) <>: i 9, [ Return (i 1) ], []);
+                Expr (Call ("write", [ i 9; Str "to-nine"; i 7 ]));
+                If (Syscall (Sys.dup2, [ i 42; i 5 ]) <>: i Errno.ebadf,
+                    [ Return (i 2) ], []);
+                Return (i 0);
+              ];
+          ]))
+
+let test_sleep_gettime () =
+  ignore
+    (check_run ~exit_code:0 ~output:""
+       (rt
+          [
+            func "main" []
+              [
+                Let ("t0", Call ("gettime", []));
+                Expr (Syscall (Sys.nanosleep, [ i 1000000 ]));
+                Let ("t1", Call ("gettime", []));
+                If (v "t1" -: v "t0" <: i 1000000, [ Return (i 1) ], []);
+                Return (i 0);
+              ];
+          ]))
+
+let test_deadlock_detection () =
+  (* reading from a pipe whose writer we still hold: blocks forever *)
+  let prog =
+    rt
+      [
+        func "main" []
+          [
+            Let ("fds", Global_addr "_rt_misc_buf");
+            Expr (Syscall (Sys.pipe, [ v "fds" ]));
+            Let ("buf", Call ("malloc", [ i 8 ]));
+            Expr (Call ("read", [ Load (v "fds"); v "buf"; i 8 ]));
+            Return (i 0);
+          ];
+      ]
+  in
+  let _, status, _ = run_system prog in
+  match status with
+  | Os.Deadlock [ _ ] -> ()
+  | _ -> Alcotest.fail "expected deadlock"
+
+let test_slot_exhaustion () =
+  (* more live processes than domain slots: spawn returns EAGAIN *)
+  let sleeper =
+    rt [ func "main" [] [ While (i 1, [ Expr (Call ("yield", [])) ]); Return (i 0) ] ]
+  in
+  let spawner =
+    rt
+      [
+        func "main" []
+          [
+            Let ("k", i 0);
+            Let ("err", i 0);
+            While
+              ( v "k" <: i 20,
+                [
+                  Let ("r", Call ("spawn0", [ Str "/bin/sleeper"; i 12 ]));
+                  If (v "r" =: i Errno.eagain, [ Assign ("err", i 1) ], []);
+                  Assign ("k", v "k" +: i 1);
+                ] );
+            Return (v "err");
+          ];
+      ]
+  in
+  let config =
+    { Os.default_config with
+      domains = { Occlum_libos.Domain_mgr.default_config with max_domains = 4 } }
+  in
+  let os = Os.boot ~config () in
+  let build prog =
+    match
+      Occlum_verifier.Verify.verify_and_sign
+        (Occlum_toolchain.Compile.compile_exn ~config:Occlum_toolchain.Codegen.sfi prog)
+    with
+    | Ok s -> s
+    | Error _ -> failwith "verify"
+  in
+  Os.install_binary os "/bin/sleeper" (build sleeper);
+  Os.install_binary os "/bin/app" (build spawner);
+  let pid = Os.spawn os ~parent_pid:0 ~path:"/bin/app" ~args:[] in
+  ignore (Os.wait_pid_exit ~max_steps:500_000 os pid);
+  (match Os.find_proc os pid with
+  | Some p -> Alcotest.(check int) "hit EAGAIN" 1 p.exit_code
+  | None -> Alcotest.fail "spawner vanished")
+
+let test_loader_rejects_unsigned () =
+  let os = Os.boot () in
+  let prog = rt [ func "main" [] [ Return (i 0) ] ] in
+  let unsigned =
+    Occlum_toolchain.Compile.compile_exn ~config:Occlum_toolchain.Codegen.sfi prog
+  in
+  Os.install_binary os "/bin/unsigned" unsigned;
+  match Os.spawn os ~parent_pid:0 ~path:"/bin/unsigned" ~args:[] with
+  | exception Os.Spawn_error e when e = Errno.eaccess -> ()
+  | _ -> Alcotest.fail "unsigned binary must not load"
+
+let test_eip_mode_runs () =
+  let _, status, code =
+    run_system ~mode:Os.Eip
+      (rt
+         [
+           func "main" []
+             [ Expr (Call ("print_cstr", [ Str "eip\n" ])); Return (i 3) ];
+         ])
+  in
+  Alcotest.(check bool) "exited" true (status = Os.All_exited);
+  Alcotest.(check int) "code" 3 code
+
+let test_linux_mode_runs () =
+  let os, status, code =
+    run_system ~mode:Os.Linux
+      (rt
+         [
+           func "main" []
+             [ Expr (Call ("print_cstr", [ Str "native\n" ])); Return (i 4) ];
+         ])
+  in
+  Alcotest.(check bool) "exited" true (status = Os.All_exited);
+  Alcotest.(check int) "code" 4 code;
+  Alcotest.(check string) "output" "native\n" (Os.console_output os)
+
+let test_sgx2_mode () =
+  (* EDMM: EPC is consumed per live SIP and released at exit, and the
+     SIP's reach ends at its own last mapped page *)
+  let config = { Os.default_config with sgx2 = true } in
+  let os = Os.boot ~config () in
+  let build prog =
+    match
+      Occlum_verifier.Verify.verify_and_sign
+        (Occlum_toolchain.Compile.compile_exn
+           ~config:Occlum_toolchain.Codegen.sfi prog)
+    with
+    | Ok s -> s
+    | Error _ -> failwith "verify"
+  in
+  let hello =
+    rt [ func "main" [] [ Expr (Call ("print_cstr", [ Str "sgx2\n" ])); Return (i 6) ] ]
+  in
+  Os.install_binary os "/bin/app" (build hello);
+  let before = Occlum_sgx.Epc.used_pages os.Os.epc in
+  let pid = Os.spawn os ~parent_pid:0 ~path:"/bin/app" ~args:[] in
+  let during = Occlum_sgx.Epc.used_pages os.Os.epc in
+  Alcotest.(check bool) "EPC grows on spawn" true (during > before);
+  ignore (Os.wait_pid_exit ~max_steps:500_000 os pid);
+  Alcotest.(check int) "EPC released on exit" before
+    (Occlum_sgx.Epc.used_pages os.Os.epc);
+  (match Os.find_proc os pid with
+  | Some p ->
+      Alcotest.(check int) "exit code" 6 p.exit_code;
+      Alcotest.(check string) "output" "sgx2\n" (Os.console_output os)
+  | None -> Alcotest.fail "process lost");
+  (* a second spawn reuses the slot with fresh zeroed pages *)
+  let pid2 = Os.spawn os ~parent_pid:0 ~path:"/bin/app" ~args:[] in
+  ignore (Os.wait_pid_exit ~max_steps:500_000 os pid2);
+  match Os.find_proc os pid2 with
+  | Some p -> Alcotest.(check int) "re-spawn exit code" 6 p.exit_code
+  | None -> Alcotest.fail "second process lost"
+
+let test_poll () =
+  let module P = Occlum_abi.Abi.Poll in
+  ignore
+    (check_run ~exit_code:0 ~output:""
+       (rt
+          [
+            func "main" []
+              [
+                Let ("fds", Global_addr "_rt_misc_buf");
+                Expr (Syscall (Sys.pipe, [ v "fds" ]));
+                Let ("r", Load (v "fds"));
+                Let ("w", Load (v "fds" +: i 8));
+                Let ("pe", Call ("malloc", [ i 48 ]));
+                (* empty pipe: reader not ready, writer ready *)
+                Store (v "pe", v "r");
+                Store (v "pe" +: i 8, i P.pollin);
+                Store (v "pe" +: i 24, v "w");
+                Store (v "pe" +: i 32, i P.pollout);
+                Let ("n", Syscall (Sys.poll, [ v "pe"; i 2; i 0 ]));
+                If (v "n" <>: i 1, [ Return (i 1) ], []);
+                If (Load (v "pe" +: i 16) <>: i 0, [ Return (i 2) ], []);
+                If (Load (v "pe" +: i 40) <>: i P.pollout, [ Return (i 3) ], []);
+                (* write a byte: the reader becomes ready *)
+                Expr (Call ("write", [ v "w"; v "pe"; i 1 ]));
+                Store (v "pe" +: i 16, i 0);
+                Let ("m", Syscall (Sys.poll, [ v "pe"; i 1; i 0 ]));
+                If (v "m" <>: i 1, [ Return (i 4) ], []);
+                If (Load (v "pe" +: i 16) <>: i P.pollin, [ Return (i 5) ], []);
+                (* a poll with a timeout on a never-ready fd returns 0 *)
+                Let ("buf", Call ("malloc", [ i 8 ]));
+                Expr (Call ("read", [ v "r"; v "buf"; i 8 ]));
+                Store (v "pe" +: i 16, i 0);
+                Let ("z", Syscall (Sys.poll, [ v "pe"; i 1; i 1000 ]));
+                If (v "z" <>: i 0, [ Return (i 6) ], []);
+                (* bad fd reports POLLNVAL *)
+                Store (v "pe", i 42);
+                Store (v "pe" +: i 16, i 0);
+                Expr (Syscall (Sys.poll, [ v "pe"; i 1; i 0 ]));
+                If (Load (v "pe" +: i 16) <>: i P.pollnval, [ Return (i 7) ], []);
+                Return (i 0);
+              ];
+          ]))
+
+let test_facade () =
+  (* the Occlum_system facade: build -> boot -> install -> exec *)
+  let prog =
+    rt [ func "main" [] [ Expr (Call ("print_cstr", [ Str "facade\n" ])); Return (i 9) ] ]
+  in
+  (match Sysm.run_program prog with
+  | Ok r ->
+      Alcotest.(check int) "exit" 9 r.Sysm.exit_code;
+      Alcotest.(check string) "stdout" "facade\n" r.Sysm.stdout
+  | Error e -> Alcotest.fail (Sysm.error_to_string e));
+  (* a bare program fails verification through the facade *)
+  match Sysm.build ~config:Occlum_toolchain.Codegen.bare prog with
+  | Error (Sysm.Rejected _) -> ()
+  | _ -> Alcotest.fail "facade must reject bare binaries"
+
+let test_bad_user_pointer () =
+  (* syscalls validate user pointers: out-of-domain buffer -> EFAULT *)
+  ignore
+    (check_run ~exit_code:(-Errno.efault) ~output:""
+       (rt
+          [
+            func "main" []
+              [
+                Return
+                  (Unop (Neg, Syscall (Sys.write, [ i 1; i 16; i 8 ])));
+              ];
+          ]))
+
+let suite =
+  [
+    Alcotest.test_case "hello world" `Quick test_hello;
+    Alcotest.test_case "spawn/wait/argv" `Quick test_spawn_wait_argv;
+    Alcotest.test_case "spawn missing binary" `Quick test_spawn_missing_binary;
+    Alcotest.test_case "wait with no children" `Quick test_wait_echild;
+    Alcotest.test_case "pipe roundtrip" `Quick test_pipe_roundtrip;
+    Alcotest.test_case "pipe EOF and EPIPE" `Quick test_pipe_eof_and_epipe;
+    Alcotest.test_case "fs syscalls" `Quick test_fs_syscalls;
+    Alcotest.test_case "append and trunc" `Quick test_append_and_trunc;
+    Alcotest.test_case "devfs and procfs" `Quick test_devfs_procfs;
+    Alcotest.test_case "mmap and brk" `Quick test_mmap_brk;
+    Alcotest.test_case "signal handlers + sigreturn" `Quick test_signals;
+    Alcotest.test_case "default signal kills" `Quick test_default_signal_kills;
+    Alcotest.test_case "threads + futex" `Quick test_threads_futex;
+    Alcotest.test_case "sockets" `Quick test_sockets;
+    Alcotest.test_case "dup2" `Quick test_dup2_inheritance;
+    Alcotest.test_case "nanosleep/gettime" `Quick test_sleep_gettime;
+    Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+    Alcotest.test_case "domain slot exhaustion" `Quick test_slot_exhaustion;
+    Alcotest.test_case "loader rejects unsigned" `Quick test_loader_rejects_unsigned;
+    Alcotest.test_case "EIP (Graphene) mode" `Quick test_eip_mode_runs;
+    Alcotest.test_case "Linux mode" `Quick test_linux_mode_runs;
+    Alcotest.test_case "SGX2 (EDMM) mode" `Quick test_sgx2_mode;
+    Alcotest.test_case "poll" `Quick test_poll;
+    Alcotest.test_case "system facade" `Quick test_facade;
+    Alcotest.test_case "user pointer validation" `Quick test_bad_user_pointer;
+  ]

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "occlum"
+    [
+      ("util", Test_util.suite);
+      ("isa", Test_isa.suite);
+      ("machine", Test_machine.suite);
+      ("sgx", Test_sgx.suite);
+      ("oelf", Test_oelf.suite);
+      ("toolchain", Test_toolchain.suite);
+      ("verifier", Test_verifier.suite);
+      ("sefs", Test_sefs.suite);
+      ("libos", Test_libos.suite);
+      ("security", Test_security.suite);
+      ("soundness", Test_soundness.suite);
+      ("stress", Test_stress.suite);
+      ("components", Test_components.suite);
+      ("workloads", Test_workloads.suite);
+    ]

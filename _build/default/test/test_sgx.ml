@@ -1,0 +1,152 @@
+(* SGX model tests: EPC accounting, enclave lifecycle and measurement,
+   the SGX1 post-EINIT restriction, AEX/SSA, and local attestation. *)
+
+open Occlum_sgx
+open Occlum_machine
+
+let page = 4096
+
+let test_epc_accounting () =
+  let epc = Epc.create ~size:(16 * page) () in
+  Alcotest.(check int) "all free" 16 (Epc.free_pages epc);
+  Epc.alloc epc ~pages:10;
+  Alcotest.(check int) "used" 10 (Epc.used_pages epc);
+  Epc.release epc ~pages:4;
+  Alcotest.(check int) "released" 10 (Epc.free_pages epc);
+  Alcotest.check_raises "oom" Epc.Out_of_epc (fun () -> Epc.alloc epc ~pages:11);
+  Alcotest.check_raises "over-release" (Invalid_argument "Epc.release") (fun () ->
+      Epc.release epc ~pages:100)
+
+let build_enclave ?(content = "hello enclave") () =
+  let epc = Epc.create ~size:(64 * page) () in
+  let e = Enclave.create ~epc ~size:(8 * page) () in
+  let data = Bytes.make page ' ' in
+  Bytes.blit_string content 0 data 0 (String.length content);
+  Enclave.add_pages e ~addr:0 ~data ~perm:Mem.perm_rx;
+  Enclave.add_zero_pages e ~addr:page ~len:page ~perm:Mem.perm_rw;
+  Enclave.init e;
+  (epc, e)
+
+let test_measurement_deterministic () =
+  let _, e1 = build_enclave () in
+  let _, e2 = build_enclave () in
+  Alcotest.(check string) "same content, same measurement"
+    (Occlum_util.Sha256.to_hex (Enclave.measurement e1))
+    (Occlum_util.Sha256.to_hex (Enclave.measurement e2))
+
+let test_measurement_sensitive () =
+  let _, e1 = build_enclave () in
+  let _, e2 = build_enclave ~content:"Hello enclave" () in
+  Alcotest.(check bool) "different content, different measurement" true
+    (Enclave.measurement e1 <> Enclave.measurement e2)
+
+let test_sgx1_restriction () =
+  let _, e = build_enclave () in
+  Alcotest.(check bool) "initialized" true (Enclave.initialized e);
+  (try
+     Enclave.add_pages e ~addr:(2 * page) ~data:(Bytes.make page 'x')
+       ~perm:Mem.perm_rw;
+     Alcotest.fail "add_pages after EINIT must raise"
+   with Enclave.Sgx1_restriction _ -> ());
+  (try
+     Enclave.remap e ~addr:0 ~len:page ~perm:Mem.perm_rwx;
+     Alcotest.fail "remap after EINIT must raise"
+   with Enclave.Sgx1_restriction _ -> ())
+
+let test_measure_before_init () =
+  let epc = Epc.create ~size:(64 * page) () in
+  let e = Enclave.create ~epc ~size:(8 * page) () in
+  Alcotest.check_raises "no measurement before EINIT"
+    (Invalid_argument "measurement: enclave not initialized") (fun () ->
+      ignore (Enclave.measurement e))
+
+let test_destroy_releases_epc () =
+  let epc = Epc.create ~size:(64 * page) () in
+  let e = Enclave.create ~epc ~size:(8 * page) () in
+  Alcotest.(check int) "consumed" 8 (Epc.used_pages epc);
+  Enclave.init e;
+  Enclave.destroy e;
+  Alcotest.(check int) "released" 0 (Epc.used_pages epc);
+  Alcotest.check_raises "double destroy"
+    (Invalid_argument "destroy: already destroyed") (fun () -> Enclave.destroy e)
+
+let test_aex_restores_bounds () =
+  (* §2.3: bound registers are saved on AEX and restored on resume *)
+  let _, e = build_enclave () in
+  let cpu = Cpu.create () in
+  Cpu.set_bnd cpu Occlum_isa.Reg.bnd0 { lower = 10L; upper = 20L };
+  Cpu.set cpu Occlum_isa.Reg.r1 77L;
+  Enclave.aex e cpu;
+  (* the OS scribbles over everything while we're out *)
+  Cpu.set_bnd cpu Occlum_isa.Reg.bnd0 { lower = 0L; upper = 0L };
+  Cpu.set cpu Occlum_isa.Reg.r1 0L;
+  Enclave.resume e cpu;
+  Alcotest.(check bool) "bnd0 restored" true
+    (Cpu.get_bnd cpu Occlum_isa.Reg.bnd0 = { Cpu.lower = 10L; upper = 20L });
+  Alcotest.(check int64) "gpr restored" 77L (Cpu.get cpu Occlum_isa.Reg.r1);
+  Alcotest.check_raises "resume without aex"
+    (Invalid_argument "resume: no saved state in SSA") (fun () ->
+      Enclave.resume e cpu)
+
+let test_attestation () =
+  let _, parent = build_enclave () in
+  let _, child = build_enclave ~content:"other" () in
+  let r = Attestation.report ~enclave:parent ~user_data:"nonce1" in
+  Alcotest.(check bool) "report verifies" true (Attestation.verify r);
+  let bad = { r with Attestation.body = r.Attestation.body ^ "x" } in
+  Alcotest.(check bool) "tampered report rejected" false (Attestation.verify bad);
+  (match Attestation.handshake ~parent ~child ~nonce:"n0" with
+  | Ok key -> Alcotest.(check int) "session key size" 32 (String.length key)
+  | Error m -> Alcotest.fail m);
+  (* handshakes with different nonces derive different keys *)
+  match
+    ( Attestation.handshake ~parent ~child ~nonce:"n1",
+      Attestation.handshake ~parent ~child ~nonce:"n2" )
+  with
+  | Ok k1, Ok k2 -> Alcotest.(check bool) "distinct keys" true (k1 <> k2)
+  | _ -> Alcotest.fail "handshake failed"
+
+let test_sgx2_edmm () =
+  let epc = Epc.create ~size:(64 * page) () in
+  let e = Enclave.create ~version:Enclave.Sgx2 ~epc ~size:(32 * page) () in
+  (* SGX2 reserves address space without committing EPC *)
+  Alcotest.(check int) "no EPC at create" 0 (Epc.used_pages epc);
+  Enclave.add_pages e ~addr:0 ~data:(Bytes.make page 'c') ~perm:Mem.perm_rx;
+  Alcotest.(check int) "EPC per page" 1 (Epc.used_pages epc);
+  Enclave.init e;
+  (* dynamic commit after EINIT *)
+  Enclave.eaug e ~addr:(4 * page) ~len:(2 * page) ~perm:Mem.perm_rw;
+  Alcotest.(check int) "EAUG charged" 3 (Epc.used_pages epc);
+  Mem.write_u64_priv (Enclave.mem e) (4 * page) 7L;
+  Enclave.eremove_pages e ~addr:(4 * page) ~len:(2 * page);
+  Alcotest.(check int) "pages returned" 1 (Epc.used_pages epc);
+  Alcotest.(check bool) "unmapped again" true
+    (Mem.perm_at (Enclave.mem e) (4 * page) = None);
+  (* re-EAUG: the page must come back zeroed *)
+  Enclave.eaug e ~addr:(4 * page) ~len:page ~perm:Mem.perm_rw;
+  Alcotest.(check int64) "zeroed" 0L (Mem.read_u64_priv (Enclave.mem e) (4 * page))
+
+let test_sgx1_has_no_edmm () =
+  let _, e = build_enclave () in
+  (try
+     Enclave.eaug e ~addr:(4 * page) ~len:page ~perm:Mem.perm_rw;
+     Alcotest.fail "eaug on SGX1 must raise"
+   with Enclave.Sgx1_restriction _ -> ());
+  try
+    Enclave.eremove_pages e ~addr:0 ~len:page;
+    Alcotest.fail "eremove on SGX1 must raise"
+  with Enclave.Sgx1_restriction _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "epc accounting" `Quick test_epc_accounting;
+    Alcotest.test_case "sgx2 edmm" `Quick test_sgx2_edmm;
+    Alcotest.test_case "sgx1 has no edmm" `Quick test_sgx1_has_no_edmm;
+    Alcotest.test_case "measurement determinism" `Quick test_measurement_deterministic;
+    Alcotest.test_case "measurement sensitivity" `Quick test_measurement_sensitive;
+    Alcotest.test_case "sgx1 post-init restriction" `Quick test_sgx1_restriction;
+    Alcotest.test_case "measurement needs EINIT" `Quick test_measure_before_init;
+    Alcotest.test_case "destroy releases epc" `Quick test_destroy_releases_epc;
+    Alcotest.test_case "aex saves/restores bounds" `Quick test_aex_restores_bounds;
+    Alcotest.test_case "local attestation" `Quick test_attestation;
+  ]

@@ -1,0 +1,201 @@
+(* End-to-end soundness fuzzing of the MMDSFI security argument
+   (Theorems 5.2 / 5.3): if the verifier ACCEPTS a binary, then *running*
+   it can never violate the two policies —
+
+   - control transfers stay inside the code region C (we assert the pc
+     after every single executed instruction);
+   - memory accesses stay inside the data region D (we map a live
+     "victim" region where an adjacent domain would be, fill it with a
+     sentinel, and assert it is never written; the code bytes of C are
+     likewise asserted unmodified, i.e. no self-injection).
+
+   Inputs are (a) legitimately compiled programs and (b) random byte-flip
+   mutants of them that happen to still pass the verifier — the
+   interesting adversarial cases, since a flip can retarget jumps, change
+   displacements, or alter immediates while remaining well-formed. *)
+
+open Occlum_isa
+open Occlum_toolchain
+module R = Codegen_regs
+
+let guard = Occlum_oelf.Oelf.guard_size
+let code_base = 0x10000
+
+type violation =
+  | Pc_escape of int
+  | Victim_written
+  | Code_modified
+
+let violation_to_string = function
+  | Pc_escape pc -> Printf.sprintf "pc escaped the code region: 0x%x" pc
+  | Victim_written -> "a store landed in the adjacent domain"
+  | Code_modified -> "the code region was modified at runtime"
+
+(* Execute [oelf] in a domain flanked by a live victim region, stepping
+   one instruction at a time with full policy assertions. *)
+let run_isolated ?(fuel = 60_000) (oelf : Occlum_oelf.Oelf.t) :
+    (unit, violation) result =
+  let open Occlum_machine in
+  let code_region = Occlum_oelf.Oelf.code_region_size oelf in
+  let d_base = code_base + code_region + guard in
+  let d_size = Occlum_util.Bytes_util.round_up oelf.data_region_size 4096 in
+  let victim_base = d_base + d_size + guard in
+  let victim_size = 4 * 4096 in
+  let mem =
+    Mem.create
+      ~size:(Occlum_util.Bytes_util.round_up (victim_base + victim_size) 4096)
+  in
+  Mem.map mem ~addr:code_base ~len:code_region ~perm:Mem.perm_rwx;
+  Mem.map mem ~addr:d_base ~len:d_size ~perm:Mem.perm_rw;
+  (* where a neighbouring SIP's domain would start: mapped and writable,
+     so only the MPX policy stands between the fuzzed code and it *)
+  Mem.map mem ~addr:victim_base ~len:victim_size ~perm:Mem.perm_rw;
+  Mem.fill_priv mem ~addr:victim_base ~len:victim_size '\x5c';
+  (* load like the LibOS loader: patch ids, install the trampoline *)
+  let domain_id = 1 in
+  let code = Bytes.copy oelf.code in
+  Occlum_libos.Loader.patch_labels code domain_id;
+  Mem.write_bytes_priv mem ~addr:code_base code;
+  Mem.fill_priv mem ~addr:code_base ~len:Occlum_oelf.Oelf.trampoline_reserved '\x00';
+  let tramp =
+    String.concat ""
+      (List.map Codec.encode
+         [
+           Insn.Cfi_label (Int32.of_int domain_id);
+           Insn.Syscall_gate;
+           Insn.Pop R.ret_scratch;
+           Insn.Jmp_reg R.ret_scratch;
+         ])
+  in
+  Mem.write_bytes_priv mem ~addr:code_base (Bytes.of_string tramp);
+  Mem.write_bytes_priv mem ~addr:d_base oelf.data;
+  let code_snapshot = Mem.read_bytes_priv mem ~addr:code_base ~len:code_region in
+  let cpu = Cpu.create () in
+  cpu.Cpu.pc <- code_base + oelf.entry;
+  Cpu.set cpu Reg.sp (Int64.of_int (d_base + oelf.data_region_size - 16));
+  Cpu.set cpu R.code_base (Int64.of_int code_base);
+  Cpu.set cpu R.data_base (Int64.of_int d_base);
+  Cpu.set cpu R.ret_scratch (Int64.of_int code_base);
+  Cpu.set_bnd cpu Reg.bnd0
+    { lower = Int64.of_int d_base; upper = Int64.of_int (d_base + d_size - 1) };
+  let lv = Occlum_libos.Loader.cfi_label_value domain_id in
+  Cpu.set_bnd cpu Reg.bnd1 { lower = lv; upper = lv };
+  let in_code pc = pc >= code_base && pc < code_base + code_region in
+  let victim_intact () =
+    let b = Mem.read_bytes_priv mem ~addr:victim_base ~len:victim_size in
+    let ok = ref true in
+    Bytes.iter (fun c -> if c <> '\x5c' then ok := false) b;
+    !ok
+  in
+  (* the pc policy is asserted after every instruction (O(1)); the
+     memory policies are audited periodically and at the end — a
+     violation between audits is still caught at the next one *)
+  let rec step n =
+    if n = 0 then Ok () (* ran out of fuel without violating anything *)
+    else
+      match Interp.step mem cpu with
+      | Some Interp.Stop_syscall ->
+          (* emulate exit-only syscalls: anything else just returns 0 and
+             resumes through the trampoline *)
+          let nr = Int64.to_int (Cpu.get cpu (Reg.of_int Occlum_abi.Abi.Regs.sys_nr)) in
+          if nr = Occlum_abi.Abi.Sys.exit then Ok ()
+          else begin
+            Cpu.set cpu R.result 0L;
+            check n
+          end
+      | Some (Interp.Stop_fault _) -> Ok () (* contained: the policy held *)
+      | Some Interp.Stop_quantum | None -> check n
+  and check n =
+    if not (in_code cpu.Cpu.pc) then Error (Pc_escape cpu.Cpu.pc)
+    else if n mod 1024 = 0 && not (victim_intact ()) then Error Victim_written
+    else step (n - 1)
+  in
+  match step fuel with
+  | Error v -> Error v
+  | Ok () ->
+      if not (victim_intact ()) then Error Victim_written
+      else if
+        not
+          (Bytes.equal code_snapshot
+             (Mem.read_bytes_priv mem ~addr:code_base ~len:code_region))
+      then Error Code_modified
+      else Ok ()
+
+let base_programs =
+  lazy
+    (List.map
+       (fun seed ->
+         Compile.compile_exn ~config:Codegen.sfi
+           (Runtime.program
+              ~globals:[ ("buf", 256) ]
+              [
+                Ast.func ~reg_vars:[ "p" ] "main" []
+                  Ast.
+                    [
+                      Let ("k", i 0);
+                      Assign ("p", Global_addr "buf");
+                      While
+                        ( v "k" <: i (8 + seed),
+                          [
+                            Store (v "p", v "k" *: i seed);
+                            Assign ("p", v "p" +: i 8);
+                            Assign ("k", v "k" +: i 1);
+                          ] );
+                      Expr (Call ("print_int", [ Load (Global_addr "buf" +: i 16) ]));
+                      Return (i 0);
+                    ];
+              ]))
+       [ 1; 3; 7 ])
+
+let test_compiled_binaries_sound () =
+  List.iter
+    (fun oelf ->
+      match run_isolated oelf with
+      | Ok () -> ()
+      | Error v -> Alcotest.fail (violation_to_string v))
+    (Lazy.force base_programs);
+  (* the workload binaries too *)
+  List.iter
+    (fun (name, prog) ->
+      let oelf = Compile.compile_exn ~config:Codegen.sfi prog in
+      match run_isolated ~fuel:200_000 oelf with
+      | Ok () -> ()
+      | Error v -> Alcotest.fail (name ^ ": " ^ violation_to_string v))
+    (Occlum_workloads.Spec.all ~scale:1)
+
+(* The adversarial property: byte-flipped mutants that still pass the
+   verifier must still be contained at runtime. *)
+let prop_verified_mutants_are_contained =
+  QCheck.Test.make ~name:"verifier-accepted mutants cannot break isolation"
+    ~count:600
+    QCheck.(pair (make Gen.(int_range 0 2)) (make Gen.(int_range 0 1_000_000)))
+    (fun (which, seed) ->
+      let oelf = List.nth (Lazy.force base_programs) which in
+      let code = Bytes.copy oelf.Occlum_oelf.Oelf.code in
+      let reserved = Occlum_oelf.Oelf.trampoline_reserved in
+      let prng = Occlum_util.Prng.create seed in
+      (* flip 1-3 bytes *)
+      for _ = 0 to Occlum_util.Prng.int prng 3 do
+        let pos = reserved + Occlum_util.Prng.int prng (Bytes.length code - reserved) in
+        Bytes.set code pos
+          (Char.chr
+             (Char.code (Bytes.get code pos)
+             lxor (1 + Occlum_util.Prng.int prng 255)))
+      done;
+      let mutant = { oelf with Occlum_oelf.Oelf.code = code } in
+      match Occlum_verifier.Verify.verify mutant with
+      | Error _ -> true (* rejected: nothing to check *)
+      | Ok _ -> (
+          match run_isolated mutant with
+          | Ok () -> true
+          | Error v ->
+              QCheck.Test.fail_reportf
+                "mutant (prog %d, seed %d) verified but violated isolation: %s"
+                which seed (violation_to_string v)))
+
+let suite =
+  [
+    Alcotest.test_case "compiled binaries are contained" `Slow
+      test_compiled_binaries_sound;
+    QCheck_alcotest.to_alcotest prop_verified_mutants_are_contained;
+  ]

@@ -1,0 +1,323 @@
+(* Verifier tests: every rejection category of §5's four stages gets a
+   hand-crafted hostile binary, and every legitimately compiled binary
+   must be accepted. A fuzz property checks the verifier is total. *)
+
+open Occlum_isa
+open Occlum_toolchain
+module V = Occlum_verifier.Verify
+
+let empty_layout = Layout.of_program { globals = []; funcs = [] }
+
+(* Link raw assembly items into an OELF (entry = "_start"). *)
+let link_raw items = Linker.link empty_layout items
+
+let d_reg = Codegen_regs.data_base
+
+(* A minimal well-formed skeleton: _start with a cfi_label that spins. *)
+let skeleton middle =
+  [ Asm.Label "_start"; Asm.Cfi_label_here ]
+  @ middle
+  @ [ Asm.Label "spin"; Asm.Jmp_l "spin" ]
+
+let expect_stage name stage items =
+  match V.verify (link_raw (skeleton items)) with
+  | Ok _ -> Alcotest.fail (name ^ ": expected rejection")
+  | Error (r :: _) ->
+      Alcotest.(check int) (name ^ " stage") stage r.V.stage
+  | Error [] -> Alcotest.fail "empty rejection list"
+
+let expect_ok name items =
+  match V.verify (link_raw (skeleton items)) with
+  | Ok _ -> ()
+  | Error rs ->
+      Alcotest.fail
+        (Printf.sprintf "%s: unexpected rejection: %s" name
+           (V.rejection_to_string (List.hd rs)))
+
+(* --- acceptance -------------------------------------------------------- *)
+
+let test_accepts_compiled_programs () =
+  List.iter
+    (fun (name, prog) ->
+      List.iter
+        (fun (cname, config) ->
+          let oelf = Compile.compile_exn ~config prog in
+          match V.verify oelf with
+          | Ok _ -> ()
+          | Error rs ->
+              Alcotest.fail
+                (Printf.sprintf "%s/%s rejected: %s" name cname
+                   (V.rejection_to_string (List.hd rs))))
+        [ ("sfi", Codegen.sfi); ("naive", Codegen.sfi_naive) ])
+    (Occlum_workloads.Spec.all ~scale:1
+    @ Occlum_workloads.Fish.binaries
+    @ Occlum_workloads.Gcc_pipeline.binaries
+    @ Occlum_workloads.Httpd.binaries)
+
+let test_rejects_bare () =
+  let prog = Runtime.program [ Ast.func "main" [] [ Ast.Return (Ast.i 0) ] ] in
+  match V.verify (Compile.compile_exn ~config:Codegen.bare prog) with
+  | Ok _ -> Alcotest.fail "bare binary must be rejected"
+  | Error _ -> ()
+
+(* --- stage 2: dangerous instructions ------------------------------------ *)
+
+let test_stage2 () =
+  List.iter
+    (fun (name, insn) -> expect_stage name 2 [ Asm.Ins insn ])
+    [
+      ("eexit", Insn.Eexit);
+      ("emodpe", Insn.Emodpe);
+      ("eaccept", Insn.Eaccept);
+      ("xrstor", Insn.Xrstor);
+      ("wrfsbase", Insn.Wrfsbase Reg.r1);
+      ("wrgsbase", Insn.Wrgsbase Reg.r1);
+      ("bndmk", Insn.Bndmk (Reg.bnd0, Rip_rel 0));
+      ("bndmov", Insn.Bndmov (Reg.bnd0, Reg.bnd1));
+      ("hlt", Insn.Hlt);
+      ("syscall_gate", Insn.Syscall_gate);
+    ]
+
+(* --- stage 3: control transfers ------------------------------------------ *)
+
+let test_stage3_ret () =
+  expect_stage "ret" 3 [ Asm.Ins Insn.Ret ];
+  expect_stage "ret imm" 3 [ Asm.Ins (Insn.Ret_imm 8) ]
+
+let test_stage3_memory_indirect () =
+  expect_stage "jmp mem" 3 [ Asm.Ins (Insn.Jmp_mem (Rip_rel 0)) ];
+  expect_stage "call mem" 3
+    [ Asm.Ins (Insn.Call_mem (Sib { base = Reg.r1; index = None; scale = 1; disp = 0 })) ]
+
+let test_stage3_unguarded_indirect () =
+  expect_stage "unguarded jmp_reg" 3 [ Asm.Ins (Insn.Jmp_reg Reg.r1) ];
+  expect_stage "unguarded call_reg" 3 [ Asm.Ins (Insn.Call_reg Reg.r1) ];
+  (* guard on the WRONG register does not count *)
+  expect_stage "wrong-register guard" 3
+    [ Asm.Cfi_guard Reg.r2; Asm.Ins (Insn.Jmp_reg Reg.r1) ]
+
+let test_stage3_guarded_indirect_ok () =
+  (* a correctly guarded jump whose target register provably holds ... the
+     verifier doesn't care where it points (the runtime check does) *)
+  expect_ok "guarded jmp_reg"
+    [ Asm.Cfi_guard Reg.r1; Asm.Ins (Insn.Jmp_reg Reg.r1) ]
+
+let test_stage3_direct_to_indirect () =
+  (* jumping straight at a guarded jmp_reg would skip its guard: Fig 3
+     row 1 rejects the direct transfer *)
+  expect_stage "direct to indirect" 3
+    [
+      Asm.Jmp_l "lbl_jr";
+      Asm.Cfi_guard Reg.r1;
+      Asm.Label "lbl_jr";
+      Asm.Ins (Insn.Jmp_reg Reg.r1);
+    ]
+
+let test_stage1_invalid_reachable () =
+  (* a cfi_label followed by undecodable garbage *)
+  let code = Codec.encode (Insn.Cfi_label 0l) ^ "\xFF\xFF" in
+  let oelf =
+    { (link_raw (skeleton [])) with Occlum_oelf.Oelf.code = Bytes.of_string code;
+      entry = 0 }
+  in
+  match V.verify oelf with
+  | Error ({ V.stage = 1; _ } :: _) -> ()
+  | Error (r :: _) -> Alcotest.fail ("wrong stage: " ^ V.rejection_to_string r)
+  | Error [] | Ok _ -> Alcotest.fail "expected stage-1 rejection"
+
+let test_stage1_jump_into_pseudo () =
+  (* a direct jump into the middle of a mem_guard pseudo-instruction
+     (its bndcu half) must abort disassembly via the overlap rule *)
+  let label = Codec.encode (Insn.Cfi_label 0l) in
+  let m : Insn.mem = Sib { base = d_reg; index = None; scale = 1; disp = 0 } in
+  let bndcl = Codec.encode (Insn.Bndcl (Reg.bnd0, Ea_mem m)) in
+  let bndcu = Codec.encode (Insn.Bndcu (Reg.bnd0, Ea_mem m)) in
+  let store = Codec.encode (Insn.Store { dst = m; src = Reg.r1; size = 8 }) in
+  (* layout: [label][jcc +len(bndcl)][bndcl][bndcu][store][spin]; the
+     fall-through path disassembles bndcl+bndcu as one pseudo, then the
+     jcc's target (the bndcu) lands mid-pseudo -> overlap *)
+  let jcc = Codec.encode (Insn.Jcc (Eq, String.length bndcl)) in
+  let spin_len = Codec.length (Insn.Jmp 0) in
+  let spin_jmp = Codec.encode (Insn.Jmp (-spin_len)) in
+  let body = label ^ jcc ^ bndcl ^ bndcu ^ store ^ spin_jmp in
+  let reserved = Occlum_oelf.Oelf.trampoline_reserved in
+  let code = String.make reserved '\x00' ^ body in
+  let oelf =
+    { (link_raw (skeleton [])) with Occlum_oelf.Oelf.code = Bytes.of_string code;
+      entry = reserved }
+  in
+  match V.verify oelf with
+  | Error ({ V.stage = 1; _ } :: _) -> ()
+  | Error (r :: _) -> Alcotest.fail ("wrong stage: " ^ V.rejection_to_string r)
+  | Error [] | Ok _ -> Alcotest.fail "expected overlap rejection"
+
+let test_entry_must_be_label () =
+  let oelf = link_raw (skeleton []) in
+  let bad = { oelf with Occlum_oelf.Oelf.entry = oelf.entry + 8 } in
+  match V.verify bad with
+  | Error ({ V.stage = 1; _ } :: _) -> ()
+  | _ -> Alcotest.fail "expected entry rejection"
+
+(* --- stage 4: memory accesses --------------------------------------------- *)
+
+let test_stage4_direct_offset () =
+  expect_stage "abs store" 4
+    [ Asm.Ins (Insn.Store { dst = Abs 0x20000L; src = Reg.r1; size = 8 }) ];
+  expect_stage "abs load" 4
+    [ Asm.Ins (Insn.Load { dst = Reg.r1; src = Abs 0x20000L; size = 8 }) ]
+
+let test_stage4_vector_sib () =
+  expect_stage "vscatter" 4
+    [ Asm.Ins (Insn.Vscatter { base = Reg.r1; index = Reg.r2; scale = 8; src = Reg.r3 }) ]
+
+let test_stage4_unguarded_access () =
+  let m : Insn.mem = Sib { base = Reg.r1; index = None; scale = 1; disp = 0 } in
+  expect_stage "unguarded store" 4 [ Asm.Ins (Insn.Store { dst = m; src = Reg.r2; size = 8 }) ];
+  expect_stage "unguarded load" 4 [ Asm.Ins (Insn.Load { dst = Reg.r2; src = m; size = 8 }) ];
+  expect_stage "unguarded push" 4 [ Asm.Ins (Insn.Push Reg.r1) ];
+  expect_stage "unguarded pop" 4 [ Asm.Ins (Insn.Pop Reg.r1) ]
+
+let test_stage4_guarded_access_ok () =
+  let m : Insn.mem = Sib { base = Reg.r1; index = None; scale = 1; disp = 0 } in
+  expect_ok "guarded store"
+    [ Asm.Mem_guard m; Asm.Ins (Insn.Store { dst = m; src = Reg.r2; size = 8 }) ];
+  (* indexed operands are fine when guarded by adjacency *)
+  let mi : Insn.mem = Sib { base = Reg.r1; index = Some Reg.r2; scale = 8; disp = 16 } in
+  expect_ok "guarded indexed load"
+    [ Asm.Mem_guard mi; Asm.Ins (Insn.Load { dst = Reg.r3; src = mi; size = 8 }) ];
+  (* ... but a guard with a different operand does not transfer *)
+  let mj : Insn.mem = Sib { base = Reg.r1; index = Some Reg.r2; scale = 8; disp = 24 } in
+  expect_stage "mismatched indexed guard" 4
+    [ Asm.Mem_guard mi; Asm.Ins (Insn.Load { dst = Reg.r3; src = mj; size = 8 }) ]
+
+let test_stage4_range_analysis () =
+  let m k : Insn.mem = Sib { base = Reg.r1; index = None; scale = 1; disp = k } in
+  (* a guard at disp 0 covers nearby displacements (guard-zone slack) *)
+  expect_ok "nearby covered"
+    [
+      Asm.Mem_guard (m 0);
+      Asm.Ins (Insn.Store { dst = m 0; src = Reg.r2; size = 8 });
+      Asm.Ins (Insn.Store { dst = m 128; src = Reg.r2; size = 8 });
+      Asm.Ins (Insn.Load { dst = Reg.r3; src = m 4000; size = 8 });
+    ];
+  (* ... but not past the guard-region slack *)
+  expect_stage "beyond slack" 4
+    [
+      Asm.Mem_guard (m 0);
+      Asm.Ins (Insn.Store { dst = m 8192; src = Reg.r2; size = 8 });
+    ];
+  (* register writes kill facts *)
+  expect_stage "fact killed by write" 4
+    [
+      Asm.Mem_guard (m 0);
+      Asm.Ins (Insn.Mov_imm (Reg.r1, 0L));
+      Asm.Ins (Insn.Store { dst = m 0; src = Reg.r2; size = 8 });
+    ];
+  (* constant shifts move facts *)
+  expect_ok "shifted fact"
+    [
+      Asm.Mem_guard (m 0);
+      Asm.Ins (Insn.Alu (Add, Reg.r1, O_imm 64L));
+      Asm.Ins (Insn.Store { dst = m 0; src = Reg.r2; size = 8 });
+    ];
+  (* copies transfer facts *)
+  expect_ok "copied fact"
+    [
+      Asm.Mem_guard (m 0);
+      Asm.Ins (Insn.Mov_reg (Reg.r4, Reg.r1));
+      Asm.Ins
+        (Insn.Store
+           { dst = Sib { base = Reg.r4; index = None; scale = 1; disp = 8 };
+             src = Reg.r2; size = 8 });
+    ]
+
+let test_stage4_rip_relative () =
+  (* D begins one guard page after the (page-rounded) code image; the
+     skeleton's code is tiny, so D-relative offset ~8192+ *)
+  let oelf = link_raw (skeleton []) in
+  let d_begin = Occlum_oelf.Oelf.d_begin_rel oelf in
+  (* in-range rip access: target inside D *)
+  expect_ok "rip in range"
+    [ Asm.Ins (Insn.Load { dst = Reg.r1; src = Rip_rel d_begin; size = 8 }) ];
+  expect_stage "rip before D (code)" 4
+    [ Asm.Ins (Insn.Store { dst = Rip_rel 0; src = Reg.r1; size = 8 }) ];
+  expect_stage "rip past D" 4
+    [
+      Asm.Ins
+        (Insn.Load
+           { dst = Reg.r1;
+             src = Rip_rel (d_begin + (link_raw (skeleton [])).data_region_size);
+             size = 8 });
+    ]
+
+let test_fact_does_not_survive_call () =
+  (* after a call anything may have happened: facts reset *)
+  let m : Insn.mem = Sib { base = Reg.r1; index = None; scale = 1; disp = 0 } in
+  let sp_m d : Insn.mem = Sib { base = Reg.sp; index = None; scale = 1; disp = d } in
+  expect_stage "fact dead after call" 4
+    [
+      Asm.Mem_guard m;
+      Asm.Mem_guard (sp_m (-8));
+      Asm.Call_l "callee";
+      Asm.Cfi_label_here;
+      Asm.Ins (Insn.Store { dst = m; src = Reg.r2; size = 8 });
+      Asm.Jmp_l "done_";
+      Asm.Label "callee";
+      Asm.Cfi_label_here;
+      Asm.Mem_guard (sp_m 0);
+      Asm.Ins (Insn.Pop Reg.r10);
+      Asm.Cfi_guard Reg.r10;
+      Asm.Ins (Insn.Jmp_reg Reg.r10);
+      Asm.Label "done_";
+    ]
+
+(* --- fuzzing ----------------------------------------------------------------- *)
+
+let prop_verifier_total =
+  QCheck.Test.make ~name:"verify is total under byte flips" ~count:300
+    QCheck.(pair (make Gen.(int_range 0 100_000)) (make Gen.(int_range 0 100_000)))
+    (fun (seed1, seed2) ->
+      let prog =
+        Runtime.program
+          [ Ast.func "main" [] [ Ast.Return (Ast.i (seed1 mod 100)) ] ]
+      in
+      let oelf = Compile.compile_exn ~config:Codegen.sfi prog in
+      let code = Bytes.copy oelf.Occlum_oelf.Oelf.code in
+      let pos =
+        Occlum_oelf.Oelf.trampoline_reserved
+        + (seed2 mod (Bytes.length code - Occlum_oelf.Oelf.trampoline_reserved))
+      in
+      Bytes.set code pos
+        (Char.chr (Char.code (Bytes.get code pos) lxor (1 + (seed1 mod 255))));
+      let mutated = { oelf with Occlum_oelf.Oelf.code = code } in
+      match V.verify mutated with Ok _ -> true | Error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "accepts all compiled workload binaries" `Slow
+      test_accepts_compiled_programs;
+    Alcotest.test_case "rejects uninstrumented binaries" `Quick test_rejects_bare;
+    Alcotest.test_case "stage2: dangerous instructions" `Quick test_stage2;
+    Alcotest.test_case "stage3: ret" `Quick test_stage3_ret;
+    Alcotest.test_case "stage3: memory-indirect" `Quick test_stage3_memory_indirect;
+    Alcotest.test_case "stage3: unguarded indirect" `Quick test_stage3_unguarded_indirect;
+    Alcotest.test_case "stage3: guarded indirect accepted" `Quick
+      test_stage3_guarded_indirect_ok;
+    Alcotest.test_case "stage3: direct-to-indirect" `Quick test_stage3_direct_to_indirect;
+    Alcotest.test_case "stage1: invalid reachable bytes" `Quick
+      test_stage1_invalid_reachable;
+    Alcotest.test_case "stage1: jump into pseudo-instruction" `Quick
+      test_stage1_jump_into_pseudo;
+    Alcotest.test_case "stage1: entry must be a cfi_label" `Quick
+      test_entry_must_be_label;
+    Alcotest.test_case "stage4: direct memory offset" `Quick test_stage4_direct_offset;
+    Alcotest.test_case "stage4: vector sib" `Quick test_stage4_vector_sib;
+    Alcotest.test_case "stage4: unguarded accesses" `Quick test_stage4_unguarded_access;
+    Alcotest.test_case "stage4: guarded accesses accepted" `Quick
+      test_stage4_guarded_access_ok;
+    Alcotest.test_case "stage4: range analysis" `Quick test_stage4_range_analysis;
+    Alcotest.test_case "stage4: rip-relative" `Quick test_stage4_rip_relative;
+    Alcotest.test_case "stage4: facts reset at calls" `Quick
+      test_fact_does_not_survive_call;
+    QCheck_alcotest.to_alcotest prop_verifier_total;
+  ]

@@ -1,0 +1,179 @@
+(* Workload integration tests: the three §9.1 applications run correctly
+   on all three execution models and produce consistent observable
+   output; the harness measurements are sane (Occlum beats Graphene on
+   multi-process work, SEFS is writable where Graphene's secure FS was
+   not, etc.). *)
+
+module H = Occlum_workloads.Harness
+module Os = Occlum_libos.Os
+
+let systems = [ H.Linux; H.Occlum; H.Graphene ]
+
+let test_fish_all_systems () =
+  (* 2 rounds x 26 lines: exactly one line starts with 'a' -> "33\n" twice *)
+  let outputs =
+    List.map
+      (fun sys ->
+        let r = H.run_fish ~repeats:2 ~lines:26 sys in
+        (match r.status with
+        | Os.All_exited -> ()
+        | _ -> Alcotest.fail (H.system_name sys ^ ": did not finish"));
+        Alcotest.(check int) (H.system_name sys ^ " faults") 0 r.faults;
+        r.console)
+      systems
+  in
+  List.iter2
+    (fun sys out ->
+      Alcotest.(check string) (H.system_name sys ^ " output") "33\n33\n" out)
+    systems outputs
+
+let test_gcc_all_systems () =
+  let outputs =
+    List.map
+      (fun sys ->
+        let r = H.run_gcc ~lines:5 sys in
+        (match r.status with
+        | Os.All_exited -> ()
+        | _ -> Alcotest.fail (H.system_name sys ^ ": did not finish"));
+        r.console)
+      systems
+  in
+  (* all three systems compile the same file to the same "linked size" *)
+  match outputs with
+  | [ a; b; c ] ->
+      Alcotest.(check string) "occlum == linux" a b;
+      Alcotest.(check string) "graphene == linux" a c;
+      Alcotest.(check bool) "non-empty" true (String.length a > 1)
+  | _ -> assert false
+
+let test_httpd_all_systems () =
+  List.iter
+    (fun sys ->
+      let r = H.run_httpd ~workers:2 ~concurrency:4 ~requests:12 sys in
+      Alcotest.(check int) (H.system_name sys ^ " served") 12 r.served)
+    systems
+
+let test_httpd_multithreaded () =
+  (* the artifact's multithreaded server: 3 threads sharing the listener
+     via poll+accept inside one SIP *)
+  let os = H.boot H.Occlum in
+  H.install os H.Occlum Occlum_workloads.Httpd.binaries;
+  ignore
+    (Os.spawn_initial os
+       (H.build_for H.Occlum Occlum_workloads.Httpd.mt_prog)
+       ~args:[ "3"; "4" ]);
+  let guard = ref 0 in
+  while
+    (not (Occlum_libos.Net.has_listener os.Os.net ~port:Occlum_workloads.Httpd.port))
+    && !guard < 200_000
+  do
+    incr guard;
+    ignore (Os.step os)
+  done;
+  let served = ref 0 in
+  for _ = 1 to 12 do
+    match Occlum_libos.Net.external_connect os.Os.net ~port:Occlum_workloads.Httpd.port with
+    | Error _ -> ()
+    | Ok ep ->
+        ignore (Occlum_libos.Net.external_send os.Os.net ep Occlum_workloads.Httpd.request);
+        let buf = Buffer.create 256 and tries = ref 0 in
+        while Buffer.length buf < 10240 && !tries < 400_000 do
+          incr tries;
+          ignore (Os.step os);
+          Buffer.add_string buf (Occlum_libos.Net.external_recv_all os.Os.net ep)
+        done;
+        if Buffer.length buf >= 10240 then incr served
+  done;
+  Alcotest.(check int) "12 requests over 3 threads" 12 !served;
+  (* the whole server then exits cleanly *)
+  match Os.run ~max_steps:2_000_000 os with
+  | Os.All_exited -> ()
+  | _ -> Alcotest.fail "mt server did not exit"
+
+let test_gcc_output_persisted () =
+  (* the pipeline's artifact lands on the (writable, encrypted) FS *)
+  let os = H.boot H.Occlum in
+  H.install os H.Occlum Occlum_workloads.Gcc_pipeline.binaries;
+  Occlum_libos.Sefs.ensure_parents os.Os.sefs "/src/x";
+  Occlum_libos.Sefs.ensure_parents os.Os.sefs "/tmp/x";
+  (match
+     Occlum_libos.Sefs.write_path os.Os.sefs "/src/a.c"
+       (Occlum_workloads.Gcc_pipeline.source_file ~lines:5)
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "seed source");
+  ignore (H.timed_run os "/bin/cc" ~args:[ "/src/a.c" ]);
+  match Occlum_libos.Sefs.read_path os.Os.sefs "/tmp/a.out" with
+  | Ok s ->
+      Alcotest.(check string) "linked header" "OEXE" (String.sub s 0 4);
+      Alcotest.(check bool) "has payload" true (String.length s > 4)
+  | Error e -> Alcotest.fail (Printf.sprintf "a.out missing: errno %d" e)
+
+let test_spawn_cost_ordering () =
+  (* SIP creation must be orders of magnitude cheaper than EIP creation *)
+  let spawn sys =
+    let os = H.boot sys in
+    Os.install_binary os "/bin/small" (H.build_for sys (H.sized_program ~code_kb:14));
+    H.spawn_latency ~tries:3 os "/bin/small"
+  in
+  let sip = spawn H.Occlum and eip = spawn H.Graphene in
+  Alcotest.(check bool)
+    (Printf.sprintf "eip (%.1fms) >= 10x sip (%.3fms)" (eip *. 1e3) (sip *. 1e3))
+    true
+    (eip > 10. *. sip)
+
+let test_pipe_throughput_ordering () =
+  let _, sip, _ = H.run_pipe ~total:(1 lsl 17) ~bufsz:4096 H.Occlum in
+  let _, eip, _ = H.run_pipe ~total:(1 lsl 17) ~bufsz:4096 H.Graphene in
+  Alcotest.(check bool)
+    (Printf.sprintf "sip %.0f MB/s > 2x eip %.0f MB/s" sip eip)
+    true (sip > 2. *. eip)
+
+let test_sefs_vs_ext4_overhead () =
+  let occlum, _ = H.run_file_io ~total:(1 lsl 18) ~bufsz:4096 ~write:false H.Occlum in
+  let linux, _ = H.run_file_io ~total:(1 lsl 18) ~bufsz:4096 ~write:false H.Linux in
+  let overhead = 1. -. (occlum /. linux) in
+  Alcotest.(check bool)
+    (Printf.sprintf "read overhead %.0f%% in (10%%, 70%%)" (overhead *. 100.))
+    true
+    (overhead > 0.10 && overhead < 0.70)
+
+let test_spec_overhead_positive () =
+  List.iter
+    (fun (name, prog) ->
+      let base =
+        (Occlum_baseline.Native_run.run
+           (Occlum_toolchain.Compile.compile_exn ~config:Occlum_toolchain.Codegen.bare prog))
+          .cycles
+      in
+      let inst =
+        (Occlum_baseline.Native_run.run
+           (Occlum_toolchain.Compile.compile_exn ~config:Occlum_toolchain.Codegen.sfi prog))
+          .cycles
+      in
+      Alcotest.(check bool) (name ^ " overhead >= 0") true (inst >= base);
+      let naive =
+        (Occlum_baseline.Native_run.run
+           (Occlum_toolchain.Compile.compile_exn
+              ~config:Occlum_toolchain.Codegen.sfi_naive prog))
+          .cycles
+      in
+      Alcotest.(check bool) (name ^ " optimizer helps") true (inst <= naive))
+    (Occlum_workloads.Spec.all ~scale:1)
+
+let suite =
+  [
+    Alcotest.test_case "fish on all systems" `Slow test_fish_all_systems;
+    Alcotest.test_case "gcc on all systems" `Slow test_gcc_all_systems;
+    Alcotest.test_case "httpd on all systems" `Slow test_httpd_all_systems;
+    Alcotest.test_case "httpd multithreaded (threads+poll)" `Slow
+      test_httpd_multithreaded;
+    Alcotest.test_case "gcc artifact persisted on SEFS" `Quick
+      test_gcc_output_persisted;
+    Alcotest.test_case "spawn cost: EIP >> SIP" `Slow test_spawn_cost_ordering;
+    Alcotest.test_case "pipe throughput: SIP >> EIP" `Quick
+      test_pipe_throughput_ordering;
+    Alcotest.test_case "SEFS read overhead in band" `Quick test_sefs_vs_ext4_overhead;
+    Alcotest.test_case "SPEC kernels: overhead sign and optimizer" `Slow
+      test_spec_overhead_positive;
+  ]
