@@ -34,6 +34,41 @@ let only =
 
 let selected name = only = [] || List.mem name only
 
+(* --json <path> (or --json=<path>): dump every recorded scalar as a flat
+   JSON object, so CI can diff runs without scraping the tables. *)
+let json_path =
+  let rec go = function
+    | "--json" :: p :: _ -> Some p
+    | a :: tl ->
+        if String.length a > 7 && String.sub a 0 7 = "--json=" then
+          Some (String.sub a 7 (String.length a - 7))
+        else go tl
+    | [] -> None
+  in
+  go (Array.to_list Sys.argv)
+
+let json_results : (string * float) list ref = ref []
+let record name v = json_results := (name, v) :: !json_results
+
+let write_json path =
+  let esc s =
+    String.concat ""
+      (List.map
+         (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+  in
+  let items = List.rev !json_results in
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "  \"%s\": %.6g%s\n" (esc k) v
+        (if i < List.length items - 1 then "," else ""))
+    items;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "\nwrote %d results to %s\n" (List.length items) path
+
 let section name title f =
   if selected name then begin
     Printf.printf "\n=== %s: %s ===\n%!" name title;
@@ -220,11 +255,13 @@ let fig7a () =
         let inst = spec_cycles Occlum_toolchain.Codegen.sfi prog in
         let ovh = 100. *. ((float inst /. float base) -. 1.) in
         Printf.printf "%-14s %14d %14d %9.1f%%\n%!" name base inst ovh;
+        record ("fig7a/" ^ name ^ "-overhead-pct") ovh;
         ovh)
       kernels
   in
-  Printf.printf "%-14s %40s %8.1f%%\n" "mean" ""
-    (List.fold_left ( +. ) 0. overheads /. float (List.length overheads))
+  let mean = List.fold_left ( +. ) 0. overheads /. float (List.length overheads) in
+  record "fig7a/mean-overhead-pct" mean;
+  Printf.printf "%-14s %40s %8.1f%%\n" "mean" "" mean
 
 (* --- Fig 7b: overhead breakdown -------------------------------------------------- *)
 
@@ -353,9 +390,78 @@ let micro () =
   Hashtbl.iter
     (fun name result ->
       match Analyze.OLS.estimates result with
-      | Some [ est ] -> Printf.printf "%-34s %14.0f ns/op\n" name est
+      | Some [ est ] ->
+          record ("micro/" ^ name ^ "-ns-per-op") est;
+          Printf.printf "%-34s %14.0f ns/op\n" name est
       | _ -> Printf.printf "%-34s (no estimate)\n" name)
     results
+
+(* Decoded-block cache: interpret a hot loop with and without the cache;
+   the figure of merit is retired instructions per host second. The code
+   page is mapped r-x (the LibOS's W^X shape) so blocks are not fragile. *)
+let micro_dcache () =
+  let open Occlum_isa in
+  let open Occlum_machine in
+  let iters = if full then 2_000_000 else 500_000 in
+  let r1 = Reg.of_int 1 and r2 = Reg.of_int 2 in
+  let loop_body =
+    [
+      Insn.Alu (Insn.Add, r2, Insn.O_imm 3L);
+      Insn.Alu (Insn.Xor, r2, Insn.O_reg r1);
+      Insn.Alu (Insn.Sub, r1, Insn.O_imm 1L);
+      Insn.Cmp (r1, Insn.O_imm 0L);
+    ]
+  in
+  let body_len =
+    List.fold_left (fun a i -> a + String.length (Codec.encode i)) 0 loop_body
+  in
+  (* the branch displacement is relative to the end of the jcc, whose
+     encoded length itself depends on the displacement bytes (escape
+     stuffing) — iterate to the fixed point *)
+  let rec fix_jcc disp =
+    let len = String.length (Codec.encode (Insn.Jcc (Insn.Ne, disp))) in
+    let disp' = -(body_len + len) in
+    if disp' = disp then Insn.Jcc (Insn.Ne, disp) else fix_jcc disp'
+  in
+  let prog =
+    (Insn.Mov_imm (r1, Int64.of_int iters) :: Insn.Mov_imm (r2, 0L) :: loop_body)
+    @ [ fix_jcc (-body_len); Insn.Syscall_gate ]
+  in
+  let code = String.concat "" (List.map Codec.encode prog) in
+  let run ~cached =
+    let mem = Mem.create ~size:(16 * 4096) in
+    Mem.map mem ~addr:4096 ~len:4096 ~perm:Mem.perm_rx;
+    Mem.write_bytes_priv mem ~addr:4096 (Bytes.of_string code);
+    let cpu = Cpu.create () in
+    cpu.Cpu.pc <- 4096;
+    let cache = if cached then Some (Decode_cache.create ()) else None in
+    let t0 = Unix.gettimeofday () in
+    let stop = Interp.run ?cache mem cpu ~fuel:max_int in
+    let dt = Unix.gettimeofday () -. t0 in
+    (match stop with
+    | Interp.Stop_syscall -> ()
+    | s -> failwith ("hot loop stopped unexpectedly: " ^ Interp.stop_to_string s));
+    (cpu, dt)
+  in
+  ignore (run ~cached:false);
+  (* warm the host caches once *)
+  let cpu_u, t_u = run ~cached:false in
+  let cpu_c, t_c = run ~cached:true in
+  if
+    cpu_u.Cpu.insns <> cpu_c.Cpu.insns
+    || cpu_u.Cpu.cycles <> cpu_c.Cpu.cycles
+    || Cpu.get cpu_u r2 <> Cpu.get cpu_c r2
+  then failwith "cached and uncached interpretation diverged";
+  let ips cpu t = float cpu.Cpu.insns /. t in
+  let u = ips cpu_u t_u and c = ips cpu_c t_c in
+  record "micro/interp-uncached-insns-per-sec" u;
+  record "micro/interp-cached-insns-per-sec" c;
+  record "micro/interp-dcache-speedup" (c /. u);
+  Printf.printf "%-34s %14.2f M insns/s\n" "occlum/interp-uncached" (u /. 1e6);
+  Printf.printf
+    "%-34s %14.2f M insns/s   (%.2fx, %d hits / %d misses)\n"
+    "occlum/interp-dcache" (c /. 1e6) (c /. u) cpu_c.Cpu.dcache_hits
+    cpu_c.Cpu.dcache_misses
 
 let micro_eip () =
   let os = H.boot H.Graphene in
@@ -382,4 +488,6 @@ let () =
   section "ripe" "RIPE attack corpus" ripe;
   section "micro" "Bechamel micro-benchmarks" (fun () ->
       micro ();
-      micro_eip ())
+      micro_eip ();
+      micro_dcache ());
+  match json_path with None -> () | Some path -> write_json path

@@ -81,6 +81,9 @@ let trace input limit args watch_regs =
     (Cpu.get cpu Reg.sp) d_base (d_base + d_size);
   let stop = ref None in
   let steps = ref 0 in
+  (* single-step through the decoded-block cache (fuel 1 executes exactly
+     one instruction) so the trace also reports cache behaviour *)
+  let cache = Decode_cache.create () in
   while !stop = None && !steps < limit do
     incr steps;
     let pc = cpu.Cpu.pc in
@@ -96,9 +99,9 @@ let trace input limit args watch_regs =
            watched)
     in
     Printf.printf "%6d  %-22s %-40s %s\n" !steps (sym_at (pc - code_base)) text regs;
-    match Interp.step mem cpu with
-    | None -> ()
-    | Some Interp.Stop_syscall ->
+    match Interp.run ~cache mem cpu ~fuel:1 with
+    | Interp.Stop_quantum -> ()
+    | Interp.Stop_syscall ->
         let nr = Int64.to_int (Cpu.get cpu (Reg.of_int Occlum_abi.Abi.Regs.sys_nr)) in
         Printf.printf "        syscall nr=%d args=(%Ld, %Ld, %Ld)\n" nr
           (Cpu.get cpu (Reg.of_int 2)) (Cpu.get cpu (Reg.of_int 3))
@@ -106,12 +109,14 @@ let trace input limit args watch_regs =
         if nr = Occlum_abi.Abi.Sys.exit then
           stop := Some (Printf.sprintf "exit(%Ld)" (Cpu.get cpu (Reg.of_int 2)))
         else Cpu.set cpu R.result 0L
-    | Some (Interp.Stop_fault f) -> stop := Some ("fault: " ^ Fault.to_string f)
-    | Some Interp.Stop_quantum -> ()
+    | Interp.Stop_fault f -> stop := Some ("fault: " ^ Fault.to_string f)
   done;
   Printf.printf "--- %s after %d instructions (%d cycles, %d bound checks)\n"
     (match !stop with Some s -> s | None -> "trace limit reached")
-    !steps cpu.Cpu.cycles cpu.Cpu.bound_checks
+    !steps cpu.Cpu.cycles cpu.Cpu.bound_checks;
+  Printf.printf
+    "--- decode cache: %d hits, %d misses, %d invalidations (per-insn stepping)\n"
+    cpu.Cpu.dcache_hits cpu.Cpu.dcache_misses cpu.Cpu.dcache_invalidations
 
 let cmd =
   Cmd.v

@@ -20,6 +20,9 @@ type result = {
   loads : int;
   stores : int;
   bound_checks : int;
+  dcache_hits : int;
+  dcache_misses : int;
+  wall_s : float; (* host seconds spent inside Interp.run *)
 }
 
 exception Runtime_fault of Fault.t
@@ -30,7 +33,8 @@ let guard = Occlum_oelf.Oelf.guard_size
    region, one guard page. *)
 let code_base = 0x10000
 
-let run ?(fuel = 200_000_000) ?(args = []) ?(nx = true) (oelf : Occlum_oelf.Oelf.t) =
+let run ?(fuel = 200_000_000) ?(args = []) ?(nx = true) ?(decode_cache = true)
+    (oelf : Occlum_oelf.Oelf.t) =
   let code_size = Occlum_util.Bytes_util.round_up (Bytes.length oelf.code) 4096 in
   let data_base = code_base + code_size + guard in
   let top = data_base + oelf.data_region_size + guard in
@@ -76,8 +80,13 @@ let run ?(fuel = 200_000_000) ?(args = []) ?(nx = true) (oelf : Occlum_oelf.Oelf
   let brk = ref oelf.heap_start in
   let finished = ref None in
   let remaining () = fuel - cpu.Cpu.insns in
+  let cache = if decode_cache then Some (Decode_cache.create ()) else None in
+  let wall = ref 0. in
   while !finished = None && remaining () > 0 do
-    match Interp.run mem cpu ~fuel:(remaining ()) with
+    let t0 = Unix.gettimeofday () in
+    let stop = Interp.run ?cache mem cpu ~fuel:(remaining ()) in
+    wall := !wall +. (Unix.gettimeofday () -. t0);
+    match stop with
     | Stop_quantum -> ()
     | Stop_fault f -> raise (Runtime_fault f)
     | Stop_syscall ->
@@ -120,4 +129,7 @@ let run ?(fuel = 200_000_000) ?(args = []) ?(nx = true) (oelf : Occlum_oelf.Oelf
     loads = cpu.Cpu.loads;
     stores = cpu.Cpu.stores;
     bound_checks = cpu.Cpu.bound_checks;
+    dcache_hits = cpu.Cpu.dcache_hits;
+    dcache_misses = cpu.Cpu.dcache_misses;
+    wall_s = !wall;
   }

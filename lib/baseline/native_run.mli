@@ -10,6 +10,9 @@ type result = {
   loads : int;
   stores : int;
   bound_checks : int;
+  dcache_hits : int;
+  dcache_misses : int;
+  wall_s : float;  (** host seconds spent inside [Interp.run] *)
 }
 
 exception Runtime_fault of Occlum_machine.Fault.t
@@ -20,8 +23,12 @@ val run :
   ?fuel:int ->
   ?args:string list ->
   ?nx:bool ->
+  ?decode_cache:bool ->
   Occlum_oelf.Oelf.t ->
   result
 (** Load and run to exit. [nx:false] maps the data region RWX — the
     classic unprotected process the RIPE baseline assumes.
+    [decode_cache:false] (default [true]) forces uncached
+    fetch/decode/execute — the differential tests and the micro bench
+    compare the two paths.
     @raise Runtime_fault on any machine fault. *)

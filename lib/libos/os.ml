@@ -54,6 +54,7 @@ type config = {
                   preallocating (§6's "can be avoided on SGX 2.0") *)
   domains : Domain_mgr.config;
   quantum : int;
+  decode_cache : bool; (* replay decoded basic blocks in Interp.run *)
   fs_key : string;
   (* EIP model knobs *)
   eip_runtime_image_bytes : int; (* measured on every enclave creation *)
@@ -67,6 +68,7 @@ let default_config =
     sgx2 = false;
     domains = Domain_mgr.default_config;
     quantum = 100_000;
+    decode_cache = true;
     fs_key = "occlum-fs-master-key";
     eip_runtime_image_bytes = 8 * 1024 * 1024;
     eip_ocall_ns = 6_000L;
@@ -78,6 +80,11 @@ type t = {
   epc : Occlum_sgx.Epc.t;
   enclave : Occlum_sgx.Enclave.t;
   mem : Mem.t;
+  (* one decoded-block cache for the whole enclave: blocks are keyed by
+     absolute pc in the shared address space, and the loader's privileged
+     code writes bump the page generations that invalidate them when a
+     domain slot is reused *)
+  dcache : Decode_cache.t option;
   domains : Domain_mgr.t;
   procs : (int, proc) Hashtbl.t;
   mutable runq : int list;
@@ -122,6 +129,7 @@ let boot ?(config = default_config) ?epc ?host_fs () =
     epc;
     enclave;
     mem = Occlum_sgx.Enclave.mem enclave;
+    dcache = (if config.decode_cache then Some (Decode_cache.create ()) else None);
     domains;
     procs = Hashtbl.create 32;
     runq = [];
@@ -141,6 +149,10 @@ let boot ?(config = default_config) ?epc ?host_fs () =
 
 let clock t = t.clock_ns
 let console_output t = Buffer.contents t.console
+
+(* (hits, misses, invalidations) of the enclave-wide decoded-block
+   cache; None when the cache is disabled in the config. *)
+let decode_cache_stats t = Option.map Decode_cache.stats t.dcache
 
 let proc_output t pid =
   match Hashtbl.find_opt t.proc_out pid with
@@ -1236,7 +1248,7 @@ let step t =
       if p.state <> `Runnable then true
       else begin
         let before = p.cpu.cycles in
-        let stop = Interp.run t.mem p.cpu ~fuel:t.cfg.quantum in
+        let stop = Interp.run ?cache:t.dcache t.mem p.cpu ~fuel:t.cfg.quantum in
         t.clock_ns <- Int64.add t.clock_ns (cycles_to_ns (p.cpu.cycles - before));
         (match stop with
         | Interp.Stop_quantum -> ()

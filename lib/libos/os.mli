@@ -49,6 +49,8 @@ type config = {
           (§6's "can be avoided on SGX 2.0") *)
   domains : Domain_mgr.config;
   quantum : int;  (** instructions per scheduling slice *)
+  decode_cache : bool;
+      (** replay decoded basic blocks in [Interp.run] (default on) *)
   fs_key : string;
   eip_runtime_image_bytes : int;
       (** the Graphene runtime pages measured on every EIP creation *)
@@ -63,6 +65,8 @@ type t = {
   epc : Occlum_sgx.Epc.t;
   enclave : Occlum_sgx.Enclave.t;
   mem : Mem.t;
+  dcache : Decode_cache.t option;
+      (** one decoded-block cache for the whole enclave address space *)
   domains : Domain_mgr.t;
   procs : (int, proc) Hashtbl.t;
   mutable runq : int list;
@@ -86,6 +90,10 @@ val boot : ?config:config -> ?epc:Occlum_sgx.Epc.t -> ?host_fs:Sefs.Host_store.t
 
 val clock : t -> int64
 val console_output : t -> string
+
+val decode_cache_stats : t -> (int * int * int) option
+(** [(hits, misses, invalidations)]; [None] when the cache is disabled. *)
+
 val proc_output : t -> int -> string
 val find_proc : t -> int -> proc option
 val live_procs : t -> proc list

@@ -20,3 +20,31 @@ let cfi_label = 1 (* an 8-byte nop still occupies a slot *)
 let nop = 1
 let syscall_gate = 60 (* enter/leave the LibOS: stack + TLS switch, sanity checks *)
 let div = 20
+
+(* The cycle charge of one instruction. Both interpreter paths — the
+   plain decode-every-time loop and the decoded-block cache — charge
+   through this single function, so caching can never perturb the cycle
+   accounting the Fig. 5/7 results are built on. Privileged instructions
+   stop execution before being charged, so they map to 0 here. *)
+let of_insn (i : Occlum_isa.Insn.t) =
+  match i with
+  | Nop -> nop
+  | Cfi_label _ -> cfi_label
+  | Mov_imm _ | Mov_reg _ -> mov
+  | Load _ -> load
+  | Store _ -> store
+  | Push _ -> push
+  | Pop _ -> pop
+  | Lea _ -> lea
+  | Alu ((Divu | Remu), _, _) -> div
+  | Alu _ | Cmp _ -> alu
+  | Jmp _ | Jcc _ -> branch
+  | Call _ -> call
+  | Jmp_reg _ | Call_reg _ | Jmp_mem _ | Call_mem _ -> branch_indirect
+  | Ret | Ret_imm _ -> ret
+  | Bndcl _ | Bndcu _ -> bound_check
+  | Syscall_gate -> syscall_gate
+  | Vscatter _ -> store * 4
+  | Hlt | Bndmk _ | Bndmov _ | Eexit | Emodpe | Eaccept | Xrstor
+  | Wrfsbase _ | Wrgsbase _ ->
+      0

@@ -20,3 +20,9 @@ val cfi_label : int
 val nop : int
 val syscall_gate : int
 val div : int
+
+val of_insn : Occlum_isa.Insn.t -> int
+(** The cycle charge for one instruction — the single table both the
+    uncached interpreter and the decoded-block fast path charge from, so
+    the two agree cycle-for-cycle. Privileged/LibOS-only opcodes cost 0
+    (they still count as retired instructions). *)

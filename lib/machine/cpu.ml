@@ -15,6 +15,11 @@ type t = {
   mutable loads : int;
   mutable stores : int;
   mutable bound_checks : int;
+  (* decoded-block cache statistics; purely observational, never part of
+     the architectural state captured by [save]/[restore] *)
+  mutable dcache_hits : int;
+  mutable dcache_misses : int;
+  mutable dcache_invalidations : int;
 }
 
 let create () =
@@ -29,6 +34,9 @@ let create () =
     loads = 0;
     stores = 0;
     bound_checks = 0;
+    dcache_hits = 0;
+    dcache_misses = 0;
+    dcache_invalidations = 0;
   }
 
 let get t r = t.regs.(Occlum_isa.Reg.to_int r)

@@ -15,6 +15,11 @@ type t = {
   mutable loads : int;
   mutable stores : int;
   mutable bound_checks : int;
+  (* decoded-block cache observability; not architectural state, so not
+     part of {!save}/{!restore} snapshots *)
+  mutable dcache_hits : int;
+  mutable dcache_misses : int;
+  mutable dcache_invalidations : int;
 }
 
 val create : unit -> t

@@ -1,7 +1,15 @@
 (* The fetch/decode/execute loop. Runs untrusted SIP code only; the LibOS
    itself is OCaml and interacts with the machine through [Cpu] and
    [Mem]. Execution stops on a syscall gate, a fault (→ AEX, captured by
-   the LibOS) or quantum expiry (→ preemption). *)
+   the LibOS) or quantum expiry (→ preemption).
+
+   Two execution paths share one executor ([exec_decoded]):
+   - [step] fetches and decodes at pc on every instruction;
+   - [run ~cache] replays decoded basic blocks from a [Decode_cache],
+     falling back to [step] whenever a block cannot be built. The cached
+     path must be observably identical to the uncached one: same cycle
+     charges (both go through [Cost.of_insn]), same counters, same fault
+     addresses, and the same mid-block stop when fuel runs out. *)
 
 open Occlum_isa
 
@@ -91,10 +99,13 @@ let ea_value mem cpu ea ~end_pc =
   | Ea_reg r -> Cpu.get cpu r
   | Ea_mem m -> Int64.of_int (effective_address mem cpu m ~end_pc)
 
+(* The store happens first: if it faults, the AEX-captured state must
+   still hold the pre-push stack pointer (a decremented sp with nothing
+   written would corrupt the SIP's resume/kill diagnostics). *)
 let push_u64 mem cpu v =
   let sp = Int64.sub (Cpu.get cpu Reg.sp) 8L in
-  Cpu.set cpu Reg.sp sp;
-  Mem.write_u64 mem (Int64.to_int (Int64.logand sp addr_mask)) v
+  Mem.write_u64 mem (Int64.to_int (Int64.logand sp addr_mask)) v;
+  Cpu.set cpu Reg.sp sp
 
 let pop_u64 mem cpu =
   let sp = Cpu.get cpu Reg.sp in
@@ -102,8 +113,157 @@ let pop_u64 mem cpu =
   Cpu.set cpu Reg.sp (Int64.add sp 8L);
   v
 
-(* Execute exactly one instruction. Returns [Some stop] when control
-   leaves the interpreter. *)
+(* Execute one already-decoded instruction whose encoding spans
+   [pc, pc+len) (the span is known executable). Returns [Some stop] when
+   control leaves the interpreter. Both the decoding [step] and the
+   decoded-block replay call this, so the architectural effects and the
+   cycle/counter accounting cannot diverge between them. *)
+let exec_decoded mem cpu insn ~pc ~len : stop option =
+  let end_pc = pc + len in
+  match
+    cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+    cpu.Cpu.cycles <- cpu.Cpu.cycles + Cost.of_insn insn;
+    let goto target = cpu.Cpu.pc <- target in
+    let next () = goto end_pc in
+    match (insn : Insn.t) with
+    | Nop ->
+        next ();
+        None
+    | Cfi_label _ ->
+        next ();
+        None
+    | Mov_imm (r, v) ->
+        Cpu.set cpu r v;
+        next ();
+        None
+    | Mov_reg (d, s) ->
+        Cpu.set cpu d (Cpu.get cpu s);
+        next ();
+        None
+    | Load { dst; src; size } ->
+        cpu.Cpu.loads <- cpu.Cpu.loads + 1;
+        let addr = effective_address mem cpu src ~end_pc in
+        Cpu.set cpu dst (read_sized mem addr size);
+        next ();
+        None
+    | Store { dst; src; size } ->
+        cpu.Cpu.stores <- cpu.Cpu.stores + 1;
+        let addr = effective_address mem cpu dst ~end_pc in
+        write_sized mem addr size (Cpu.get cpu src);
+        next ();
+        None
+    | Push r ->
+        cpu.Cpu.stores <- cpu.Cpu.stores + 1;
+        push_u64 mem cpu (Cpu.get cpu r);
+        next ();
+        None
+    | Pop r ->
+        cpu.Cpu.loads <- cpu.Cpu.loads + 1;
+        let v = pop_u64 mem cpu in
+        Cpu.set cpu r v;
+        next ();
+        None
+    | Lea (r, m) ->
+        Cpu.set cpu r (Int64.of_int (effective_address mem cpu m ~end_pc));
+        next ();
+        None
+    | Alu (op, d, o) ->
+        Cpu.set cpu d (alu_exec op (Cpu.get cpu d) (operand_value cpu o) ~pc);
+        next ();
+        None
+    | Cmp (a, o) ->
+        let x = Cpu.get cpu a and y = operand_value cpu o in
+        cpu.Cpu.flag_eq <- Int64.equal x y;
+        cpu.Cpu.flag_lt <- Int64.compare x y < 0;
+        next ();
+        None
+    | Jmp rel ->
+        goto (end_pc + rel);
+        None
+    | Jcc (c, rel) ->
+        if cond_holds cpu c then goto (end_pc + rel) else next ();
+        None
+    | Call rel ->
+        cpu.Cpu.stores <- cpu.Cpu.stores + 1;
+        push_u64 mem cpu (Int64.of_int end_pc);
+        goto (end_pc + rel);
+        None
+    | Jmp_reg r ->
+        goto (Int64.to_int (Int64.logand (Cpu.get cpu r) addr_mask));
+        None
+    | Call_reg r ->
+        cpu.Cpu.stores <- cpu.Cpu.stores + 1;
+        push_u64 mem cpu (Int64.of_int end_pc);
+        goto (Int64.to_int (Int64.logand (Cpu.get cpu r) addr_mask));
+        None
+    | Jmp_mem m ->
+        cpu.Cpu.loads <- cpu.Cpu.loads + 1;
+        let addr = effective_address mem cpu m ~end_pc in
+        goto (Int64.to_int (Int64.logand (Mem.read_u64 mem addr) addr_mask));
+        None
+    | Call_mem m ->
+        cpu.Cpu.loads <- cpu.Cpu.loads + 1;
+        let addr = effective_address mem cpu m ~end_pc in
+        let target = Mem.read_u64 mem addr in
+        cpu.Cpu.stores <- cpu.Cpu.stores + 1;
+        push_u64 mem cpu (Int64.of_int end_pc);
+        goto (Int64.to_int (Int64.logand target addr_mask));
+        None
+    | Ret ->
+        cpu.Cpu.loads <- cpu.Cpu.loads + 1;
+        goto (Int64.to_int (Int64.logand (pop_u64 mem cpu) addr_mask));
+        None
+    | Ret_imm n ->
+        cpu.Cpu.loads <- cpu.Cpu.loads + 1;
+        (* the pop may fault; the sp adjustment commits only afterwards *)
+        let target = pop_u64 mem cpu in
+        Cpu.set cpu Reg.sp (Int64.add (Cpu.get cpu Reg.sp) (Int64.of_int n));
+        goto (Int64.to_int (Int64.logand target addr_mask));
+        None
+    | Bndcl (b, ea) ->
+        bound_check cpu b (ea_value mem cpu ea ~end_pc) ~lower:true;
+        next ();
+        None
+    | Bndcu (b, ea) ->
+        bound_check cpu b (ea_value mem cpu ea ~end_pc) ~lower:false;
+        next ();
+        None
+    | Syscall_gate ->
+        next ();
+        Some Stop_syscall
+    | Hlt -> Some (Stop_fault (Privileged { addr = pc; insn = "hlt" }))
+    | Bndmk _ -> Some (Stop_fault (Privileged { addr = pc; insn = "bndmk" }))
+    | Bndmov _ -> Some (Stop_fault (Privileged { addr = pc; insn = "bndmov" }))
+    | Eexit -> Some (Stop_fault (Privileged { addr = pc; insn = "eexit" }))
+    | Emodpe -> Some (Stop_fault (Privileged { addr = pc; insn = "emodpe" }))
+    | Eaccept -> Some (Stop_fault (Privileged { addr = pc; insn = "eaccept" }))
+    | Xrstor -> Some (Stop_fault (Privileged { addr = pc; insn = "xrstor" }))
+    | Wrfsbase _ ->
+        Some (Stop_fault (Privileged { addr = pc; insn = "wrfsbase" }))
+    | Wrgsbase _ ->
+        Some (Stop_fault (Privileged { addr = pc; insn = "wrgsbase" }))
+    | Vscatter { base; index; scale; src } ->
+        (* one instruction, multiple non-contiguous stores — the
+           reason Stage 4 rejects it (Figure 4) *)
+        cpu.Cpu.stores <- cpu.Cpu.stores + 4;
+        let b = Cpu.get cpu base and i = Cpu.get cpu index in
+        for lane = 0 to 3 do
+          let a =
+            Int64.add b
+              (Int64.mul (Int64.add i (Int64.of_int lane)) (Int64.of_int scale))
+          in
+          Mem.write_u64 mem
+            (Int64.to_int (Int64.logand a addr_mask))
+            (Cpu.get cpu src)
+        done;
+        next ();
+        None
+  with
+  | exception Fault.Fault f -> Some (Stop_fault f)
+  | r -> r
+
+(* Execute exactly one instruction, fetching and decoding at pc. Returns
+   [Some stop] when control leaves the interpreter. *)
 let step mem cpu : stop option =
   let pc = cpu.Cpu.pc in
   match
@@ -115,167 +275,12 @@ let step mem cpu : stop option =
   | Error e ->
       Some (Stop_fault (Decode_fault { addr = pc; reason = Codec.error_to_string e }))
   | Ok (insn, len) -> (
-      let end_pc = pc + len in
       (* the whole instruction must lie in executable pages *)
-      match
-        Mem.check_access mem pc len Exec;
-        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
-        let goto target = cpu.Cpu.pc <- target in
-        let next () = goto end_pc in
-        let charge c = cpu.Cpu.cycles <- cpu.Cpu.cycles + c in
-        match insn with
-        | Nop ->
-            charge Cost.nop;
-            next ();
-            None
-        | Cfi_label _ ->
-            charge Cost.cfi_label;
-            next ();
-            None
-        | Mov_imm (r, v) ->
-            charge Cost.mov;
-            Cpu.set cpu r v;
-            next ();
-            None
-        | Mov_reg (d, s) ->
-            charge Cost.mov;
-            Cpu.set cpu d (Cpu.get cpu s);
-            next ();
-            None
-        | Load { dst; src; size } ->
-            charge Cost.load;
-            cpu.Cpu.loads <- cpu.Cpu.loads + 1;
-            let addr = effective_address mem cpu src ~end_pc in
-            Cpu.set cpu dst (read_sized mem addr size);
-            next ();
-            None
-        | Store { dst; src; size } ->
-            charge Cost.store;
-            cpu.Cpu.stores <- cpu.Cpu.stores + 1;
-            let addr = effective_address mem cpu dst ~end_pc in
-            write_sized mem addr size (Cpu.get cpu src);
-            next ();
-            None
-        | Push r ->
-            charge Cost.push;
-            cpu.Cpu.stores <- cpu.Cpu.stores + 1;
-            push_u64 mem cpu (Cpu.get cpu r);
-            next ();
-            None
-        | Pop r ->
-            charge Cost.pop;
-            cpu.Cpu.loads <- cpu.Cpu.loads + 1;
-            let v = pop_u64 mem cpu in
-            Cpu.set cpu r v;
-            next ();
-            None
-        | Lea (r, m) ->
-            charge Cost.lea;
-            Cpu.set cpu r (Int64.of_int (effective_address mem cpu m ~end_pc));
-            next ();
-            None
-        | Alu (op, d, o) ->
-            charge (match op with Divu | Remu -> Cost.div | _ -> Cost.alu);
-            Cpu.set cpu d (alu_exec op (Cpu.get cpu d) (operand_value cpu o) ~pc);
-            next ();
-            None
-        | Cmp (a, o) ->
-            charge Cost.alu;
-            let x = Cpu.get cpu a and y = operand_value cpu o in
-            cpu.Cpu.flag_eq <- Int64.equal x y;
-            cpu.Cpu.flag_lt <- Int64.compare x y < 0;
-            next ();
-            None
-        | Jmp rel ->
-            charge Cost.branch;
-            goto (end_pc + rel);
-            None
-        | Jcc (c, rel) ->
-            charge Cost.branch;
-            if cond_holds cpu c then goto (end_pc + rel) else next ();
-            None
-        | Call rel ->
-            charge Cost.call;
-            push_u64 mem cpu (Int64.of_int end_pc);
-            goto (end_pc + rel);
-            None
-        | Jmp_reg r ->
-            charge Cost.branch_indirect;
-            goto (Int64.to_int (Int64.logand (Cpu.get cpu r) addr_mask));
-            None
-        | Call_reg r ->
-            charge Cost.branch_indirect;
-            push_u64 mem cpu (Int64.of_int end_pc);
-            goto (Int64.to_int (Int64.logand (Cpu.get cpu r) addr_mask));
-            None
-        | Jmp_mem m ->
-            charge Cost.branch_indirect;
-            let addr = effective_address mem cpu m ~end_pc in
-            goto (Int64.to_int (Int64.logand (Mem.read_u64 mem addr) addr_mask));
-            None
-        | Call_mem m ->
-            charge Cost.branch_indirect;
-            let addr = effective_address mem cpu m ~end_pc in
-            let target = Mem.read_u64 mem addr in
-            push_u64 mem cpu (Int64.of_int end_pc);
-            goto (Int64.to_int (Int64.logand target addr_mask));
-            None
-        | Ret ->
-            charge Cost.ret;
-            goto (Int64.to_int (Int64.logand (pop_u64 mem cpu) addr_mask));
-            None
-        | Ret_imm n ->
-            charge Cost.ret;
-            let target = pop_u64 mem cpu in
-            Cpu.set cpu Reg.sp (Int64.add (Cpu.get cpu Reg.sp) (Int64.of_int n));
-            goto (Int64.to_int (Int64.logand target addr_mask));
-            None
-        | Bndcl (b, ea) ->
-            charge Cost.bound_check;
-            bound_check cpu b (ea_value mem cpu ea ~end_pc) ~lower:true;
-            next ();
-            None
-        | Bndcu (b, ea) ->
-            charge Cost.bound_check;
-            bound_check cpu b (ea_value mem cpu ea ~end_pc) ~lower:false;
-            next ();
-            None
-        | Syscall_gate ->
-            charge Cost.syscall_gate;
-            next ();
-            Some Stop_syscall
-        | Hlt -> Some (Stop_fault (Privileged { addr = pc; insn = "hlt" }))
-        | Bndmk _ -> Some (Stop_fault (Privileged { addr = pc; insn = "bndmk" }))
-        | Bndmov _ -> Some (Stop_fault (Privileged { addr = pc; insn = "bndmov" }))
-        | Eexit -> Some (Stop_fault (Privileged { addr = pc; insn = "eexit" }))
-        | Emodpe -> Some (Stop_fault (Privileged { addr = pc; insn = "emodpe" }))
-        | Eaccept -> Some (Stop_fault (Privileged { addr = pc; insn = "eaccept" }))
-        | Xrstor -> Some (Stop_fault (Privileged { addr = pc; insn = "xrstor" }))
-        | Wrfsbase _ ->
-            Some (Stop_fault (Privileged { addr = pc; insn = "wrfsbase" }))
-        | Wrgsbase _ ->
-            Some (Stop_fault (Privileged { addr = pc; insn = "wrgsbase" }))
-        | Vscatter { base; index; scale; src } ->
-            (* one instruction, multiple non-contiguous stores — the
-               reason Stage 4 rejects it (Figure 4) *)
-            charge (Cost.store * 4);
-            let b = Cpu.get cpu base and i = Cpu.get cpu index in
-            for lane = 0 to 3 do
-              let a =
-                Int64.add b
-                  (Int64.mul (Int64.add i (Int64.of_int lane)) (Int64.of_int scale))
-              in
-              Mem.write_u64 mem
-                (Int64.to_int (Int64.logand a addr_mask))
-                (Cpu.get cpu src)
-            done;
-            next ();
-            None
-      with
+      match Mem.check_access mem pc len Exec with
       | exception Fault.Fault f -> Some (Stop_fault f)
-      | r -> r)
+      | () -> exec_decoded mem cpu insn ~pc ~len)
 
-let run mem cpu ~fuel =
+let run_uncached mem cpu ~fuel =
   let rec loop fuel =
     if fuel <= 0 then Stop_quantum
     else
@@ -284,3 +289,54 @@ let run mem cpu ~fuel =
       | None -> loop (fuel - 1)
   in
   loop fuel
+
+(* The cached loop. Executable-span checks are elided for cached
+   instructions: block validity (unchanged page generations) implies the
+   span still decodes and is still executable, exactly as at build time.
+   Fuel is re-checked before every instruction so quantum expiry lands on
+   the same instruction boundary as the uncached loop, and fragile
+   blocks (those on writable+executable pages) are revalidated between
+   instructions so self-modifying stores take effect on the very next
+   fetch, as they would uncached. *)
+let run_cached cache mem cpu ~fuel =
+  let rec loop fuel =
+    if fuel <= 0 then Stop_quantum
+    else
+      match Decode_cache.lookup cache mem cpu.Cpu.pc with
+      | Decode_cache.Hit b ->
+          cpu.Cpu.dcache_hits <- cpu.Cpu.dcache_hits + 1;
+          exec_block b fuel
+      | (Decode_cache.Stale | Decode_cache.Miss) as r -> (
+          if r = Decode_cache.Stale then
+            cpu.Cpu.dcache_invalidations <- cpu.Cpu.dcache_invalidations + 1;
+          cpu.Cpu.dcache_misses <- cpu.Cpu.dcache_misses + 1;
+          match Decode_cache.build cache mem cpu.Cpu.pc with
+          | Some b -> exec_block b fuel
+          | None -> (
+              (* nothing decodable/executable at pc: the uncached step
+                 raises the fault with identical address and reason *)
+              match step mem cpu with
+              | Some stop -> stop
+              | None -> loop (fuel - 1)))
+  and exec_block (b : Decode_cache.block) fuel =
+    let n = Array.length b.insns in
+    let rec go i pc fuel =
+      if fuel <= 0 then Stop_quantum
+      else if i >= n then loop fuel
+      else if b.fragile && i > 0 && not (Decode_cache.block_valid mem b) then
+        (* a store inside this block rewrote its own code page: refetch *)
+        loop fuel
+      else
+        let insn, len = b.insns.(i) in
+        match exec_decoded mem cpu insn ~pc ~len with
+        | Some stop -> stop
+        | None -> go (i + 1) (pc + len) (fuel - 1)
+    in
+    go 0 b.entry fuel
+  in
+  loop fuel
+
+let run ?cache mem cpu ~fuel =
+  match cache with
+  | None -> run_uncached mem cpu ~fuel
+  | Some c -> run_cached c mem cpu ~fuel

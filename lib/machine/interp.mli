@@ -12,5 +12,13 @@ val step : Mem.t -> Cpu.t -> stop option
 (** Execute exactly one instruction; [Some stop] when control leaves the
     interpreter. *)
 
-val run : Mem.t -> Cpu.t -> fuel:int -> stop
-(** Run until a stop condition or [fuel] executed instructions. *)
+val run : ?cache:Decode_cache.t -> Mem.t -> Cpu.t -> fuel:int -> stop
+(** Run until a stop condition or [fuel] executed instructions.
+
+    With [?cache], straight-line runs of instructions are decoded once
+    into basic blocks and replayed from the cache on later visits.
+    Observable semantics are identical to the uncached loop: the same
+    per-instruction cycle charges and counters, the same fault points,
+    and fuel is checked before every instruction so [Stop_quantum]
+    lands on the same boundary. Cache hit/miss/invalidation totals are
+    accumulated into the {!Cpu.t} stats fields. *)

@@ -19,16 +19,45 @@ let perm_to_string p =
 type t = {
   data : Bytes.t;
   pages : perm option array; (* None = unmapped *)
+  gens : int array; (* per-page code generation, see [page_gen] *)
   size : int;
 }
 
 let create ~size =
   if size <= 0 || size mod page_size <> 0 then
     invalid_arg "Mem.create: size must be a positive multiple of the page size";
-  { data = Bytes.make size '\x00'; pages = Array.make (size / page_size) None; size }
+  {
+    data = Bytes.make size '\x00';
+    pages = Array.make (size / page_size) None;
+    gens = Array.make (size / page_size) 0;
+    size;
+  }
 
 let size t = t.size
 let page_count t = Array.length t.pages
+
+(* Generation counter of a page, bumped whenever the bytes or mapping of
+   an executable page may have changed: on [map]/[unmap] and on any write
+   that lands in a page with the x permission (privileged writers
+   included — the loader writes code through them). Decoded-instruction
+   caches snapshot these counters and treat a mismatch as invalidation,
+   so they never serve stale code. *)
+let page_gen t page = t.gens.(page)
+
+let bump_gen t ~addr ~len =
+  for p = addr / page_size to (addr + len - 1) / page_size do
+    t.gens.(p) <- t.gens.(p) + 1
+  done
+
+(* Bump generations only where the span touches executable pages; writes
+   to plain data pages can stay generation-silent. *)
+let touch_code t ~addr ~len =
+  if len > 0 then
+    for p = addr / page_size to (addr + len - 1) / page_size do
+      match t.pages.(p) with
+      | Some { x = true; _ } -> t.gens.(p) <- t.gens.(p) + 1
+      | _ -> ()
+    done
 
 let check_range t addr len =
   if addr < 0 || len < 0 || addr + len > t.size then
@@ -40,7 +69,8 @@ let map t ~addr ~len ~perm =
     invalid_arg "Mem.map: unaligned";
   for p = addr / page_size to ((addr + len) / page_size) - 1 do
     t.pages.(p) <- Some perm
-  done
+  done;
+  if len > 0 then bump_gen t ~addr ~len
 
 let unmap t ~addr ~len =
   check_range t addr len;
@@ -48,7 +78,8 @@ let unmap t ~addr ~len =
     invalid_arg "Mem.unmap: unaligned";
   for p = addr / page_size to ((addr + len) / page_size) - 1 do
     t.pages.(p) <- None
-  done
+  done;
+  if len > 0 then bump_gen t ~addr ~len
 
 let perm_at t addr =
   if addr < 0 || addr >= t.size then None else t.pages.(addr / page_size)
@@ -79,6 +110,7 @@ let read_u8 t addr =
 
 let write_u8 t addr v =
   check_access t addr 1 Write;
+  touch_code t ~addr ~len:1;
   Bytes.set t.data addr (Char.chr (v land 0xFF))
 
 let read_u64 t addr =
@@ -87,6 +119,7 @@ let read_u64 t addr =
 
 let write_u64 t addr v =
   check_access t addr 8 Write;
+  touch_code t ~addr ~len:8;
   Bytes.set_int64_le t.data addr v
 
 (* Privileged accessors for the LibOS / loader: no permission checks,
@@ -97,6 +130,7 @@ let read_bytes_priv t ~addr ~len =
 
 let write_bytes_priv t ~addr bytes =
   check_range t addr (Bytes.length bytes);
+  touch_code t ~addr ~len:(Bytes.length bytes);
   Bytes.blit bytes 0 t.data addr (Bytes.length bytes)
 
 let read_u64_priv t addr =
@@ -105,10 +139,12 @@ let read_u64_priv t addr =
 
 let write_u64_priv t addr v =
   check_range t addr 8;
+  touch_code t ~addr ~len:8;
   Bytes.set_int64_le t.data addr v
 
 let fill_priv t ~addr ~len c =
   check_range t addr len;
+  touch_code t ~addr ~len;
   Bytes.fill t.data addr len c
 
 let raw t = t.data

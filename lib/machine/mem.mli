@@ -31,6 +31,12 @@ val unmap : t -> addr:int -> len:int -> unit
 val perm_at : t -> int -> perm option
 (** [None] if the address is unmapped or out of range. *)
 
+val page_gen : t -> int -> int
+(** [page_gen t page] is the page's generation counter. It is bumped by
+    {!map}, {!unmap} and every write — user or privileged — that touches
+    an executable page, so cached decodings of a page are stale exactly
+    when its generation has moved. *)
+
 val check_access : t -> int -> int -> Fault.access -> unit
 (** Fault-checking span test used by the interpreter: the whole byte span
     must be mapped with the needed permission.

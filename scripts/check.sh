@@ -1,0 +1,10 @@
+#!/bin/sh
+# The CI gate: build everything, run the full test suite, and run the
+# micro benchmarks (which include the decode-cache speedup check and a
+# machine-readable results dump).
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build @all
+dune runtest
+dune exec bench/main.exe -- --only=micro --json _build/bench-micro.json

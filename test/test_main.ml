@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("isa", Test_isa.suite);
       ("machine", Test_machine.suite);
+      ("decode-cache", Test_decode_cache.suite);
       ("sgx", Test_sgx.suite);
       ("oelf", Test_oelf.suite);
       ("toolchain", Test_toolchain.suite);
