@@ -1,8 +1,18 @@
-(* occlum_trace: single-step a verified binary on a bare domain and print
-   a per-instruction trace — disassembly, registers of interest, bound
-   checks and faults. The debugging companion to occlum_run.
+(* occlum_trace: two tracers in one binary.
 
-     occlum_trace app.oelf --limit 200 --arg 42 *)
+   Single-step mode (a positional BINARY.oelf): execute on a bare domain
+   and print a per-instruction trace — disassembly, registers of
+   interest, bound checks and faults. The debugging companion to
+   occlum_run.
+
+     occlum_trace app.oelf --limit 200 --arg 42
+
+   LibOS mode (--chrome-out, no positional argument): boot a full LibOS,
+   run the fish pipeline workload with the structured tracer attached,
+   and export the events as Chrome trace_event JSON (loadable in
+   chrome://tracing or https://ui.perfetto.dev) plus a text report.
+
+     occlum_trace --events=syscall,sched,lifecycle --chrome-out=boot.json *)
 
 open Cmdliner
 open Occlum_isa
@@ -12,7 +22,51 @@ module R = Occlum_toolchain.Codegen_regs
 let guard = Occlum_oelf.Oelf.guard_size
 let code_base = 0x10000
 
-let trace input limit args watch_regs =
+(* --- LibOS mode --------------------------------------------------------- *)
+
+let libos_trace ~events ~chrome_out ~capacity ~system ~repeats ~lines =
+  let module H = Occlum_workloads.Harness in
+  let classes =
+    match Occlum_obs.Obs.classes_of_string events with
+    | Ok c -> c
+    | Error m ->
+        prerr_endline ("occlum_trace: " ^ m);
+        exit 2
+  in
+  let system =
+    match String.lowercase_ascii system with
+    | "occlum" | "sip" -> H.Occlum
+    | "graphene" | "eip" -> H.Graphene
+    | "linux" -> H.Linux
+    | s ->
+        prerr_endline ("occlum_trace: unknown system " ^ s);
+        exit 2
+  in
+  let obs = Occlum_obs.Obs.create ~capacity ~events:classes () in
+  let os = H.boot ~obs system in
+  H.install os system Occlum_workloads.Fish.binaries;
+  let res =
+    H.timed_run os "/bin/fish"
+      ~args:[ string_of_int repeats; string_of_int lines ]
+  in
+  let oc = open_out chrome_out in
+  output_string oc (Occlum_obs.Trace.to_chrome_json obs.Occlum_obs.Obs.trace);
+  close_out oc;
+  Printf.printf "%s boot + fish(%d,%d): %s, vclock %Ld ns, %d syscalls\n"
+    (H.system_name system) repeats lines
+    (match res.H.status with
+    | Occlum_libos.Os.All_exited -> "all exited"
+    | Occlum_libos.Os.Deadlock _ -> "deadlock"
+    | Occlum_libos.Os.Quota_exhausted -> "quota exhausted")
+    res.H.vclock_ns res.H.syscalls;
+  print_newline ();
+  print_string (Occlum_obs.Obs.report obs);
+  Printf.printf "\nchrome trace written to %s (open in chrome://tracing)\n"
+    chrome_out
+
+(* --- single-step mode --------------------------------------------------- *)
+
+let step_trace input limit args watch_regs =
   let oelf =
     let ic = open_in_bin input in
     let n = in_channel_length ic in
@@ -118,15 +172,47 @@ let trace input limit args watch_regs =
     "--- decode cache: %d hits, %d misses, %d invalidations (per-insn stepping)\n"
     cpu.Cpu.dcache_hits cpu.Cpu.dcache_misses cpu.Cpu.dcache_invalidations
 
+let trace input limit args watch_regs events chrome_out capacity system repeats
+    lines =
+  match (chrome_out, input) with
+  | Some chrome_out, _ ->
+      libos_trace ~events ~chrome_out ~capacity ~system ~repeats ~lines
+  | None, Some input -> step_trace input limit args watch_regs
+  | None, None ->
+      prerr_endline
+        "occlum_trace: need BINARY.oelf (single-step mode) or --chrome-out \
+         (LibOS mode)";
+      exit 2
+
 let cmd =
   Cmd.v
-    (Cmd.info "occlum_trace" ~doc:"Single-step a binary with a full trace")
+    (Cmd.info "occlum_trace"
+       ~doc:
+         "Single-step a binary with a full trace, or trace a LibOS boot to \
+          Chrome trace_event JSON")
     Term.(
       const trace
-      $ Arg.(required & pos 0 (some file) None & info [] ~docv:"BINARY.oelf")
+      $ Arg.(value & pos 0 (some file) None & info [] ~docv:"BINARY.oelf")
       $ Arg.(value & opt int 100 & info [ "n"; "limit" ] ~doc:"Max instructions.")
       $ Arg.(value & opt_all string [] & info [ "a"; "arg" ])
       $ Arg.(value & opt_all string [ "r0"; "r1"; "sp" ] & info [ "w"; "watch" ]
-               ~doc:"Registers to print each step (repeatable)."))
+               ~doc:"Registers to print each step (repeatable).")
+      $ Arg.(value & opt string "all"
+             & info [ "events" ]
+                 ~doc:
+                   "Event classes to record (comma-separated: quantum, \
+                    syscall, sched, lifecycle, aex, page, dcache, sefs, net; \
+                    or all).")
+      $ Arg.(value & opt (some string) None
+             & info [ "chrome-out" ] ~docv:"FILE"
+                 ~doc:
+                   "LibOS mode: boot a LibOS, run the fish workload traced, \
+                    write Chrome trace_event JSON here.")
+      $ Arg.(value & opt int 65536
+             & info [ "ring" ] ~doc:"Trace ring capacity (events).")
+      $ Arg.(value & opt string "occlum"
+             & info [ "system" ] ~doc:"occlum, graphene or linux.")
+      $ Arg.(value & opt int 2 & info [ "repeats" ] ~doc:"Fish rounds.")
+      $ Arg.(value & opt int 40 & info [ "lines" ] ~doc:"Fish lines per round."))
 
 let () = exit (Cmd.eval cmd)

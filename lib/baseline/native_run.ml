@@ -34,7 +34,7 @@ let guard = Occlum_oelf.Oelf.guard_size
 let code_base = 0x10000
 
 let run ?(fuel = 200_000_000) ?(args = []) ?(nx = true) ?(decode_cache = true)
-    (oelf : Occlum_oelf.Oelf.t) =
+    ?(obs = Occlum_obs.Obs.disabled) (oelf : Occlum_oelf.Oelf.t) =
   let code_size = Occlum_util.Bytes_util.round_up (Bytes.length oelf.code) 4096 in
   let data_base = code_base + code_size + guard in
   let top = data_base + oelf.data_region_size + guard in
@@ -84,7 +84,7 @@ let run ?(fuel = 200_000_000) ?(args = []) ?(nx = true) ?(decode_cache = true)
   let wall = ref 0. in
   while !finished = None && remaining () > 0 do
     let t0 = Unix.gettimeofday () in
-    let stop = Interp.run ?cache mem cpu ~fuel:(remaining ()) in
+    let stop = Interp.run ?cache ~obs mem cpu ~fuel:(remaining ()) in
     wall := !wall +. (Unix.gettimeofday () -. t0);
     match stop with
     | Stop_quantum -> ()

@@ -24,11 +24,13 @@ val run :
   ?args:string list ->
   ?nx:bool ->
   ?decode_cache:bool ->
+  ?obs:Occlum_obs.Obs.t ->
   Occlum_oelf.Oelf.t ->
   result
 (** Load and run to exit. [nx:false] maps the data region RWX — the
     classic unprotected process the RIPE baseline assumes.
     [decode_cache:false] (default [true]) forces uncached
     fetch/decode/execute — the differential tests and the micro bench
-    compare the two paths.
+    compare the two paths. [obs] routes decode-cache events to an
+    observability instance; the run is bit-identical with or without it.
     @raise Runtime_fault on any machine fault. *)

@@ -29,9 +29,28 @@ type listener = {
 type t = {
   listeners : (int, listener) Hashtbl.t;
   mutable ocall_bytes : int; (* traffic that crossed the enclave boundary *)
+  mutable obs : Occlum_obs.Obs.t; (* I/O events/metrics; the LibOS
+                                     attaches its own at boot *)
 }
 
-let create () = { listeners = Hashtbl.create 8; ocall_bytes = 0 }
+let create () =
+  { listeners = Hashtbl.create 8; ocall_bytes = 0;
+    obs = Occlum_obs.Obs.disabled }
+
+(* Observability for one transfer: event with the byte count plus byte
+   counters. One branch when disabled. *)
+let note_io t ~send n =
+  let o = t.obs in
+  if o.Occlum_obs.Obs.enabled then begin
+    if o.Occlum_obs.Obs.t_net then
+      Occlum_obs.Obs.emit o
+        (if send then Occlum_obs.Trace.Net_send { bytes = n }
+         else Occlum_obs.Trace.Net_recv { bytes = n });
+    Occlum_obs.Metrics.add
+      (Occlum_obs.Metrics.counter o.Occlum_obs.Obs.metrics
+         (if send then "net.send.bytes" else "net.recv.bytes"))
+      n
+  end
 
 let listen t ~port ~backlog =
   if Hashtbl.mem t.listeners port then Error Occlum_abi.Abi.Errno.eexist
@@ -69,13 +88,18 @@ let send t (e : endpoint) src off len =
       else begin
         let n = Ring.write p.inbox src off len in
         t.ocall_bytes <- t.ocall_bytes + n;
-        if n = 0 then Error Occlum_abi.Abi.Errno.eagain else Ok n
+        if n = 0 then Error Occlum_abi.Abi.Errno.eagain
+        else begin
+          note_io t ~send:true n;
+          Ok n
+        end
       end
 
 let recv t (e : endpoint) dst off len =
   let n = Ring.read e.inbox dst off len in
   if n > 0 then begin
     t.ocall_bytes <- t.ocall_bytes + n;
+    note_io t ~send:false n;
     Ok n
   end
   else

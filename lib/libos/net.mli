@@ -18,6 +18,9 @@ type listener = {
 type t = {
   listeners : (int, listener) Hashtbl.t;
   mutable ocall_bytes : int;  (** traffic that crossed the enclave edge *)
+  mutable obs : Occlum_obs.Obs.t;
+      (** I/O events and byte counters; {!Occlum_obs.Obs.disabled} until
+          the LibOS attaches its own instance at boot *)
 }
 
 val create : unit -> t

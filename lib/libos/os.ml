@@ -100,9 +100,12 @@ type t = {
   mutable faults : (int * Fault.t) list;
   prng : Occlum_util.Prng.t;
   eip_runtime_image : Bytes.t; (* stand-in for the Graphene runtime pages *)
+  obs : Occlum_obs.Obs.t;
+  mutable last_run_pid : int; (* previously scheduled pid, for Sched_switch *)
 }
 
-let boot ?(config = default_config) ?epc ?host_fs () =
+let boot ?(config = default_config) ?(obs = Occlum_obs.Obs.disabled) ?epc
+    ?host_fs () =
   let epc =
     match epc with Some e -> e | None -> Occlum_sgx.Epc.create ~size:(512 * 1024 * 1024) ()
   in
@@ -113,6 +116,8 @@ let boot ?(config = default_config) ?epc ?host_fs () =
       ~size:(Domain_mgr.enclave_size config.domains)
       ()
   in
+  (* attach before the domain build so EADD page events are captured *)
+  Occlum_sgx.Enclave.attach_obs enclave obs;
   let domains = Domain_mgr.build config.domains enclave in
   Occlum_sgx.Enclave.init enclave;
   (* only Occlum gets the writable *encrypted* FS; Graphene-SGX's
@@ -124,7 +129,8 @@ let boot ?(config = default_config) ?epc ?host_fs () =
     | Some host -> Sefs.mount ~encrypted ~key:config.fs_key host
     | None -> Sefs.create ~encrypted ~key:config.fs_key ()
   in
-  {
+  let t =
+    {
     cfg = config;
     epc;
     enclave;
@@ -143,9 +149,19 @@ let boot ?(config = default_config) ?epc ?host_fs () =
     syscalls = 0;
     spawns = 0;
     faults = [];
-    prng = Occlum_util.Prng.create 0x0cc1;
-    eip_runtime_image = Bytes.make config.eip_runtime_image_bytes '\x5a';
-  }
+      prng = Occlum_util.Prng.create 0x0cc1;
+      eip_runtime_image = Bytes.make config.eip_runtime_image_bytes '\x5a';
+      obs;
+      last_run_pid = 0;
+    }
+  in
+  if obs.Occlum_obs.Obs.enabled then begin
+    (* events are stamped with the LibOS virtual clock from here on *)
+    obs.Occlum_obs.Obs.now <- (fun () -> t.clock_ns);
+    t.sefs.Sefs.obs <- obs;
+    t.net.Net.obs <- obs
+  end;
+  t
 
 let clock t = t.clock_ns
 let console_output t = Buffer.contents t.console
@@ -206,6 +222,7 @@ let eip_create_process_enclave t ~parent_enclave (oelf : Occlum_oelf.Oelf.t) =
   in
   let size = Occlum_util.Bytes_util.round_up (image_bytes + (1 lsl 20)) 4096 in
   let enclave = Occlum_sgx.Enclave.create ~epc:t.epc ~size () in
+  Occlum_sgx.Enclave.attach_obs enclave t.obs;
   Occlum_sgx.Enclave.add_pages enclave ~addr:0 ~data:t.eip_runtime_image
     ~perm:Mem.perm_rx;
   let code_at = Occlum_util.Bytes_util.round_up (Bytes.length t.eip_runtime_image) 4096 in
@@ -300,6 +317,13 @@ let make_proc t ~parent ~img ~fds ~is_thread ~slot_refs ~path ~eip_enclave =
   in
   Hashtbl.replace t.procs pid p;
   t.runq <- t.runq @ [ pid ];
+  let o = t.obs in
+  if o.Occlum_obs.Obs.enabled then begin
+    if o.Occlum_obs.Obs.t_life then
+      Occlum_obs.Obs.emit o (Occlum_obs.Trace.Spawn { pid; parent; path });
+    Occlum_obs.Metrics.inc
+      (Occlum_obs.Metrics.counter o.Occlum_obs.Obs.metrics "os.spawns")
+  end;
   p
 
 (* Spawn a new SIP from a signed binary stored on the encrypted FS. *)
@@ -377,6 +401,8 @@ let rec do_exit t (p : proc) code =
   if p.state <> `Zombie then begin
     p.state <- `Zombie;
     p.exit_code <- code;
+    if t.obs.Occlum_obs.Obs.t_life then
+      Occlum_obs.Obs.emit t.obs (Occlum_obs.Trace.Exit { pid = p.pid; code });
     decr p.slot_refs;
     if !(p.slot_refs) = 0 then begin
       Fd.close_all p.fds;
@@ -1152,6 +1178,52 @@ let dispatch t (p : proc) : sysret =
   else if nr = Sys.poll then sys_poll t p
   else err Errno.enosys
 
+(* All syscall entry points dispatch through here so observability sees
+   every call exactly once. [charge] is false on blocked-call retries,
+   which the clock model does not re-charge. Latency is the virtual-clock
+   delta across the dispatch, so it includes the boundary charge itself
+   (the SIP/EIP cost the paper's Figure 5 measures). *)
+let dispatch_traced ?(charge = true) t (p : proc) : sysret =
+  let o = t.obs in
+  if not o.Occlum_obs.Obs.enabled then begin
+    if charge then charge_syscall t p;
+    dispatch t p
+  end
+  else begin
+    let nr =
+      Int64.to_int (Cpu.get p.cpu (Reg.of_int Occlum_abi.Abi.Regs.sys_nr))
+    in
+    let t0 = t.clock_ns in
+    if o.Occlum_obs.Obs.t_syscall then
+      Occlum_obs.Obs.emit o
+        (Occlum_obs.Trace.Syscall_enter { pid = p.pid; nr });
+    if charge then charge_syscall t p;
+    let r = dispatch t p in
+    let latency_ns = Int64.sub t.clock_ns t0 in
+    let ret, blocked =
+      match r with
+      | Done v -> (v, false)
+      | Block -> (0L, true)
+      | Exited -> (0L, false)
+    in
+    if o.Occlum_obs.Obs.t_syscall then
+      Occlum_obs.Obs.emit o
+        (Occlum_obs.Trace.Syscall_exit
+           { pid = p.pid; nr; ret; latency_ns; blocked });
+    Occlum_obs.Metrics.inc
+      (Occlum_obs.Metrics.counter o.Occlum_obs.Obs.metrics "os.syscalls");
+    if blocked then
+      Occlum_obs.Metrics.inc
+        (Occlum_obs.Metrics.counter o.Occlum_obs.Obs.metrics
+           "os.syscalls.blocked")
+    else
+      Occlum_obs.Metrics.observe
+        (Occlum_obs.Metrics.histogram o.Occlum_obs.Obs.metrics
+           "os.syscall.latency_ns" ~bounds:Occlum_obs.Metrics.latency_buckets_ns)
+        (Int64.to_int latency_ns);
+    r
+  end
+
 (* Paper §6: before returning to the SIP, the LibOS ensures the return
    target is a cfi_label of the SIP's own domain. *)
 let return_target_ok t p =
@@ -1177,8 +1249,7 @@ let handle_gate t (p : proc) : unit =
      && gate_pc <> p.img.thread_exit_gate then begin
     (* native model: any inline syscall instruction is legitimate, and
        there is no return-target CFI check *)
-    charge_syscall t p;
-    match dispatch t p with
+    match dispatch_traced t p with
     | Done v -> Cpu.set p.cpu R.result v
     | Block -> p.state <- `Blocked
     | Exited -> ()
@@ -1194,8 +1265,7 @@ let handle_gate t (p : proc) : unit =
     do_exit t p (Int64.to_int (Cpu.get p.cpu R.result))
   end
   else if gate_pc = p.img.main_gate then begin
-    charge_syscall t p;
-    match dispatch t p with
+    match dispatch_traced t p with
     | Done v ->
         Cpu.set p.cpu R.result v;
         if not (return_target_ok t p) then
@@ -1211,7 +1281,7 @@ let retry_blocked t =
   Hashtbl.iter
     (fun _ p ->
       if p.state = `Blocked then begin
-        match dispatch t p with
+        match dispatch_traced ~charge:false t p with
         | Done v ->
             Cpu.set p.cpu R.result v;
             if t.cfg.mode = Linux || return_target_ok t p then
@@ -1247,16 +1317,48 @@ let step t =
       deliver_signals t p;
       if p.state <> `Runnable then true
       else begin
+        let o = t.obs in
+        if o.Occlum_obs.Obs.enabled then begin
+          if o.Occlum_obs.Obs.t_sched && t.last_run_pid <> p.pid then
+            Occlum_obs.Obs.emit o
+              (Occlum_obs.Trace.Sched_switch
+                 { from_pid = t.last_run_pid; to_pid = p.pid });
+          t.last_run_pid <- p.pid;
+          if o.Occlum_obs.Obs.t_quantum then
+            Occlum_obs.Obs.emit o
+              (Occlum_obs.Trace.Quantum_start { pid = p.pid })
+        end;
         let before = p.cpu.cycles in
-        let stop = Interp.run ?cache:t.dcache t.mem p.cpu ~fuel:t.cfg.quantum in
+        let insns_before = p.cpu.insns in
+        let stop =
+          Interp.run ?cache:t.dcache ~obs:o t.mem p.cpu ~fuel:t.cfg.quantum
+        in
         t.clock_ns <- Int64.add t.clock_ns (cycles_to_ns (p.cpu.cycles - before));
+        if o.Occlum_obs.Obs.enabled then begin
+          if o.Occlum_obs.Obs.t_quantum then
+            Occlum_obs.Obs.emit o
+              (Occlum_obs.Trace.Quantum_end
+                 {
+                   pid = p.pid;
+                   insns = p.cpu.insns - insns_before;
+                   cycles = p.cpu.cycles - before;
+                 });
+          Occlum_obs.Metrics.inc
+            (Occlum_obs.Metrics.counter o.Occlum_obs.Obs.metrics "os.quanta");
+          Occlum_obs.Metrics.observe
+            (Occlum_obs.Metrics.histogram o.Occlum_obs.Obs.metrics
+               "os.quantum.insns"
+               ~bounds:
+                 [| 100; 1_000; 10_000; 25_000; 50_000; 75_000; 100_000 |])
+            (p.cpu.insns - insns_before)
+        end;
         (match stop with
         | Interp.Stop_quantum -> ()
         | Interp.Stop_syscall -> handle_gate t p
         | Interp.Stop_fault f ->
             (* AEX -> the LibOS captures the exception and kills the SIP *)
             t.faults <- (p.pid, f) :: t.faults;
-            Occlum_sgx.Enclave.aex t.enclave p.cpu;
+            Occlum_sgx.Enclave.aex ~reason:(Fault.to_string f) t.enclave p.cpu;
             Occlum_sgx.Enclave.resume t.enclave p.cpu;
             kill_proc t p ~fatal_signal:11);
         true

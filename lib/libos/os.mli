@@ -82,11 +82,26 @@ type t = {
   mutable faults : (int * Fault.t) list;
   prng : Occlum_util.Prng.t;
   eip_runtime_image : Bytes.t;
+  obs : Occlum_obs.Obs.t;
+      (** the observability instance every layer of this LibOS reports
+          to; {!Occlum_obs.Obs.disabled} unless one was passed to
+          {!boot} *)
+  mutable last_run_pid : int;
 }
 
-val boot : ?config:config -> ?epc:Occlum_sgx.Epc.t -> ?host_fs:Sefs.Host_store.t -> unit -> t
+val boot :
+  ?config:config ->
+  ?obs:Occlum_obs.Obs.t ->
+  ?epc:Occlum_sgx.Epc.t ->
+  ?host_fs:Sefs.Host_store.t ->
+  unit ->
+  t
 (** Build the enclave (with its domain slots), EINIT it, and mount the
-    FS — fresh, or over an existing untrusted host volume. *)
+    FS — fresh, or over an existing untrusted host volume. Passing an
+    enabled [obs] routes trace events and metrics from the enclave, the
+    interpreter, the syscall layer, the scheduler and the I/O stacks to
+    it, timestamped with this LibOS's virtual clock; the simulation
+    itself is bit-identical with or without it. *)
 
 val clock : t -> int64
 val console_output : t -> string

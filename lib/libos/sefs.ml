@@ -155,9 +155,30 @@ type t = {
   cache : (int, cache_line) Hashtbl.t; (* shared page cache, all SIPs *)
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable obs : Occlum_obs.Obs.t; (* I/O events/metrics; the LibOS
+                                     attaches its own at boot *)
 }
 
 and cache_line = { mutable data : Bytes.t; mutable dirty : bool }
+
+(* Observability for one file read/write: an event with the byte count
+   plus byte counters and a size histogram. One branch when disabled. *)
+let note_io t ~write n =
+  let o = t.obs in
+  if o.Occlum_obs.Obs.enabled then begin
+    if o.Occlum_obs.Obs.t_sefs then
+      Occlum_obs.Obs.emit o
+        (if write then Occlum_obs.Trace.Sefs_write { bytes = n }
+         else Occlum_obs.Trace.Sefs_read { bytes = n });
+    Occlum_obs.Metrics.add
+      (Occlum_obs.Metrics.counter o.Occlum_obs.Obs.metrics
+         (if write then "sefs.write.bytes" else "sefs.read.bytes"))
+      n;
+    Occlum_obs.Metrics.observe
+      (Occlum_obs.Metrics.histogram o.Occlum_obs.Obs.metrics "sefs.io.size"
+         ~bounds:Occlum_obs.Metrics.size_buckets)
+      n
+  end
 
 let root_ino = 1
 
@@ -182,6 +203,7 @@ let create ?(volume = "vol0") ?(encrypted = true) ~key () =
     cache = Hashtbl.create 256;
     cache_hits = 0;
     cache_misses = 0;
+    obs = Occlum_obs.Obs.disabled;
   }
 
 let inode t ino = List.assoc_opt ino t.m.inodes
@@ -343,7 +365,8 @@ let mount ?(volume = "vol0") ?(encrypted = true) ~key host =
   let t =
     { host; data_key; mac_key; volume; encrypted;
       m = { inodes = []; next_ino = 2; next_block = 0; gens = [] };
-      cache = Hashtbl.create 256; cache_hits = 0; cache_misses = 0 }
+      cache = Hashtbl.create 256; cache_hits = 0; cache_misses = 0;
+      obs = Occlum_obs.Obs.disabled }
   in
   (match host.Host_store.meta with
   | None -> t.m <- { inodes = [ (root_ino, fresh_root ()) ]; next_ino = 2;
@@ -474,6 +497,7 @@ let read_file t (n : inode) ~pos ~len =
        else Bytes.fill out !done_ chunk '\x00');
       done_ := !done_ + chunk
     done;
+    note_io t ~write:false len;
     Ok out
   end
 
@@ -493,6 +517,7 @@ let write_file t (n : inode) ~pos src =
       done_ := !done_ + chunk
     done;
     n.size <- max n.size (pos + len);
+    note_io t ~write:true len;
     Ok len
   end
 

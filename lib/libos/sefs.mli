@@ -67,6 +67,9 @@ type t = {
   cache : (int, cache_line) Hashtbl.t;  (** shared page cache, all SIPs *)
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable obs : Occlum_obs.Obs.t;
+      (** I/O events and byte counters; {!Occlum_obs.Obs.disabled} until
+          the LibOS attaches its own instance at boot *)
 }
 
 and cache_line = { mutable data : Bytes.t; mutable dirty : bool }

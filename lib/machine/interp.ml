@@ -297,19 +297,39 @@ let run_uncached mem cpu ~fuel =
    the same instruction boundary as the uncached loop, and fragile
    blocks (those on writable+executable pages) are revalidated between
    instructions so self-modifying stores take effect on the very next
-   fetch, as they would uncached. *)
-let run_cached cache mem cpu ~fuel =
+   fetch, as they would uncached.
+
+   Observability: cache hit/miss/invalidate events are emitted per block
+   lookup when the [Dcache] trace class is on; with tracing disabled the
+   cost is the [t_dcache] branch. Event timestamps extend the LibOS's
+   quantum-start clock by the cycles retired so far (the 3 cycles/ns
+   conversion the LibOS clock uses), so they interleave correctly with
+   the syscall/quantum events of the surrounding trace. *)
+let run_cached cache obs mem cpu ~fuel =
+  let c0 = cpu.Cpu.cycles in
+  let base_ns = obs.Occlum_obs.Obs.now () in
+  let ts () = Int64.add base_ns (Int64.of_int ((cpu.Cpu.cycles - c0) / 3)) in
   let rec loop fuel =
     if fuel <= 0 then Stop_quantum
     else
       match Decode_cache.lookup cache mem cpu.Cpu.pc with
       | Decode_cache.Hit b ->
           cpu.Cpu.dcache_hits <- cpu.Cpu.dcache_hits + 1;
+          if obs.Occlum_obs.Obs.t_dcache then
+            Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+              (Occlum_obs.Trace.Dcache_hit { pc = cpu.Cpu.pc });
           exec_block b fuel
       | (Decode_cache.Stale | Decode_cache.Miss) as r -> (
-          if r = Decode_cache.Stale then
+          if r = Decode_cache.Stale then begin
             cpu.Cpu.dcache_invalidations <- cpu.Cpu.dcache_invalidations + 1;
+            if obs.Occlum_obs.Obs.t_dcache then
+              Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+                (Occlum_obs.Trace.Dcache_invalidate { pc = cpu.Cpu.pc })
+          end;
           cpu.Cpu.dcache_misses <- cpu.Cpu.dcache_misses + 1;
+          if obs.Occlum_obs.Obs.t_dcache then
+            Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+              (Occlum_obs.Trace.Dcache_miss { pc = cpu.Cpu.pc });
           match Decode_cache.build cache mem cpu.Cpu.pc with
           | Some b -> exec_block b fuel
           | None -> (
@@ -336,7 +356,7 @@ let run_cached cache mem cpu ~fuel =
   in
   loop fuel
 
-let run ?cache mem cpu ~fuel =
+let run ?cache ?(obs = Occlum_obs.Obs.disabled) mem cpu ~fuel =
   match cache with
   | None -> run_uncached mem cpu ~fuel
-  | Some c -> run_cached c mem cpu ~fuel
+  | Some c -> run_cached c obs mem cpu ~fuel

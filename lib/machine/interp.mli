@@ -12,7 +12,13 @@ val step : Mem.t -> Cpu.t -> stop option
 (** Execute exactly one instruction; [Some stop] when control leaves the
     interpreter. *)
 
-val run : ?cache:Decode_cache.t -> Mem.t -> Cpu.t -> fuel:int -> stop
+val run :
+  ?cache:Decode_cache.t ->
+  ?obs:Occlum_obs.Obs.t ->
+  Mem.t ->
+  Cpu.t ->
+  fuel:int ->
+  stop
 (** Run until a stop condition or [fuel] executed instructions.
 
     With [?cache], straight-line runs of instructions are decoded once
@@ -21,4 +27,9 @@ val run : ?cache:Decode_cache.t -> Mem.t -> Cpu.t -> fuel:int -> stop
     per-instruction cycle charges and counters, the same fault points,
     and fuel is checked before every instruction so [Stop_quantum]
     lands on the same boundary. Cache hit/miss/invalidation totals are
-    accumulated into the {!Cpu.t} stats fields. *)
+    accumulated into the {!Cpu.t} stats fields.
+
+    With [?obs] (default {!Occlum_obs.Obs.disabled}), cache
+    hit/miss/invalidate trace events are emitted per block lookup when
+    the [Dcache] class is enabled. Observability never alters
+    architectural state, counters or cycle charges. *)

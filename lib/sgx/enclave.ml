@@ -32,6 +32,8 @@ type t = {
   mutable measurement : string; (* valid once initialized *)
   mutable epc_pages : int;
   mutable ssa : Cpu.snapshot option; (* state save area for AEX *)
+  mutable obs : Occlum_obs.Obs.t; (* lifecycle/AEX/page events; disabled
+                                     unless the LibOS attaches its own *)
 }
 
 let next_id = ref 0
@@ -52,9 +54,19 @@ let create ?(version = Sgx1) ~epc ~size () =
     measurement = "";
     epc_pages = pages;
     ssa = None;
+    obs = Occlum_obs.Obs.disabled;
   }
 
 let version t = t.version
+
+(* Attach an observability instance. Events emitted before the attach
+   (none in practice: the LibOS attaches right after ECREATE) are lost,
+   not buffered. *)
+let attach_obs t obs =
+  t.obs <- obs;
+  if obs.Occlum_obs.Obs.t_life then
+    Occlum_obs.Obs.emit obs
+      (Occlum_obs.Trace.Enclave_create { enclave = t.id; size = Mem.size t.mem })
 
 let charge_pages t len =
   if t.version = Sgx2 then begin
@@ -74,12 +86,35 @@ let require_building t op =
       raise (Sgx1_restriction (op ^ ": enclave pages are immutable after EINIT"))
   | Destroyed -> invalid_arg (op ^ ": enclave destroyed")
 
+let note_page_map t ~addr ~len =
+  let o = t.obs in
+  if o.Occlum_obs.Obs.enabled then begin
+    if o.Occlum_obs.Obs.t_page then
+      Occlum_obs.Obs.emit o
+        (Occlum_obs.Trace.Page_map { enclave = t.id; addr; len });
+    Occlum_obs.Metrics.add
+      (Occlum_obs.Metrics.counter o.Occlum_obs.Obs.metrics "sgx.pages.mapped")
+      (len / Epc.page_size)
+  end
+
+let note_page_unmap t ~addr ~len =
+  let o = t.obs in
+  if o.Occlum_obs.Obs.enabled then begin
+    if o.Occlum_obs.Obs.t_page then
+      Occlum_obs.Obs.emit o
+        (Occlum_obs.Trace.Page_unmap { enclave = t.id; addr; len });
+    Occlum_obs.Metrics.add
+      (Occlum_obs.Metrics.counter o.Occlum_obs.Obs.metrics "sgx.pages.unmapped")
+      (len / Epc.page_size)
+  end
+
 (* EADD + EEXTEND over every 4 KiB chunk. *)
 let add_pages t ~addr ~data ~perm =
   require_building t "add_pages";
   let len = Occlum_util.Bytes_util.round_up (Bytes.length data) Epc.page_size in
   charge_pages t len;
   Mem.map t.mem ~addr ~len ~perm;
+  note_page_map t ~addr ~len;
   Mem.write_bytes_priv t.mem ~addr data;
   (* measure: address, permissions, then page contents *)
   Occlum_util.Sha256.feed t.measure_ctx
@@ -93,6 +128,7 @@ let add_zero_pages t ~addr ~len ~perm =
   if len mod Epc.page_size <> 0 then invalid_arg "add_zero_pages: unaligned";
   charge_pages t len;
   Mem.map t.mem ~addr ~len ~perm;
+  note_page_map t ~addr ~len;
   Occlum_util.Sha256.feed t.measure_ctx
     (Printf.sprintf "EADDZ:%d:%d:%s" addr len (Mem.perm_to_string perm));
   (* zero pages are measured by metadata only, like EADD of a zero page
@@ -103,7 +139,9 @@ let add_zero_pages t ~addr ~len ~perm =
 let init t =
   require_building t "init";
   t.measurement <- Occlum_util.Sha256.finalize t.measure_ctx;
-  t.state <- Initialized
+  t.state <- Initialized;
+  if t.obs.Occlum_obs.Obs.t_life then
+    Occlum_obs.Obs.emit t.obs (Occlum_obs.Trace.Enclave_init { enclave = t.id })
 
 let measurement t =
   if t.state <> Initialized then invalid_arg "measurement: enclave not initialized";
@@ -127,6 +165,7 @@ let eaug t ~addr ~len ~perm =
   if len mod Epc.page_size <> 0 then invalid_arg "eaug: unaligned";
   charge_pages t len;
   Mem.map t.mem ~addr ~len ~perm;
+  note_page_map t ~addr ~len;
   (* EAUG pages arrive zeroed from the EPC *)
   Mem.fill_priv t.mem ~addr ~len '\x00'
 
@@ -137,6 +176,7 @@ let eremove_pages t ~addr ~len =
   if t.state <> Initialized then invalid_arg "eremove_pages: not initialized";
   if len mod Epc.page_size <> 0 then invalid_arg "eremove_pages: unaligned";
   Mem.unmap t.mem ~addr ~len;
+  note_page_unmap t ~addr ~len;
   let pages = len / Epc.page_size in
   Epc.release t.epc ~pages;
   t.epc_pages <- t.epc_pages - pages
@@ -145,20 +185,33 @@ let destroy t =
   if t.state = Destroyed then invalid_arg "destroy: already destroyed";
   Epc.release t.epc ~pages:t.epc_pages;
   t.epc_pages <- 0;
-  t.state <- Destroyed
+  t.state <- Destroyed;
+  if t.obs.Occlum_obs.Obs.t_life then
+    Occlum_obs.Obs.emit t.obs
+      (Occlum_obs.Trace.Enclave_destroy { enclave = t.id })
 
 (* --- AEX: asynchronous enclave exit ------------------------------------ *)
 
 (* On an AEX the CPU spills its state — including the MPX bound registers
    (§2.3) — into the SSA; resume restores it. This is why MMDSFI's
    per-domain bounds survive interrupts without LibOS help. *)
-let aex t cpu =
+let aex ?(reason = "interrupt") t cpu =
   if t.state <> Initialized then invalid_arg "aex: enclave not initialized";
-  t.ssa <- Some (Cpu.save cpu)
+  t.ssa <- Some (Cpu.save cpu);
+  let o = t.obs in
+  if o.Occlum_obs.Obs.enabled then begin
+    if o.Occlum_obs.Obs.t_aex then
+      Occlum_obs.Obs.emit o (Occlum_obs.Trace.Aex { enclave = t.id; reason });
+    Occlum_obs.Metrics.inc
+      (Occlum_obs.Metrics.counter o.Occlum_obs.Obs.metrics "sgx.aex")
+  end
 
 let resume t cpu =
   match t.ssa with
   | None -> invalid_arg "resume: no saved state in SSA"
   | Some s ->
       Cpu.restore cpu s;
-      t.ssa <- None
+      t.ssa <- None;
+      if t.obs.Occlum_obs.Obs.t_aex then
+        Occlum_obs.Obs.emit t.obs
+          (Occlum_obs.Trace.Resume { enclave = t.id })

@@ -19,6 +19,11 @@ val create : ?version:version -> epc:Epc.t -> size:int -> unit -> t
 
 val version : t -> version
 
+val attach_obs : t -> Occlum_obs.Obs.t -> unit
+(** Route this enclave's lifecycle/AEX/page events and counters to the
+    given observability instance (emits the [Enclave_create] event).
+    Default: {!Occlum_obs.Obs.disabled}. *)
+
 val id : t -> int
 val mem : t -> Occlum_machine.Mem.t
 val initialized : t -> bool
@@ -52,9 +57,9 @@ val eremove_pages : t -> addr:int -> len:int -> unit
 val destroy : t -> unit
 (** Release the EPC pages. *)
 
-val aex : t -> Occlum_machine.Cpu.t -> unit
+val aex : ?reason:string -> t -> Occlum_machine.Cpu.t -> unit
 (** Asynchronous enclave exit: spill the CPU state (including bound
-    registers) into the SSA. *)
+    registers) into the SSA. [reason] only annotates the trace event. *)
 
 val resume : t -> Occlum_machine.Cpu.t -> unit
 (** Restore the SSA state saved by {!aex}. *)

@@ -39,9 +39,9 @@ let build_for system prog =
             ("harness: verification failed: "
             ^ Occlum_verifier.Verify.rejection_to_string (List.hd rs)))
 
-let boot ?(domains = Occlum_libos.Domain_mgr.default_config) system =
+let boot ?(domains = Occlum_libos.Domain_mgr.default_config) ?obs system =
   let config = { Os.default_config with mode = mode_of system; domains } in
-  Os.boot ~config ()
+  Os.boot ~config ?obs ()
 
 let install os system binaries =
   List.iter (fun (path, prog) -> Os.install_binary os path (build_for system prog))

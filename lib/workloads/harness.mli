@@ -17,7 +17,11 @@ val codegen_config : system -> Occlum_toolchain.Codegen.config
 val build_for : system -> Occlum_toolchain.Ast.program -> Occlum_oelf.Oelf.t
 (** Compile for the system, verifying + signing for the SGX systems. *)
 
-val boot : ?domains:Occlum_libos.Domain_mgr.config -> system -> Os.t
+val boot :
+  ?domains:Occlum_libos.Domain_mgr.config ->
+  ?obs:Occlum_obs.Obs.t ->
+  system ->
+  Os.t
 val install : Os.t -> system -> (string * Occlum_toolchain.Ast.program) list -> unit
 
 type run_result = {

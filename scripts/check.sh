@@ -1,10 +1,16 @@
 #!/bin/sh
-# The CI gate: build everything, run the full test suite, and run the
-# micro benchmarks (which include the decode-cache speedup check and a
-# machine-readable results dump).
+# The CI gate: build everything (library code is warning-clean by
+# construction: lib/dune promotes warnings to errors), run the full test
+# suite, run the micro benchmarks, and compare them against the
+# committed baseline — any micro metric more than 25% worse (including
+# the cached-vs-uncached interpreter speedup) fails the gate. Override
+# the tolerance with BENCH_THRESHOLD (a fraction, e.g. 0.40) for noisy
+# shared runners.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build @all
 dune runtest
 dune exec bench/main.exe -- --only=micro --json _build/bench-micro.json
+python3 scripts/compare_bench.py bench/baseline-micro.json \
+  _build/bench-micro.json --threshold "${BENCH_THRESHOLD:-0.25}"

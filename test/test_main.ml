@@ -15,5 +15,6 @@ let () =
       ("soundness", Test_soundness.suite);
       ("stress", Test_stress.suite);
       ("components", Test_components.suite);
+      ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);
     ]
