@@ -516,6 +516,21 @@ let () =
       let os = H.boot ~obs H.Occlum in
       H.install os H.Occlum Occlum_workloads.Fish.binaries;
       ignore (H.timed_run os "/bin/fish" ~args:[ "2"; "40" ]);
+      (* residual-guard audit over the optimized fish binary: how many
+         mem_guards the verifier's own range analysis still proves
+         redundant (what a smarter optimizer could remove) *)
+      (match Occlum_workloads.Fish.binaries with
+      | (_, prog) :: _ -> (
+          let oelf =
+            Occlum_toolchain.Compile.compile_exn
+              ~config:Occlum_toolchain.Codegen.sfi prog
+          in
+          match Occlum_verifier.Verify.verify oelf with
+          | Ok d ->
+              Occlum_analysis.Guard_audit.record obs.Occlum_obs.Obs.metrics
+                (Occlum_analysis.Guard_audit.audit oelf d)
+          | Error _ -> ())
+      | [] -> ());
       json_metrics :=
         Occlum_obs.Metrics.to_json_items obs.Occlum_obs.Obs.metrics;
       write_json path

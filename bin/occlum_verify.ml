@@ -1,31 +1,78 @@
 (* occlum_verify: the independent Occlum verifier as a standalone tool.
    Reads an OELF binary, runs the four verification stages of §5, and on
-   success emits the signed binary. *)
+   success emits the signed binary. Beyond plain verification it hosts
+   the static-analysis clients: --ct runs the constant-time taint
+   checker over the declared secret regions, --guard-audit reports the
+   residual redundant mem_guards.
+
+   Exit codes: 0 verified (and clean, under --ct); 1 rejected by a
+   verification stage; 2 malformed input; 3 signature present but
+   invalid; 4 constant-time findings. *)
 
 open Cmdliner
+module Verify = Occlum_verifier.Verify
+module Disasm = Occlum_verifier.Disasm
+module Taint = Occlum_analysis.Taint
+module Guard_audit = Occlum_analysis.Guard_audit
 
-let verify input output disasm =
-  let read_oelf path =
-    let ic = open_in_bin path in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    Occlum_oelf.Oelf.of_string s
-  in
+let read_oelf path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Occlum_oelf.Oelf.of_string s
+
+let write_json path s =
+  let oc = open_out path in
+  output_string oc s;
+  output_char oc '\n';
+  close_out oc
+
+let ct_json findings =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\"findings\":[";
+  List.iteri
+    (fun i (f : Taint.finding) ->
+      if i > 0 then Buffer.add_char b ',';
+      let kind =
+        match f.kind with
+        | Taint.Secret_branch -> "secret_branch"
+        | Taint.Secret_addr -> "secret_addr"
+        | Taint.Secret_latency -> "secret_latency"
+      in
+      Buffer.add_string b
+        (Printf.sprintf "{\"addr\":%d,\"kind\":\"%s\",\"insn\":\"%s\"}" f.addr
+           kind (String.concat "'" (String.split_on_char '"' f.insn))))
+    findings;
+  Buffer.add_string b (Printf.sprintf "],\"count\":%d}" (List.length findings));
+  Buffer.contents b
+
+let verify input output disasm ct guard_audit json =
   match read_oelf input with
   | exception Occlum_oelf.Oelf.Malformed m ->
       prerr_endline ("malformed OELF: " ^ m);
-      exit 1
+      exit 2
   | exception Sys_error m ->
       prerr_endline m;
-      exit 1
+      exit 2
   | oelf -> (
-      match Occlum_verifier.Verify.verify oelf with
+      if oelf.signature <> None && not (Occlum_verifier.Signer.check oelf)
+      then begin
+        Printf.printf "%s: SIGNATURE INVALID\n" input;
+        exit 3
+      end;
+      match Verify.verify oelf with
+      | Error rs ->
+          Printf.printf "%s: REJECTED\n" input;
+          List.iter
+            (fun r -> print_endline ("  " ^ Verify.rejection_to_string r))
+            rs;
+          exit 1
       | Ok d ->
           Printf.printf "%s: VERIFIED (%d instructions, %d cfi_labels)\n" input
-            (Array.length d.Occlum_verifier.Disasm.sorted)
-            (List.length d.Occlum_verifier.Disasm.labels);
-          if disasm then print_endline (Occlum_verifier.Disasm.listing d);
+            (Array.length d.Disasm.sorted)
+            (List.length d.Disasm.labels);
+          if disasm then print_endline (Disasm.listing d);
           (match output with
           | None -> ()
           | Some out ->
@@ -33,14 +80,37 @@ let verify input output disasm =
               let oc = open_out_bin out in
               output_string oc (Occlum_oelf.Oelf.to_string signed);
               close_out oc;
-              Printf.printf "signed binary written to %s\n" out)
-      | Error rs ->
-          Printf.printf "%s: REJECTED\n" input;
-          List.iter
-            (fun r ->
-              print_endline ("  " ^ Occlum_verifier.Verify.rejection_to_string r))
-            rs;
-          exit 1)
+              Printf.printf "signed binary written to %s\n" out);
+          if guard_audit then begin
+            let report = Guard_audit.audit oelf d in
+            print_string (Guard_audit.to_text report);
+            match json with
+            | Some path -> write_json path (Guard_audit.to_json report)
+            | None -> ()
+          end;
+          if ct then begin
+            let findings = Taint.check oelf d in
+            (match json with
+            | Some path when not guard_audit ->
+                write_json path (ct_json findings)
+            | _ -> ());
+            match findings with
+            | [] ->
+                if oelf.secret_ranges = [] then
+                  Printf.printf
+                    "%s: no secret regions declared; nothing to check\n" input
+                else
+                  Printf.printf "%s: CONSTANT-TIME (%d secret region(s))\n"
+                    input
+                    (List.length oelf.secret_ranges)
+            | fs ->
+                Printf.printf "%s: %d constant-time finding(s)\n" input
+                  (List.length fs);
+                List.iter
+                  (fun f -> print_endline ("  " ^ Taint.finding_to_string f))
+                  fs;
+                exit 4
+          end)
 
 let input_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.oelf")
 
@@ -51,10 +121,27 @@ let output_arg =
 let disasm_arg =
   Arg.(value & flag & info [ "d"; "disasm" ] ~doc:"Print the disassembly.")
 
+let ct_arg =
+  Arg.(value & flag
+       & info [ "ct" ]
+           ~doc:"Run the constant-time taint checker over the binary's \
+                 declared secret regions; exit 4 on findings.")
+
+let guard_audit_arg =
+  Arg.(value & flag
+       & info [ "guard-audit" ]
+           ~doc:"Report mem_guards the range analysis proves redundant.")
+
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the --ct or --guard-audit report as JSON to $(docv).")
+
 let cmd =
   Cmd.v
     (Cmd.info "occlum_verify"
        ~doc:"Occlum verifier: check MMDSFI compliance of an OELF binary")
-    Term.(const verify $ input_arg $ output_arg $ disasm_arg)
+    Term.(const verify $ input_arg $ output_arg $ disasm_arg $ ct_arg
+          $ guard_audit_arg $ json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,25 @@
+// A deliberately NON-constant-time kernel: three classic timing leaks
+// on a declared secret. Used by the CT checker gate in scripts/check.sh:
+//
+//   occlum_cc examples/ct_leaky.ol -o ct_leaky.oelf
+//   occlum_verify --ct ct_leaky.oelf      # must exit 4 with 3 findings
+//
+// Leak 1: branch on a secret bit (secret-dependent control flow).
+// Leak 2: table lookup indexed by secret bits (cache channel).
+// Leak 3: modulo by a secret-derived value (variable-latency division).
+secret global key[8];
+global tbl[256];
+global out[8];
+
+fn main() regs(s, x) {
+  s = load64(key);
+  if (s & 1) {
+    x = 1;
+  } else {
+    x = 2;
+  }
+  x = x + load64(tbl + (s & 31) * 8);
+  x = x + s % 3;
+  store64(out, x);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// The constant-time rewrite of ct_leaky.ol: same observable result,
+// no secret-dependent branches, addresses, or variable-latency ops.
+//
+//   occlum_cc examples/ct_safe.ol -o ct_safe.oelf
+//   occlum_verify --ct ct_safe.oelf       # must exit 0, zero findings
+//
+// The branch becomes a branchless masked select; the secret-indexed
+// lookup becomes a fixed-stride scan over the whole table that masks
+// the one interesting entry in; the modulo disappears. Writing the
+// result to public memory is declassification, not a timing channel.
+secret global key[8];
+global tbl[256];
+global out[8];
+
+fn main() regs(s, m, acc) {
+  s = load64(key);
+  // m = all-ones if (s & 1) else 0; select 1 or 2 without branching
+  m = 0 - (s & 1);
+  acc = (1 & m) | (2 & ~m);
+  // touch every table line at a fixed stride; keep only slot (s & 31).
+  // hit = all-ones iff k == (s & 31), computed without a comparison
+  // (comparisons-as-values compile to a branch in this toolchain).
+  let k = 0;
+  while (k < 32) {
+    let d = k ^ (s & 31);
+    let hit = ((d | (0 - d)) >> 63) - 1;
+    acc = acc + (load64(tbl + k * 8) & hit);
+    k = k + 1;
+  }
+  store64(out, acc);
+  return 0;
+}

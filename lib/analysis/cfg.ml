@@ -1,0 +1,234 @@
+(* Precise CFG recovery over the verifier's complete disassembly.
+
+   Basic blocks partition [d.sorted]; block leaders are the entry, every
+   cfi_label, every direct-transfer target, the unit after any control
+   transfer, and the unit after any address gap. Successor edges follow
+   the four transfer categories of Figure 3:
+
+   - direct (jmp/jcc/call): the static target, plus fall-through for
+     conditional jumps and calls (a verified callee eventually returns
+     to the pushed site);
+   - register-based indirect (jmp_reg/call_reg): every cfi_label block —
+     the verifier's cfi_guard proves exactly "lands on some label", so
+     the label set is the precise static over-approximation;
+   - memory-based indirect and returns: no static successors (the
+     verifier rejects them outright, Figure 3 rows 3-4);
+   - hlt/eexit: no successors.
+
+   Dominators and natural loops run on the generic dataflow engine with
+   the intersection lattice: Dom(b) = {b} ∪ ∩ Dom(preds), unreachable
+   blocks staying at the lifted top (None). *)
+
+open Occlum_isa
+module U = Occlum_verifier.Unit_kind
+module D = Occlum_verifier.Disasm
+
+type block = {
+  id : int;
+  first : int;     (* index of the first unit in d.sorted *)
+  last : int;      (* index of the last unit *)
+  addr : int;      (* address of the first unit *)
+  end_addr : int;  (* address one past the last unit *)
+}
+
+type t = {
+  disasm : D.t;
+  blocks : block array;
+  succs : int list array;
+  preds : int list array;
+  block_of_unit : int array;  (* unit index -> block id *)
+  entry : int option;         (* block id of the program entry *)
+  label_blocks : int list;    (* blocks that start at a cfi_label *)
+}
+
+let is_terminator (u : U.unit_at) =
+  match u.kind with
+  | U.U_insn i -> (
+      match Insn.control_transfer_of i with
+      | Ct_direct _ | Ct_register _ | Ct_memory | Ct_return -> true
+      | Ct_none -> ( match i with Hlt | Eexit -> true | _ -> false))
+  | U.U_mem_guard _ | U.U_cfi_guard _ | U.U_cfi_label _ -> false
+
+let build ~entry (d : D.t) =
+  let n = Array.length d.sorted in
+  let index_of = Hashtbl.create (2 * n) in
+  Array.iteri (fun i (u : U.unit_at) -> Hashtbl.replace index_of u.addr i) d.sorted;
+  (* leaders *)
+  let leader = Array.make (max n 1) false in
+  if n > 0 then leader.(0) <- true;
+  (match Hashtbl.find_opt index_of entry with
+  | Some i -> leader.(i) <- true
+  | None -> ());
+  Array.iteri
+    (fun i (u : U.unit_at) ->
+      (match u.kind with U.U_cfi_label _ -> leader.(i) <- true | _ -> ());
+      (match u.kind with
+      | U.U_insn insn -> (
+          match Insn.control_transfer_of insn with
+          | Ct_direct { rel; _ } -> (
+              match Hashtbl.find_opt index_of (u.addr + u.len + rel) with
+              | Some j -> leader.(j) <- true
+              | None -> ())
+          | _ -> ())
+      | _ -> ());
+      if i + 1 < n then
+        if is_terminator u || d.sorted.(i + 1).addr <> u.addr + u.len then
+          leader.(i + 1) <- true)
+    d.sorted;
+  (* blocks *)
+  let blocks = ref [] in
+  let block_of_unit = Array.make (max n 1) 0 in
+  let start = ref 0 in
+  for i = 0 to n - 1 do
+    if i + 1 >= n || leader.(i + 1) then begin
+      let id = List.length !blocks in
+      let fu = d.sorted.(!start) and lu = d.sorted.(i) in
+      blocks :=
+        { id; first = !start; last = i; addr = fu.addr;
+          end_addr = lu.addr + lu.len }
+        :: !blocks;
+      for k = !start to i do
+        block_of_unit.(k) <- id
+      done;
+      start := i + 1
+    end
+  done;
+  let blocks = Array.of_list (List.rev !blocks) in
+  let nb = Array.length blocks in
+  let block_at addr =
+    match Hashtbl.find_opt index_of addr with
+    | Some i when leader.(i) -> Some block_of_unit.(i)
+    | _ -> None
+  in
+  let label_blocks =
+    Array.to_list blocks
+    |> List.filter_map (fun b ->
+           match d.sorted.(b.first).kind with
+           | U.U_cfi_label _ -> Some b.id
+           | _ -> None)
+  in
+  let succs = Array.make (max nb 1) [] in
+  let preds = Array.make (max nb 1) [] in
+  Array.iter
+    (fun b ->
+      let u = d.sorted.(b.last) in
+      let fallthrough () =
+        match block_at (u.addr + u.len) with Some j -> [ j ] | None -> []
+      in
+      let out =
+        match u.kind with
+        | U.U_insn i -> (
+            match Insn.control_transfer_of i with
+            | Ct_direct { rel; _ } -> (
+                let t =
+                  match block_at (u.addr + u.len + rel) with
+                  | Some j -> [ j ]
+                  | None -> []
+                in
+                match i with
+                | Jmp _ -> t
+                | _ -> t @ fallthrough () (* jcc and call fall through *))
+            | Ct_register _ -> (
+                match i with
+                | Call_reg _ -> label_blocks @ fallthrough ()
+                | _ -> label_blocks)
+            | Ct_memory | Ct_return -> []
+            | Ct_none -> (
+                match i with Hlt | Eexit -> [] | _ -> fallthrough ()))
+        | U.U_mem_guard _ | U.U_cfi_guard _ | U.U_cfi_label _ -> fallthrough ()
+      in
+      succs.(b.id) <- List.sort_uniq compare out)
+    blocks;
+  Array.iter
+    (fun b ->
+      List.iter (fun j -> preds.(j) <- b.id :: preds.(j)) succs.(b.id))
+    blocks;
+  Array.iteri (fun i l -> preds.(i) <- List.rev l) preds;
+  { disasm = d; blocks; succs; preds; block_of_unit;
+    entry = (match block_at entry with Some b -> Some b | None -> None);
+    label_blocks }
+
+(* --- dominators --------------------------------------------------------- *)
+
+module Dom_engine = Occlum_range.Dataflow.Make (struct
+  type t = int list (* sorted strictly-increasing block ids *)
+
+  let equal = ( = )
+
+  (* path merge = intersection: a block is dominated only by blocks on
+     every path to it *)
+  let join a b =
+    let rec go a b =
+      match (a, b) with
+      | [], _ | _, [] -> []
+      | x :: a', y :: b' ->
+          if x = y then x :: go a' b'
+          else if x < y then go a' b
+          else go a b'
+    in
+    go a b
+end)
+
+(* Dom(b) for every block, self-inclusive and sorted; None = unreachable
+   from the entry. *)
+let dominators (t : t) =
+  let nb = Array.length t.blocks in
+  match t.entry with
+  | None -> Array.make (max nb 1) None
+  | Some e ->
+      let in_doms =
+        Dom_engine.fixpoint
+          { Occlum_range.Dataflow.nodes = nb; succs = t.succs }
+          ~seeds:[ (e, []) ]
+          ~transfer:(fun b doms -> List.sort_uniq compare (b :: doms))
+      in
+      Array.mapi
+        (fun b s ->
+          match s with
+          | None -> None
+          | Some l -> Some (List.sort_uniq compare (b :: l)))
+        in_doms
+
+let dominates doms a b =
+  match doms.(b) with None -> false | Some l -> List.mem a l
+
+(* Natural loops: for every back edge tail->head (head dominates tail),
+   the loop body is head plus everything that reaches tail without
+   passing through head. Back edges sharing a head are merged. *)
+let natural_loops (t : t) =
+  let doms = dominators t in
+  let nb = Array.length t.blocks in
+  let bodies = Hashtbl.create 8 in (* head -> body set *)
+  for tail = 0 to nb - 1 do
+    List.iter
+      (fun head ->
+        if dominates doms head tail then begin
+          let body =
+            match Hashtbl.find_opt bodies head with
+            | Some s -> s
+            | None ->
+                let s = Hashtbl.create 8 in
+                Hashtbl.replace s head ();
+                Hashtbl.replace bodies head s;
+                s
+          in
+          let stack = ref [ tail ] in
+          while !stack <> [] do
+            match !stack with
+            | [] -> ()
+            | n :: rest ->
+                stack := rest;
+                if not (Hashtbl.mem body n) then begin
+                  Hashtbl.replace body n ();
+                  List.iter (fun p -> stack := p :: !stack) t.preds.(n)
+                end
+          done
+        end)
+      t.succs.(tail)
+  done;
+  Hashtbl.fold
+    (fun head body acc ->
+      let members = Hashtbl.fold (fun b () l -> b :: l) body [] in
+      (head, List.sort compare members) :: acc)
+    bodies []
+  |> List.sort compare

@@ -1,0 +1,5 @@
+(* Re-export of the shared worklist engine, so analysis clients (and
+   their users) can say [Occlum_analysis.Dataflow] without knowing the
+   engine physically lives below the verifier in [lib/range]. *)
+
+include Occlum_range.Dataflow

@@ -1,0 +1,26 @@
+(** Residual-guard audit: re-run the verifier's range analysis over a
+    binary and count the mem_guards whose in-state already proves the
+    access in bounds — i.e. guards a smarter optimizer could delete
+    without changing the verifier. Uses the optimizer's exact
+    redundancy criterion on the verifier's own fixpoint. *)
+
+type func_report = {
+  name : string;       (** owning function per the symbol table *)
+  guards : int;
+  redundant : int;
+}
+
+type report = {
+  guards_total : int;
+  redundant_total : int;
+  funcs : func_report list;  (** sorted by name; only funcs with guards *)
+}
+
+val audit : Occlum_oelf.Oelf.t -> Occlum_verifier.Disasm.t -> report
+
+val record : Occlum_obs.Metrics.registry -> report -> unit
+(** Export the totals as [guard_audit.guards_total] /
+    [guard_audit.redundant_total] counters. *)
+
+val to_json : report -> string
+val to_text : report -> string

@@ -26,6 +26,13 @@ let div = 20
    through this single function, so caching can never perturb the cycle
    accounting the Fig. 5/7 results are built on. Privileged instructions
    stop execution before being charged, so they map to 0 here. *)
+(* Instructions whose cycle count depends on operand *values* on real
+   hardware (division latency varies with dividend magnitude). The
+   constant-time checker flags these when an operand is secret-tainted:
+   even with straight-line code, their timing leaks through the port. *)
+let variable_latency (i : Occlum_isa.Insn.t) =
+  match i with Alu ((Divu | Remu), _, _) -> true | _ -> false
+
 let of_insn (i : Occlum_isa.Insn.t) =
   match i with
   | Nop -> nop

@@ -21,6 +21,11 @@ val nop : int
 val syscall_gate : int
 val div : int
 
+val variable_latency : Occlum_isa.Insn.t -> bool
+(** True for instructions whose cycle count depends on operand values on
+    real hardware (unsigned division/remainder here) — the ones the
+    constant-time checker flags when an operand is secret-tainted. *)
+
 val of_insn : Occlum_isa.Insn.t -> int
 (** The cycle charge for one instruction — the single table both the
     uncached interpreter and the decoded-block fast path charge from, so

@@ -25,6 +25,10 @@ type t = {
   stack_size : int;       (* stack lives at the top of D *)
   entry : int;            (* code offset of _start *)
   symbols : (string * int) list; (* function name -> code offset *)
+  secret_ranges : (int * int) list;
+      (* D-relative (offset, length) of data declared secret by the
+         toolchain; the constant-time checker's taint sources. Covered
+         by the signature so the annotation cannot be stripped. *)
   signature : string option;     (* verifier HMAC over signing_payload *)
 }
 
@@ -47,6 +51,10 @@ let signing_payload t =
        (Bytes.length t.code) (Bytes.length t.data) t.data_region_size
        t.heap_start t.stack_size t.entry);
   List.iter (fun (n, off) -> Buffer.add_string b (Printf.sprintf "%s@%d;" n off)) t.symbols;
+  List.iter
+    (fun (off, len) ->
+      Buffer.add_string b (Printf.sprintf "secret@%d+%d;" off len))
+    t.secret_ranges;
   Buffer.add_bytes b t.code;
   Buffer.add_bytes b t.data;
   Buffer.contents b
@@ -78,6 +86,12 @@ let to_string t =
       add_blob b n;
       add_u32 b off)
     t.symbols;
+  add_u32 b (List.length t.secret_ranges);
+  List.iter
+    (fun (off, len) ->
+      add_u32 b off;
+      add_u32 b len)
+    t.secret_ranges;
   (match t.signature with
   | None -> add_u32 b 0
   | Some s -> add_blob b s);
@@ -118,7 +132,14 @@ let of_string s =
       let off = u32 () in
       (n, off))
   in
+  let nsecrets = u32 () in
+  let secret_ranges = List.init nsecrets (fun _ ->
+      let off = u32 () in
+      let len = u32 () in
+      (off, len))
+  in
   let sig_len_probe = blob () in
   let signature = if sig_len_probe = "" then None else Some sig_len_probe in
   if !pos <> String.length s then raise (Malformed "trailing bytes");
-  { code; data; data_region_size; heap_start; stack_size; entry; symbols; signature }
+  { code; data; data_region_size; heap_start; stack_size; entry; symbols;
+    secret_ranges; signature }

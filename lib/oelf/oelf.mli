@@ -27,6 +27,10 @@ type t = {
   stack_size : int;
   entry : int;              (** code offset of [_start] *)
   symbols : (string * int) list;  (** function name -> code offset *)
+  secret_ranges : (int * int) list;
+      (** D-relative (offset, length) of data declared secret by the
+          toolchain — the constant-time checker's taint sources; covered
+          by the signature so the annotation cannot be stripped *)
   signature : string option;      (** verifier HMAC over {!signing_payload} *)
 }
 

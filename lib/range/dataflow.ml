@@ -1,0 +1,77 @@
+(* A generic worklist dataflow engine over an integer-indexed graph.
+
+   The engine is optimistic-iterative: nodes start at "unreached"
+   (represented as [None], the implicit top of the lifted lattice) and
+   only acquire a state when a seed or an incoming edge delivers one.
+   [join] is the path-merge operator of the client lattice — set
+   intersection for must-analyses (range facts, dominators), union for
+   may-analyses (taint) — and must be associative, commutative and
+   idempotent; termination additionally needs finite join chains, which
+   every client here gets from clamping or from finite fact universes.
+
+   The same engine runs backward analyses by inverting the edges up
+   front; seeds are then exit nodes and [transfer] consumes the
+   out-state. The optional [edge] hook rewrites the value flowing along
+   one particular edge — the verifier uses it for call fall-through
+   edges, which deliver top instead of the caller's out-state because
+   the callee may clobber anything. *)
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type graph = { nodes : int; succs : int list array }
+
+let invert (g : graph) =
+  let preds = Array.make g.nodes [] in
+  Array.iteri
+    (fun i succs -> List.iter (fun j -> preds.(j) <- i :: preds.(j)) succs)
+    g.succs;
+  { nodes = g.nodes; succs = preds }
+
+module Make (L : LATTICE) = struct
+  let fixpoint ?(direction = `Forward) ?edge (g : graph) ~seeds ~transfer =
+    let g = match direction with `Forward -> g | `Backward -> invert g in
+    let state : L.t option array = Array.make g.nodes None in
+    let work = Queue.create () in
+    let queued = Array.make g.nodes false in
+    let push i =
+      if not queued.(i) then begin
+        queued.(i) <- true;
+        Queue.push i work
+      end
+    in
+    let join i v =
+      if i >= 0 && i < g.nodes then
+        match state.(i) with
+        | None ->
+            state.(i) <- Some v;
+            push i
+        | Some old ->
+            let v' = L.join old v in
+            if not (L.equal old v') then begin
+              state.(i) <- Some v';
+              push i
+            end
+    in
+    List.iter (fun (i, v) -> join i v) seeds;
+    while not (Queue.is_empty work) do
+      let i = Queue.pop work in
+      queued.(i) <- false;
+      match state.(i) with
+      | None -> ()
+      | Some s ->
+          let out = transfer i s in
+          List.iter
+            (fun j ->
+              let v =
+                match edge with None -> out | Some f -> f ~src:i ~dst:j out
+              in
+              join j v)
+            g.succs.(i)
+    done;
+    state
+end

@@ -59,6 +59,10 @@ type func = {
 type program = {
   globals : (string * int) list; (* name, size in bytes *)
   funcs : func list;             (* must include "main" *)
+  secrets : string list;
+      (* globals declared `secret`: their D-region ranges are carried
+         through the OELF as a section-level attribute and seed the
+         constant-time taint analysis of lib/analysis *)
 }
 
 let max_reg_vars = 3
@@ -111,6 +115,14 @@ let check_program (p : program) =
   (match dup (List.map fst p.globals) with
   | Some n -> fail "duplicate global %s" n
   | None -> ());
+  (match dup p.secrets with
+  | Some n -> fail "global %s declared secret twice" n
+  | None -> ());
+  List.iter
+    (fun n ->
+      if not (List.mem_assoc n p.globals) then
+        fail "secret %s is not a declared global" n)
+    p.secrets;
   List.iter
     (fun (n, size) -> if size <= 0 then fail "global %s has size %d" n size)
     p.globals;

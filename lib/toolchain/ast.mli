@@ -60,6 +60,10 @@ type func = {
 type program = {
   globals : (string * int) list;  (** name, size in bytes *)
   funcs : func list;              (** must include "main" (no params) *)
+  secrets : string list;
+      (** globals declared [secret]: their D-region ranges are carried
+          through the OELF as a section-level attribute and seed the
+          constant-time taint analysis of [lib/analysis] *)
 }
 
 val max_reg_vars : int

@@ -454,7 +454,7 @@ let gen_start cfg fresh =
   let st =
     {
       cfg;
-      layout = Layout.of_program { globals = []; funcs = [] };
+      layout = Layout.of_program { globals = []; funcs = []; secrets = [] };
       fname = "_start";
       items = [];
       slots = Hashtbl.create 1;

@@ -23,6 +23,9 @@ type t = {
   heap_size : int;
   stack_size : int;
   data_region_size : int;
+  secret_ranges : (int * int) list;
+      (* D-relative (offset, length) of globals declared secret; carried
+         into the OELF for the constant-time taint analysis *)
 }
 
 let align16 n = Occlum_util.Bytes_util.round_up n 16
@@ -51,6 +54,14 @@ let of_program ?(heap_size = 256 * 1024) ?(stack_size = 64 * 1024)
   let data_region_size =
     Occlum_util.Bytes_util.round_up (heap_start + heap_size + stack_size) 4096
   in
+  let secret_ranges =
+    List.filter_map
+      (fun (name, size) ->
+        if List.mem name p.secrets then
+          Some (List.assoc name global_offsets, size)
+        else None)
+      p.globals
+  in
   {
     global_offsets;
     literal_offsets;
@@ -59,6 +70,7 @@ let of_program ?(heap_size = 256 * 1024) ?(stack_size = 64 * 1024)
     heap_size;
     stack_size;
     data_region_size;
+    secret_ranges;
   }
 
 let global_offset t name =

@@ -19,6 +19,8 @@ type t = {
   heap_size : int;
   stack_size : int;
   data_region_size : int;
+  secret_ranges : (int * int) list;
+      (** D-relative (offset, length) of globals declared secret *)
 }
 
 val of_program : ?heap_size:int -> ?stack_size:int -> Ast.program -> t

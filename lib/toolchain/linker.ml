@@ -35,5 +35,6 @@ let link (layout : Layout.t) items =
     stack_size = layout.stack_size;
     entry;
     symbols;
+    secret_ranges = layout.secret_ranges;
     signature = None;
   }

@@ -1,18 +1,11 @@
 (* The range-analysis guard optimizer of §4.3.
 
-   The abstract domain, per program point:
-   - facts: base register -> interval [lo, hi] meaning "for every d in
-     [lo, hi], the address (base + d) lies in D or a guard region" —
-     accessing it either succeeds inside D or faults in a guard page;
-   - aliases: (d, s, k) records d = s + k, so a fact refreshed through a
-     copy of a pointer also refreshes the original.
-
-   Facts are created by mem_guards (which prove the exact address is in
-   D, hence +-(G-1) around it is in D∪G) and refreshed by *verified*
-   accesses (a verified access that does not fault must be in D, by the
-   same guard-slack argument). Increments by small constants shift an
-   interval; any other write kills it. cfi_labels and calls reset the
-   state to top, because any indirect transfer may land there.
+   The abstract domain (facts + aliases, created by mem_guards and
+   refreshed by verified accesses) lives in
+   {!Occlum_range.Range_lattice}, shared with the verifier's Stage-4
+   analysis so the two cannot drift apart: every fact the optimizer
+   relies on to delete a guard is a fact the verifier re-derives over
+   the final bytes with the same lattice operations.
 
    Two rewrites, exactly the ones the paper names:
    1. redundant check elimination — delete a mem_guard whose operand is
@@ -27,141 +20,7 @@
    verifiability, never safety. *)
 
 open Occlum_isa
-
-let slack = Occlum_oelf.Oelf.guard_size - 1 (* 4095 *)
-let shift_limit = 1 lsl 20
-
-type state = {
-  facts : (int * (int * int)) list; (* reg -> interval *)
-  aliases : (int * int * int) list; (* (d, s, k): d = s + k *)
-}
-
-let top = { facts = []; aliases = [] }
-
-let normalize s =
-  {
-    facts = List.sort_uniq compare s.facts;
-    aliases = List.sort_uniq compare s.aliases;
-  }
-
-let meet a b =
-  let facts =
-    List.filter_map
-      (fun (r, (lo, hi)) ->
-        match List.assoc_opt r b.facts with
-        | Some (lo', hi') ->
-            let lo = max lo lo' and hi = min hi hi' in
-            if lo <= hi then Some (r, (lo, hi)) else None
-        | None -> None)
-      a.facts
-  in
-  let aliases = List.filter (fun al -> List.mem al b.aliases) a.aliases in
-  normalize { facts; aliases }
-
-let kill_reg s r =
-  {
-    facts = List.remove_assoc r s.facts;
-    aliases = List.filter (fun (d, src, _) -> d <> r && src <> r) s.aliases;
-  }
-
-(* r := r + c *)
-let shift_reg s r c =
-  if abs c > shift_limit then kill_reg s r
-  else
-    {
-      facts =
-        List.filter_map
-          (fun (r', (lo, hi)) ->
-            if r' = r then
-              let lo = lo - c and hi = hi - c in
-              if hi < -shift_limit || lo > shift_limit then None
-              else Some (r', (lo, hi))
-            else Some (r', (lo, hi)))
-          s.facts;
-      aliases =
-        List.map
-          (fun (d, src, k) ->
-            if d = r then (d, src, k + c)
-            else if src = r then (d, src, k - c)
-            else (d, src, k))
-          s.aliases;
-    }
-
-(* d := s (+0) *)
-let copy_reg s d src =
-  if d = src then s
-  else
-    let s = kill_reg s d in
-    let facts =
-      match List.assoc_opt src s.facts with
-      | Some intv -> (d, intv) :: s.facts
-      | None -> s.facts
-    in
-    { facts; aliases = (d, src, 0) :: s.aliases }
-
-(* Set the fact "base + anchor is in D" (from a guard or a verified
-   access), propagating through aliases. The new interval is hulled with
-   any overlapping existing one (both are true, and overlapping true
-   intervals union to their hull), which keeps the transfer monotone for
-   the fixpoint; clamping keeps the lattice finite. *)
-let clamp_bound = 131071
-
-let set_anchor s base anchor =
-  let set facts r a =
-    let fresh = (a - slack, a + slack) in
-    let combined =
-      match List.assoc_opt r facts with
-      | Some (lo, hi) when lo <= snd fresh + 1 && fst fresh <= hi + 1 ->
-          (min lo (fst fresh), max hi (snd fresh))
-      | _ -> fresh
-    in
-    let lo = max (fst combined) (-clamp_bound)
-    and hi = min (snd combined) clamp_bound in
-    if lo <= hi then (r, (lo, hi)) :: List.remove_assoc r facts
-    else List.remove_assoc r facts
-  in
-  let facts = set s.facts base anchor in
-  let facts =
-    List.fold_left
-      (fun facts (d, src, k) ->
-        if d = base then set facts src (anchor + k)
-        else if src = base then set facts d (anchor - k)
-        else facts)
-      facts s.aliases
-  in
-  { s with facts }
-
-let covers s base lo hi =
-  match List.assoc_opt base s.facts with
-  | Some (flo, fhi) -> flo <= lo && hi <= fhi
-  | None -> false
-
-(* A simple (index-free) SIB operand. *)
-let simple_sib (m : Insn.mem) =
-  match m with
-  | Sib { base; index = None; scale = _; disp } -> Some (Reg.to_int base, disp)
-  | Sib _ | Rip_rel _ | Abs _ -> None
-
-(* Model one access: if provable, refresh; in the optimizer all accesses
-   are still guard-protected during analysis, so unprovable accesses just
-   leave the state unchanged. *)
-let access s m ~size =
-  match simple_sib m with
-  | None -> s
-  | Some (base, disp) ->
-      if covers s base disp (disp + size - 1) then set_anchor s base disp else s
-
-let sp = Reg.to_int Reg.sp
-
-let push_effect s =
-  (* store at [sp-8], then sp -= 8 *)
-  let s = if covers s sp (-8) (-1) then set_anchor s sp (-8) else s in
-  shift_reg s sp (-8)
-
-let pop_effect s dst =
-  let s = if covers s sp 0 7 then set_anchor s sp 0 else s in
-  let s = shift_reg s sp 8 in
-  match dst with Some r -> kill_reg s (Reg.to_int r) | None -> s
+include Occlum_range.Range_lattice
 
 (* Which registers does an instruction write? Used by hoist trace-back. *)
 let insn_writes (i : Insn.t) =
@@ -246,6 +105,13 @@ let transfer (item : Asm.item) s =
 let is_entry_label l =
   String.length l > 2 && (String.sub l 0 2 = "f_" || l = "_start")
 
+module Engine = Occlum_range.Dataflow.Make (struct
+  type t = state
+
+  let equal = equal
+  let join = meet
+end)
+
 let analyze (items : Asm.item array) =
   let n = Array.length items in
   let label_idx = Hashtbl.create 64 in
@@ -253,40 +119,38 @@ let analyze (items : Asm.item array) =
     (fun i item ->
       match item with Asm.Label l -> Hashtbl.replace label_idx l i | _ -> ())
     items;
-  let in_state : state option array = Array.make n None in
-  let work = Queue.create () in
-  let join i s =
-    let s' =
-      match in_state.(i) with None -> Some s | Some old -> Some (meet old s)
-    in
-    if s' <> in_state.(i) then begin
-      in_state.(i) <- s';
-      Queue.push i work
-    end
-  in
+  let succs = Array.make n [] in
+  let top_edges = Hashtbl.create 16 in
+  Array.iteri
+    (fun i item ->
+      let { next; next_top; targets } = flow_of item in
+      let out = ref [] in
+      if next && i + 1 < n then begin
+        if next_top then Hashtbl.replace top_edges (i, i + 1) ();
+        out := [ i + 1 ]
+      end;
+      List.iter
+        (fun l ->
+          match Hashtbl.find_opt label_idx l with
+          | Some j -> out := j :: !out
+          | None -> ())
+        targets;
+      succs.(i) <- List.sort_uniq compare !out)
+    items;
+  let seeds = ref [] in
   Array.iteri
     (fun i item ->
       match item with
-      | Asm.Cfi_label_here -> join i top
-      | Asm.Label l when is_entry_label l -> join i top
-      | _ -> if i = 0 then join i top)
+      | Asm.Cfi_label_here -> seeds := (i, top) :: !seeds
+      | Asm.Label l when is_entry_label l -> seeds := (i, top) :: !seeds
+      | _ -> if i = 0 then seeds := (i, top) :: !seeds)
     items;
-  while not (Queue.is_empty work) do
-    let i = Queue.pop work in
-    match in_state.(i) with
-    | None -> ()
-    | Some s ->
-        let out = transfer items.(i) s in
-        let { next; next_top; targets } = flow_of items.(i) in
-        if next && i + 1 < n then join (i + 1) (if next_top then top else out);
-        List.iter
-          (fun l ->
-            match Hashtbl.find_opt label_idx l with
-            | Some j -> join j out
-            | None -> ())
-          targets
-    done;
-  in_state
+  Engine.fixpoint
+    { Occlum_range.Dataflow.nodes = n; succs }
+    ~seeds:!seeds
+    ~edge:(fun ~src ~dst v ->
+      if Hashtbl.mem top_edges (src, dst) then top else v)
+    ~transfer:(fun i s -> transfer items.(i) s)
 
 (* --- pass 2: loop check hoisting ---------------------------------------- *)
 

@@ -40,7 +40,8 @@ type token =
   | T_punct of string
   | T_eof
 
-let keywords = [ "global"; "fn"; "regs"; "let"; "if"; "else"; "while"; "return" ]
+let keywords =
+  [ "global"; "secret"; "fn"; "regs"; "let"; "if"; "else"; "while"; "return" ]
 
 let lex (src : string) =
   let toks = ref [] in
@@ -140,6 +141,7 @@ let lex (src : string) =
 type state = {
   mutable toks : (token * int) list;
   mutable globals : (string * int) list;
+  mutable secrets : string list;
   mutable fn_names : string list;
 }
 
@@ -426,25 +428,36 @@ let resolve (p : Ast.program) : Ast.program =
 (* Parse a whole source file into a program linked against the runtime
    library. *)
 let parse (src : string) : Ast.program =
-  let st = { toks = lex src; globals = []; fn_names = [] } in
+  let st = { toks = lex src; globals = []; secrets = []; fn_names = [] } in
   let funcs = ref [] in
+  let parse_global ~secret =
+    let _, ln = cur st in
+    if secret && not (accept_keyword st "global") then
+      fail "line %d: expected 'global' after 'secret'" ln;
+    let name = expect_ident st in
+    expect_punct st "[";
+    let size =
+      match cur st with
+      | T_int v, _ ->
+          advance st;
+          Int64.to_int v
+      | _, ln -> fail "line %d: expected a size" ln
+    in
+    expect_punct st "]";
+    expect_punct st ";";
+    st.globals <- st.globals @ [ (name, size) ];
+    if secret then st.secrets <- st.secrets @ [ name ]
+  in
   let rec go () =
     match cur st with
     | T_eof, _ -> ()
     | _ ->
-        if accept_keyword st "global" then begin
-          let name = expect_ident st in
-          expect_punct st "[";
-          let size =
-            match cur st with
-            | T_int v, _ ->
-                advance st;
-                Int64.to_int v
-            | _, ln -> fail "line %d: expected a size" ln
-          in
-          expect_punct st "]";
-          expect_punct st ";";
-          st.globals <- st.globals @ [ (name, size) ];
+        if accept_keyword st "secret" then begin
+          parse_global ~secret:true;
+          go ()
+        end
+        else if accept_keyword st "global" then begin
+          parse_global ~secret:false;
           go ()
         end
         else if accept_keyword st "fn" then begin
@@ -453,10 +466,11 @@ let parse (src : string) : Ast.program =
         end
         else
           let _, ln = cur st in
-          fail "line %d: expected 'global' or 'fn'" ln
+          fail "line %d: expected 'global', 'secret global' or 'fn'" ln
   in
   go ();
-  resolve (Runtime.program ~globals:st.globals (List.rev !funcs))
+  resolve
+    (Runtime.program ~globals:st.globals ~secrets:st.secrets (List.rev !funcs))
 
 let parse_file path =
   let ic = open_in_bin path in

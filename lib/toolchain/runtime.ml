@@ -191,7 +191,8 @@ let funcs =
 
 (* Merge a user program with the runtime. Name clashes are rejected by
    the well-formedness check at compile time. *)
-let program ?(globals = []) user_funcs : Ast.program =
+let program ?(globals = []) ?(secrets = []) user_funcs : Ast.program =
   { globals = globals @ [ ("_rt_itoa_buf", 32); ("_rt_spawn_buf", 512);
                           ("_rt_misc_buf", 64) ];
-    funcs = user_funcs @ funcs }
+    funcs = user_funcs @ funcs;
+    secrets }

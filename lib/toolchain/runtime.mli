@@ -12,5 +12,11 @@ val funcs : Ast.func list
 val globals : (string * int) list
 (** Scratch globals the library needs. *)
 
-val program : ?globals:(string * int) list -> Ast.func list -> Ast.program
-(** [program ~globals fns] links user functions against the runtime. *)
+val program :
+  ?globals:(string * int) list ->
+  ?secrets:string list ->
+  Ast.func list ->
+  Ast.program
+(** [program ~globals ~secrets fns] links user functions against the
+    runtime; [secrets] names the globals whose contents are secret (the
+    constant-time checker's taint sources). *)

@@ -2,114 +2,121 @@
    (§4.3, §5 Stage 4), independent from — and stronger than — the
    toolchain's optimizer, which this analysis must be able to re-prove.
 
-   Facts: "base register + d is inside D∪G for all d in [lo, hi]".
-   Created by mem_guard pseudo-instructions (which prove the checked
-   address is in D, so ±(G-1) around it is in D∪G), refreshed by verified
-   accesses (a verified access that executes without faulting must have
-   landed in D), shifted by constant add/sub, copied by register moves,
-   and destroyed by any other write. cfi_labels reset the state to top
-   because any indirect transfer may land on them. Calls reset the state
-   of their return site (the callee may clobber anything). *)
+   The abstract domain itself lives in {!Occlum_range.Range_lattice},
+   shared with the optimizer so the two cannot drift apart. This module
+   adds the verifier's view of it: the per-unit transfer function and
+   successor relation over {!Unit_kind.unit_at} values, which Stage 4
+   and the guard-audit client of [lib/analysis] both run unchanged.
+
+   cfi_labels reset the state to top because any indirect transfer may
+   land on them. Calls reset the state of their return site (the callee
+   may clobber anything) — expressed as the [Next_top] successor. *)
 
 open Occlum_isa
+include Occlum_range.Range_lattice
+module U = Unit_kind
 
-let slack = Occlum_oelf.Oelf.guard_size - 1
-let shift_limit = 1 lsl 20
-let clamp_bound = 131071
+type succ = Next | Next_top | Target of int
 
-type state = {
-  facts : (int * (int * int)) list;
-  aliases : (int * int * int) list; (* (d, s, k): d = s + k *)
-}
+let succs_of (u : U.unit_at) =
+  match u.kind with
+  | U.U_insn i -> (
+      match i with
+      | Jmp rel -> [ Target (u.addr + u.len + rel) ]
+      | Jcc (_, rel) -> [ Next; Target (u.addr + u.len + rel) ]
+      | Call _ | Call_reg _ | Call_mem _ -> [ Next_top ]
+      | Jmp_reg _ | Jmp_mem _ | Ret | Ret_imm _ | Hlt | Eexit -> []
+      | _ -> [ Next ])
+  | U.U_mem_guard _ | U.U_cfi_guard _ | U.U_cfi_label _ -> [ Next ]
 
-let top = { facts = []; aliases = [] }
+let transfer (u : U.unit_at) s =
+  match u.kind with
+  | U.U_cfi_label _ -> top
+  | U.U_mem_guard m -> (
+      match simple_sib m with
+      | Some (base, disp) -> set_anchor s base disp
+      | None -> s)
+  | U.U_cfi_guard _ -> kill_reg s (Reg.to_int Reg.scratch)
+  | U.U_insn i -> (
+      match i with
+      | Load { dst; src; size } ->
+          let s = access s src ~size in
+          kill_reg s (Reg.to_int dst)
+      | Store { dst; size; _ } -> access s dst ~size
+      | Push _ | Call _ | Call_reg _ | Call_mem _ -> push_effect s
+      | Pop r -> pop_effect s (Some r)
+      | Ret | Ret_imm _ ->
+          let s = shift_reg s sp 8 in
+          s
+      | Mov_reg (d, src) -> copy_reg s (Reg.to_int d) (Reg.to_int src)
+      | Mov_imm (r, _) -> kill_reg s (Reg.to_int r)
+      | Alu (Add, r, O_imm c) when Int64.abs c < Int64.of_int shift_limit ->
+          shift_reg s (Reg.to_int r) (Int64.to_int c)
+      | Alu (Sub, r, O_imm c) when Int64.abs c < Int64.of_int shift_limit ->
+          shift_reg s (Reg.to_int r) (- Int64.to_int c)
+      | Alu (_, r, _) -> kill_reg s (Reg.to_int r)
+      | Lea (r, _) -> kill_reg s (Reg.to_int r)
+      | Wrfsbase r | Wrgsbase r -> kill_reg s (Reg.to_int r)
+      | Vscatter _ | Syscall_gate -> s (* rejected elsewhere *)
+      | Cmp _ | Nop | Jmp _ | Jcc _ | Jmp_reg _ | Jmp_mem _ | Hlt
+      | Bndcl _ | Bndcu _ | Bndmk _ | Bndmov _ | Cfi_label _ | Eexit
+      | Emodpe | Eaccept | Xrstor ->
+          s)
 
-let normalize s =
-  { facts = List.sort_uniq compare s.facts;
-    aliases = List.sort_uniq compare s.aliases }
+(* The unit graph Stage 4 and the guard audit iterate over: nodes are
+   indices into [d.sorted]; [Next_top] edges are returned separately so
+   the dataflow edge hook can deliver top along them. *)
+let unit_graph (d : Disasm.t) =
+  let n = Array.length d.sorted in
+  let index_of = Hashtbl.create (2 * n) in
+  Array.iteri (fun i (u : U.unit_at) -> Hashtbl.replace index_of u.addr i) d.sorted;
+  let succs = Array.make n [] in
+  let top_edges = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (u : U.unit_at) ->
+      let next () =
+        if i + 1 < n && d.sorted.(i + 1).addr = u.addr + u.len then [ i + 1 ]
+        else []
+      in
+      let out =
+        List.concat_map
+          (function
+            | Next -> next ()
+            | Next_top ->
+                let js = next () in
+                List.iter (fun j -> Hashtbl.replace top_edges (i, j) ()) js;
+                js
+            | Target a -> (
+                match Hashtbl.find_opt index_of a with
+                | Some j -> [ j ]
+                | None -> []))
+          (succs_of u)
+      in
+      succs.(i) <- List.sort_uniq compare out)
+    d.sorted;
+  let graph = { Occlum_range.Dataflow.nodes = n; succs } in
+  (graph, index_of, fun ~src ~dst -> Hashtbl.mem top_edges (src, dst))
 
-let meet a b =
-  let facts =
-    List.filter_map
-      (fun (r, (lo, hi)) ->
-        match List.assoc_opt r b.facts with
-        | Some (lo', hi') ->
-            let lo = max lo lo' and hi = min hi hi' in
-            if lo <= hi then Some (r, (lo, hi)) else None
-        | None -> None)
-      a.facts
-  in
-  let aliases = List.filter (fun al -> List.mem al b.aliases) a.aliases in
-  normalize { facts; aliases }
+module Engine = Occlum_range.Dataflow.Make (struct
+  type t = state
 
-let kill_reg s r =
-  { facts = List.remove_assoc r s.facts;
-    aliases = List.filter (fun (d, src, _) -> d <> r && src <> r) s.aliases }
+  let equal = equal
+  let join = meet
+end)
 
-let shift_reg s r c =
-  if abs c > shift_limit then kill_reg s r
-  else
-    { facts =
-        List.filter_map
-          (fun (r', (lo, hi)) ->
-            if r' = r then
-              let lo = lo - c and hi = hi - c in
-              if hi < -clamp_bound || lo > clamp_bound then None
-              else Some (r', (max lo (-clamp_bound), min hi clamp_bound))
-            else Some (r', (lo, hi)))
-          s.facts;
-      aliases =
-        List.map
-          (fun (d, src, k) ->
-            if d = r then (d, src, k + c)
-            else if src = r then (d, src, k - c)
-            else (d, src, k))
-          s.aliases }
-
-let copy_reg s d src =
-  if d = src then s
-  else
-    let s = kill_reg s d in
-    let facts =
-      match List.assoc_opt src s.facts with
-      | Some intv -> (d, intv) :: s.facts
-      | None -> s.facts
-    in
-    { facts; aliases = (d, src, 0) :: s.aliases }
-
-let set_anchor s base anchor =
-  let set facts r a =
-    let fresh = (a - slack, a + slack) in
-    let combined =
-      match List.assoc_opt r facts with
-      | Some (lo, hi) when lo <= snd fresh + 1 && fst fresh <= hi + 1 ->
-          (min lo (fst fresh), max hi (snd fresh))
-      | _ -> fresh
-    in
-    let lo = max (fst combined) (-clamp_bound)
-    and hi = min (snd combined) clamp_bound in
-    if lo <= hi then (r, (lo, hi)) :: List.remove_assoc r facts
-    else List.remove_assoc r facts
-  in
-  let facts = set s.facts base anchor in
-  let facts =
-    List.fold_left
-      (fun facts (d, src, k) ->
-        if d = base then set facts src (anchor + k)
-        else if src = base then set facts d (anchor - k)
-        else facts)
-      facts s.aliases
-  in
-  { s with facts }
-
-let covers s base lo hi =
-  match List.assoc_opt base s.facts with
-  | Some (flo, fhi) -> flo <= lo && hi <= fhi
-  | None -> false
-
-let simple_sib (m : Insn.mem) =
-  match m with
-  | Sib { base; index = None; scale = _; disp } -> Some (Reg.to_int base, disp)
-  | Sib _ | Rip_rel _ | Abs _ -> None
-
-let sp = Reg.to_int Reg.sp
+(* The whole-binary Stage-4 fixpoint: in-state of every disassembled
+   unit, seeded with top at every cfi_label (indirect transfers may land
+   there) and at the program entry. [None] = unreachable from any seed. *)
+let analyze (oelf : Occlum_oelf.Oelf.t) (d : Disasm.t) =
+  let graph, index_of, is_top_edge = unit_graph d in
+  let seeds = ref [] in
+  Array.iteri
+    (fun i (u : U.unit_at) ->
+      match u.kind with U.U_cfi_label _ -> seeds := (i, top) :: !seeds | _ -> ())
+    d.sorted;
+  (match Hashtbl.find_opt index_of oelf.entry with
+  | Some i -> seeds := (i, top) :: !seeds
+  | None -> ());
+  Engine.fixpoint graph ~seeds:!seeds
+    ~edge:(fun ~src ~dst v -> if is_top_edge ~src ~dst then top else v)
+    ~transfer:(fun i s -> transfer d.sorted.(i) s)

@@ -14,10 +14,24 @@
 open Occlum_isa
 module U = Unit_kind
 
-type rejection = { stage : int; addr : int; reason : string }
+type rejection = {
+  stage : int;
+  addr : int;
+  reason : string;
+  insn : string option; (* decoded text of the offending unit *)
+}
+
+let stage_name = function
+  | 1 -> "disassembly"
+  | 2 -> "instruction set"
+  | 3 -> "control transfer"
+  | 4 -> "memory access"
+  | _ -> "unknown"
 
 let rejection_to_string r =
-  Printf.sprintf "stage %d @0x%x: %s" r.stage r.addr r.reason
+  let insn = match r.insn with None -> "" | Some i -> Printf.sprintf " [%s]" i in
+  Printf.sprintf "stage %d (%s) @0x%x: %s%s" r.stage (stage_name r.stage)
+    r.addr r.reason insn
 
 exception Rejected of rejection list
 
@@ -25,7 +39,7 @@ let stage1 (oelf : Occlum_oelf.Oelf.t) =
   match Disasm.run oelf.code with
   | d -> d
   | exception Disasm.Reject { addr; reason } ->
-      raise (Rejected [ { stage = 1; addr; reason } ])
+      raise (Rejected [ { stage = 1; addr; reason; insn = None } ])
 
 let stage2 (d : Disasm.t) =
   let bad = ref [] in
@@ -33,7 +47,8 @@ let stage2 (d : Disasm.t) =
     (fun (u : U.unit_at) ->
       (if u.addr < Occlum_oelf.Oelf.trampoline_reserved then
          bad :=
-           { stage = 2; addr = u.addr; reason = "code in loader-reserved area" }
+           { stage = 2; addr = u.addr; reason = "code in loader-reserved area";
+             insn = Some (U.to_string u.kind) }
            :: !bad);
       match u.kind with
       | U.U_insn i -> (
@@ -47,8 +62,8 @@ let stage2 (d : Disasm.t) =
                 | Libos_gate -> "syscall gate outside the loader trampoline"
               in
               bad :=
-                { stage = 2; addr = u.addr;
-                  reason = what ^ ": " ^ Insn.to_string i }
+                { stage = 2; addr = u.addr; reason = what;
+                  insn = Some (Insn.to_string i) }
                 :: !bad
           | None -> ())
       | U.U_mem_guard _ | U.U_cfi_guard _ | U.U_cfi_label _ -> ())
@@ -57,7 +72,11 @@ let stage2 (d : Disasm.t) =
 
 let stage3 (d : Disasm.t) =
   let bad = ref [] in
-  let reject addr reason = bad := { stage = 3; addr; reason } :: !bad in
+  let reject (u : U.unit_at) reason =
+    bad :=
+      { stage = 3; addr = u.addr; reason; insn = Some (U.to_string u.kind) }
+      :: !bad
+  in
   Array.iteri
     (fun idx (u : U.unit_at) ->
       match u.kind with
@@ -66,13 +85,13 @@ let stage3 (d : Disasm.t) =
           | Ct_direct { rel; _ } -> (
               let target = u.addr + u.len + rel in
               match Disasm.find d target with
-              | None -> reject u.addr "direct transfer into unmapped code"
+              | None -> reject u "direct transfer into unmapped code"
               | Some t -> (
                   match t.kind with
                   | U.U_insn ti -> (
                       match Insn.control_transfer_of ti with
                       | Ct_register _ ->
-                          reject u.addr
+                          reject u
                             "direct transfer targets a register-based \
                              indirect transfer (would skip its cfi_guard)"
                       | Ct_direct _ | Ct_memory | Ct_return | Ct_none -> ())
@@ -89,14 +108,14 @@ let stage3 (d : Disasm.t) =
               match prev with
               | Some { kind = U.U_cfi_guard r'; _ } when r' = r -> ()
               | _ ->
-                  reject u.addr
+                  reject u
                     (Printf.sprintf
                        "indirect transfer through %s not guarded by a \
                         cfi_guard" (Reg.name r)))
           | Ct_memory ->
-              reject u.addr "memory-based indirect transfer (Figure 3: reject)"
+              reject u "memory-based indirect transfer (Figure 3: reject)"
           | Ct_return ->
-              reject u.addr "return-based indirect transfer (Figure 3: reject)"
+              reject u "return-based indirect transfer (Figure 3: reject)"
           | Ct_none -> ())
       | U.U_mem_guard _ | U.U_cfi_guard _ | U.U_cfi_label _ -> ())
     d.sorted;
@@ -104,119 +123,17 @@ let stage3 (d : Disasm.t) =
 
 (* --- Stage 4 ------------------------------------------------------------ *)
 
-type succ = Next | Next_top | Target of int
-
-let succs_of (u : U.unit_at) =
-  match u.kind with
-  | U.U_insn i -> (
-      match i with
-      | Jmp rel -> [ Target (u.addr + u.len + rel) ]
-      | Jcc (_, rel) -> [ Next; Target (u.addr + u.len + rel) ]
-      | Call _ | Call_reg _ | Call_mem _ -> [ Next_top ]
-      | Jmp_reg _ | Jmp_mem _ | Ret | Ret_imm _ | Hlt | Eexit -> []
-      | _ -> [ Next ])
-  | U.U_mem_guard _ | U.U_cfi_guard _ | U.U_cfi_label _ -> [ Next ]
-
-let transfer (u : U.unit_at) (s : Range.state) =
-  let open Range in
-  match u.kind with
-  | U.U_cfi_label _ -> top
-  | U.U_mem_guard m -> (
-      match simple_sib m with
-      | Some (base, disp) -> set_anchor s base disp
-      | None -> s)
-  | U.U_cfi_guard _ -> kill_reg s (Reg.to_int Reg.scratch)
-  | U.U_insn i -> (
-      match i with
-      | Load { dst; src; size } ->
-          let s =
-            match simple_sib src with
-            | Some (base, disp) when covers s base disp (disp + size - 1) ->
-                set_anchor s base disp
-            | _ -> s
-          in
-          kill_reg s (Reg.to_int dst)
-      | Store { dst; size; _ } -> (
-          match simple_sib dst with
-          | Some (base, disp) when covers s base disp (disp + size - 1) ->
-              set_anchor s base disp
-          | _ -> s)
-      | Push _ | Call _ | Call_reg _ | Call_mem _ ->
-          let s = if covers s sp (-8) (-1) then set_anchor s sp (-8) else s in
-          shift_reg s sp (-8)
-      | Pop r ->
-          let s = if covers s sp 0 7 then set_anchor s sp 0 else s in
-          let s = shift_reg s sp 8 in
-          kill_reg s (Reg.to_int r)
-      | Ret | Ret_imm _ ->
-          let s = shift_reg s sp 8 in
-          s
-      | Mov_reg (d, src) -> copy_reg s (Reg.to_int d) (Reg.to_int src)
-      | Mov_imm (r, _) -> kill_reg s (Reg.to_int r)
-      | Alu (Add, r, O_imm c) when Int64.abs c < Int64.of_int shift_limit ->
-          shift_reg s (Reg.to_int r) (Int64.to_int c)
-      | Alu (Sub, r, O_imm c) when Int64.abs c < Int64.of_int shift_limit ->
-          shift_reg s (Reg.to_int r) (- Int64.to_int c)
-      | Alu (_, r, _) -> kill_reg s (Reg.to_int r)
-      | Lea (r, _) -> kill_reg s (Reg.to_int r)
-      | Wrfsbase r | Wrgsbase r -> kill_reg s (Reg.to_int r)
-      | Vscatter _ | Syscall_gate -> s (* rejected elsewhere *)
-      | Cmp _ | Nop | Jmp _ | Jcc _ | Jmp_reg _ | Jmp_mem _ | Hlt
-      | Bndcl _ | Bndcu _ | Bndmk _ | Bndmov _ | Cfi_label _ | Eexit
-      | Emodpe | Eaccept | Xrstor ->
-          s)
-
+(* The range-analysis fixpoint itself lives in {!Range.analyze} (built
+   on the shared {!Occlum_range.Dataflow} engine); this stage checks
+   every access against it (Figure 4). *)
 let stage4 (oelf : Occlum_oelf.Oelf.t) (d : Disasm.t) =
-  let n = Array.length d.sorted in
-  let index_of = Hashtbl.create (2 * n) in
-  Array.iteri (fun i (u : U.unit_at) -> Hashtbl.replace index_of u.addr i) d.sorted;
-  let in_state : Range.state option array = Array.make n None in
-  let work = Queue.create () in
-  let join i s =
-    let s' =
-      match in_state.(i) with
-      | None -> Some s
-      | Some old -> Some (Range.meet old s)
-    in
-    if s' <> in_state.(i) then begin
-      in_state.(i) <- s';
-      Queue.push i work
-    end
-  in
-  (* seeds: every cfi_label (indirect transfers may land there) and the
-     program entry *)
-  Array.iteri
-    (fun i (u : U.unit_at) ->
-      match u.kind with U.U_cfi_label _ -> join i Range.top | _ -> ())
-    d.sorted;
-  (match Hashtbl.find_opt index_of oelf.entry with
-  | Some i -> join i Range.top
-  | None -> ());
-  while not (Queue.is_empty work) do
-    let i = Queue.pop work in
-    match in_state.(i) with
-    | None -> ()
-    | Some s ->
-        let u = d.sorted.(i) in
-        let out = transfer u s in
-        List.iter
-          (fun succ ->
-            match succ with
-            | Next ->
-                if i + 1 < n && d.sorted.(i + 1).addr = u.addr + u.len then
-                  join (i + 1) out
-            | Next_top ->
-                if i + 1 < n && d.sorted.(i + 1).addr = u.addr + u.len then
-                  join (i + 1) Range.top
-            | Target a -> (
-                match Hashtbl.find_opt index_of a with
-                | Some j -> join j out
-                | None -> ()))
-          (succs_of u)
-  done;
-  (* verification pass over the fixpoint *)
+  let in_state = Range.analyze oelf d in
   let bad = ref [] in
-  let reject addr reason = bad := { stage = 4; addr; reason } :: !bad in
+  let reject (u : U.unit_at) reason =
+    bad :=
+      { stage = 4; addr = u.addr; reason; insn = Some (U.to_string u.kind) }
+      :: !bad
+  in
   let d_begin = Occlum_oelf.Oelf.d_begin_rel oelf in
   let d_end = d_begin + oelf.data_region_size in
   let guarded_by i (operand : Insn.mem) =
@@ -237,7 +154,7 @@ let stage4 (oelf : Occlum_oelf.Oelf.t) (d : Disasm.t) =
       | None ->
           (* in R but never reached by the CFG seeds: contradicts the
              reachability argument of Stage 1; reject conservatively *)
-          reject u.addr "disassembled unit unreachable in the verified CFG"
+          reject u "disassembled unit unreachable in the verified CFG"
       | Some s -> (
           let check_sp_access ~push_like operand_disp =
             let lo, hi = if push_like then (-8, -1) else (0, 7) in
@@ -246,7 +163,7 @@ let stage4 (oelf : Occlum_oelf.Oelf.t) (d : Disasm.t) =
               || guarded_by i (sp_mem operand_disp)
             then ()
             else
-              reject u.addr
+              reject u
                 (if push_like then "implicit stack store not provably in D"
                  else "implicit stack load not provably in D")
           in
@@ -273,26 +190,26 @@ let stage4 (oelf : Occlum_oelf.Oelf.t) (d : Disasm.t) =
                             (disp + size - 1)
                         then ()
                         else
-                          reject u.addr
+                          reject u
                             (Printf.sprintf
                                "memory access %s not provably within D"
                                (Insn.mem_to_string operand))
                     | Some _ ->
-                        reject u.addr
+                        reject u
                           "indexed access without an adjacent mem_guard"
                   )
               | Ma_rip_rel { disp; size; is_store = _ } ->
                   let t = u.addr + u.len + disp in
                   if t >= d_begin && t + size <= d_end then ()
                   else
-                    reject u.addr
+                    reject u
                       (Printf.sprintf
                          "rip-relative access to 0x%x outside D [0x%x,0x%x)"
                          t d_begin d_end)
               | Ma_direct_offset ->
-                  reject u.addr "direct memory offset (Figure 4: reject)"
+                  reject u "direct memory offset (Figure 4: reject)"
               | Ma_vector_sib ->
-                  reject u.addr "vector SIB (Figure 4: reject)")))
+                  reject u "vector SIB (Figure 4: reject)")))
     d.sorted;
   if !bad <> [] then raise (Rejected (List.rev !bad))
 
@@ -309,7 +226,7 @@ let verify (oelf : Occlum_oelf.Oelf.t) =
         raise
           (Rejected
              [ { stage = 1; addr = oelf.entry;
-                 reason = "entry point is not a cfi_label" } ]));
+                 reason = "entry point is not a cfi_label"; insn = None } ]));
     stage2 d;
     stage3 d;
     stage4 oelf d;

@@ -8,9 +8,19 @@
     Stage 3: control-transfer verification (Figure 3).
     Stage 4: memory-access verification (Figure 4 + range analysis). *)
 
-type rejection = { stage : int; addr : int; reason : string }
+type rejection = {
+  stage : int;
+  addr : int;
+  reason : string;
+  insn : string option;  (** decoded text of the offending unit *)
+}
+
+val stage_name : int -> string
+(** "disassembly" / "instruction set" / "control transfer" /
+    "memory access". *)
 
 val rejection_to_string : rejection -> string
+(** e.g. ["stage 3 (control transfer) @0x40: ... [ret]"]. *)
 
 val verify : Occlum_oelf.Oelf.t -> (Disasm.t, rejection list) result
 (** Run all four stages; on success returns the complete disassembly. *)

@@ -11,6 +11,26 @@ cd "$(dirname "$0")/.."
 
 dune build @all
 dune runtest
+
+# Constant-time gate: the CT checker must stay precise on the example
+# workloads — the constant-time rewrite verifies clean (exit 0) and the
+# deliberately leaky kernel stays flagged (exit 4, the CT exit code).
+dune exec bin/occlum_cc.exe -- examples/ct_safe.ol -o _build/ct_safe.oelf
+dune exec bin/occlum_verify.exe -- --ct _build/ct_safe.oelf
+dune exec bin/occlum_cc.exe -- examples/ct_leaky.ol -o _build/ct_leaky.oelf
+status=0
+dune exec bin/occlum_verify.exe -- --ct _build/ct_leaky.oelf || status=$?
+if [ "$status" -ne 4 ]; then
+  echo "FAIL: ct_leaky expected exit 4 (CT findings), got $status" >&2
+  exit 1
+fi
+
+# Residual-guard audit over the naive build of the leaky example: the
+# JSON lands next to the bench results as a CI artifact.
+dune exec bin/occlum_cc.exe -- examples/ct_leaky.ol -c naive -o _build/ct_naive.oelf
+dune exec bin/occlum_verify.exe -- --guard-audit --json _build/guard-audit.json \
+  _build/ct_naive.oelf
+
 dune exec bench/main.exe -- --only=micro --json _build/bench-micro.json
 python3 scripts/compare_bench.py bench/baseline-micro.json \
   _build/bench-micro.json --threshold "${BENCH_THRESHOLD:-0.25}"

@@ -1,0 +1,410 @@
+(* Tests for the lib/analysis subsystem: CFG recovery (blocks, edges,
+   dominators, natural loops) on hand-built OASM covering all four
+   Figure-3 transfer categories, the constant-time taint checker on a
+   leaky kernel and its constant-time rewrite, and the residual-guard
+   audit on naive vs optimized instrumentation. *)
+
+open Occlum_isa
+open Occlum_toolchain
+module Cfg = Occlum_analysis.Cfg
+module Taint = Occlum_analysis.Taint
+module Guard_audit = Occlum_analysis.Guard_audit
+
+let empty_layout = Layout.of_program { globals = []; funcs = []; secrets = [] }
+let link_raw items = Linker.link empty_layout items
+
+let disasm_exn oelf =
+  match Occlum_verifier.Verify.verify oelf with
+  | Ok d -> d
+  | Error rs ->
+      Alcotest.fail
+        ("unexpected rejection: "
+        ^ Occlum_verifier.Verify.rejection_to_string (List.hd rs))
+
+(* --- CFG ----------------------------------------------------------------- *)
+
+(* One program exercising all four Figure-3 transfer categories: a
+   direct conditional + loop, a direct call, a register-based return
+   (jmp_reg, emitted by the callee), and cfi_labels as the indirect
+   landing pads. Memory-based transfers are verifier-rejected, so their
+   CFG behavior (no successors) is covered by construction. *)
+let cfg_items =
+  [
+    Asm.Label "_start";
+    Asm.Cfi_label_here;
+    Asm.Ins (Mov_imm (Reg.r0, 0L));
+    Asm.Label "loop";
+    Asm.Ins (Cmp (Reg.r0, O_imm 3L));
+    Asm.Jcc_l (Ge, "done");
+    Asm.Ins (Alu (Add, Reg.r0, O_imm 1L));
+    Asm.Mem_guard (Sib { base = Reg.sp; index = None; scale = 1; disp = -8 });
+    Asm.Call_l "callee";
+    Asm.Cfi_label_here;
+    Asm.Jmp_l "loop";
+    Asm.Label "done";
+    Asm.Label "spin";
+    Asm.Jmp_l "spin";
+    Asm.Label "callee";
+    Asm.Cfi_label_here;
+    Asm.Mem_guard (Sib { base = Reg.sp; index = None; scale = 1; disp = 0 });
+    Asm.Ins (Pop Codegen_regs.ret_scratch);
+    Asm.Cfi_guard Codegen_regs.ret_scratch;
+    Asm.Ins (Jmp_reg Codegen_regs.ret_scratch);
+  ]
+
+let build_cfg () =
+  let oelf = link_raw cfg_items in
+  let d = disasm_exn oelf in
+  (oelf, Cfg.build ~entry:oelf.entry d)
+
+let test_cfg_blocks_and_edges () =
+  let _, cfg = build_cfg () in
+  let nb = Array.length cfg.Cfg.blocks in
+  Alcotest.(check bool) "several blocks" true (nb >= 5);
+  (match cfg.Cfg.entry with
+  | None -> Alcotest.fail "entry block not found"
+  | Some e ->
+      Alcotest.(check int) "entry is block of unit 0" e
+        cfg.Cfg.block_of_unit.(0));
+  Alcotest.(check bool) "has cfi_label blocks" true
+    (List.length cfg.Cfg.label_blocks >= 3);
+  (* every edge is symmetric with preds, and in range *)
+  Array.iteri
+    (fun b ss ->
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "succ in range" true (s >= 0 && s < nb);
+          Alcotest.(check bool) "pred link" true (List.mem b cfg.Cfg.preds.(s)))
+        ss)
+    cfg.Cfg.succs;
+  (* the register-based return edges exactly to the cfi_label blocks *)
+  let d = cfg.Cfg.disasm in
+  Array.iter
+    (fun blk ->
+      match d.Occlum_verifier.Disasm.sorted.(blk.Cfg.last).kind with
+      | Occlum_verifier.Unit_kind.U_insn (Jmp_reg _) ->
+          Alcotest.(check (list int)) "jmp_reg -> label blocks"
+            (List.sort compare cfg.Cfg.label_blocks)
+            (List.sort compare cfg.Cfg.succs.(blk.Cfg.id))
+      | _ -> ())
+    cfg.Cfg.blocks;
+  (* the conditional branch block has exactly two successors *)
+  let jcc_block =
+    Array.to_list cfg.Cfg.blocks
+    |> List.find (fun blk ->
+           match d.Occlum_verifier.Disasm.sorted.(blk.Cfg.last).kind with
+           | Occlum_verifier.Unit_kind.U_insn (Jcc _) -> true
+           | _ -> false)
+  in
+  Alcotest.(check int) "jcc has 2 successors" 2
+    (List.length cfg.Cfg.succs.(jcc_block.Cfg.id))
+
+let test_cfg_dominators_and_loops () =
+  let _, cfg = build_cfg () in
+  let doms = Cfg.dominators cfg in
+  let entry = Option.get cfg.Cfg.entry in
+  Array.iteri
+    (fun b s ->
+      match s with
+      | None -> ()
+      | Some l ->
+          Alcotest.(check bool) "entry dominates all reachable" true
+            (List.mem entry l);
+          Alcotest.(check bool) "self-dominance" true (List.mem b l))
+    doms;
+  let loops = Cfg.natural_loops cfg in
+  Alcotest.(check bool) "found the counting loop" true (List.length loops >= 1);
+  List.iter
+    (fun (head, body) ->
+      Alcotest.(check bool) "head in body" true (List.mem head body);
+      (* the loop head dominates every block in its body *)
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "head dominates body" true
+            (match doms.(b) with None -> false | Some l -> List.mem head l))
+        body)
+    loops
+
+let test_cfg_straightline_no_loops () =
+  let oelf =
+    link_raw
+      [
+        Asm.Label "_start";
+        Asm.Cfi_label_here;
+        Asm.Ins (Mov_imm (Reg.r0, 7L));
+        Asm.Label "spin";
+        Asm.Jmp_l "spin";
+      ]
+  in
+  let d = disasm_exn oelf in
+  let cfg = Cfg.build ~entry:oelf.entry d in
+  (* the only back edge is spin->spin *)
+  let loops = Cfg.natural_loops cfg in
+  Alcotest.(check int) "only the spin self-loop" 1 (List.length loops);
+  let head, body = List.hd loops in
+  Alcotest.(check (list int)) "self-loop body" [ head ] body
+
+(* --- constant-time checker ----------------------------------------------- *)
+
+let leaky_src =
+  {|
+secret global key[8];
+global tbl[256];
+global out[8];
+
+fn main() regs(s, x) {
+  s = load64(key);
+  if (s & 1) {
+    x = 1;
+  } else {
+    x = 2;
+  }
+  x = x + load64(tbl + (s & 31) * 8);
+  x = x + s % 3;
+  store64(out, x);
+  return 0;
+}
+|}
+
+let safe_src =
+  {|
+secret global key[8];
+global tbl[256];
+global out[8];
+
+fn main() regs(s, m, acc) {
+  s = load64(key);
+  m = 0 - (s & 1);
+  acc = (1 & m) | (2 & ~m);
+  let k = 0;
+  while (k < 32) {
+    let d = k ^ (s & 31);
+    let hit = ((d | (0 - d)) >> 63) - 1;
+    acc = acc + (load64(tbl + k * 8) & hit);
+    k = k + 1;
+  }
+  store64(out, acc);
+  return 0;
+}
+|}
+
+let compile_src ?(config = Codegen.sfi) src =
+  Compile.compile_exn ~config (Parser.parse src)
+
+let ct_findings ?config src =
+  let oelf = compile_src ?config src in
+  Taint.check oelf (disasm_exn oelf)
+
+let func_extent (oelf : Occlum_oelf.Oelf.t) name =
+  let off =
+    match Occlum_oelf.Oelf.find_symbol oelf name with
+    | Some o -> o
+    | None -> Alcotest.fail (name ^ " not in symbol table")
+  in
+  let next =
+    List.fold_left
+      (fun acc (_, o) -> if o > off && o < acc then o else acc)
+      max_int oelf.symbols
+  in
+  (off, next)
+
+let test_ct_leaky_flagged () =
+  let oelf = compile_src leaky_src in
+  let fs = Taint.check oelf (disasm_exn oelf) in
+  Alcotest.(check int) "exactly three findings" 3 (List.length fs);
+  (* address order mirrors source order: branch, table lookup, modulo *)
+  Alcotest.(check (list string)) "kinds in order"
+    [ "Secret_branch"; "Secret_addr"; "Secret_latency" ]
+    (List.map
+       (fun (f : Taint.finding) ->
+         match f.kind with
+         | Taint.Secret_branch -> "Secret_branch"
+         | Taint.Secret_addr -> "Secret_addr"
+         | Taint.Secret_latency -> "Secret_latency")
+       fs);
+  let lo, hi = func_extent oelf "f_main" in
+  List.iter
+    (fun (f : Taint.finding) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "finding 0x%x inside f_main [0x%x,0x%x)" f.addr lo hi)
+        true
+        (f.addr >= lo && f.addr < hi))
+    fs;
+  (* the findings pin the exact offending instructions *)
+  (match fs with
+  | [ b; a; l ] ->
+      Alcotest.(check bool) "branch is a jcc" true
+        (String.length b.insn >= 1 && b.insn.[0] = 'j');
+      Alcotest.(check bool) "addr is the table load" true
+        (String.length a.insn >= 4 && String.sub a.insn 0 4 = "load");
+      Alcotest.(check bool) "latency is the remu" true
+        (String.length l.insn >= 4 && String.sub l.insn 0 4 = "remu")
+  | _ -> Alcotest.fail "expected three findings");
+  Alcotest.(check bool) "addresses strictly increasing" true
+    (match fs with
+    | [ a; b; c ] -> a.addr < b.addr && b.addr < c.addr
+    | _ -> false)
+
+let test_ct_leaky_naive_also_flagged () =
+  (* the checker works on uninstrumented-by-optimizer binaries too *)
+  let fs = ct_findings ~config:Codegen.sfi_naive leaky_src in
+  Alcotest.(check int) "three findings on naive build" 3 (List.length fs)
+
+let test_ct_safe_clean () =
+  Alcotest.(check int) "constant-time rewrite is clean" 0
+    (List.length (ct_findings safe_src))
+
+let test_ct_no_secrets_trivially_clean () =
+  let prog = Runtime.program [ Ast.func "main" [] [ Ast.Return (Ast.i 0) ] ] in
+  let oelf = Compile.compile_exn ~config:Codegen.sfi prog in
+  Alcotest.(check (list pass)) "no secrets, no findings" []
+    (Taint.check oelf (disasm_exn oelf))
+
+let test_ct_workloads_clean () =
+  (* SPEC kernels and the fish workload declare no secrets: the checker
+     must return nothing, fast *)
+  List.iter
+    (fun (name, prog) ->
+      let oelf = Compile.compile_exn ~config:Codegen.sfi prog in
+      let fs = Taint.check oelf (disasm_exn oelf) in
+      Alcotest.(check int) (name ^ " clean") 0 (List.length fs))
+    (Occlum_workloads.Spec.all ~scale:1 @ Occlum_workloads.Fish.binaries)
+
+(* --- secret annotation plumbing ------------------------------------------ *)
+
+let test_secret_parsing_and_ranges () =
+  let prog = Parser.parse leaky_src in
+  Alcotest.(check (list string)) "parsed secrets" [ "key" ] prog.Ast.secrets;
+  let layout = Layout.of_program prog in
+  Alcotest.(check int) "one secret range" 1
+    (List.length layout.Layout.secret_ranges);
+  let oelf = Compile.compile_exn ~config:Codegen.sfi prog in
+  Alcotest.(check bool) "range carried into the OELF" true
+    (oelf.secret_ranges = layout.Layout.secret_ranges);
+  List.iter
+    (fun (off, len) ->
+      Alcotest.(check int) "range is the 8-byte key" 8 len;
+      Alcotest.(check bool) "offset inside the data region" true
+        (off >= 0 && off + len <= oelf.data_region_size))
+    oelf.secret_ranges
+
+let test_secret_undeclared_rejected () =
+  match Parser.parse "secret global key[8];\nfn main() { return 0; }" with
+  | exception _ -> Alcotest.fail "secret global alone must parse"
+  | p ->
+      Alcotest.(check (list string)) "key is secret" [ "key" ] p.Ast.secrets;
+      (* a secret not matching any global is a check_program error *)
+      (match
+         Ast.check_program
+           { p with Ast.secrets = [ "missing" ] }
+       with
+      | exception _ -> ()
+      | () -> Alcotest.fail "undeclared secret must be rejected")
+
+let test_secret_survives_signing () =
+  let oelf = compile_src leaky_src in
+  let signed = Occlum_verifier.Signer.sign oelf in
+  Alcotest.(check bool) "signed ok" true (Occlum_verifier.Signer.check signed);
+  let stripped = { signed with Occlum_oelf.Oelf.secret_ranges = [] } in
+  Alcotest.(check bool) "stripping the annotation breaks the signature"
+    false
+    (Occlum_verifier.Signer.check stripped)
+
+(* --- guard audit --------------------------------------------------------- *)
+
+let audit_of ?config src =
+  let oelf = compile_src ?config src in
+  Guard_audit.audit oelf (disasm_exn oelf)
+
+let test_guard_audit_naive_has_redundancy () =
+  let naive = audit_of ~config:Codegen.sfi_naive leaky_src in
+  let opt = audit_of ~config:Codegen.sfi leaky_src in
+  Alcotest.(check bool) "naive leaves provably redundant guards" true
+    (naive.Guard_audit.redundant_total > 0);
+  Alcotest.(check bool) "optimized has fewer residual guards" true
+    (opt.Guard_audit.redundant_total < naive.Guard_audit.redundant_total);
+  Alcotest.(check bool) "optimized carries fewer guards overall" true
+    (opt.Guard_audit.guards_total < naive.Guard_audit.guards_total);
+  (* per-function counts add up to the totals *)
+  let sum f l = List.fold_left (fun a x -> a + f x) 0 l in
+  Alcotest.(check int) "func guards sum" naive.Guard_audit.guards_total
+    (sum (fun (f : Guard_audit.func_report) -> f.guards)
+       naive.Guard_audit.funcs);
+  Alcotest.(check int) "func redundant sum" naive.Guard_audit.redundant_total
+    (sum (fun (f : Guard_audit.func_report) -> f.redundant)
+       naive.Guard_audit.funcs)
+
+let test_guard_audit_metrics_and_json () =
+  let r = audit_of ~config:Codegen.sfi_naive leaky_src in
+  let reg = Occlum_obs.Metrics.create () in
+  Guard_audit.record reg r;
+  let items = Occlum_obs.Metrics.to_json_items reg in
+  let get k = List.assoc k items in
+  Alcotest.(check (float 0.0)) "guards counter"
+    (float_of_int r.Guard_audit.guards_total)
+    (get "guard_audit.guards_total");
+  Alcotest.(check (float 0.0)) "redundant counter"
+    (float_of_int r.Guard_audit.redundant_total)
+    (get "guard_audit.redundant_total");
+  let js = Guard_audit.to_json r in
+  Alcotest.(check bool) "json mentions totals" true
+    (String.length js > 0 && js.[0] = '{');
+  let txt = Guard_audit.to_text r in
+  Alcotest.(check bool) "text report mentions mem_guard" true
+    (String.length txt > 0)
+
+(* --- the shared dataflow engine ------------------------------------------ *)
+
+module Int_max = Occlum_analysis.Dataflow.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let join = max
+end)
+
+let test_dataflow_engine_forward_backward () =
+  (* diamond: 0 -> 1,2 -> 3; forward max propagates the larger seed *)
+  let g =
+    { Occlum_analysis.Dataflow.nodes = 4;
+      succs = [| [ 1; 2 ]; [ 3 ]; [ 3 ]; [] |] }
+  in
+  let out =
+    Int_max.fixpoint g ~seeds:[ (0, 5) ] ~transfer:(fun n v ->
+        if n = 1 then v + 10 else v)
+  in
+  Alcotest.(check (option int)) "join at the merge" (Some 15) out.(3);
+  Alcotest.(check (option int)) "unseeded unreachable" (Some 5) out.(1);
+  let back =
+    Int_max.fixpoint ~direction:`Backward g ~seeds:[ (3, 1) ]
+      ~transfer:(fun _ v -> v + 1)
+  in
+  (* backward: 3's value flows to 1, 2, then 0 *)
+  Alcotest.(check (option int)) "backward reaches the root" (Some 3) back.(0)
+
+let suite =
+  [
+    Alcotest.test_case "cfg blocks and edges" `Quick test_cfg_blocks_and_edges;
+    Alcotest.test_case "cfg dominators and loops" `Quick
+      test_cfg_dominators_and_loops;
+    Alcotest.test_case "cfg self-loop" `Quick test_cfg_straightline_no_loops;
+    Alcotest.test_case "ct: leaky kernel flagged" `Quick test_ct_leaky_flagged;
+    Alcotest.test_case "ct: leaky flagged on naive build" `Quick
+      test_ct_leaky_naive_also_flagged;
+    Alcotest.test_case "ct: constant-time rewrite clean" `Quick
+      test_ct_safe_clean;
+    Alcotest.test_case "ct: no secrets trivially clean" `Quick
+      test_ct_no_secrets_trivially_clean;
+    Alcotest.test_case "ct: workloads clean" `Quick test_ct_workloads_clean;
+    Alcotest.test_case "secret parsing and ranges" `Quick
+      test_secret_parsing_and_ranges;
+    Alcotest.test_case "secret must be a declared global" `Quick
+      test_secret_undeclared_rejected;
+    Alcotest.test_case "secret annotation survives signing" `Quick
+      test_secret_survives_signing;
+    Alcotest.test_case "guard audit: naive vs optimized" `Quick
+      test_guard_audit_naive_has_redundancy;
+    Alcotest.test_case "guard audit: metrics and json" `Quick
+      test_guard_audit_metrics_and_json;
+    Alcotest.test_case "dataflow engine directions" `Quick
+      test_dataflow_engine_forward_backward;
+  ]

@@ -160,7 +160,8 @@ let test_pseudo_expansion () =
 let test_layout () =
   let prog : Occlum_toolchain.Ast.program =
     { globals = [ ("a", 100); ("b", 10) ];
-      funcs = [ Occlum_toolchain.Ast.func "main" [] [ Return (Occlum_toolchain.Ast.Str "lit") ] ] }
+      funcs = [ Occlum_toolchain.Ast.func "main" [] [ Return (Occlum_toolchain.Ast.Str "lit") ] ];
+      secrets = [] }
   in
   let l = Occlum_toolchain.Layout.of_program prog in
   Alcotest.(check int) "globals after header" Occlum_toolchain.Layout.header_size

@@ -17,4 +17,5 @@ let () =
       ("components", Test_components.suite);
       ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);
+      ("analysis", Test_analysis.suite);
     ]

@@ -12,6 +12,7 @@ let sample () =
     stack_size = 2048;
     entry = 64;
     symbols = [ ("_start", 64); ("f_main", 80) ];
+    secret_ranges = [ (4096, 32) ];
     signature = None;
   }
 
@@ -47,6 +48,8 @@ let test_signing_payload_sensitivity () =
       { o with Oelf.stack_size = 1024 };
       { o with Oelf.heap_start = 2048 };
       { o with Oelf.symbols = [ ("_start", 64) ] };
+      { o with Oelf.secret_ranges = [] };
+      { o with Oelf.secret_ranges = [ (4096, 64) ] };
     ]
   in
   List.iter

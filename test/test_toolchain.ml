@@ -127,8 +127,9 @@ let run_all_backends prog =
   let bare = Occlum_baseline.Native_run.run (Compile.compile_exn ~config:Codegen.bare prog) in
   let opt_oelf = Compile.compile_exn ~config:Codegen.sfi prog in
   let opt = Occlum_baseline.Native_run.run opt_oelf in
-  let naive = Occlum_baseline.Native_run.run (Compile.compile_exn ~config:Codegen.sfi_naive prog) in
-  (iv, iout, bare, opt, naive, opt_oelf)
+  let naive_oelf = Compile.compile_exn ~config:Codegen.sfi_naive prog in
+  let naive = Occlum_baseline.Native_run.run naive_oelf in
+  (iv, iout, bare, opt, naive, opt_oelf, naive_oelf)
 
 let prop_differential =
   QCheck.Test.make ~name:"interp == bare == sfi == naive-sfi (random programs)"
@@ -136,7 +137,7 @@ let prop_differential =
     QCheck.(make Gen.(int_range 0 1_000_000))
     (fun seed ->
       let prog = Progen.generate seed in
-      let iv, iout, bare, opt, naive, opt_oelf = run_all_backends prog in
+      let iv, iout, bare, opt, naive, opt_oelf, naive_oelf = run_all_backends prog in
       let code_ok =
         Int64.equal iv bare.exit_code
         && Int64.equal iv opt.exit_code
@@ -145,8 +146,16 @@ let prop_differential =
       let out_ok =
         iout = bare.stdout && iout = opt.stdout && iout = naive.stdout
       in
+      (* the optimizer must never produce a binary the verifier turns
+         away — and neither may the unoptimized instrumentation *)
       let verified =
-        match Occlum_verifier.Verify.verify opt_oelf with Ok _ -> true | Error _ -> false
+        (match Occlum_verifier.Verify.verify opt_oelf with
+        | Ok _ -> true
+        | Error _ -> false)
+        &&
+        match Occlum_verifier.Verify.verify naive_oelf with
+        | Ok _ -> true
+        | Error _ -> false
       in
       if not (code_ok && out_ok && verified) then
         QCheck.Test.fail_reportf

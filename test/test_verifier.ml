@@ -6,7 +6,7 @@ open Occlum_isa
 open Occlum_toolchain
 module V = Occlum_verifier.Verify
 
-let empty_layout = Layout.of_program { globals = []; funcs = [] }
+let empty_layout = Layout.of_program { globals = []; funcs = []; secrets = [] }
 
 (* Link raw assembly items into an OELF (entry = "_start"). *)
 let link_raw items = Linker.link empty_layout items
