@@ -1,0 +1,901 @@
+open Occlum_isa
+open Occlum_machine
+open Occlum_toolchain
+module R = Codegen_regs
+module Enclave = Occlum_sgx.Enclave
+module Epc = Occlum_sgx.Epc
+module Os = Occlum_libos.Os
+module Sefs = Occlum_libos.Sefs
+module Net = Occlum_libos.Net
+module Errno = Occlum_abi.Abi.Errno
+module Verify = Occlum_verifier.Verify
+
+type property =
+  | Codec_roundtrip
+  | Cache_equivalence
+  | Verifier_soundness
+  | Aex_identity
+  | Epc_pressure
+
+let all_properties =
+  [
+    Codec_roundtrip; Cache_equivalence; Verifier_soundness; Aex_identity;
+    Epc_pressure;
+  ]
+
+let property_name = function
+  | Codec_roundtrip -> "codec-roundtrip"
+  | Cache_equivalence -> "cache-equivalence"
+  | Verifier_soundness -> "verifier-soundness"
+  | Aex_identity -> "aex-identity"
+  | Epc_pressure -> "epc-pressure"
+
+let property_of_name = function
+  | "codec-roundtrip" -> Some Codec_roundtrip
+  | "cache-equivalence" -> Some Cache_equivalence
+  | "verifier-soundness" -> Some Verifier_soundness
+  | "aex-identity" -> Some Aex_identity
+  | "epc-pressure" -> Some Epc_pressure
+  | _ -> None
+
+let property_index = function
+  | Codec_roundtrip -> 0
+  | Cache_equivalence -> 1
+  | Verifier_soundness -> 2
+  | Aex_identity -> 3
+  | Epc_pressure -> 4
+
+type failure = {
+  prop : property;
+  case : int;
+  detail : string;
+  minimized : Asm.item list option;
+}
+
+type prop_result = {
+  rprop : property;
+  cases_run : int;
+  failures : failure list;
+}
+
+type report = {
+  seed : int64;
+  cases : int;
+  results : prop_result list;
+  injected : Inject.t;
+}
+
+let sys_nr_reg = Reg.of_int Occlum_abi.Abi.Regs.sys_nr
+
+(* --- state comparison helpers ------------------------------------------- *)
+
+exception Diff of string
+
+let cpu_diff (a : Cpu.t) (b : Cpu.t) =
+  try
+    if a.Cpu.pc <> b.Cpu.pc then
+      raise (Diff (Printf.sprintf "pc 0x%x vs 0x%x" a.Cpu.pc b.Cpu.pc));
+    if a.Cpu.flag_eq <> b.Cpu.flag_eq || a.Cpu.flag_lt <> b.Cpu.flag_lt then
+      raise (Diff "comparison flags");
+    for i = 0 to Reg.count - 1 do
+      if a.Cpu.regs.(i) <> b.Cpu.regs.(i) then
+        raise
+          (Diff
+             (Printf.sprintf "r%d: %Ld vs %Ld" i a.Cpu.regs.(i) b.Cpu.regs.(i)))
+    done;
+    for i = 0 to Reg.bnd_count - 1 do
+      let x = a.Cpu.bnds.(i) and y = b.Cpu.bnds.(i) in
+      if x.Cpu.lower <> y.Cpu.lower || x.Cpu.upper <> y.Cpu.upper then
+        raise (Diff (Printf.sprintf "bnd%d" i))
+    done;
+    List.iter
+      (fun (name, x, y) ->
+        if x <> y then raise (Diff (Printf.sprintf "%s: %d vs %d" name x y)))
+      [
+        ("cycles", a.Cpu.cycles, b.Cpu.cycles);
+        ("insns", a.Cpu.insns, b.Cpu.insns);
+        ("loads", a.Cpu.loads, b.Cpu.loads);
+        ("stores", a.Cpu.stores, b.Cpu.stores);
+        ("bound_checks", a.Cpu.bound_checks, b.Cpu.bound_checks);
+      ];
+    None
+  with Diff d -> Some d
+
+let mem_diff (a : Exec.env) (b : Exec.env) =
+  let region name base len =
+    let x = Mem.read_bytes_priv a.Exec.mem ~addr:base ~len in
+    let y = Mem.read_bytes_priv b.Exec.mem ~addr:base ~len in
+    if not (Bytes.equal x y) then raise (Diff (name ^ " region bytes"))
+  in
+  try
+    region "code" a.Exec.code_base a.Exec.code_region;
+    region "data" a.Exec.d_base a.Exec.d_size;
+    region "victim" a.Exec.victim_base a.Exec.victim_size;
+    None
+  with Diff d -> Some d
+
+(* --- property: codec round-trip ----------------------------------------- *)
+
+let codec_case rng =
+  try
+    let i = Gen.insn rng in
+    let enc = Bytes.of_string (Codec.encode i) in
+    (match Codec.decode enc ~pos:0 ~limit:(Bytes.length enc) with
+    | Ok (i', len) when i' = i && len = Bytes.length enc -> ()
+    | Ok (i', len) ->
+        raise
+          (Diff
+             (Printf.sprintf "round-trip mismatch: [%s] decoded as [%s] (%d/%d bytes)"
+                (Insn.to_string i) (Insn.to_string i') len (Bytes.length enc)))
+    | Error e ->
+        raise
+          (Diff
+             (Printf.sprintf "decode failed on encoded [%s]: %s"
+                (Insn.to_string i) (Codec.error_to_string e))));
+    (* decoding arbitrary bytes is total, and anything it decodes must
+       itself round-trip (possibly to a shorter canonical encoding) *)
+    let soup = Gen.byte_soup rng in
+    let limit = Bytes.length soup in
+    let pos = ref 0 in
+    while !pos < limit do
+      match Codec.decode soup ~pos:!pos ~limit with
+      | Ok (i, n) ->
+          if n <= 0 then raise (Diff "decode returned a non-positive length");
+          let enc2 = Bytes.of_string (Codec.encode i) in
+          (match Codec.decode enc2 ~pos:0 ~limit:(Bytes.length enc2) with
+          | Ok (i2, l2) when i2 = i && l2 = Bytes.length enc2 -> ()
+          | _ ->
+              raise
+                (Diff
+                   (Printf.sprintf "soup-decoded [%s] does not re-round-trip"
+                      (Insn.to_string i))));
+          pos := !pos + n
+      | Error _ -> incr pos
+    done;
+    None
+  with
+  | Diff d -> Some d
+  | e -> Some ("codec raised: " ^ Printexc.to_string e)
+
+(* --- property: cached-vs-uncached equivalence --------------------------- *)
+
+(* Run the same binary in two isolated envs, cached and uncached, under
+   identical counter-based interrupt schedules, comparing architectural
+   state and counters at every stop and memory at syscall/fault/final
+   stops. [period >= 2] so a preempted boundary still makes progress on
+   re-entry. *)
+let drive_pair ?(intr_a = None) oelf ~period ~fuel =
+  let env_a = Exec.make oelf and env_b = Exec.make oelf in
+  let cache = Decode_cache.create () in
+  let ia =
+    match intr_a with
+    | Some i -> i
+    | None -> Inject.interrupt_silent ~period
+  in
+  let ib = Inject.interrupt_silent ~period in
+  let compare_cpu () = cpu_diff env_a.Exec.cpu env_b.Exec.cpu in
+  let compare_mem () = mem_diff env_a env_b in
+  let rec go () =
+    let rem = fuel - env_a.Exec.cpu.Cpu.insns in
+    if rem <= 0 then final ()
+    else begin
+      let stop_a =
+        Interp.run ~cache ~interrupt:ia env_a.Exec.mem env_a.Exec.cpu ~fuel:rem
+      in
+      let stop_b =
+        Interp.run ~interrupt:ib env_b.Exec.mem env_b.Exec.cpu ~fuel:rem
+      in
+      if stop_a <> stop_b then
+        Error
+          (Printf.sprintf "stops diverge: %s vs %s"
+             (Interp.stop_to_string stop_a)
+             (Interp.stop_to_string stop_b))
+      else
+        match compare_cpu () with
+        | Some d -> Error ("state diverges after stop: " ^ d)
+        | None -> (
+            match stop_a with
+            | Interp.Stop_fault _ -> final ()
+            | Interp.Stop_quantum -> go ()
+            | Interp.Stop_syscall -> (
+                match compare_mem () with
+                | Some d -> Error ("memory diverges at syscall: " ^ d)
+                | None ->
+                    let nr =
+                      Int64.to_int (Cpu.get env_a.Exec.cpu sys_nr_reg)
+                    in
+                    if nr = Occlum_abi.Abi.Sys.exit then final ()
+                    else begin
+                      Cpu.set env_a.Exec.cpu R.result 0L;
+                      Cpu.set env_b.Exec.cpu R.result 0L;
+                      go ()
+                    end))
+    end
+  and final () =
+    match compare_cpu () with
+    | Some d -> Error ("final state diverges: " ^ d)
+    | None -> (
+        match compare_mem () with
+        | Some d -> Error ("final memory diverges: " ^ d)
+        | None -> Ok ())
+  in
+  go ()
+
+let cache_equivalence_case inj shrink rng case =
+  let items = Gen.program rng in
+  let period = 2 + Rng.int rng 40 in
+  let fuel = 1500 + Rng.int rng 1500 in
+  match drive_pair ~intr_a:(Some (Inject.interrupt_every inj ~period)) (Gen.link items) ~period ~fuel with
+  | Ok () -> None
+  | Error detail ->
+      let minimized =
+        if not shrink then None
+        else
+          Some
+            (Shrink.minimize
+               (fun its ->
+                 match drive_pair (Gen.link its) ~period ~fuel with
+                 | Error _ -> true
+                 | Ok () -> false)
+               items)
+      in
+      Some { prop = Cache_equivalence; case; detail; minimized }
+
+(* --- property: verifier soundness --------------------------------------- *)
+
+let contained oelf ~period ~fuel =
+  let env = Exec.make oelf in
+  let intr = Inject.interrupt_silent ~period in
+  Exec.run_contained ~fuel ~interrupt:intr env
+
+let soundness_case inj shrink rng case =
+  let period = 1 + Rng.int rng 2 in
+  let fuel = 4000 in
+  let fail detail minimized =
+    Some { prop = Verifier_soundness; case; detail; minimized }
+  in
+  let minimize_if pred items =
+    if shrink then Some (Shrink.minimize pred items) else None
+  in
+  let run_accepted tag items_opt oelf =
+    let env = Exec.make oelf in
+    let intr = Inject.interrupt_every inj ~period in
+    match Exec.run_contained ~fuel ~interrupt:intr env with
+    | Ok _ -> None
+    | Error v ->
+        let detail =
+          Printf.sprintf "%s accepted by verifier but violated isolation: %s"
+            tag
+            (Exec.violation_to_string v)
+        in
+        let minimized =
+          match items_opt with
+          | None -> None
+          | Some items ->
+              minimize_if
+                (fun its ->
+                  match Verify.verify (Gen.link its) with
+                  | Error _ -> false
+                  | Ok _ -> (
+                      match contained (Gen.link its) ~period ~fuel with
+                      | Error _ -> true
+                      | Ok _ -> false))
+                items
+        in
+        fail detail minimized
+  in
+  match Rng.int rng 10 with
+  | 0 | 1 | 2 | 3 -> (
+      (* well-formed: must verify, must be contained *)
+      let items = Gen.program rng in
+      let oelf = Gen.link items in
+      match Verify.verify oelf with
+      | Error (r :: _) ->
+          fail
+            ("well-formed program rejected: " ^ Verify.rejection_to_string r)
+            (minimize_if
+               (fun its ->
+                 match Verify.verify (Gen.link its) with
+                 | Error _ -> true
+                 | Ok _ -> false)
+               items)
+      | Error [] -> fail "well-formed program rejected (no reason)" None
+      | Ok _ -> run_accepted "well-formed program" (Some items) oelf)
+  | 4 | 5 | 6 | 7 -> (
+      (* hostile mutant: rejection is fine; acceptance must be contained *)
+      let items = Gen.hostile rng in
+      match Gen.link items with
+      | exception _ -> None
+      | oelf -> (
+          match Verify.verify oelf with
+          | Error _ -> None
+          | Ok _ -> run_accepted "hostile mutant" (Some items) oelf))
+  | _ -> (
+      (* byte-flip mutant of a linked binary, as an adversary would *)
+      let items = Gen.program rng in
+      let oelf = Gen.link items in
+      let code = Bytes.copy oelf.Occlum_oelf.Oelf.code in
+      let reserved = Occlum_oelf.Oelf.trampoline_reserved in
+      for _ = 0 to Rng.int rng 3 do
+        if Bytes.length code > reserved then begin
+          let pos = reserved + Rng.int rng (Bytes.length code - reserved) in
+          Bytes.set code pos
+            (Char.chr
+               (Char.code (Bytes.get code pos) lxor (1 + Rng.int rng 255)))
+        end
+      done;
+      let mutant = { oelf with Occlum_oelf.Oelf.code = code } in
+      match Verify.verify mutant with
+      | Error _ -> None
+      | Ok _ -> run_accepted "byte-flip mutant" None mutant)
+
+(* --- property: AEX/resume bit-identity ---------------------------------- *)
+
+let capture (cpu : Cpu.t) =
+  (Array.copy cpu.Cpu.regs, Array.copy cpu.Cpu.bnds, cpu.Cpu.pc,
+   cpu.Cpu.flag_eq, cpu.Cpu.flag_lt)
+
+let resume_diff (regs, bnds, pc, fe, fl) (cpu : Cpu.t) =
+  try
+    if cpu.Cpu.pc <> pc then raise (Diff "pc");
+    if cpu.Cpu.flag_eq <> fe || cpu.Cpu.flag_lt <> fl then
+      raise (Diff "comparison flags");
+    Array.iteri
+      (fun i v ->
+        if cpu.Cpu.regs.(i) <> v then raise (Diff (Printf.sprintf "r%d" i)))
+      regs;
+    Array.iteri
+      (fun i (v : Cpu.bound) ->
+        let b = cpu.Cpu.bnds.(i) in
+        if b.Cpu.lower <> v.Cpu.lower || b.Cpu.upper <> v.Cpu.upper then
+          raise (Diff (Printf.sprintf "bnd%d" i)))
+      bnds;
+    None
+  with Diff d -> Some d
+
+let scramble rng (cpu : Cpu.t) =
+  for i = 0 to Reg.count - 1 do
+    Cpu.set cpu (Reg.of_int i) (Rng.next rng)
+  done;
+  for i = 0 to Reg.bnd_count - 1 do
+    Cpu.set_bnd cpu (Reg.bnd_of_int i)
+      { lower = Rng.next rng; upper = Rng.next rng }
+  done;
+  cpu.Cpu.pc <- Rng.int rng 0x200000;
+  cpu.Cpu.flag_eq <- Rng.bool rng;
+  cpu.Cpu.flag_lt <- Rng.bool rng
+
+(* Interrupted run with an AEX + full CPU scramble + resume at every
+   [period]-th boundary, stepping a never-interrupted twin in lockstep:
+   each resume must be bit-identical to the pre-AEX state, and the twin
+   must end bit-identical to the interrupted machine (AEX transparency). *)
+let drive_aex inj oelf ~period ~scramble_seed ~steps =
+  let env = Exec.make oelf and twin = Exec.make oelf in
+  let srng = Rng.of_seed scramble_seed in
+  let boundary = ref 0 in
+  let rec go n =
+    if n = 0 then transparency ()
+    else begin
+      incr boundary;
+      if !boundary mod period = 0 then begin
+        inj.Inject.aex <- inj.Inject.aex + 1;
+        let snap = capture env.Exec.cpu in
+        Enclave.aex ~reason:"fuzz-aex" env.Exec.enclave env.Exec.cpu;
+        scramble srng env.Exec.cpu;
+        Enclave.resume env.Exec.enclave env.Exec.cpu;
+        match resume_diff snap env.Exec.cpu with
+        | Some d -> Error ("aex/resume not bit-identical: " ^ d)
+        | None -> exec n
+      end
+      else exec n
+    end
+  and exec n =
+    let sa = Interp.step env.Exec.mem env.Exec.cpu in
+    let sb = Interp.step twin.Exec.mem twin.Exec.cpu in
+    if sa <> sb then Error "interrupted and twin runs took different stops"
+    else
+      match sa with
+      | Some Interp.Stop_syscall ->
+          let nr = Int64.to_int (Cpu.get env.Exec.cpu sys_nr_reg) in
+          if nr = Occlum_abi.Abi.Sys.exit then transparency ()
+          else begin
+            Cpu.set env.Exec.cpu R.result 0L;
+            Cpu.set twin.Exec.cpu R.result 0L;
+            go (n - 1)
+          end
+      | Some (Interp.Stop_fault _) -> transparency ()
+      | Some Interp.Stop_quantum | None -> go (n - 1)
+  and transparency () =
+    match cpu_diff env.Exec.cpu twin.Exec.cpu with
+    | Some d -> Error ("AEX transparency violated: " ^ d)
+    | None -> (
+        match mem_diff env twin with
+        | Some d -> Error ("AEX transparency violated: " ^ d)
+        | None -> Ok ())
+  in
+  go steps
+
+let aex_case inj shrink rng case =
+  let items = Gen.program rng in
+  let period = 1 + Rng.int rng 6 in
+  let scramble_seed = Rng.next rng in
+  let steps = 1200 in
+  match drive_aex inj (Gen.link items) ~period ~scramble_seed ~steps with
+  | Ok () -> None
+  | Error detail ->
+      let minimized =
+        if not shrink then None
+        else
+          Some
+            (Shrink.minimize
+               (fun its ->
+                 match
+                   drive_aex (Inject.make ()) (Gen.link its) ~period
+                     ~scramble_seed ~steps
+                 with
+                 | Error _ -> true
+                 | Ok () -> false)
+               items)
+      in
+      Some { prop = Aex_identity; case; detail; minimized }
+
+(* --- property: EPC pressure / LibOS clean failure ------------------------ *)
+
+let small_domains =
+  { Os.default_config.Os.domains with Occlum_libos.Domain_mgr.max_domains = 4 }
+
+let tiny_binary =
+  lazy
+    (let prog =
+       Runtime.program [ Ast.func "main" [] [ Ast.Return (Ast.i 0) ] ]
+     in
+     let oelf = Compile.compile_exn ~config:Codegen.sfi prog in
+     match Verify.verify_and_sign oelf with
+     | Ok s -> s
+     | Error rs ->
+         failwith
+           ("fuzz tiny binary rejected: "
+           ^ Verify.rejection_to_string (List.hd rs)))
+
+let sgx2_os =
+  lazy
+    (let cfg = { Os.default_config with sgx2 = true; domains = small_domains } in
+     let os = Os.boot ~config:cfg () in
+     Os.install_binary os "/bin/fuzz" (Lazy.force tiny_binary);
+     os)
+
+let eip_os =
+  lazy
+    (let cfg =
+       {
+         Os.default_config with
+         mode = Os.Eip;
+         domains = small_domains;
+         eip_runtime_image_bytes = 64 * 1024;
+       }
+     in
+     let os = Os.boot ~config:cfg () in
+     Os.install_binary os "/bin/fuzz" (Lazy.force tiny_binary);
+     os)
+
+(* Enclave-level: the k-th EPC allocation fails mid-build. The pool must
+   stay balanced, the partial enclave queryable, and destroy must give
+   back exactly what was charged. *)
+let epc_enclave_injected inj rng =
+  let pool = Epc.create ~size:(256 * 4096) () in
+  let free0 = Epc.free_pages pool in
+  (* alloc call 1 is ECREATE's zero-page reservation; 2..5 are the adds *)
+  Inject.arm_epc inj ~at:(2 + Rng.int rng 4);
+  Fun.protect ~finally:Inject.disarm (fun () ->
+      let enc = Enclave.create ~version:Enclave.Sgx2 ~epc:pool ~size:(64 * 4096) () in
+      let raised = ref false in
+      (try
+         for i = 0 to 3 do
+           Enclave.add_zero_pages enc ~addr:(i * 4 * 4096) ~len:(4 * 4096)
+             ~perm:Mem.perm_rw
+         done
+       with Epc.Out_of_epc -> raised := true);
+      if not !raised then Some "armed EPC failure never fired"
+      else if Epc.free_pages pool + Epc.used_pages pool <> Epc.total_pages pool
+      then Some "EPC pool accounting unbalanced after injected failure"
+      else if Enclave.initialized enc then
+        Some "partial enclave claims to be initialized"
+      else if Enclave.id enc <= 0 then Some "partial enclave not queryable"
+      else begin
+        Enclave.destroy enc;
+        if Epc.free_pages pool <> free0 then
+          Some
+            (Printf.sprintf
+               "destroy did not restore the pool: %d free of %d initial"
+               (Epc.free_pages pool) free0)
+        else None
+      end)
+
+(* Real exhaustion, no injection: a pool too small for the enclave. *)
+let epc_real_exhaustion _rng =
+  let pool = Epc.create ~size:(8 * 4096) () in
+  match Enclave.create ~epc:pool ~size:(16 * 4096) () with
+  | _ -> Some "SGX1 ECREATE succeeded beyond the EPC size"
+  | exception Epc.Out_of_epc ->
+      if Epc.free_pages pool <> 8 then
+        Some "failed ECREATE leaked EPC pages"
+      else begin
+        let enc =
+          Enclave.create ~version:Enclave.Sgx2 ~epc:pool ~size:(16 * 4096) ()
+        in
+        let committed = ref 0 in
+        (try
+           for i = 0 to 15 do
+             Enclave.add_zero_pages enc ~addr:(i * 4096) ~len:4096
+               ~perm:Mem.perm_rw;
+             incr committed
+           done
+         with Epc.Out_of_epc -> ());
+        if !committed <> 8 then
+          Some
+            (Printf.sprintf "committed %d pages from an 8-page pool" !committed)
+        else begin
+          Enclave.destroy enc;
+          if Epc.free_pages pool <> 8 then
+            Some "destroy did not restore the exhausted pool"
+          else None
+        end
+      end
+
+(* LibOS-level: spawn under injected EPC pressure must fail with a clean
+   ENOMEM, leak nothing, and leave the LibOS fully functional. *)
+let epc_libos os_lazy ~allocs_per_spawn inj rng =
+  let os = Lazy.force os_lazy in
+  let free0 = Epc.free_pages os.Os.epc in
+  Inject.arm_epc inj ~at:(1 + Rng.int rng allocs_per_spawn);
+  let spawn_result =
+    Fun.protect ~finally:Inject.disarm (fun () ->
+        match Os.spawn os ~parent_pid:0 ~path:"/bin/fuzz" ~args:[] with
+        | _pid -> Some "spawn under EPC pressure unexpectedly succeeded"
+        | exception Os.Spawn_error e when e = Errno.enomem -> None
+        | exception Os.Spawn_error e ->
+            Some (Printf.sprintf "spawn failed with errno %d, not ENOMEM" e)
+        | exception e ->
+            Some
+              ("spawn leaked a raw exception through the syscall surface: "
+              ^ Printexc.to_string e))
+  in
+  match spawn_result with
+  | Some _ as s -> s
+  | None ->
+      if Epc.free_pages os.Os.epc <> free0 then
+        Some
+          (Printf.sprintf "failed spawn leaked EPC pages (%d -> %d free)"
+             free0
+             (Epc.free_pages os.Os.epc))
+      else begin
+        (* recovery: the LibOS must still spawn and run to completion *)
+        match Os.spawn os ~parent_pid:0 ~path:"/bin/fuzz" ~args:[] with
+        | exception e ->
+            Some ("spawn after recovery failed: " ^ Printexc.to_string e)
+        | pid -> (
+            match Os.wait_pid_exit ~max_steps:10_000 os pid with
+            | Os.All_exited | Os.Quota_exhausted -> (
+                match Os.find_proc os pid with
+                | Some p when p.Os.state = `Zombie && p.Os.exit_code = 0 ->
+                    if Epc.free_pages os.Os.epc <> free0 then
+                      Some "EPC pages not returned after process exit"
+                    else None
+                | Some _ -> Some "recovered process did not exit cleanly"
+                | None -> None)
+            | Os.Deadlock _ -> Some "LibOS deadlocked after EPC recovery")
+      end
+
+(* Injected SEFS / network I/O faults must surface as clean errnos or
+   short transfers and be fully transient. *)
+let io_faults inj _rng =
+  let os = Lazy.force sgx2_os in
+  let sefs = os.Os.sefs in
+  let path = "/fuzz/io.txt" in
+  let content = "occlum fuzz io payload" in
+  Sefs.ensure_parents sefs path;
+  (match Sefs.write_path sefs path content with
+  | Ok _ -> ()
+  | Error e -> failwith (Printf.sprintf "corpus file write failed: %d" e));
+  let node =
+    match Sefs.lookup sefs path with
+    | Some n -> n
+    | None -> failwith "io fixture vanished"
+  in
+  let read () = Sefs.read_file sefs node ~pos:0 ~len:100 in
+  Inject.arm_sefs inj ~at:1 ~fault:(Sefs.Io_error Errno.eagain);
+  let r1 = Fun.protect ~finally:Inject.disarm read in
+  if r1 <> Error Errno.eagain then
+    Some "injected SEFS error did not surface as its errno"
+  else if read () <> Ok (Bytes.of_string content) then
+    Some "SEFS fault was not transient"
+  else begin
+    Inject.arm_sefs inj ~at:1 ~fault:(Sefs.Short 4);
+    let r2 = Fun.protect ~finally:Inject.disarm read in
+    match r2 with
+    | Ok b
+      when Bytes.length b = 4
+           && Bytes.to_string b = String.sub content 0 4 -> (
+        (* network: same contract on the host transport *)
+        let net = Net.create () in
+        match Net.listen net ~port:9999 ~backlog:4 with
+        | Error e -> Some (Printf.sprintf "listen failed: %d" e)
+        | Ok l -> (
+            match Net.connect net ~port:9999 with
+            | Error e -> Some (Printf.sprintf "connect failed: %d" e)
+            | Ok client -> (
+                match Net.accept l with
+                | None -> Some "accept returned no endpoint"
+                | Some server -> (
+                    let payload = Bytes.of_string "ping-pong!" in
+                    let send () =
+                      Net.send net client payload 0 (Bytes.length payload)
+                    in
+                    Inject.arm_net inj ~at:1 ~fault:(Sefs.Io_error Errno.eagain);
+                    let s1 = Fun.protect ~finally:Inject.disarm send in
+                    if s1 <> Error Errno.eagain then
+                      Some "injected net error did not surface as its errno"
+                    else begin
+                      Inject.arm_net inj ~at:1 ~fault:(Sefs.Short 3);
+                      let s2 = Fun.protect ~finally:Inject.disarm send in
+                      match s2 with
+                      | Ok 3 -> (
+                          match send () with
+                          | Ok n when n = Bytes.length payload -> (
+                              let buf = Bytes.create 64 in
+                              match Net.recv net server buf 0 64 with
+                              | Ok m
+                                when m = 3 + Bytes.length payload
+                                     && Bytes.sub_string buf 0 3 = "pin" ->
+                                  None
+                              | Ok m ->
+                                  Some
+                                    (Printf.sprintf
+                                       "recv returned %d bytes after short+full send"
+                                       m)
+                              | Error e ->
+                                  Some (Printf.sprintf "recv failed: %d" e))
+                          | _ -> Some "net fault was not transient"
+                          )
+                      | Ok n ->
+                          Some
+                            (Printf.sprintf
+                               "short-injected send wrote %d bytes, wanted 3" n)
+                      | Error e ->
+                          Some (Printf.sprintf "short-injected send failed: %d" e)
+                    end))))
+    | Ok b ->
+        Some
+          (Printf.sprintf "short read returned %d bytes, wanted 4"
+             (Bytes.length b))
+    | Error e -> Some (Printf.sprintf "short-injected read failed: %d" e)
+  end
+
+let epc_case inj _shrink rng case =
+  let detail =
+    match case mod 5 with
+    | 0 -> epc_enclave_injected inj rng
+    | 1 -> epc_real_exhaustion rng
+    | 2 -> epc_libos sgx2_os ~allocs_per_spawn:2 inj rng
+    | 3 -> epc_libos eip_os ~allocs_per_spawn:1 inj rng
+    | _ -> io_faults inj rng
+  in
+  Option.map (fun d -> { prop = Epc_pressure; case; detail = d; minimized = None }) detail
+
+(* --- runner -------------------------------------------------------------- *)
+
+let run_case prop inj shrink rng case =
+  match prop with
+  | Codec_roundtrip ->
+      Option.map
+        (fun d -> { prop; case; detail = d; minimized = None })
+        (codec_case rng)
+  | Cache_equivalence -> cache_equivalence_case inj shrink rng case
+  | Verifier_soundness -> soundness_case inj shrink rng case
+  | Aex_identity -> aex_case inj shrink rng case
+  | Epc_pressure -> epc_case inj shrink rng case
+
+let run ?(properties = all_properties) ?(shrink = true) ?metrics ~seed ~cases
+    () =
+  let inj = Inject.make () in
+  let results =
+    List.map
+      (fun prop ->
+        let master =
+          Rng.of_seed
+            (Int64.add seed (Int64.of_int (1_000_003 * property_index prop)))
+        in
+        let failures = ref [] in
+        for case = 1 to cases do
+          let rng = Rng.split master in
+          match run_case prop inj shrink rng case with
+          | None -> ()
+          | Some f -> failures := f :: !failures
+        done;
+        { rprop = prop; cases_run = cases; failures = List.rev !failures })
+      properties
+  in
+  (match metrics with
+  | None -> ()
+  | Some reg ->
+      let module M = Occlum_obs.Metrics in
+      M.add (M.counter reg "fuzz.cases") (cases * List.length properties);
+      M.add
+        (M.counter reg "fuzz.failures")
+        (List.fold_left (fun a r -> a + List.length r.failures) 0 results);
+      Inject.export inj reg);
+  { seed; cases; results; injected = inj }
+
+let ok report = List.for_all (fun r -> r.failures = []) report.results
+
+(* --- reporting ----------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let report_to_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"tool\":\"occlum_fuzz\",\"seed\":%Ld,\"cases\":%d,\"ok\":%b,"
+       r.seed r.cases (ok r));
+  Buffer.add_string b
+    (Printf.sprintf "\"injected\":{\"aex\":%d,\"epc\":%d,\"io\":%d},"
+       r.injected.Inject.aex r.injected.Inject.epc r.injected.Inject.io);
+  Buffer.add_string b "\"properties\":[";
+  List.iteri
+    (fun i pr ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"name\":\"%s\",\"cases\":%d,\"failures\":["
+           (property_name pr.rprop) pr.cases_run);
+      List.iteri
+        (fun j f ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "{\"case\":%d,\"detail\":\"%s\"" f.case
+               (json_escape f.detail));
+          (match f.minimized with
+          | None -> ()
+          | Some items ->
+              Buffer.add_string b
+                (Printf.sprintf ",\"minimized_insns\":%d,\"minimized\":["
+                   (Shrink.instruction_count items));
+              List.iteri
+                (fun k it ->
+                  if k > 0 then Buffer.add_char b ',';
+                  Buffer.add_char b '"';
+                  Buffer.add_string b (json_escape (Asm.item_to_string it));
+                  Buffer.add_char b '"')
+                items;
+              Buffer.add_char b ']');
+          Buffer.add_char b '}')
+        pr.failures;
+      Buffer.add_string b "]}")
+    r.results;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let summary r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "occlum_fuzz: seed=%Ld cases=%d per property\n" r.seed
+       r.cases);
+  List.iter
+    (fun pr ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-20s %4d cases  %s\n"
+           (property_name pr.rprop) pr.cases_run
+           (match List.length pr.failures with
+           | 0 -> "ok"
+           | n -> Printf.sprintf "%d FAILURES" n)))
+    r.results;
+  Buffer.add_string b
+    (Printf.sprintf "  injected: %d AEX, %d EPC faults, %d I/O faults\n"
+       r.injected.Inject.aex r.injected.Inject.epc r.injected.Inject.io);
+  List.iter
+    (fun pr ->
+      List.iter
+        (fun f ->
+          Buffer.add_string b
+            (Printf.sprintf "  FAIL %s case %d: %s\n"
+               (property_name pr.rprop) f.case f.detail);
+          match f.minimized with
+          | None -> ()
+          | Some items ->
+              Buffer.add_string b
+                (Printf.sprintf "    minimized to %d instructions:\n"
+                   (Shrink.instruction_count items));
+              List.iter
+                (fun it ->
+                  Buffer.add_string b
+                    ("      " ^ Asm.item_to_string it ^ "\n"))
+                items)
+        pr.failures)
+    r.results;
+  Buffer.contents b
+
+(* --- corpus -------------------------------------------------------------- *)
+
+let replay_items items =
+  match Gen.link items with
+  | exception e -> Error ("corpus program does not link: " ^ Printexc.to_string e)
+  | oelf -> (
+      match Verify.verify oelf with
+      | Error (r :: _) ->
+          Error ("corpus program rejected: " ^ Verify.rejection_to_string r)
+      | Error [] -> Error "corpus program rejected"
+      | Ok _ -> (
+          match contained oelf ~period:1 ~fuel:20_000 with
+          | Ok _ -> Ok ()
+          | Error v ->
+              Error ("corpus program escaped: " ^ Exec.violation_to_string v)))
+
+let has_insn p items =
+  List.exists (function Asm.Ins i -> p i | _ -> false) items
+
+let features : (string * (Asm.item list -> bool)) list =
+  [
+    ("sib-store", has_insn (function Insn.Store { dst = Sib _; _ } -> true | _ -> false));
+    ("sib-load", has_insn (function Insn.Load { src = Sib { base; _ }; _ } -> base <> Reg.sp | _ -> false));
+    ("push-pop", has_insn (function Insn.Push _ -> true | _ -> false));
+    ("rip-rel",
+     has_insn (function
+       | Insn.Load { src = Rip_rel _; _ } | Insn.Store { dst = Rip_rel _; _ } -> true
+       | _ -> false));
+    ("indirect-jmp", has_insn (function Insn.Jmp_reg _ -> true | _ -> false));
+    ("call", fun items -> List.exists (function Asm.Call_l _ -> true | _ -> false) items);
+    ("syscall", has_insn (function Insn.Call_reg _ -> true | _ -> false));
+    ("loop", fun items -> List.exists (function Asm.Jcc_l _ -> true | _ -> false) items);
+    ("cfi-guard", fun items -> List.exists (function Asm.Cfi_guard _ -> true | _ -> false) items);
+    ("alu-div", has_insn (function Insn.Alu ((Insn.Divu | Insn.Remu), _, _) -> true | _ -> false));
+  ]
+
+let passes items =
+  match Gen.link items with
+  | exception _ -> false
+  | oelf -> (
+      match Verify.verify oelf with
+      | Error _ -> false
+      | Ok _ -> (
+          match Exec.run_contained ~fuel:20_000 (Exec.make oelf) with
+          | Ok _ -> true
+          | Error _ -> false))
+
+let emit_corpus ~dir ~seed =
+  let master = Rng.of_seed seed in
+  List.filter_map
+    (fun (name, has) ->
+      let rec search tries =
+        if tries = 0 then None
+        else begin
+          let rng = Rng.split master in
+          let items = Gen.program rng in
+          if has items && passes items then Some items else search (tries - 1)
+        end
+      in
+      match search 300 with
+      | None -> None
+      | Some items ->
+          let keep its = has its && passes its in
+          let small = Shrink.minimize keep items in
+          let file = Filename.concat dir ("gen-" ^ name ^ ".fuzz") in
+          Corpus.save file
+            ~comment:
+              (Printf.sprintf
+                 "generator feature: %s (seed %Ld, minimized); must verify and stay contained"
+                 name seed)
+            small;
+          Some (file, Shrink.instruction_count small))
+    features

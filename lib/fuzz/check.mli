@@ -1,0 +1,87 @@
+(** The cross-layer fuzzing properties and their driver. Every run is a
+    pure function of [(seed, cases, properties)]: reports are
+    bit-reproducible, which is what makes a failing seed a bug report.
+
+    Properties:
+    - {b codec-roundtrip}: encode/decode/encode is a fixpoint over random
+      instructions; decoding arbitrary byte soup is total, and whatever
+      it decodes re-encodes to something that decodes back identically.
+    - {b cache-equivalence}: the decoded-block-cached interpreter and the
+      plain loop produce bit-identical architectural state, counters and
+      memory at every stop, under identical injected interrupt storms.
+    - {b verifier-soundness}: generator-well-formed programs are
+      accepted; accepted programs (including hostile mutants and
+      byte-flipped binaries that slip through) never violate pc/memory
+      containment at runtime, even under an AEX storm.
+    - {b aex-identity}: an {!Occlum_sgx.Enclave.aex}/[resume] round trip
+      at arbitrary instruction boundaries — with the CPU scrambled in
+      between, as another SIP's execution would — restores every
+      register, bound register, flag and the pc bit-identically, and the
+      interrupted run ends in the same state as an uninterrupted twin.
+    - {b epc-pressure}: EPC exhaustion (injected at the k-th allocation
+      or real) leaves the pool balanced, partial enclaves destroyable
+      with exact page restitution, and the LibOS failing cleanly
+      ([Spawn_error ENOMEM]) while remaining fully functional; injected
+      SEFS/net I/O faults surface as clean errnos/short transfers. *)
+
+open Occlum_toolchain
+
+type property =
+  | Codec_roundtrip
+  | Cache_equivalence
+  | Verifier_soundness
+  | Aex_identity
+  | Epc_pressure
+
+val all_properties : property list
+val property_name : property -> string
+val property_of_name : string -> property option
+
+type failure = {
+  prop : property;
+  case : int;
+  detail : string;
+  minimized : Asm.item list option;
+      (** shrunk reproducer, for item-level failures with shrinking on *)
+}
+
+type prop_result = {
+  rprop : property;
+  cases_run : int;
+  failures : failure list;
+}
+
+type report = {
+  seed : int64;
+  cases : int;
+  results : prop_result list;
+  injected : Inject.t;
+}
+
+val run :
+  ?properties:property list ->
+  ?shrink:bool ->
+  ?metrics:Occlum_obs.Metrics.registry ->
+  seed:int64 ->
+  cases:int ->
+  unit ->
+  report
+(** Run [cases] cases of each property. With [?metrics], exports
+    [fuzz.cases], [fuzz.failures] and the injection counters. *)
+
+val ok : report -> bool
+val report_to_json : report -> string
+
+val summary : report -> string
+(** Human-readable one-line-per-property summary. *)
+
+val replay_items : Asm.item list -> (unit, string) result
+(** Corpus replay: link against {!Gen.layout}, require verifier
+    acceptance, then require containment under an interrupt storm. *)
+
+val emit_corpus : dir:string -> seed:int64 -> (string * int) list
+(** Generate one minimized program per generator feature (guarded SIB
+    store/load, push/pop, rip-relative, indirect jump, call, syscall,
+    bounded loop, ...), each still verifier-accepted and contained after
+    minimization, and write them as [dir/gen-<feature>.fuzz]. Returns
+    [(file, instruction_count)] per file written. *)

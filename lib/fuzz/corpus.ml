@@ -1,0 +1,125 @@
+open Occlum_isa
+open Occlum_toolchain
+
+let magic_line = "# occlum-fuzz corpus v1"
+
+let hex_of_string s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let string_of_hex h =
+  if String.length h mod 2 <> 0 then Error "odd-length hex"
+  else
+    try
+      Ok
+        (String.init
+           (String.length h / 2)
+           (fun i -> Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2))))
+    with _ -> Error "bad hex digit"
+
+let decode_insn_hex h =
+  match string_of_hex h with
+  | Error e -> Error e
+  | Ok s -> (
+      let b = Bytes.of_string s in
+      match Codec.decode b ~pos:0 ~limit:(Bytes.length b) with
+      | Ok (i, len) when len = Bytes.length b -> Ok i
+      | Ok _ -> Error "trailing bytes after instruction"
+      | Error e -> Error (Codec.error_to_string e))
+
+let cond_name = Insn.cond_name
+
+let cond_of_name = function
+  | "eq" -> Some Insn.Eq
+  | "ne" -> Some Insn.Ne
+  | "lt" -> Some Insn.Lt
+  | "le" -> Some Insn.Le
+  | "gt" -> Some Insn.Gt
+  | "ge" -> Some Insn.Ge
+  | _ -> None
+
+(* A mem operand travels as the encoding of a canary bndcl using it. *)
+let mem_hex m = hex_of_string (Codec.encode (Insn.Bndcl (Reg.bnd0, Ea_mem m)))
+
+let mem_of_hex h =
+  match decode_insn_hex h with
+  | Ok (Insn.Bndcl (_, Ea_mem m)) -> Ok m
+  | Ok _ -> Error "mem_guard payload is not a bndcl canary"
+  | Error e -> Error e
+
+let item_line = function
+  | Asm.Ins i -> "ins " ^ hex_of_string (Codec.encode i)
+  | Asm.Label l -> "label " ^ l
+  | Asm.Jmp_l l -> "jmp " ^ l
+  | Asm.Jcc_l (c, l) -> Printf.sprintf "jcc %s %s" (cond_name c) l
+  | Asm.Call_l l -> "call " ^ l
+  | Asm.Lea_code (r, l) -> Printf.sprintf "lea_code %d %s" (Reg.to_int r) l
+  | Asm.Mem_guard m -> "mem_guard " ^ mem_hex m
+  | Asm.Cfi_guard r -> Printf.sprintf "cfi_guard %d" (Reg.to_int r)
+  | Asm.Cfi_label_here -> "cfi_label"
+
+let to_string ?comment items =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b magic_line;
+  Buffer.add_char b '\n';
+  (match comment with
+  | Some c ->
+      List.iter
+        (fun l -> Buffer.add_string b ("# " ^ l ^ "\n"))
+        (String.split_on_char '\n' c)
+  | None -> ());
+  List.iter
+    (fun it ->
+      Buffer.add_string b (item_line it);
+      Buffer.add_char b '\n')
+    items;
+  Buffer.contents b
+
+let reg_of_string s =
+  match int_of_string_opt s with
+  | Some i when i >= 0 && i < Reg.count -> Ok (Reg.of_int i)
+  | _ -> Error ("bad register: " ^ s)
+
+let parse_line ln =
+  match String.split_on_char ' ' (String.trim ln) with
+  | [ "ins"; h ] -> Result.map (fun i -> Asm.Ins i) (decode_insn_hex h)
+  | [ "label"; l ] -> Ok (Asm.Label l)
+  | [ "jmp"; l ] -> Ok (Asm.Jmp_l l)
+  | [ "jcc"; c; l ] -> (
+      match cond_of_name c with
+      | Some c -> Ok (Asm.Jcc_l (c, l))
+      | None -> Error ("bad condition: " ^ c))
+  | [ "call"; l ] -> Ok (Asm.Call_l l)
+  | [ "lea_code"; r; l ] ->
+      Result.map (fun r -> Asm.Lea_code (r, l)) (reg_of_string r)
+  | [ "mem_guard"; h ] -> Result.map (fun m -> Asm.Mem_guard m) (mem_of_hex h)
+  | [ "cfi_guard"; r ] -> Result.map (fun r -> Asm.Cfi_guard r) (reg_of_string r)
+  | [ "cfi_label" ] -> Ok Asm.Cfi_label_here
+  | _ -> Error ("unrecognized corpus line: " ^ ln)
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | ln :: rest ->
+        let t = String.trim ln in
+        if t = "" || (String.length t > 0 && t.[0] = '#') then
+          go (n + 1) acc rest
+        else begin
+          match parse_line t with
+          | Ok it -> go (n + 1) (it :: acc) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+        end
+  in
+  go 1 [] lines
+
+let save path ?comment items =
+  let oc = open_out path in
+  output_string oc (to_string ?comment items);
+  close_out oc
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error m -> Error m

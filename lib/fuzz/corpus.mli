@@ -1,0 +1,16 @@
+(** Textual on-disk format for minimized fuzz reproducers
+    ([test/corpus/*.fuzz]): one assembly item per line. Concrete
+    instructions are stored as the hex of their {!Occlum_isa.Codec}
+    encoding (so the corpus re-uses the codec as its parser and survives
+    operand-shape growth); pseudo items are symbolic. Loaded programs
+    link against {!Gen.layout} and are replayed by the test suite. *)
+
+open Occlum_toolchain
+
+val to_string : ?comment:string -> Asm.item list -> string
+val of_string : string -> (Asm.item list, string) result
+
+val save : string -> ?comment:string -> Asm.item list -> unit
+(** Write a corpus file (truncating). *)
+
+val load : string -> (Asm.item list, string) result

@@ -1,0 +1,70 @@
+type t = { mutable aex : int; mutable epc : int; mutable io : int }
+
+let make () = { aex = 0; epc = 0; io = 0 }
+
+let interrupt_every t ~period =
+  if period < 1 then invalid_arg "Inject.interrupt_every";
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    if !n mod period = 0 then begin
+      t.aex <- t.aex + 1;
+      true
+    end
+    else false
+
+let interrupt_silent ~period =
+  if period < 1 then invalid_arg "Inject.interrupt_silent";
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    !n mod period = 0
+
+let arm_epc t ~at =
+  if at < 1 then invalid_arg "Inject.arm_epc";
+  let n = ref 0 in
+  Occlum_sgx.Epc.set_alloc_hook
+    (Some
+       (fun ~pages:_ ->
+         incr n;
+         if !n = at then begin
+           t.epc <- t.epc + 1;
+           raise Occlum_sgx.Epc.Out_of_epc
+         end))
+
+let arm_sefs t ~at ~fault =
+  if at < 1 then invalid_arg "Inject.arm_sefs";
+  let n = ref 0 in
+  Occlum_libos.Sefs.set_io_hook
+    (Some
+       (fun ~write:_ ~len:_ ->
+         incr n;
+         if !n = at then begin
+           t.io <- t.io + 1;
+           Some fault
+         end
+         else None))
+
+let arm_net t ~at ~fault =
+  if at < 1 then invalid_arg "Inject.arm_net";
+  let n = ref 0 in
+  Occlum_libos.Net.set_io_hook
+    (Some
+       (fun ~send:_ ~len:_ ->
+         incr n;
+         if !n = at then begin
+           t.io <- t.io + 1;
+           Some fault
+         end
+         else None))
+
+let disarm () =
+  Occlum_sgx.Epc.set_alloc_hook None;
+  Occlum_libos.Sefs.set_io_hook None;
+  Occlum_libos.Net.set_io_hook None
+
+let export t reg =
+  let module M = Occlum_obs.Metrics in
+  M.add (M.counter reg "fuzz.inject.aex") t.aex;
+  M.add (M.counter reg "fuzz.inject.epc") t.epc;
+  M.add (M.counter reg "fuzz.inject.io") t.io

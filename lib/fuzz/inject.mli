@@ -1,0 +1,43 @@
+(** Deterministic fault-injection plans, threaded into the production
+    seams: interrupt hooks in {!Occlum_machine.Interp.run} (forced AEX),
+    the {!Occlum_sgx.Epc} allocation hook (EPC exhaustion at the k-th
+    allocation), and the {!Occlum_libos.Sefs}/{!Occlum_libos.Net} I/O
+    hooks (transient errors, short transfers). A plan also counts what it
+    injected, and can export the counters as metrics. *)
+
+type t = {
+  mutable aex : int;  (** interrupts fired (forced AEX points) *)
+  mutable epc : int;  (** EPC allocation failures injected *)
+  mutable io : int;   (** I/O faults injected *)
+}
+
+val make : unit -> t
+
+val interrupt_every : t -> period:int -> unit -> bool
+(** A fresh interrupt schedule firing at every [period]-th instruction
+    boundary ([period = 1] is the interrupt storm: an AEX at {e every}
+    boundary). Schedules are pure counters, so two instances with the
+    same period fire at identical boundaries — the contract the
+    cached-vs-uncached equivalence property depends on. *)
+
+val interrupt_silent : period:int -> unit -> bool
+(** Same schedule shape without counting — for the twin of a
+    differential pair, so the plan counts each boundary once. *)
+
+val arm_epc : t -> at:int -> unit
+(** Make the [at]-th EPC allocation (1-based, platform-wide) raise
+    {!Occlum_sgx.Epc.Out_of_epc}; one-shot. Disarm with {!disarm}. *)
+
+val arm_sefs : t -> at:int -> fault:Occlum_libos.Sefs.io_fault -> unit
+(** Inject [fault] into the [at]-th SEFS read/write; one-shot. *)
+
+val arm_net : t -> at:int -> fault:Occlum_libos.Sefs.io_fault -> unit
+(** Inject [fault] into the [at]-th network send/recv; one-shot. *)
+
+val disarm : unit -> unit
+(** Clear every armed hook (EPC, SEFS, net). Always call when a scenario
+    ends; hooks are global seams. *)
+
+val export : t -> Occlum_obs.Metrics.registry -> unit
+(** Add the plan's totals to the [fuzz.inject.aex] / [fuzz.inject.epc] /
+    [fuzz.inject.io] counters. *)

@@ -1,0 +1,52 @@
+open Occlum_toolchain
+
+let instruction_count items =
+  List.fold_left
+    (fun acc it -> acc + List.length (Asm.expand ~target:0 it))
+    0 items
+
+let deletable = function Asm.Label _ -> false | _ -> true
+
+(* Remove the deletable items at positions [off, off+size); None when the
+   window contains nothing deletable (retrying it would loop forever). *)
+let remove_window items ~off ~size =
+  let removed = ref 0 in
+  let kept =
+    List.filteri
+      (fun i it ->
+        if i >= off && i < off + size && deletable it then begin
+          incr removed;
+          false
+        end
+        else true)
+      items
+  in
+  if !removed = 0 then None else Some kept
+
+let minimize still_fails items =
+  let fails items = try still_fails items with _ -> false in
+  if not (fails items) then items
+  else begin
+    (* classic ddmin sweep: window size halves from n/2 to 1; a
+       successful deletion retries the same offset (the list shrank under
+       it), so every pass strictly reduces length and terminates *)
+    let rec sweep items size =
+      if size < 1 then items
+      else begin
+        let rec at items off =
+          if off >= List.length items then items
+          else
+            match remove_window items ~off ~size with
+            | Some cand when fails cand -> at cand off
+            | _ -> at items (off + size)
+        in
+        let items' = at items 0 in
+        let next =
+          if size = 1 && List.length items' < List.length items then 1
+          else size / 2
+        in
+        sweep items' next
+      end
+    in
+    sweep items (max 1 (List.length items / 2))
+  end

@@ -1,0 +1,18 @@
+(** Greedy delta-debugging minimizer over assembly item lists: delete
+    ever-smaller chunks while a failure predicate keeps holding, down to
+    a fixpoint. Labels are never deleted (so surviving label references
+    always resolve); everything else — instructions, guards, pseudo
+    items — is fair game, which is exactly how missing-guard bugs get
+    exposed minimally. *)
+
+open Occlum_toolchain
+
+val instruction_count : Asm.item list -> int
+(** Number of concrete instructions the items expand to (labels are
+    zero-size). *)
+
+val minimize : (Asm.item list -> bool) -> Asm.item list -> Asm.item list
+(** [minimize still_fails items]: the smallest list reachable by chunk
+    deletion on which [still_fails] holds. If [still_fails items] is
+    false (or raises), returns [items] unchanged; a predicate exception
+    during search counts as "does not fail". *)

@@ -81,8 +81,16 @@ let load ?(require_signature = true) ?dynamic mem (slot : Domain_mgr.slot)
         in
         Occlum_sgx.Enclave.eaug enclave ~addr:c_base ~len:code_len
           ~perm:Mem.perm_rwx;
-        Occlum_sgx.Enclave.eaug enclave ~addr:d_base ~len:data_len
-          ~perm:Mem.perm_rw;
+        (try
+           Occlum_sgx.Enclave.eaug enclave ~addr:d_base ~len:data_len
+             ~perm:Mem.perm_rw
+         with e ->
+           (* all-or-nothing: without this, running out of EPC between
+              the two EAUGs would strand the code range's pages until
+              enclave teardown *)
+           Occlum_sgx.Enclave.eremove_pages enclave ~addr:c_base
+             ~len:code_len;
+           raise e);
         slot.mapped <- [ (c_base, code_len); (d_base, data_len) ];
         data_len
   in

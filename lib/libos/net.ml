@@ -80,7 +80,24 @@ let accept (l : listener) =
       l.pending <- rest;
       Some e
 
+(* Fault-injection seam: since the transport is the untrusted host, a
+   harness can make any transfer fail with a transient errno or get
+   truncated. Production code never sets it. *)
+let io_hook : (send:bool -> len:int -> Sefs.io_fault option) option ref =
+  ref None
+
+let set_io_hook h = io_hook := h
+
+let consult_io_hook ~send ~len =
+  match !io_hook with None -> None | Some h -> h ~send ~len
+
 let send t (e : endpoint) src off len =
+  match consult_io_hook ~send:true ~len with
+  | Some (Sefs.Io_error errno) -> Error errno
+  | (Some (Sefs.Short _) | None) as f ->
+  let len =
+    match f with Some (Sefs.Short n) -> max 0 (min n len) | _ -> len
+  in
   match e.peer with
   | None -> Error Occlum_abi.Abi.Errno.epipe
   | Some p ->
@@ -96,6 +113,12 @@ let send t (e : endpoint) src off len =
       end
 
 let recv t (e : endpoint) dst off len =
+  match consult_io_hook ~send:false ~len with
+  | Some (Sefs.Io_error errno) -> Error errno
+  | (Some (Sefs.Short _) | None) as f ->
+  let len =
+    match f with Some (Sefs.Short n) -> max 0 (min n len) | _ -> len
+  in
   let n = Ring.read e.inbox dst off len in
   if n > 0 then begin
     t.ocall_bytes <- t.ocall_bytes + n;

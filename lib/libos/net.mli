@@ -33,6 +33,13 @@ val recv : t -> endpoint -> Bytes.t -> int -> int -> (int, int) result
 val close_endpoint : endpoint -> unit
 val has_listener : t -> port:int -> bool
 
+val set_io_hook : (send:bool -> len:int -> Sefs.io_fault option) option -> unit
+(** Fault-injection seam: when set, the hook is consulted at the top of
+    every {!send}/{!recv} and may fail the transfer with a transient
+    errno ({!Sefs.Io_error}) or truncate it ({!Sefs.Short}), modelling
+    the untrusted host transport. [None] (the default) restores normal
+    operation; production code never sets it. *)
+
 (** {1 External (harness-side) API} *)
 
 val external_connect : t -> port:int -> (endpoint, int) result

@@ -222,18 +222,25 @@ let eip_create_process_enclave t ~parent_enclave (oelf : Occlum_oelf.Oelf.t) =
   in
   let size = Occlum_util.Bytes_util.round_up (image_bytes + (1 lsl 20)) 4096 in
   let enclave = Occlum_sgx.Enclave.create ~epc:t.epc ~size () in
-  Occlum_sgx.Enclave.attach_obs enclave t.obs;
-  Occlum_sgx.Enclave.add_pages enclave ~addr:0 ~data:t.eip_runtime_image
-    ~perm:Mem.perm_rx;
-  let code_at = Occlum_util.Bytes_util.round_up (Bytes.length t.eip_runtime_image) 4096 in
-  Occlum_sgx.Enclave.add_pages enclave ~addr:code_at ~data:oelf.code
-    ~perm:Mem.perm_rwx;
-  let data_at =
-    code_at + Occlum_util.Bytes_util.round_up (Bytes.length oelf.code) 4096
-  in
-  Occlum_sgx.Enclave.add_pages enclave ~addr:data_at ~data:oelf.data
-    ~perm:Mem.perm_rw;
-  Occlum_sgx.Enclave.init enclave;
+  (try
+     Occlum_sgx.Enclave.attach_obs enclave t.obs;
+     Occlum_sgx.Enclave.add_pages enclave ~addr:0 ~data:t.eip_runtime_image
+       ~perm:Mem.perm_rx;
+     let code_at =
+       Occlum_util.Bytes_util.round_up (Bytes.length t.eip_runtime_image) 4096
+     in
+     Occlum_sgx.Enclave.add_pages enclave ~addr:code_at ~data:oelf.code
+       ~perm:Mem.perm_rwx;
+     let data_at =
+       code_at + Occlum_util.Bytes_util.round_up (Bytes.length oelf.code) 4096
+     in
+     Occlum_sgx.Enclave.add_pages enclave ~addr:data_at ~data:oelf.data
+       ~perm:Mem.perm_rw;
+     Occlum_sgx.Enclave.init enclave
+   with e ->
+     (* the half-built enclave would otherwise pin its EPC pages forever *)
+     Occlum_sgx.Enclave.destroy enclave;
+     raise e);
   (* local attestation, then ship the process state encrypted *)
   (match
      Occlum_sgx.Attestation.handshake ~parent:parent_enclave ~child:enclave
@@ -374,6 +381,14 @@ let spawn t ~parent_pid ~path ~args =
         | Some e -> Occlum_sgx.Enclave.destroy e
         | None -> ());
         raise (Spawn_error Errno.eaccess)
+    | exception Occlum_sgx.Epc.Out_of_epc ->
+        (* SGX2 lazy commit ran the EPC dry mid-load; surface it as the
+           POSIX failure the application expects, not a LibOS crash *)
+        Domain_mgr.release slot;
+        (match eip_enclave with
+        | Some e -> Occlum_sgx.Enclave.destroy e
+        | None -> ());
+        raise (Spawn_error Errno.enomem)
   in
   let fds =
     match parent with

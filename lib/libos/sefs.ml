@@ -481,10 +481,27 @@ let ensure_block t (n : inode) bi =
   if n.blocks.(bi) = -1 then n.blocks.(bi) <- alloc_block t;
   n.blocks.(bi)
 
+(* Fault-injection seam: a harness can turn any read/write into a
+   transient error or a short transfer, modelling a flaky untrusted
+   host backing store. Production code never sets it. *)
+type io_fault = Io_error of int | Short of int
+
+let io_hook : (write:bool -> len:int -> io_fault option) option ref = ref None
+let set_io_hook h = io_hook := h
+
+let consult_io_hook ~write ~len =
+  match !io_hook with None -> None | Some h -> h ~write ~len
+
 let read_file t (n : inode) ~pos ~len =
   if n.kind <> File then Error Occlum_abi.Abi.Errno.eisdir
   else begin
     let len = max 0 (min len (n.size - pos)) in
+    match consult_io_hook ~write:false ~len with
+    | Some (Io_error e) -> Error e
+    | (Some (Short _) | None) as f ->
+    let len =
+      match f with Some (Short n) -> max 0 (min n len) | _ -> len
+    in
     let out = Bytes.create len in
     let done_ = ref 0 in
     while !done_ < len do
@@ -504,7 +521,13 @@ let read_file t (n : inode) ~pos ~len =
 let write_file t (n : inode) ~pos src =
   if n.kind <> File then Error Occlum_abi.Abi.Errno.eisdir
   else begin
-    let len = Bytes.length src in
+    let full = Bytes.length src in
+    match consult_io_hook ~write:true ~len:full with
+    | Some (Io_error e) -> Error e
+    | (Some (Short _) | None) as f ->
+    let len =
+      match f with Some (Short n) -> max 0 (min n full) | _ -> full
+    in
     let done_ = ref 0 in
     while !done_ < len do
       let abs = pos + !done_ in

@@ -105,6 +105,17 @@ val read_file : t -> inode -> pos:int -> len:int -> (Bytes.t, int) result
 val write_file : t -> inode -> pos:int -> Bytes.t -> (int, int) result
 val truncate : t -> inode -> int -> (unit, int) result
 
+type io_fault =
+  | Io_error of int  (** fail the whole transfer with this errno *)
+  | Short of int  (** transfer at most this many bytes *)
+
+val set_io_hook : (write:bool -> len:int -> io_fault option) option -> unit
+(** Fault-injection seam: when set, the hook is consulted at the top of
+    every {!read_file}/{!write_file} and may turn the transfer into a
+    transient error or a short read/write, modelling a flaky untrusted
+    host backing store. [None] (the default) restores normal operation;
+    production code never sets it. *)
+
 val write_path : t -> string -> string -> (inode, int) result
 (** Create/replace a whole file (images and tests). *)
 

@@ -290,6 +290,22 @@ let run_uncached mem cpu ~fuel =
   in
   loop fuel
 
+(* The interrupt-injected uncached loop (fault-injection testing). The
+   hook is consulted exactly once per instruction boundary, after the
+   fuel check and before the fetch; firing preempts the SIP exactly as
+   quantum expiry would (an injected timer interrupt -> AEX). Kept as a
+   separate loop so the production path above stays branch-free. *)
+let run_uncached_intr intr mem cpu ~fuel =
+  let rec loop fuel =
+    if fuel <= 0 then Stop_quantum
+    else if intr () then Stop_quantum
+    else
+      match step mem cpu with
+      | Some stop -> stop
+      | None -> loop (fuel - 1)
+  in
+  loop fuel
+
 (* The cached loop. Executable-span checks are elided for cached
    instructions: block validity (unchanged page generations) implies the
    span still decodes and is still executable, exactly as at build time.
@@ -356,7 +372,69 @@ let run_cached cache obs mem cpu ~fuel =
   in
   loop fuel
 
-let run ?cache ?(obs = Occlum_obs.Obs.disabled) mem cpu ~fuel =
-  match cache with
-  | None -> run_uncached mem cpu ~fuel
-  | Some c -> run_cached c obs mem cpu ~fuel
+(* Interrupt-injected mirror of [run_cached]. The contract shared with
+   [run_uncached_intr]: the hook is consulted exactly once per executed
+   instruction boundary — after the boundary's fuel check, before its
+   fetch/replay — in every path (block replay, fallback single-step), so
+   a deterministic counter-based schedule fires at identical boundaries
+   cached and uncached. Firing returns [Stop_quantum] with the pc parked
+   on the boundary, exactly like fuel expiry. *)
+let run_cached_intr intr cache obs mem cpu ~fuel =
+  let c0 = cpu.Cpu.cycles in
+  let base_ns = obs.Occlum_obs.Obs.now () in
+  let ts () = Int64.add base_ns (Int64.of_int ((cpu.Cpu.cycles - c0) / 3)) in
+  let rec loop fuel =
+    if fuel <= 0 then Stop_quantum
+    else
+      match Decode_cache.lookup cache mem cpu.Cpu.pc with
+      | Decode_cache.Hit b ->
+          cpu.Cpu.dcache_hits <- cpu.Cpu.dcache_hits + 1;
+          if obs.Occlum_obs.Obs.t_dcache then
+            Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+              (Occlum_obs.Trace.Dcache_hit { pc = cpu.Cpu.pc });
+          exec_block b fuel
+      | (Decode_cache.Stale | Decode_cache.Miss) as r -> (
+          if r = Decode_cache.Stale then begin
+            cpu.Cpu.dcache_invalidations <- cpu.Cpu.dcache_invalidations + 1;
+            if obs.Occlum_obs.Obs.t_dcache then
+              Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+                (Occlum_obs.Trace.Dcache_invalidate { pc = cpu.Cpu.pc })
+          end;
+          cpu.Cpu.dcache_misses <- cpu.Cpu.dcache_misses + 1;
+          if obs.Occlum_obs.Obs.t_dcache then
+            Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+              (Occlum_obs.Trace.Dcache_miss { pc = cpu.Cpu.pc });
+          match Decode_cache.build cache mem cpu.Cpu.pc with
+          | Some b -> exec_block b fuel
+          | None -> (
+              if intr () then Stop_quantum
+              else
+                match step mem cpu with
+                | Some stop -> stop
+                | None -> loop (fuel - 1)))
+  and exec_block (b : Decode_cache.block) fuel =
+    let n = Array.length b.insns in
+    let rec go i pc fuel =
+      if fuel <= 0 then Stop_quantum
+      else if i >= n then loop fuel
+      else if b.fragile && i > 0 && not (Decode_cache.block_valid mem b) then
+        (* refetch, not a new boundary: the intr consult happens once the
+           instruction is actually about to execute (go 0 after loop) *)
+        loop fuel
+      else if intr () then Stop_quantum
+      else
+        let insn, len = b.insns.(i) in
+        match exec_decoded mem cpu insn ~pc ~len with
+        | Some stop -> stop
+        | None -> go (i + 1) (pc + len) (fuel - 1)
+    in
+    go 0 b.entry fuel
+  in
+  loop fuel
+
+let run ?cache ?(obs = Occlum_obs.Obs.disabled) ?interrupt mem cpu ~fuel =
+  match (cache, interrupt) with
+  | None, None -> run_uncached mem cpu ~fuel
+  | None, Some i -> run_uncached_intr i mem cpu ~fuel
+  | Some c, None -> run_cached c obs mem cpu ~fuel
+  | Some c, Some i -> run_cached_intr i c obs mem cpu ~fuel

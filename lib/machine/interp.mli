@@ -15,6 +15,7 @@ val step : Mem.t -> Cpu.t -> stop option
 val run :
   ?cache:Decode_cache.t ->
   ?obs:Occlum_obs.Obs.t ->
+  ?interrupt:(unit -> bool) ->
   Mem.t ->
   Cpu.t ->
   fuel:int ->
@@ -32,4 +33,13 @@ val run :
     With [?obs] (default {!Occlum_obs.Obs.disabled}), cache
     hit/miss/invalidate trace events are emitted per block lookup when
     the [Dcache] class is enabled. Observability never alters
-    architectural state, counters or cycle charges. *)
+    architectural state, counters or cycle charges.
+
+    With [?interrupt], the hook is consulted exactly once per executed
+    instruction boundary — after that boundary's fuel check, before its
+    fetch — in both the cached and uncached loops, so a deterministic
+    counter-based schedule fires at identical boundaries either way.
+    Returning [true] preempts the run with [Stop_quantum] and the pc
+    parked on the boundary, modelling a hardware interrupt (the AEX
+    cause); the fault-injection harness uses this to force AEX storms.
+    The hook is absent on the production path, which stays branch-free. *)

@@ -19,8 +19,15 @@ let create ?(size = default_size) () =
 
 exception Out_of_epc
 
+(* Fault-injection seam: consulted on every [alloc] before the capacity
+   check, so a harness can model transient platform pressure (another
+   tenant grabbing pages) without shrinking the pool. *)
+let alloc_hook : (pages:int -> unit) option ref = ref None
+let set_alloc_hook h = alloc_hook := h
+
 let alloc t ~pages =
   if pages < 0 then invalid_arg "Epc.alloc";
+  (match !alloc_hook with Some h -> h ~pages | None -> ());
   if t.free_pages < pages then raise Out_of_epc;
   t.free_pages <- t.free_pages - pages
 

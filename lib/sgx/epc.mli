@@ -15,6 +15,12 @@ exception Out_of_epc
 val alloc : t -> pages:int -> unit
 (** @raise Out_of_epc when the pool is exhausted. *)
 
+val set_alloc_hook : (pages:int -> unit) option -> unit
+(** Fault-injection seam: when set, the hook runs on every {!alloc}
+    before the capacity check and may raise {!Out_of_epc} to model
+    transient platform pressure. [None] (the default) restores normal
+    operation; production code never sets it. *)
+
 val release : t -> pages:int -> unit
 val free_pages : t -> int
 val total_pages : t -> int

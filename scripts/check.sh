@@ -31,6 +31,12 @@ dune exec bin/occlum_cc.exe -- examples/ct_leaky.ol -c naive -o _build/ct_naive.
 dune exec bin/occlum_verify.exe -- --guard-audit --json _build/guard-audit.json \
   _build/ct_naive.oelf
 
+# Bounded fuzz smoke: 200 cases of every property under the injected
+# interrupt storm, with a fixed seed so the JSON report (a CI artifact)
+# is bit-reproducible — a failing run prints the shrunk reproducer.
+dune exec bin/occlum_fuzz.exe -- --seed 42 --cases 200 --shrink \
+  --json _build/fuzz-report.json
+
 dune exec bench/main.exe -- --only=micro --json _build/bench-micro.json
 python3 scripts/compare_bench.py bench/baseline-micro.json \
   _build/bench-micro.json --threshold "${BENCH_THRESHOLD:-0.25}"

@@ -18,4 +18,5 @@ let () =
       ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);
       ("analysis", Test_analysis.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

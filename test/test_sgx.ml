@@ -88,6 +88,79 @@ let test_aex_restores_bounds () =
     (Invalid_argument "resume: no saved state in SSA") (fun () ->
       Enclave.resume e cpu)
 
+let test_aex_full_bit_identity () =
+  (* §2.3 orderliness: EVERY piece of architectural state — all GPRs,
+     all four MPX bound registers, the pc and the comparison flags —
+     must survive an aex/resume round trip bit-identically, no matter
+     what the host scribbles in between *)
+  let _, e = build_enclave () in
+  let cpu = Cpu.create () in
+  for i = 0 to Occlum_isa.Reg.count - 1 do
+    Cpu.set cpu (Occlum_isa.Reg.of_int i) (Int64.of_int ((i * 7919) + 13))
+  done;
+  for i = 0 to Occlum_isa.Reg.bnd_count - 1 do
+    Cpu.set_bnd cpu
+      (Occlum_isa.Reg.bnd_of_int i)
+      { Cpu.lower = Int64.of_int (i * 11); upper = Int64.of_int ((i * 11) + 5) }
+  done;
+  cpu.Cpu.pc <- 0x1234;
+  cpu.Cpu.flag_eq <- true;
+  cpu.Cpu.flag_lt <- false;
+  let regs = Array.copy cpu.Cpu.regs and bnds = Array.copy cpu.Cpu.bnds in
+  Enclave.aex ~reason:"test" e cpu;
+  for i = 0 to Occlum_isa.Reg.count - 1 do
+    Cpu.set cpu (Occlum_isa.Reg.of_int i) (-1L)
+  done;
+  for i = 0 to Occlum_isa.Reg.bnd_count - 1 do
+    Cpu.set_bnd cpu
+      (Occlum_isa.Reg.bnd_of_int i)
+      { Cpu.lower = -1L; upper = -1L }
+  done;
+  cpu.Cpu.pc <- 0;
+  cpu.Cpu.flag_eq <- false;
+  cpu.Cpu.flag_lt <- true;
+  Enclave.resume e cpu;
+  Alcotest.(check bool) "all GPRs restored" true (cpu.Cpu.regs = regs);
+  Alcotest.(check bool) "all bound registers restored" true
+    (cpu.Cpu.bnds = bnds);
+  Alcotest.(check int) "pc restored" 0x1234 cpu.Cpu.pc;
+  Alcotest.(check bool) "flag_eq restored" true cpu.Cpu.flag_eq;
+  Alcotest.(check bool) "flag_lt restored" false cpu.Cpu.flag_lt
+
+let test_epc_failure_mid_build () =
+  (* regression: EADD running the EPC dry halfway through enclave
+     construction must leave the pool balanced and the partial enclave
+     queryable; destroy must give back exactly what was charged *)
+  let epc = Epc.create ~size:(64 * page) () in
+  let calls = ref 0 in
+  Epc.set_alloc_hook
+    (Some
+       (fun ~pages:_ ->
+         incr calls;
+         if !calls = 3 then begin
+           Epc.set_alloc_hook None;
+           raise Epc.Out_of_epc
+         end));
+  Fun.protect
+    ~finally:(fun () -> Epc.set_alloc_hook None)
+    (fun () ->
+      let e = Enclave.create ~version:Enclave.Sgx2 ~epc ~size:(16 * page) () in
+      Enclave.add_pages e ~addr:0 ~data:(Bytes.make page 'c')
+        ~perm:Mem.perm_rx;
+      Alcotest.check_raises "EADD hits the dry pool" Epc.Out_of_epc (fun () ->
+          Enclave.add_zero_pages e ~addr:page ~len:page ~perm:Mem.perm_rw);
+      Alcotest.(check int) "only the committed page is charged" 1
+        (Epc.used_pages epc);
+      Alcotest.(check int) "pool stays balanced" 64
+        (Epc.free_pages epc + Epc.used_pages epc);
+      Alcotest.(check bool) "partial enclave is queryable" true
+        (Enclave.id e > 0);
+      Alcotest.(check bool) "partial enclave never initialized" false
+        (Enclave.initialized e);
+      Enclave.destroy e;
+      Alcotest.(check int) "destroy restores the pool exactly" 64
+        (Epc.free_pages epc))
+
 let test_attestation () =
   let _, parent = build_enclave () in
   let _, child = build_enclave ~content:"other" () in
@@ -148,5 +221,7 @@ let suite =
     Alcotest.test_case "measurement needs EINIT" `Quick test_measure_before_init;
     Alcotest.test_case "destroy releases epc" `Quick test_destroy_releases_epc;
     Alcotest.test_case "aex saves/restores bounds" `Quick test_aex_restores_bounds;
+    Alcotest.test_case "aex full bit-identity" `Quick test_aex_full_bit_identity;
+    Alcotest.test_case "epc failure mid-build" `Quick test_epc_failure_mid_build;
     Alcotest.test_case "local attestation" `Quick test_attestation;
   ]
