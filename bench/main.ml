@@ -336,6 +336,121 @@ let sgx2_ablation () =
         (float per_sip /. 1048576.))
     [ ("SGX1 (preallocated)", false); ("SGX2 (EDMM)", true) ]
 
+(* --- paging: EPC overhead vs pool size ---------------------------------------------- *)
+
+(* Fig. 6-style degradation curve for the demand pager: a strided
+   read-modify-write sweep over a fixed working set, run over shrinking
+   paged EPC pools and compared against an uncapped pool. The figure of
+   merit is (interpreter cycles + deterministic EWB/ELDU charges)
+   relative to the uncapped run. Every quantity is virtual-clock, so the
+   curve is bit-reproducible across hosts. *)
+let paging () =
+  let open Occlum_isa in
+  let open Occlum_machine in
+  let page = 4096 in
+  let ws = 40 (* working-set pages, plus one code page *) in
+  let passes = if full then 25 else 6 in
+  let r1 = Reg.of_int 1 and r2 = Reg.of_int 2 and r3 = Reg.of_int 3 in
+  let data_end = ws * page in
+  let code_addr = ws * page in
+  let mem_r2 = Insn.Sib { base = r2; index = None; scale = 1; disp = 0 } in
+  let body =
+    [
+      Insn.Load { dst = r3; src = mem_r2; size = 8 };
+      Insn.Alu (Insn.Add, r3, Insn.O_imm 1L);
+      Insn.Store { dst = mem_r2; src = r3; size = 8 };
+      Insn.Alu (Insn.Add, r2, Insn.O_imm (Int64.of_int page));
+      Insn.Cmp (r2, Insn.O_imm (Int64.of_int data_end));
+    ]
+  in
+  let reset = Insn.Mov_imm (r2, 0L) in
+  let reset_len = String.length (Codec.encode reset) in
+  let skip = Insn.Jcc (Insn.Ne, reset_len) in
+  let tail =
+    [ Insn.Alu (Insn.Sub, r1, Insn.O_imm 1L); Insn.Cmp (r1, Insn.O_imm 0L) ]
+  in
+  let seq_len l =
+    List.fold_left (fun a insn -> a + String.length (Codec.encode insn)) 0 l
+  in
+  let loop_len =
+    seq_len body + String.length (Codec.encode skip) + reset_len + seq_len tail
+  in
+  (* the backward displacement is relative to the end of the jcc, whose
+     encoded length depends on the displacement — iterate to fixed point *)
+  let rec fix_jcc disp =
+    let len = String.length (Codec.encode (Insn.Jcc (Insn.Ne, disp))) in
+    let disp' = -(loop_len + len) in
+    if disp' = disp then Insn.Jcc (Insn.Ne, disp) else fix_jcc disp'
+  in
+  let prog =
+    [ Insn.Mov_imm (r1, Int64.of_int (passes * ws)); Insn.Mov_imm (r2, 0L) ]
+    @ body @ [ skip; reset ] @ tail
+    @ [ fix_jcc (-loop_len); Insn.Syscall_gate ]
+  in
+  let code = String.concat "" (List.map Codec.encode prog) in
+  let run pool_pages =
+    let epc =
+      match pool_pages with
+      | None -> Occlum_sgx.Epc.create ~size:(4 * 1024 * 1024) ()
+      | Some n ->
+          let p = Occlum_sgx.Epc.create ~size:(n * page) () in
+          Occlum_sgx.Epc.enable_paging p;
+          p
+    in
+    let e = Occlum_sgx.Enclave.create ~epc ~size:((ws + 2) * page) () in
+    for i = 0 to ws - 1 do
+      Occlum_sgx.Enclave.add_pages e ~addr:(i * page)
+        ~data:(Bytes.make page '\x00') ~perm:Mem.perm_rw
+    done;
+    let cpage = Bytes.make page '\x00' in
+    Bytes.blit_string code 0 cpage 0 (String.length code);
+    Occlum_sgx.Enclave.add_pages e ~addr:code_addr ~data:cpage ~perm:Mem.perm_rx;
+    Occlum_sgx.Enclave.init e;
+    let mem = Occlum_sgx.Enclave.mem e in
+    let cpu = Cpu.create () in
+    cpu.Cpu.pc <- code_addr;
+    let cid = Occlum_sgx.Enclave.id e in
+    (* mini-driver: the bench stands in for the LibOS fault path — every
+       EPC miss is an AEX + ELDU + re-execution of the faulted insn *)
+    let rec drive () =
+      match Interp.run mem cpu ~fuel:max_int with
+      | Interp.Stop_syscall -> ()
+      | Interp.Stop_fault (Fault.Epc_miss { addr; _ }) ->
+          Occlum_sgx.Epc.eldu epc ~cid ~page:(addr / page);
+          drive ()
+      | s ->
+          failwith ("paging bench stopped unexpectedly: " ^ Interp.stop_to_string s)
+    in
+    drive ();
+    let stats = Occlum_sgx.Epc.paging_stats epc in
+    Occlum_sgx.Enclave.destroy e;
+    (cpu.Cpu.cycles, stats)
+  in
+  let base_cycles, _ = run None in
+  Printf.printf "%-16s %12s %12s %8s %8s   (working set %d+1 pages)\n" "EPC pool"
+    "kcycles" "+paging kc" "EWB" "overhead" ws;
+  Printf.printf "%-16s %12.1f %12s %8s %8s\n" "uncapped"
+    (float base_cycles /. 1e3) "-" "-" "1.00x";
+  record "paging/uncapped-kcycles" (float base_cycles /. 1e3);
+  List.iter
+    (fun n ->
+      let cycles, stats = run (Some n) in
+      match stats with
+      | None -> ()
+      | Some s ->
+          let total = cycles + s.Occlum_sgx.Epc.paging_cycles in
+          let ovh = float total /. float base_cycles in
+          record (Printf.sprintf "paging/overhead-epc-%dp" n) ovh;
+          record
+            (Printf.sprintf "paging/ewb-epc-%dp" n)
+            (float s.Occlum_sgx.Epc.ewb);
+          Printf.printf "%-16s %12.1f %12.1f %8d %7.2fx\n%!"
+            (Printf.sprintf "%d pages" n)
+            (float cycles /. 1e3)
+            (float s.Occlum_sgx.Epc.paging_cycles /. 1e3)
+            s.Occlum_sgx.Epc.ewb ovh)
+    [ 48; 40; 32; 24 ]
+
 (* --- RIPE ------------------------------------------------------------------------- *)
 
 let ripe () =
@@ -501,6 +616,7 @@ let () =
   section "fig7a" "MMDSFI overhead on SPECint-style kernels" fig7a;
   section "fig7b" "MMDSFI overhead breakdown (naive vs optimized)" fig7b;
   section "sgx2" "ablation: SGX1 preallocation vs SGX2 EDMM" sgx2_ablation;
+  section "paging" "EPC demand-paging overhead vs pool size" paging;
   section "ripe" "RIPE attack corpus" ripe;
   section "micro" "Bechamel micro-benchmarks" (fun () ->
       micro ();

@@ -4,7 +4,29 @@
 
 open Cmdliner
 
-let run binaries args mode_name fs_image save_fs =
+(* "128K" / "8M" / "1G" / plain bytes -> pages, rounded up *)
+let parse_epc_size s =
+  let fail () =
+    prerr_endline ("bad --epc-size: " ^ s ^ " (use e.g. 512K, 8M, 1G)");
+    exit 2
+  in
+  let n = String.length s in
+  if n = 0 then fail ();
+  let mult, digits =
+    match s.[n - 1] with
+    | 'k' | 'K' -> (1024, String.sub s 0 (n - 1))
+    | 'm' | 'M' -> (1024 * 1024, String.sub s 0 (n - 1))
+    | 'g' | 'G' -> (1024 * 1024 * 1024, String.sub s 0 (n - 1))
+    | '0' .. '9' -> (1, s)
+    | _ -> fail ()
+  in
+  match int_of_string_opt digits with
+  | Some v when v > 0 ->
+      let bytes = v * mult in
+      (bytes + Occlum_sgx.Epc.page_size - 1) / Occlum_sgx.Epc.page_size
+  | _ -> fail ()
+
+let run binaries args mode_name fs_image save_fs epc_size no_paging =
   let mode =
     match mode_name with
     | "sip" | "occlum" -> Occlum_libos.Os.Sip
@@ -25,7 +47,27 @@ let run binaries args mode_name fs_image save_fs =
         Some (Occlum_libos.Sefs.Host_store.load path)
     | _ -> None
   in
-  let os = Occlum_libos.Os.boot ~config ?host_fs () in
+  (* EPC demand paging is on by default (the robust configuration): a
+     working set above --epc-size degrades to EWB/ELDU paging instead of
+     dying on ENOMEM. --no-paging restores the hard-capped SGX1 pool. *)
+  let epc =
+    let pages =
+      match epc_size with
+      | Some s -> parse_epc_size s
+      | None -> Occlum_sgx.Epc.default_size / Occlum_sgx.Epc.page_size
+    in
+    let epc = Occlum_sgx.Epc.create ~size:(pages * Occlum_sgx.Epc.page_size) () in
+    if not no_paging then Occlum_sgx.Epc.enable_paging epc;
+    epc
+  in
+  let os =
+    try Occlum_libos.Os.boot ~config ~epc ?host_fs ()
+    with Occlum_sgx.Epc.Out_of_epc ->
+      prerr_endline
+        "boot failed: out of EPC (raise --epc-size, or drop --no-paging to \
+         page instead)";
+      exit 1
+  in
   let install path =
     let ic = open_in_bin path in
     let n = in_channel_length ic in
@@ -60,6 +102,12 @@ let run binaries args mode_name fs_image save_fs =
     (fun (pid, f) ->
       Printf.printf "fault: pid %d: %s\n" pid (Occlum_machine.Fault.to_string f))
     os.Occlum_libos.Os.faults;
+  (match Occlum_sgx.Epc.paging_stats epc with
+  | Some s when s.Occlum_sgx.Epc.ewb > 0 || s.Occlum_sgx.Epc.eldu > 0 ->
+      Printf.printf "epc paging: %d evictions, %d reloads, %d integrity failures\n"
+        s.Occlum_sgx.Epc.ewb s.Occlum_sgx.Epc.eldu
+        s.Occlum_sgx.Epc.integrity_failures
+  | _ -> ());
   match save_fs with
   | None -> ()
   | Some path ->
@@ -86,9 +134,20 @@ let save_fs_arg =
   Arg.(value & opt (some string) None & info [ "save-fs" ]
          ~doc:"Flush and save the encrypted FS image on shutdown.")
 
+let epc_size_arg =
+  Arg.(value & opt (some string) None & info [ "epc-size" ]
+         ~doc:"EPC pool size (accepts K/M/G suffixes, e.g. 512K). \
+               Default: the 93 MiB usable EPC of SGX1-era parts.")
+
+let no_paging_arg =
+  Arg.(value & flag & info [ "no-paging" ]
+         ~doc:"Disable EPC demand paging: exceeding the pool is a hard \
+               ENOMEM instead of EWB/ELDU eviction.")
+
 let cmd =
   Cmd.v
     (Cmd.info "occlum_run" ~doc:"Run OELF binaries on the Occlum LibOS")
-    Term.(const run $ binaries_arg $ args_arg $ mode_arg $ fs_arg $ save_fs_arg)
+    Term.(const run $ binaries_arg $ args_arg $ mode_arg $ fs_arg $ save_fs_arg
+          $ epc_size_arg $ no_paging_arg)
 
 let () = exit (Cmd.eval cmd)

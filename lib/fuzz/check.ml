@@ -603,14 +603,27 @@ let io_faults inj _rng =
     | None -> failwith "io fixture vanished"
   in
   let read () = Sefs.read_file sefs node ~pos:0 ~len:100 in
-  Inject.arm_sefs inj ~at:1 ~fault:(Sefs.Io_error Errno.eagain);
+  let retries0 = sefs.Sefs.retries in
+  (* a single transient error is absorbed by the retry wrapper *)
+  Inject.arm_sefs inj ~at:1 ~fault:(Sefs.Io_error Errno.eagain) ();
   let r1 = Fun.protect ~finally:Inject.disarm read in
-  if r1 <> Error Errno.eagain then
-    Some "injected SEFS error did not surface as its errno"
-  else if read () <> Ok (Bytes.of_string content) then
-    Some "SEFS fault was not transient"
+  if r1 <> Ok (Bytes.of_string content) then
+    Some "transient SEFS error was not absorbed by the retry wrapper"
+  else if sefs.Sefs.retries <> retries0 + 1 then
+    Some "absorbed SEFS fault did not count a retry"
   else begin
-    Inject.arm_sefs inj ~at:1 ~fault:(Sefs.Short 4);
+    (* a fault outlasting every attempt surfaces its errno... *)
+    Inject.arm_sefs inj ~at:1 ~times:Sefs.max_io_attempts
+      ~fault:(Sefs.Io_error Errno.eagain) ();
+    let rp = Fun.protect ~finally:Inject.disarm read in
+    if rp <> Error Errno.eagain then
+      Some "persistent SEFS error did not surface as its errno"
+    else if read () <> Ok (Bytes.of_string content) then
+      (* ...and is still transient once the hook clears *)
+      Some "SEFS fault was not transient"
+    else begin
+    (* short transfers made progress and are never retried *)
+    Inject.arm_sefs inj ~at:1 ~fault:(Sefs.Short 4) ();
     let r2 = Fun.protect ~finally:Inject.disarm read in
     match r2 with
     | Ok b
@@ -631,12 +644,23 @@ let io_faults inj _rng =
                     let send () =
                       Net.send net client payload 0 (Bytes.length payload)
                     in
-                    Inject.arm_net inj ~at:1 ~fault:(Sefs.Io_error Errno.eagain);
+                    Inject.arm_net inj ~at:1
+                      ~fault:(Sefs.Io_error Errno.eagain) ();
                     let s1 = Fun.protect ~finally:Inject.disarm send in
-                    if s1 <> Error Errno.eagain then
-                      Some "injected net error did not surface as its errno"
+                    if s1 <> Ok (Bytes.length payload) then
+                      Some
+                        "transient net error was not absorbed by the retry \
+                         wrapper"
+                    else if
+                      (let p =
+                         Inject.arm_net inj ~at:1 ~times:Sefs.max_io_attempts
+                           ~fault:(Sefs.Io_error Errno.eagain) ();
+                         Fun.protect ~finally:Inject.disarm send
+                       in
+                       p <> Error Errno.eagain)
+                    then Some "persistent net error did not surface as its errno"
                     else begin
-                      Inject.arm_net inj ~at:1 ~fault:(Sefs.Short 3);
+                      Inject.arm_net inj ~at:1 ~fault:(Sefs.Short 3) ();
                       let s2 = Fun.protect ~finally:Inject.disarm send in
                       match s2 with
                       | Ok 3 -> (
@@ -645,8 +669,10 @@ let io_faults inj _rng =
                               let buf = Bytes.create 64 in
                               match Net.recv net server buf 0 64 with
                               | Ok m
-                                when m = 3 + Bytes.length payload
-                                     && Bytes.sub_string buf 0 3 = "pin" ->
+                                when m = 3 + (2 * Bytes.length payload)
+                                     && Bytes.sub_string buf 0
+                                          (Bytes.length payload)
+                                        = Bytes.to_string payload ->
                                   None
                               | Ok m ->
                                   Some
@@ -669,15 +695,176 @@ let io_faults inj _rng =
           (Printf.sprintf "short read returned %d bytes, wanted 4"
              (Bytes.length b))
     | Error e -> Some (Printf.sprintf "short-injected read failed: %d" e)
+    end
   end
+
+(* --- paging transparency -------------------------------------------------- *)
+
+(* Run a program on a deliberately tiny paged pool, stepping an
+   uncapped twin in lockstep. Every Epc_miss takes the production
+   AEX -> ELDU -> resume path, with a full CPU scramble in the
+   evict-and-reload window to make resume transparency non-vacuous; the
+   paged machine must end bit-identical to the twin in architectural
+   state and memory (counters excluded: a faulted-and-retried
+   instruction legitimately charges extra cycles), and destroy must
+   return every frame and sealed page. *)
+let drive_paged inj oelf ~pool_pages ~scramble_seed ~steps =
+  let pool = Epc.create ~size:(pool_pages * Epc.page_size) () in
+  Epc.enable_paging pool;
+  let env = Exec.make ~epc:pool oelf in
+  let twin = Exec.make oelf in
+  let srng = Rng.of_seed scramble_seed in
+  let cid = Enclave.id env.Exec.enclave in
+  let rec exec n =
+    if n = 0 then finish ()
+    else
+      match Interp.step env.Exec.mem env.Exec.cpu with
+      | Some (Interp.Stop_fault (Fault.Epc_miss { addr; _ })) -> (
+          (* the paged machine page-faults; the twin does not step *)
+          inj.Inject.aex <- inj.Inject.aex + 1;
+          let snap = capture env.Exec.cpu in
+          Enclave.aex ~reason:"epc-miss" env.Exec.enclave env.Exec.cpu;
+          scramble srng env.Exec.cpu;
+          Enclave.resume env.Exec.enclave env.Exec.cpu;
+          match resume_diff snap env.Exec.cpu with
+          | Some d -> Error ("paging resume not bit-identical: " ^ d)
+          | None -> (
+              match Epc.eldu pool ~cid ~page:(addr / Epc.page_size) with
+              | () -> exec n
+              | exception e -> Error ("reload failed: " ^ Printexc.to_string e)
+              ))
+      | sa -> (
+          let sb = Interp.step twin.Exec.mem twin.Exec.cpu in
+          if sa <> sb then Error "paged and uncapped runs took different stops"
+          else
+            match sa with
+            | Some Interp.Stop_syscall ->
+                let nr = Int64.to_int (Cpu.get env.Exec.cpu sys_nr_reg) in
+                if nr = Occlum_abi.Abi.Sys.exit then finish ()
+                else begin
+                  Cpu.set env.Exec.cpu R.result 0L;
+                  Cpu.set twin.Exec.cpu R.result 0L;
+                  exec (n - 1)
+                end
+            | Some (Interp.Stop_fault _) -> finish ()
+            | Some Interp.Stop_quantum | None -> exec (n - 1))
+  and finish () =
+    match resume_diff (capture twin.Exec.cpu) env.Exec.cpu with
+    | Some d -> Error ("paging transparency violated: " ^ d)
+    | None -> (
+        match mem_diff env twin with
+        | Some d -> Error ("paging transparency violated: " ^ d)
+        | None ->
+            Enclave.destroy env.Exec.enclave;
+            (* destroy is idempotent: the second call must be a no-op *)
+            Enclave.destroy env.Exec.enclave;
+            Enclave.destroy twin.Exec.enclave;
+            if Epc.used_pages pool <> 0 then
+              Error
+                (Printf.sprintf "%d frames leaked after destroy"
+                   (Epc.used_pages pool))
+            else if Epc.backing_used pool <> 0 then
+              Error
+                (Printf.sprintf "%d sealed pages leaked after destroy"
+                   (Epc.backing_used pool))
+            else Ok ())
+  in
+  exec steps
+
+let paging_transparency inj rng =
+  let items = Gen.program rng in
+  let scramble_seed = Rng.next rng in
+  (* small enough to force eviction for most generated programs (their
+     enclaves span 12+ pages), large enough that the pin ring (4) never
+     starves the reclaimer *)
+  let pool_pages = 8 + Rng.int rng 4 in
+  match
+    drive_paged inj (Gen.link items) ~pool_pages ~scramble_seed ~steps:1200
+  with
+  | Ok () -> None
+  | Error d -> Some d
+
+(* A tampered or version-rolled-back sealed page must be a hard fault on
+   reload — never silent corruption — and must leave the pool balanced. *)
+let paging_integrity _inj rng =
+  let pool = Epc.create ~size:(8 * Epc.page_size) () in
+  Epc.enable_paging pool;
+  let enclave = Enclave.create ~epc:pool ~size:(16 * Epc.page_size) () in
+  let cid = Enclave.id enclave in
+  let page_of i = Bytes.make Epc.page_size (Char.chr (65 + i)) in
+  for i = 0 to 7 do
+    Enclave.add_pages enclave ~addr:(i * Epc.page_size) ~data:(page_of i)
+      ~perm:Mem.perm_rw
+  done;
+  Enclave.init enclave;
+  (* distinct victims: a rejected reload leaves its page non-resident
+     with a poisoned sealed copy, so each attack gets its own page *)
+  let t1 = Rng.int rng 8 in
+  let t2 = (t1 + 1) mod 8 in
+  let t3 = (t1 + 2) mod 8 in
+  let fail d =
+    Enclave.destroy enclave;
+    Some d
+  in
+  let reload_rejected page =
+    match Epc.eldu pool ~cid ~page with
+    | () -> false
+    | exception Epc.Integrity_violation _ -> true
+  in
+  if not (Epc.evict_page pool ~cid ~page:t1) then
+    fail "fixture page was not evictable"
+  else if not (Epc.backing_tamper pool ~cid ~page:t1) then
+    fail "evicted page has no sealed copy to tamper with"
+  else if not (reload_rejected t1) then
+    fail "MAC-tampered sealed page was reloaded"
+  else if
+    (* rollback: seal v1, reload, evict again (v2), replay the v1 copy *)
+    not (Epc.evict_page pool ~cid ~page:t2)
+  then fail "evict for rollback failed"
+  else
+    match Epc.backing_snapshot pool ~cid ~page:t2 with
+    | None -> fail "no sealed copy to snapshot"
+    | Some old ->
+        Epc.eldu pool ~cid ~page:t2;
+        if not (Epc.evict_page pool ~cid ~page:t2) then
+          fail "second evict failed"
+        else begin
+          Epc.backing_restore pool ~cid ~page:t2 old;
+          if not (reload_rejected t2) then
+            fail "version-rolled-back sealed page was reloaded"
+          else if not (Epc.evict_page pool ~cid ~page:t3) then
+            fail "clean evict failed"
+          else begin
+            (* an untouched evict/reload cycle is still bit-identical *)
+            Epc.eldu pool ~cid ~page:t3;
+            let got =
+              Mem.read_bytes_priv (Enclave.mem enclave)
+                ~addr:(t3 * Epc.page_size) ~len:Epc.page_size
+            in
+            if not (Bytes.equal got (page_of t3)) then
+              fail "clean reload was not bit-identical"
+            else
+              match Epc.paging_stats pool with
+              | Some s when s.Epc.integrity_failures >= 2 ->
+                  Enclave.destroy enclave;
+                  if Epc.used_pages pool <> 0 then
+                    Some "frames leaked after destroy"
+                  else if Epc.backing_used pool <> 0 then
+                    Some "sealed pages leaked after destroy"
+                  else None
+              | _ -> fail "integrity failures were not counted"
+          end
+        end
 
 let epc_case inj _shrink rng case =
   let detail =
-    match case mod 5 with
+    match case mod 7 with
     | 0 -> epc_enclave_injected inj rng
     | 1 -> epc_real_exhaustion rng
     | 2 -> epc_libos sgx2_os ~allocs_per_spawn:2 inj rng
     | 3 -> epc_libos eip_os ~allocs_per_spawn:1 inj rng
+    | 4 -> paging_transparency inj rng
+    | 5 -> paging_integrity inj rng
     | _ -> io_faults inj rng
   in
   Option.map (fun d -> { prop = Epc_pressure; case; detail = d; minimized = None }) detail

@@ -32,27 +32,27 @@ let arm_epc t ~at =
            raise Occlum_sgx.Epc.Out_of_epc
          end))
 
-let arm_sefs t ~at ~fault =
-  if at < 1 then invalid_arg "Inject.arm_sefs";
+let arm_sefs t ?(times = 1) ~at ~fault () =
+  if at < 1 || times < 1 then invalid_arg "Inject.arm_sefs";
   let n = ref 0 in
   Occlum_libos.Sefs.set_io_hook
     (Some
        (fun ~write:_ ~len:_ ->
          incr n;
-         if !n = at then begin
+         if !n >= at && !n < at + times then begin
            t.io <- t.io + 1;
            Some fault
          end
          else None))
 
-let arm_net t ~at ~fault =
-  if at < 1 then invalid_arg "Inject.arm_net";
+let arm_net t ?(times = 1) ~at ~fault () =
+  if at < 1 || times < 1 then invalid_arg "Inject.arm_net";
   let n = ref 0 in
   Occlum_libos.Net.set_io_hook
     (Some
        (fun ~send:_ ~len:_ ->
          incr n;
-         if !n = at then begin
+         if !n >= at && !n < at + times then begin
            t.io <- t.io + 1;
            Some fault
          end

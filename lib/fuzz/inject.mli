@@ -28,11 +28,16 @@ val arm_epc : t -> at:int -> unit
 (** Make the [at]-th EPC allocation (1-based, platform-wide) raise
     {!Occlum_sgx.Epc.Out_of_epc}; one-shot. Disarm with {!disarm}. *)
 
-val arm_sefs : t -> at:int -> fault:Occlum_libos.Sefs.io_fault -> unit
-(** Inject [fault] into the [at]-th SEFS read/write; one-shot. *)
+val arm_sefs :
+  t -> ?times:int -> at:int -> fault:Occlum_libos.Sefs.io_fault -> unit -> unit
+(** Inject [fault] into the [at]-th SEFS read/write and the [times - 1]
+    consults after it (default one-shot). [times >= Sefs.max_io_attempts]
+    models a persistent fault that defeats the retry wrapper. *)
 
-val arm_net : t -> at:int -> fault:Occlum_libos.Sefs.io_fault -> unit
-(** Inject [fault] into the [at]-th network send/recv; one-shot. *)
+val arm_net :
+  t -> ?times:int -> at:int -> fault:Occlum_libos.Sefs.io_fault -> unit -> unit
+(** Inject [fault] into the [at]-th network send/recv, for [times]
+    consecutive consults (default one-shot). *)
 
 val disarm : unit -> unit
 (** Clear every armed hook (EPC, SEFS, net). Always call when a scenario

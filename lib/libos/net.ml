@@ -29,13 +29,15 @@ type listener = {
 type t = {
   listeners : (int, listener) Hashtbl.t;
   mutable ocall_bytes : int; (* traffic that crossed the enclave boundary *)
+  mutable retries : int; (* transient faults absorbed by bounded retry *)
+  mutable backoff_ns : int64; (* simulated wait accrued by retries *)
   mutable obs : Occlum_obs.Obs.t; (* I/O events/metrics; the LibOS
                                      attaches its own at boot *)
 }
 
 let create () =
-  { listeners = Hashtbl.create 8; ocall_bytes = 0;
-    obs = Occlum_obs.Obs.disabled }
+  { listeners = Hashtbl.create 8; ocall_bytes = 0; retries = 0;
+    backoff_ns = 0L; obs = Occlum_obs.Obs.disabled }
 
 (* Observability for one transfer: event with the byte count plus byte
    counters. One branch when disabled. *)
@@ -88,11 +90,33 @@ let io_hook : (send:bool -> len:int -> Sefs.io_fault option) option ref =
 
 let set_io_hook h = io_hook := h
 
-let consult_io_hook ~send ~len =
-  match !io_hook with None -> None | Some h -> h ~send ~len
+(* Same bounded-retry contract as [Sefs.consult_io]: transient
+   [Io_error]s are retried up to [Sefs.max_io_attempts] attempts with
+   deterministic exponential backoff; [Short] transfers are not. *)
+let note_retry t =
+  let o = t.obs in
+  if o.Occlum_obs.Obs.enabled then
+    Occlum_obs.Metrics.inc
+      (Occlum_obs.Metrics.counter o.Occlum_obs.Obs.metrics "io.retries")
+
+let consult_io t ~send ~len =
+  match !io_hook with
+  | None -> None
+  | Some h ->
+      let rec attempt k =
+        match h ~send ~len with
+        | Some (Sefs.Io_error _) when k < Sefs.max_io_attempts ->
+            t.retries <- t.retries + 1;
+            t.backoff_ns <-
+              Int64.add t.backoff_ns (Sefs.backoff_ns_of_attempt k);
+            note_retry t;
+            attempt (k + 1)
+        | r -> r
+      in
+      attempt 1
 
 let send t (e : endpoint) src off len =
-  match consult_io_hook ~send:true ~len with
+  match consult_io t ~send:true ~len with
   | Some (Sefs.Io_error errno) -> Error errno
   | (Some (Sefs.Short _) | None) as f ->
   let len =
@@ -113,7 +137,7 @@ let send t (e : endpoint) src off len =
       end
 
 let recv t (e : endpoint) dst off len =
-  match consult_io_hook ~send:false ~len with
+  match consult_io t ~send:false ~len with
   | Some (Sefs.Io_error errno) -> Error errno
   | (Some (Sefs.Short _) | None) as f ->
   let len =

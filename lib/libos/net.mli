@@ -18,6 +18,10 @@ type listener = {
 type t = {
   listeners : (int, listener) Hashtbl.t;
   mutable ocall_bytes : int;  (** traffic that crossed the enclave edge *)
+  mutable retries : int;
+      (** transient I/O faults absorbed by the bounded-retry wrapper *)
+  mutable backoff_ns : int64;
+      (** simulated backoff accrued by retries, drained by the LibOS *)
   mutable obs : Occlum_obs.Obs.t;
       (** I/O events and byte counters; {!Occlum_obs.Obs.disabled} until
           the LibOS attaches its own instance at boot *)

@@ -102,7 +102,32 @@ type t = {
   eip_runtime_image : Bytes.t; (* stand-in for the Graphene runtime pages *)
   obs : Occlum_obs.Obs.t;
   mutable last_run_pid : int; (* previously scheduled pid, for Sched_switch *)
+  mutable paging_cycles_seen : int;
+  (* EWB/ELDU cycle charges already folded into [clock_ns] *)
+  mutable io_backoff_seen : int64;
+  (* Sefs/Net retry backoff already folded into [clock_ns] *)
 }
+
+let cycles_to_ns c = Int64.of_int (c / 3)
+
+(* Fold freshly accrued memory-pressure costs into the virtual clock:
+   EWB/ELDU cycle charges from the EPC pager and retry backoff from the
+   I/O stacks. Tracks deltas since the last call, so it is safe to call
+   from anywhere (boot, spawn, every scheduler step). *)
+let sync_pressure_charges t =
+  (match Occlum_sgx.Epc.paging_stats t.epc with
+  | None -> ()
+  | Some s ->
+      let d = s.Occlum_sgx.Epc.paging_cycles - t.paging_cycles_seen in
+      if d > 0 then begin
+        t.paging_cycles_seen <- s.Occlum_sgx.Epc.paging_cycles;
+        t.clock_ns <- Int64.add t.clock_ns (cycles_to_ns d)
+      end);
+  let b = Int64.add t.sefs.Sefs.backoff_ns t.net.Net.backoff_ns in
+  if Int64.compare b t.io_backoff_seen > 0 then begin
+    t.clock_ns <- Int64.add t.clock_ns (Int64.sub b t.io_backoff_seen);
+    t.io_backoff_seen <- b
+  end
 
 let boot ?(config = default_config) ?(obs = Occlum_obs.Obs.disabled) ?epc
     ?host_fs () =
@@ -153,6 +178,8 @@ let boot ?(config = default_config) ?(obs = Occlum_obs.Obs.disabled) ?epc
       eip_runtime_image = Bytes.make config.eip_runtime_image_bytes '\x5a';
       obs;
       last_run_pid = 0;
+      paging_cycles_seen = 0;
+      io_backoff_seen = 0L;
     }
   in
   if obs.Occlum_obs.Obs.enabled then begin
@@ -161,6 +188,71 @@ let boot ?(config = default_config) ?(obs = Occlum_obs.Obs.disabled) ?epc
     t.sefs.Sefs.obs <- obs;
     t.net.Net.obs <- obs
   end;
+  if Occlum_sgx.Epc.paging_enabled epc then begin
+    (* paging counters/events flow through obs like every other layer *)
+    if obs.Occlum_obs.Obs.enabled then
+      Occlum_sgx.Epc.set_event_hook epc
+        (Some
+           (fun ~cid ~page ev ->
+             let name =
+               match ev with
+               | Occlum_sgx.Epc.Evict -> "epc.ewb"
+               | Occlum_sgx.Epc.Reload -> "epc.eldu"
+             in
+             Occlum_obs.Metrics.inc
+               (Occlum_obs.Metrics.counter obs.Occlum_obs.Obs.metrics name);
+             if obs.Occlum_obs.Obs.t_page then
+               Occlum_obs.Obs.emit obs
+                 (match ev with
+                 | Occlum_sgx.Epc.Evict ->
+                     Occlum_obs.Trace.Page_evict { enclave = cid; page }
+                 | Occlum_sgx.Epc.Reload ->
+                     Occlum_obs.Trace.Page_reload { enclave = cid; page })));
+    (* Per-SIP resident-set guard: each in-use domain slot is entitled to
+       an equal share of the pool; slots at or under their share are
+       spared by the reclaimer so one greedy SIP cannot evict the whole
+       enclave into livelock. Advisory — raided only when nothing else
+       is evictable. *)
+    Occlum_sgx.Epc.set_victim_policy epc
+      (Some
+         (fun () ->
+           let stride = Domain_mgr.slot_stride config.domains in
+           let pages_per_slot = stride / Occlum_sgx.Epc.page_size in
+           let n_slots = Array.length domains.Domain_mgr.slots in
+           let emem = Occlum_sgx.Enclave.mem enclave in
+           let counts = Array.make (max 1 n_slots) 0 in
+           for s = 0 to n_slots - 1 do
+             if domains.Domain_mgr.slots.(s).Domain_mgr.in_use then begin
+               let base =
+                 (Domain_mgr.domains_base + (s * stride))
+                 / Occlum_sgx.Epc.page_size
+               in
+               for p = base to base + pages_per_slot - 1 do
+                 if
+                   Mem.perm_at emem (p * Occlum_sgx.Epc.page_size) <> None
+                   && Mem.page_resident emem p
+                 then counts.(s) <- counts.(s) + 1
+               done
+             end
+           done;
+           let budget =
+             max 8
+               (Occlum_sgx.Epc.total_pages epc
+               / (2 * max 1 (Domain_mgr.in_use_count domains)))
+           in
+           let cid_main = Occlum_sgx.Enclave.id enclave in
+           fun ~cid ~page ->
+             cid = cid_main
+             &&
+             let addr = page * Occlum_sgx.Epc.page_size in
+             addr >= Domain_mgr.domains_base
+             &&
+             let s = (addr - Domain_mgr.domains_base) / stride in
+             s < n_slots
+             && domains.Domain_mgr.slots.(s).Domain_mgr.in_use
+             && counts.(s) <= budget))
+  end;
+  sync_pressure_charges t;
   t
 
 let clock t = t.clock_ns
@@ -400,6 +492,9 @@ let spawn t ~parent_pid ~path ~args =
       ~slot_refs:(ref 1) ~path ~eip_enclave
   in
   (match parent with Some pp -> pp.children <- p.pid :: pp.children | None -> ());
+  (* a load into a tight pool pages older SIPs out rather than failing;
+     charge that EWB work to the clock now *)
+  sync_pressure_charges t;
   p.pid
 
 let spawn_initial t oelf ~args =
@@ -1255,8 +1350,6 @@ let return_target_ok t p =
 
 type run_status = All_exited | Deadlock of int list | Quota_exhausted
 
-let cycles_to_ns c = Int64.of_int (c / 3)
-
 let handle_gate t (p : proc) : unit =
   (* pc has advanced past the Syscall_gate; classify which gate fired *)
   let gate_pc = p.cpu.pc - 1 in
@@ -1370,12 +1463,41 @@ let step t =
         (match stop with
         | Interp.Stop_quantum -> ()
         | Interp.Stop_syscall -> handle_gate t p
+        | Interp.Stop_fault (Fault.Epc_miss { addr; _ } as f)
+          when Occlum_sgx.Epc.paging_enabled t.epc -> (
+            (* page fault on an evicted page: AEX out of the enclave,
+               ELDU the page back, ERESUME — the SIP stays runnable and
+               re-executes the faulting instruction bit-identically *)
+            Occlum_sgx.Enclave.aex ~reason:(Fault.to_string f) t.enclave p.cpu;
+            match
+              Occlum_sgx.Epc.eldu t.epc
+                ~cid:(Occlum_sgx.Enclave.id t.enclave)
+                ~page:(addr / Mem.page_size)
+            with
+            | () ->
+                Occlum_sgx.Enclave.resume t.enclave p.cpu;
+                if t.obs.Occlum_obs.Obs.enabled then
+                  Occlum_obs.Metrics.inc
+                    (Occlum_obs.Metrics.counter t.obs.Occlum_obs.Obs.metrics
+                       "epc.faults")
+            | exception Occlum_sgx.Epc.Integrity_violation _ ->
+                (* tampered or rolled-back backing page: hard fault, the
+                   content is never exposed to the SIP *)
+                Occlum_sgx.Enclave.resume t.enclave p.cpu;
+                t.faults <- (p.pid, f) :: t.faults;
+                kill_proc t p ~fatal_signal:7
+            | exception Occlum_sgx.Epc.Out_of_epc ->
+                (* backing store at capacity and nothing evictable *)
+                Occlum_sgx.Enclave.resume t.enclave p.cpu;
+                t.faults <- (p.pid, f) :: t.faults;
+                kill_proc t p ~fatal_signal:Sig.sigkill)
         | Interp.Stop_fault f ->
             (* AEX -> the LibOS captures the exception and kills the SIP *)
             t.faults <- (p.pid, f) :: t.faults;
             Occlum_sgx.Enclave.aex ~reason:(Fault.to_string f) t.enclave p.cpu;
             Occlum_sgx.Enclave.resume t.enclave p.cpu;
             kill_proc t p ~fatal_signal:11);
+        sync_pressure_charges t;
         true
       end)
 

@@ -87,7 +87,20 @@ type t = {
           to; {!Occlum_obs.Obs.disabled} unless one was passed to
           {!boot} *)
   mutable last_run_pid : int;
+  mutable paging_cycles_seen : int;
+      (** EWB/ELDU cycle charges already folded into [clock_ns] *)
+  mutable io_backoff_seen : int64;
+      (** Sefs/Net retry backoff already folded into [clock_ns] *)
 }
+
+val cycles_to_ns : int -> int64
+(** The clock calibration: simulated cycles to virtual nanoseconds. *)
+
+val sync_pressure_charges : t -> unit
+(** Fold freshly accrued EPC paging cycles and I/O retry backoff into
+    the virtual clock. Called automatically by [boot], [spawn] and every
+    scheduler [step]; exposed for drivers that run the interpreter
+    directly. *)
 
 val boot :
   ?config:config ->

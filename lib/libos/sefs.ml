@@ -155,6 +155,11 @@ type t = {
   cache : (int, cache_line) Hashtbl.t; (* shared page cache, all SIPs *)
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable retries : int; (* transient I/O faults absorbed by the
+                            bounded-retry wrapper around the host *)
+  mutable backoff_ns : int64; (* simulated wait accrued by those
+                                 retries; the LibOS drains it onto the
+                                 virtual clock *)
   mutable obs : Occlum_obs.Obs.t; (* I/O events/metrics; the LibOS
                                      attaches its own at boot *)
 }
@@ -203,6 +208,8 @@ let create ?(volume = "vol0") ?(encrypted = true) ~key () =
     cache = Hashtbl.create 256;
     cache_hits = 0;
     cache_misses = 0;
+    retries = 0;
+    backoff_ns = 0L;
     obs = Occlum_obs.Obs.disabled;
   }
 
@@ -366,7 +373,7 @@ let mount ?(volume = "vol0") ?(encrypted = true) ~key host =
     { host; data_key; mac_key; volume; encrypted;
       m = { inodes = []; next_ino = 2; next_block = 0; gens = [] };
       cache = Hashtbl.create 256; cache_hits = 0; cache_misses = 0;
-      obs = Occlum_obs.Obs.disabled }
+      retries = 0; backoff_ns = 0L; obs = Occlum_obs.Obs.disabled }
   in
   (match host.Host_store.meta with
   | None -> t.m <- { inodes = [ (root_ino, fresh_root ()) ]; next_ino = 2;
@@ -489,14 +496,43 @@ type io_fault = Io_error of int | Short of int
 let io_hook : (write:bool -> len:int -> io_fault option) option ref = ref None
 let set_io_hook h = io_hook := h
 
-let consult_io_hook ~write ~len =
-  match !io_hook with None -> None | Some h -> h ~write ~len
+(* Bounded retry with deterministic exponential backoff around the
+   injectable host I/O: a transient [Io_error] is retried up to
+   [max_io_attempts] attempts in total, waiting 1 us then 2 us of
+   simulated time between attempts (accrued in [backoff_ns] for the
+   LibOS to put on the virtual clock). A fault that persists through
+   every attempt surfaces its errno; [Short] transfers made partial
+   progress and are never retried. *)
+let max_io_attempts = 3
+
+let backoff_ns_of_attempt k = Int64.of_int (1_000 * (1 lsl (k - 1)))
+
+let note_retry t =
+  let o = t.obs in
+  if o.Occlum_obs.Obs.enabled then
+    Occlum_obs.Metrics.inc
+      (Occlum_obs.Metrics.counter o.Occlum_obs.Obs.metrics "io.retries")
+
+let consult_io t ~write ~len =
+  match !io_hook with
+  | None -> None
+  | Some h ->
+      let rec attempt k =
+        match h ~write ~len with
+        | Some (Io_error _) when k < max_io_attempts ->
+            t.retries <- t.retries + 1;
+            t.backoff_ns <- Int64.add t.backoff_ns (backoff_ns_of_attempt k);
+            note_retry t;
+            attempt (k + 1)
+        | r -> r
+      in
+      attempt 1
 
 let read_file t (n : inode) ~pos ~len =
   if n.kind <> File then Error Occlum_abi.Abi.Errno.eisdir
   else begin
     let len = max 0 (min len (n.size - pos)) in
-    match consult_io_hook ~write:false ~len with
+    match consult_io t ~write:false ~len with
     | Some (Io_error e) -> Error e
     | (Some (Short _) | None) as f ->
     let len =
@@ -522,7 +558,7 @@ let write_file t (n : inode) ~pos src =
   if n.kind <> File then Error Occlum_abi.Abi.Errno.eisdir
   else begin
     let full = Bytes.length src in
-    match consult_io_hook ~write:true ~len:full with
+    match consult_io t ~write:true ~len:full with
     | Some (Io_error e) -> Error e
     | (Some (Short _) | None) as f ->
     let len =

@@ -67,6 +67,10 @@ type t = {
   cache : (int, cache_line) Hashtbl.t;  (** shared page cache, all SIPs *)
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable retries : int;
+      (** transient I/O faults absorbed by the bounded-retry wrapper *)
+  mutable backoff_ns : int64;
+      (** simulated backoff accrued by retries, drained by the LibOS *)
   mutable obs : Occlum_obs.Obs.t;
       (** I/O events and byte counters; {!Occlum_obs.Obs.disabled} until
           the LibOS attaches its own instance at boot *)
@@ -115,6 +119,15 @@ val set_io_hook : (write:bool -> len:int -> io_fault option) option -> unit
     transient error or a short read/write, modelling a flaky untrusted
     host backing store. [None] (the default) restores normal operation;
     production code never sets it. *)
+
+val max_io_attempts : int
+(** Transient [Io_error] faults are retried up to this many attempts
+    before the errno surfaces. [Short] transfers are never retried:
+    they made partial progress the caller must consume. *)
+
+val backoff_ns_of_attempt : int -> int64
+(** Deterministic simulated backoff before retry [k] (1-based):
+    exponential from 1 µs. Shared with {!Net}. *)
 
 val write_path : t -> string -> string -> (inode, int) result
 (** Create/replace a whole file (images and tests). *)

@@ -21,6 +21,14 @@ let nop = 1
 let syscall_gate = 60 (* enter/leave the LibOS: stack + TLS switch, sanity checks *)
 let div = 20
 
+(* EPC paging: EWB encrypts + MACs a 4 KiB page out to untrusted memory,
+   ELDU verifies + decrypts it back and additionally pays the AEX/ERESUME
+   round trip that delivered the fault. Both are flat per-page charges so
+   the "overhead vs. EPC size" curve is a pure function of the fault
+   count — the dramatic-but-deterministic paging cost §2 alludes to. *)
+let ewb = 12_000
+let eldu = 14_000
+
 (* The cycle charge of one instruction. Both interpreter paths — the
    plain decode-every-time loop and the decoded-block cache — charge
    through this single function, so caching can never perturb the cycle

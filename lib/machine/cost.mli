@@ -21,6 +21,12 @@ val nop : int
 val syscall_gate : int
 val div : int
 
+val ewb : int
+(** Per-page eviction: encrypt + MAC a 4 KiB page to the backing store. *)
+
+val eldu : int
+(** Per-page reload: verify + decrypt, plus the AEX/ERESUME round trip. *)
+
 val variable_latency : Occlum_isa.Insn.t -> bool
 (** True for instructions whose cycle count depends on operand values on
     real hardware (unsigned division/remainder here) — the ones the

@@ -13,6 +13,10 @@ type t =
   | Div_by_zero of { addr : int }
   | Privileged of { addr : int; insn : string }
       (* SGX/MPX-modifying/misc instruction executed by user code *)
+  | Epc_miss of { addr : int; access : access }
+      (* mapped page whose EPC frame has been evicted (EWB); [addr] is
+         the base of the faulting page so the reload path can ELDU it
+         without re-deriving which page of a multi-page access missed *)
 
 let access_to_string = function Read -> "read" | Write -> "write" | Exec -> "exec"
 
@@ -25,5 +29,7 @@ let to_string = function
       Printf.sprintf "#UD at 0x%x (%s)" addr reason
   | Div_by_zero { addr } -> Printf.sprintf "#DE at 0x%x" addr
   | Privileged { addr; insn } -> Printf.sprintf "#GP at 0x%x (%s)" addr insn
+  | Epc_miss { addr; access } ->
+      Printf.sprintf "#PF-EPC %s at 0x%x" (access_to_string access) addr
 
 exception Fault of t

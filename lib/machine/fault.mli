@@ -13,6 +13,9 @@ type t =
   | Div_by_zero of { addr : int }
   | Privileged of { addr : int; insn : string }
       (** an SGX/MPX-modifying/misc instruction executed by user code *)
+  | Epc_miss of { addr : int; access : access }
+      (** mapped page whose EPC frame has been evicted; [addr] is the
+          base address of the faulting page (not the access start) *)
 
 val access_to_string : access -> string
 val to_string : t -> string

@@ -272,8 +272,17 @@ let step mem cpu : stop option =
     Codec.decode (Mem.raw mem) ~pos:pc ~limit:(Mem.size mem)
   with
   | exception Fault.Fault f -> Some (Stop_fault f)
-  | Error e ->
-      Some (Stop_fault (Decode_fault { addr = pc; reason = Codec.error_to_string e }))
+  | Error e -> (
+      (* Under EPC paging a decode error may really be an evicted code
+         page: the frame was scrubbed on EWB, so the bytes are garbage
+         until reloaded. Probe the longest possible encoding span and
+         surface the miss instead of a bogus #UD. *)
+      match Mem.probe_resident mem ~addr:pc ~len:16 with
+      | exception Fault.Fault f -> Some (Stop_fault f)
+      | () ->
+          Some
+            (Stop_fault
+               (Decode_fault { addr = pc; reason = Codec.error_to_string e })))
   | Ok (insn, len) -> (
       (* the whole instruction must lie in executable pages *)
       match Mem.check_access mem pc len Exec with

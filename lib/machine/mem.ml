@@ -21,6 +21,17 @@ type t = {
   pages : perm option array; (* None = unmapped *)
   gens : int array; (* per-page code generation, see [page_gen] *)
   size : int;
+  (* EPC demand paging. When [paged] is false (the default) none of the
+     fields below are consulted and every mapped page is its own frame,
+     exactly the pre-paging semantics. When true, [resident] is the
+     per-page presence bit maintained by the pager: a checked access to
+     a mapped non-resident page raises [Fault.Epc_miss] (the simulated
+     #PF that triggers AEX + ELDU), and [accessed] carries the clock
+     reference bits the reclaimer uses for second-chance eviction. *)
+  mutable paged : bool;
+  resident : Bytes.t; (* '\001' = EPC frame present *)
+  accessed : Bytes.t; (* clock reference bit *)
+  mutable pager : (int -> unit) option; (* page-in callback, by page index *)
 }
 
 let create ~size =
@@ -31,7 +42,26 @@ let create ~size =
     pages = Array.make (size / page_size) None;
     gens = Array.make (size / page_size) 0;
     size;
+    paged = false;
+    resident = Bytes.make (size / page_size) '\x01';
+    accessed = Bytes.make (size / page_size) '\x00';
+    pager = None;
   }
+
+let enable_paging t ~pager =
+  t.paged <- true;
+  t.pager <- Some pager
+
+let paging_enabled t = t.paged
+let page_resident t page = (not t.paged) || Bytes.get t.resident page = '\x01'
+
+let set_resident t page r =
+  Bytes.set t.resident page (if r then '\x01' else '\x00')
+
+let page_accessed t page = Bytes.get t.accessed page = '\x01'
+
+let set_accessed t page a =
+  Bytes.set t.accessed page (if a then '\x01' else '\x00')
 
 let size t = t.size
 let page_count t = Array.length t.pages
@@ -68,6 +98,13 @@ let map t ~addr ~len ~perm =
   if addr mod page_size <> 0 || len mod page_size <> 0 then
     invalid_arg "Mem.map: unaligned";
   for p = addr / page_size to ((addr + len) / page_size) - 1 do
+    (* Zero-fill-on-demand under paging: a freshly mapped page has no
+       EPC frame until first touch. Remapping an already-mapped page
+       (a permission change) keeps its frame. *)
+    if t.paged && t.pages.(p) = None then begin
+      Bytes.set t.resident p '\x00';
+      Bytes.set t.accessed p '\x00'
+    end;
     t.pages.(p) <- Some perm
   done;
   if len > 0 then bump_gen t ~addr ~len
@@ -101,8 +138,39 @@ let check_access t addr len (access : Fault.access) =
           | Write -> perm.w
           | Exec -> perm.x
         in
-        if not allowed then raise (Fault.Fault (Page_fault { addr; access }))
+        if not allowed then raise (Fault.Fault (Page_fault { addr; access }));
+        if t.paged then begin
+          if Bytes.get t.resident p = '\x00' then
+            raise (Fault.Fault (Epc_miss { addr = p * page_size; access }));
+          Bytes.set t.accessed p '\x01'
+        end
   done
+
+(* Residency probe for the fetch path: a decode error over bytes that
+   include a mapped-but-evicted page must surface as an EPC miss (the
+   real bytes are in the backing store), never as a #UD over the
+   scrubbed frame. Unmapped or out-of-range pages are skipped — those
+   legitimately decode-fault. *)
+let probe_resident t ~addr ~len =
+  if t.paged && len > 0 && addr >= 0 && addr < t.size then
+    let last = min (addr + len) t.size - 1 in
+    for p = addr / page_size to last / page_size do
+      if t.pages.(p) <> None && Bytes.get t.resident p = '\x00' then
+        raise (Fault.Fault (Epc_miss { addr = p * page_size; access = Exec }))
+    done
+
+(* Privileged accessors page transparently: the LibOS and loader never
+   take EPC-miss faults, they just trigger the reload (which may itself
+   evict and can raise the pool's pressure exceptions). *)
+let ensure_resident t ~addr ~len =
+  if t.paged && len > 0 then
+    match t.pager with
+    | None -> ()
+    | Some pager ->
+        for p = addr / page_size to (addr + len - 1) / page_size do
+          if t.pages.(p) <> None && Bytes.get t.resident p = '\x00' then
+            pager p
+        done
 
 let read_u8 t addr =
   check_access t addr 1 Read;
@@ -124,27 +192,51 @@ let write_u64 t addr v =
 
 (* Privileged accessors for the LibOS / loader: no permission checks,
    still bounds-checked. The LibOS is trusted (§3.1). *)
+(* Page-at-a-time transfer: under paging a span can exceed the EPC pool,
+   so paging in a later page may evict (and scrub) an earlier one. Each
+   page is ensured resident immediately before its bytes move, never
+   before the whole span. *)
+let by_page t ~addr ~len f =
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let chunk = min (len - !pos) (page_size - (a mod page_size)) in
+    ensure_resident t ~addr:a ~len:chunk;
+    f a !pos chunk;
+    pos := !pos + chunk
+  done
+
 let read_bytes_priv t ~addr ~len =
   check_range t addr len;
-  Bytes.sub t.data addr len
+  if not t.paged then Bytes.sub t.data addr len
+  else begin
+    let out = Bytes.create len in
+    by_page t ~addr ~len (fun a pos chunk -> Bytes.blit t.data a out pos chunk);
+    out
+  end
 
 let write_bytes_priv t ~addr bytes =
-  check_range t addr (Bytes.length bytes);
-  touch_code t ~addr ~len:(Bytes.length bytes);
-  Bytes.blit bytes 0 t.data addr (Bytes.length bytes)
+  let len = Bytes.length bytes in
+  check_range t addr len;
+  touch_code t ~addr ~len;
+  if not t.paged then Bytes.blit bytes 0 t.data addr len
+  else by_page t ~addr ~len (fun a pos chunk -> Bytes.blit bytes pos t.data a chunk)
 
 let read_u64_priv t addr =
   check_range t addr 8;
+  ensure_resident t ~addr ~len:8;
   Bytes.get_int64_le t.data addr
 
 let write_u64_priv t addr v =
   check_range t addr 8;
+  ensure_resident t ~addr ~len:8;
   touch_code t ~addr ~len:8;
   Bytes.set_int64_le t.data addr v
 
 let fill_priv t ~addr ~len c =
   check_range t addr len;
   touch_code t ~addr ~len;
-  Bytes.fill t.data addr len c
+  if not t.paged then Bytes.fill t.data addr len c
+  else by_page t ~addr ~len (fun a _ chunk -> Bytes.fill t.data a chunk c)
 
 let raw t = t.data

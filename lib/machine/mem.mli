@@ -40,7 +40,41 @@ val page_gen : t -> int -> int
 val check_access : t -> int -> int -> Fault.access -> unit
 (** Fault-checking span test used by the interpreter: the whole byte span
     must be mapped with the needed permission.
-    @raise Fault.Fault with [Page_fault] otherwise. *)
+    @raise Fault.Fault with [Page_fault] otherwise, or with [Epc_miss]
+    when paging is enabled and a page in the span has been evicted. *)
+
+(** {1 EPC demand paging}
+
+    Off by default: every mapped page is permanently resident and none
+    of the calls below change behaviour. {!enable_paging} switches the
+    address space to demand-paged semantics: freshly mapped pages are
+    zero-fill-on-demand (no frame until first touch), checked accesses
+    to a mapped non-resident page raise [Fault.Epc_miss] carrying the
+    faulting page's base address, and privileged accessors page in
+    transparently through the [pager] callback. *)
+
+val enable_paging : t -> pager:(int -> unit) -> unit
+(** [pager page] must make [page] resident (ELDU or zero-fill commit)
+    or raise; it is invoked by the privileged accessors. *)
+
+val paging_enabled : t -> bool
+
+val page_resident : t -> int -> bool
+(** Always true when paging is disabled. *)
+
+val set_resident : t -> int -> bool -> unit
+(** Pager-side: flip a page's presence bit (no data movement). *)
+
+val page_accessed : t -> int -> bool
+val set_accessed : t -> int -> bool -> unit
+(** Clock reference bit, set by every checked access to the page and
+    cleared by the reclaimer's second-chance sweep. *)
+
+val probe_resident : t -> addr:int -> len:int -> unit
+(** Fetch-path probe: raise [Fault.Epc_miss] if any mapped page in the
+    (clamped) span is non-resident; unmapped pages are skipped. Used to
+    distinguish "bytes are evicted" from "bytes are not an instruction"
+    on decode errors. *)
 
 (** {1 Checked accessors (user-mode semantics)} *)
 

@@ -17,6 +17,8 @@ type kind =
   | Resume of { enclave : int }
   | Page_map of { enclave : int; addr : int; len : int }
   | Page_unmap of { enclave : int; addr : int; len : int }
+  | Page_evict of { enclave : int; page : int }
+  | Page_reload of { enclave : int; page : int }
   | Enclave_create of { enclave : int; size : int }
   | Enclave_init of { enclave : int }
   | Enclave_destroy of { enclave : int }
@@ -40,6 +42,8 @@ let kind_name = function
   | Resume _ -> "resume"
   | Page_map _ -> "page_map"
   | Page_unmap _ -> "page_unmap"
+  | Page_evict _ -> "page_evict"
+  | Page_reload _ -> "page_reload"
   | Enclave_create _ -> "enclave_create"
   | Enclave_init _ -> "enclave_init"
   | Enclave_destroy _ -> "enclave_destroy"
@@ -182,6 +186,16 @@ let to_chrome_json t =
             ~args:
               [ ("enclave", string_of_int enclave);
                 ("addr", string_of_int addr); ("len", string_of_int len) ]
+      | Page_evict { enclave; page } ->
+          put ~name:"page_evict" ~cat:"sgx" ~ph:"i" ~ts ~tid:0
+            ~args:
+              [ ("enclave", string_of_int enclave);
+                ("page", string_of_int page) ]
+      | Page_reload { enclave; page } ->
+          put ~name:"page_reload" ~cat:"sgx" ~ph:"i" ~ts ~tid:0
+            ~args:
+              [ ("enclave", string_of_int enclave);
+                ("page", string_of_int page) ]
       | Enclave_create { enclave; size } ->
           put ~name:"enclave_create" ~cat:"sgx" ~ph:"i" ~ts ~tid:0
             ~args:[ ("enclave", string_of_int enclave);

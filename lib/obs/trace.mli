@@ -20,6 +20,8 @@ type kind =
   | Resume of { enclave : int }
   | Page_map of { enclave : int; addr : int; len : int }
   | Page_unmap of { enclave : int; addr : int; len : int }
+  | Page_evict of { enclave : int; page : int }
+  | Page_reload of { enclave : int; page : int }
   | Enclave_create of { enclave : int; size : int }
   | Enclave_init of { enclave : int }
   | Enclave_destroy of { enclave : int }

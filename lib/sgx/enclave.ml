@@ -39,23 +39,34 @@ type t = {
 let next_id = ref 0
 
 (* SGX1 commits EPC for the whole enclave at ECREATE; SGX2 (EDMM) only
-   reserves address space and commits EPC page by page (EAUG). *)
+   reserves address space and commits EPC page by page (EAUG). On a
+   demand-paged pool neither commits anything up front: every page is
+   zero-fill-on-demand, charged at first touch and reclaimable after —
+   [epc_pages] then mirrors the pool's per-client resident count rather
+   than a lifetime commitment. *)
 let create ?(version = Sgx1) ~epc ~size () =
-  let pages = match version with Sgx1 -> size / Epc.page_size | Sgx2 -> 0 in
+  let paged = Epc.paging_enabled epc in
+  let pages =
+    match version with Sgx1 when not paged -> size / Epc.page_size | _ -> 0
+  in
   Epc.alloc epc ~pages;
   incr next_id;
-  {
-    id = !next_id;
-    version;
-    epc;
-    mem = Mem.create ~size;
-    state = Building;
-    measure_ctx = Occlum_util.Sha256.init ();
-    measurement = "";
-    epc_pages = pages;
-    ssa = None;
-    obs = Occlum_obs.Obs.disabled;
-  }
+  let t =
+    {
+      id = !next_id;
+      version;
+      epc;
+      mem = Mem.create ~size;
+      state = Building;
+      measure_ctx = Occlum_util.Sha256.init ();
+      measurement = "";
+      epc_pages = pages;
+      ssa = None;
+      obs = Occlum_obs.Obs.disabled;
+    }
+  in
+  if paged then Epc.register_client epc ~cid:t.id ~mem:t.mem;
+  t
 
 let version t = t.version
 
@@ -69,7 +80,7 @@ let attach_obs t obs =
       (Occlum_obs.Trace.Enclave_create { enclave = t.id; size = Mem.size t.mem })
 
 let charge_pages t len =
-  if t.version = Sgx2 then begin
+  if t.version = Sgx2 && not (Epc.paging_enabled t.epc) then begin
     let pages = len / Epc.page_size in
     Epc.alloc t.epc ~pages;
     t.epc_pages <- t.epc_pages + pages
@@ -166,8 +177,10 @@ let eaug t ~addr ~len ~perm =
   charge_pages t len;
   Mem.map t.mem ~addr ~len ~perm;
   note_page_map t ~addr ~len;
-  (* EAUG pages arrive zeroed from the EPC *)
-  Mem.fill_priv t.mem ~addr ~len '\x00'
+  (* EAUG pages arrive zeroed from the EPC. Under paging the zeroing is
+     deferred to the first-touch commit, so an augmented-but-untouched
+     page costs no frame. *)
+  if not (Epc.paging_enabled t.epc) then Mem.fill_priv t.mem ~addr ~len '\x00'
 
 (* EMODT/EACCEPT removal: give dynamic pages back. *)
 let eremove_pages t ~addr ~len =
@@ -175,20 +188,32 @@ let eremove_pages t ~addr ~len =
     raise (Sgx1_restriction "eremove_pages: dynamic pages need SGX2 (EDMM)");
   if t.state <> Initialized then invalid_arg "eremove_pages: not initialized";
   if len mod Epc.page_size <> 0 then invalid_arg "eremove_pages: unaligned";
+  if Epc.paging_enabled t.epc then
+    (* discard before unmapping: the residency bit is only meaningful
+       while the page is mapped *)
+    for p = addr / Epc.page_size to ((addr + len) / Epc.page_size) - 1 do
+      Epc.discard_page t.epc ~cid:t.id ~page:p
+    done;
   Mem.unmap t.mem ~addr ~len;
   note_page_unmap t ~addr ~len;
-  let pages = len / Epc.page_size in
-  Epc.release t.epc ~pages;
-  t.epc_pages <- t.epc_pages - pages
+  if not (Epc.paging_enabled t.epc) then begin
+    let pages = len / Epc.page_size in
+    Epc.release t.epc ~pages;
+    t.epc_pages <- t.epc_pages - pages
+  end
 
+(* Idempotent: tearing an enclave down twice is a no-op, not a
+   double-release into the pool. *)
 let destroy t =
-  if t.state = Destroyed then invalid_arg "destroy: already destroyed";
-  Epc.release t.epc ~pages:t.epc_pages;
-  t.epc_pages <- 0;
-  t.state <- Destroyed;
-  if t.obs.Occlum_obs.Obs.t_life then
-    Occlum_obs.Obs.emit t.obs
-      (Occlum_obs.Trace.Enclave_destroy { enclave = t.id })
+  if t.state <> Destroyed then begin
+    if Epc.paging_enabled t.epc then Epc.drop_client t.epc ~cid:t.id
+    else Epc.release t.epc ~pages:t.epc_pages;
+    t.epc_pages <- 0;
+    t.state <- Destroyed;
+    if t.obs.Occlum_obs.Obs.t_life then
+      Occlum_obs.Obs.emit t.obs
+        (Occlum_obs.Trace.Enclave_destroy { enclave = t.id })
+  end
 
 (* --- AEX: asynchronous enclave exit ------------------------------------ *)
 

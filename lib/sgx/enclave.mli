@@ -55,7 +55,9 @@ val eremove_pages : t -> addr:int -> len:int -> unit
 (** SGX2 only: return dynamic pages to the EPC. *)
 
 val destroy : t -> unit
-(** Release the EPC pages. *)
+(** Release the EPC pages (the whole resident set plus sealed backing
+    pages on a demand-paged pool). Idempotent: a second destroy is a
+    no-op. *)
 
 val aex : ?reason:string -> t -> Occlum_machine.Cpu.t -> unit
 (** Asynchronous enclave exit: spill the CPU state (including bound

@@ -31,12 +31,26 @@ dune exec bin/occlum_cc.exe -- examples/ct_leaky.ol -c naive -o _build/ct_naive.
 dune exec bin/occlum_verify.exe -- --guard-audit --json _build/guard-audit.json \
   _build/ct_naive.oelf
 
+# EPC paging smoke: the same workload must produce bit-identical console
+# output under a pressured demand-paged pool (20K = 5 pages, small enough
+# that the hello working set is evicted and reloaded) and under an
+# uncapped non-paged pool.
+dune exec bin/occlum_cc.exe -- examples/hello.ol --verify -o _build/hello.oelf
+dune exec bin/occlum_run.exe -- _build/hello.oelf --epc-size 20K \
+  | sed -n '/^---$/,/^---$/p' > _build/paging-console.txt
+dune exec bin/occlum_run.exe -- _build/hello.oelf --no-paging \
+  | sed -n '/^---$/,/^---$/p' > _build/nopaging-console.txt
+cmp _build/paging-console.txt _build/nopaging-console.txt || {
+  echo "FAIL: paged and non-paged console output differ" >&2
+  exit 1
+}
+
 # Bounded fuzz smoke: 200 cases of every property under the injected
 # interrupt storm, with a fixed seed so the JSON report (a CI artifact)
 # is bit-reproducible — a failing run prints the shrunk reproducer.
 dune exec bin/occlum_fuzz.exe -- --seed 42 --cases 200 --shrink \
   --json _build/fuzz-report.json
 
-dune exec bench/main.exe -- --only=micro --json _build/bench-micro.json
+dune exec bench/main.exe -- --only=micro,paging --json _build/bench-micro.json
 python3 scripts/compare_bench.py bench/baseline-micro.json \
   _build/bench-micro.json --threshold "${BENCH_THRESHOLD:-0.25}"

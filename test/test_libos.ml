@@ -667,9 +667,89 @@ let test_bad_user_pointer () =
               ];
           ]))
 
+let test_epc_paging_differential () =
+  (* The paper's graceful-degradation claim, end to end: SIPs whose
+     aggregate working set exceeds a shrunken EPC must run to completion
+     under demand paging, with exit codes and console output
+     bit-identical to the same workload on an uncapped pool. *)
+  let child n code =
+    rt
+      [
+        func "main" []
+          [
+            Expr (Call ("print_cstr", [ Str (Printf.sprintf "child %d\n" n) ]));
+            Return (i code);
+          ];
+      ]
+  in
+  let parent =
+    rt
+      [
+        func "main" []
+          [
+            Let ("st", Global_addr "_rt_misc_buf");
+            Let ("p1", Call ("spawn0", [ Str "/bin/c1"; i 7 ]));
+            Let ("g1", Call ("waitpid", [ v "p1"; v "st" ]));
+            If (v "g1" <>: v "p1", [ Return (i 1) ], []);
+            Expr (Call ("print_int", [ Load (v "st") ]));
+            Expr (Call ("puts", [ Str "\n"; i 1 ]));
+            Let ("p2", Call ("spawn0", [ Str "/bin/c2"; i 7 ]));
+            Let ("g2", Call ("waitpid", [ v "p2"; v "st" ]));
+            If (v "g2" <>: v "p2", [ Return (i 2) ], []);
+            Expr (Call ("print_int", [ Load (v "st") ]));
+            Expr (Call ("puts", [ Str "\n"; i 1 ]));
+            Return (i 0);
+          ];
+      ]
+  in
+  let run ?epc () =
+    let os = Os.boot ?epc () in
+    let build prog =
+      let oelf =
+        Occlum_toolchain.Compile.compile_exn
+          ~config:Occlum_toolchain.Codegen.sfi prog
+      in
+      match Occlum_verifier.Verify.verify_and_sign oelf with
+      | Ok s -> s
+      | Error rs ->
+          failwith (Occlum_verifier.Verify.rejection_to_string (List.hd rs))
+    in
+    Os.install_binary os "/bin/c1" (build (child 1 11));
+    Os.install_binary os "/bin/c2" (build (child 2 22));
+    Os.install_binary os "/bin/app" (build parent);
+    let pid = Os.spawn os ~parent_pid:0 ~path:"/bin/app" ~args:[] in
+    let status = Os.run ~max_steps:4_000_000 os in
+    let code =
+      match Os.find_proc os pid with Some p -> p.exit_code | None -> 0
+    in
+    (os, status, code)
+  in
+  let base_os, base_status, base_code = run () in
+  Alcotest.(check bool) "uncapped run finished" true
+    (base_status = Os.All_exited);
+  let pool = Occlum_sgx.Epc.create ~size:(24 * 4096) () in
+  Occlum_sgx.Epc.enable_paging pool;
+  let paged_os, paged_status, paged_code = run ~epc:pool () in
+  Alcotest.(check bool) "paged run finished" true
+    (paged_status = Os.All_exited);
+  Alcotest.(check int) "exit codes identical" base_code paged_code;
+  Alcotest.(check string) "console bit-identical"
+    (Os.console_output base_os)
+    (Os.console_output paged_os);
+  (match Occlum_sgx.Epc.paging_stats pool with
+  | Some s -> Alcotest.(check bool) "paging actually happened" true (s.Occlum_sgx.Epc.ewb > 0)
+  | None -> Alcotest.fail "paging stats missing");
+  Occlum_sgx.Enclave.destroy paged_os.Os.enclave;
+  Alcotest.(check int) "used_pages zero after destroy" 0
+    (Occlum_sgx.Epc.used_pages pool);
+  Alcotest.(check int) "backing drained after destroy" 0
+    (Occlum_sgx.Epc.backing_used pool)
+
 let suite =
   [
     Alcotest.test_case "hello world" `Quick test_hello;
+    Alcotest.test_case "EPC paging differential" `Quick
+      test_epc_paging_differential;
     Alcotest.test_case "spawn/wait/argv" `Quick test_spawn_wait_argv;
     Alcotest.test_case "spawn missing binary" `Quick test_spawn_missing_binary;
     Alcotest.test_case "wait with no children" `Quick test_wait_echild;

@@ -67,8 +67,10 @@ let test_destroy_releases_epc () =
   Enclave.init e;
   Enclave.destroy e;
   Alcotest.(check int) "released" 0 (Epc.used_pages epc);
-  Alcotest.check_raises "double destroy"
-    (Invalid_argument "destroy: already destroyed") (fun () -> Enclave.destroy e)
+  (* destroy is idempotent: a second teardown is a no-op, not a
+     double-release into the pool *)
+  Enclave.destroy e;
+  Alcotest.(check int) "still released" 0 (Epc.used_pages epc)
 
 let test_aex_restores_bounds () =
   (* §2.3: bound registers are saved on AEX and restored on resume *)
@@ -210,9 +212,111 @@ let test_sgx1_has_no_edmm () =
     Alcotest.fail "eremove on SGX1 must raise"
   with Enclave.Sgx1_restriction _ -> ()
 
+(* --- EPC demand paging --------------------------------------------------- *)
+
+let paged_enclave ~pool_pages ~data_pages =
+  let epc = Epc.create ~size:(pool_pages * page) () in
+  Epc.enable_paging epc;
+  let e = Enclave.create ~epc ~size:(16 * page) () in
+  let pat i = Bytes.make page (Char.chr (0x30 + i)) in
+  for i = 0 to data_pages - 1 do
+    Enclave.add_pages e ~addr:(i * page) ~data:(pat i) ~perm:Mem.perm_rw
+  done;
+  Enclave.init e;
+  (epc, e, pat)
+
+let test_paging_zfod_and_evict_reload () =
+  let epc = Epc.create ~size:(8 * page) () in
+  Epc.enable_paging epc;
+  let e = Enclave.create ~epc ~size:(16 * page) () in
+  (* ZFOD: ECREATE commits nothing; pages are charged at first touch *)
+  Alcotest.(check int) "nothing committed at ECREATE" 0 (Epc.used_pages epc);
+  let pat i = Bytes.make page (Char.chr (0x30 + i)) in
+  for i = 0 to 5 do
+    Enclave.add_pages e ~addr:(i * page) ~data:(pat i) ~perm:Mem.perm_rw
+  done;
+  Enclave.init e;
+  Alcotest.(check int) "committed on touch" 6 (Epc.used_pages epc);
+  let cid = Enclave.id e in
+  Alcotest.(check bool) "evict" true (Epc.evict_page epc ~cid ~page:3);
+  Alcotest.(check int) "frame freed" 5 (Epc.used_pages epc);
+  Alcotest.(check int) "sealed copy written" 1 (Epc.backing_used epc);
+  Alcotest.(check bool) "page non-resident" false
+    (Mem.page_resident (Enclave.mem e) 3);
+  Epc.eldu epc ~cid ~page:3;
+  Alcotest.(check bytes) "reload bit-identical" (pat 3)
+    (Mem.read_bytes_priv (Enclave.mem e) ~addr:(3 * page) ~len:page);
+  (match Epc.paging_stats epc with
+  | Some s ->
+      Alcotest.(check int) "one ewb" 1 s.Epc.ewb;
+      Alcotest.(check int) "one eldu" 1 s.Epc.eldu;
+      Alcotest.(check bool) "reload work charged" true (s.Epc.paging_cycles > 0)
+  | None -> Alcotest.fail "paging stats missing");
+  Enclave.destroy e;
+  Enclave.destroy e (* idempotent under paging too *);
+  Alcotest.(check int) "all frames returned" 0 (Epc.used_pages epc);
+  Alcotest.(check int) "backing store drained" 0 (Epc.backing_used epc)
+
+let test_paging_pressure_overcommit () =
+  (* a working set twice the pool: the reclaimer pages in and out
+     transparently through the privileged accessors, bit-identically *)
+  let epc, e, pat = paged_enclave ~pool_pages:6 ~data_pages:12 in
+  Alcotest.(check bool) "pool capped" true (Epc.used_pages epc <= 6);
+  (match Epc.paging_stats epc with
+  | Some s -> Alcotest.(check bool) "evictions happened" true (s.Epc.ewb > 0)
+  | None -> Alcotest.fail "paging stats missing");
+  for i = 0 to 11 do
+    Alcotest.(check bytes)
+      (Printf.sprintf "page %d intact" i)
+      (pat i)
+      (Mem.read_bytes_priv (Enclave.mem e) ~addr:(i * page) ~len:page)
+  done;
+  Enclave.destroy e;
+  Alcotest.(check int) "drained" 0 (Epc.used_pages epc)
+
+let test_paging_tamper_and_rollback_hard_fault () =
+  let epc, e, pat = paged_enclave ~pool_pages:8 ~data_pages:6 in
+  let cid = Enclave.id e in
+  (* MAC tamper *)
+  Alcotest.(check bool) "evict t" true (Epc.evict_page epc ~cid ~page:1);
+  Alcotest.(check bool) "tamper" true (Epc.backing_tamper epc ~cid ~page:1);
+  Alcotest.check_raises "tampered page is a hard fault"
+    (Epc.Integrity_violation { cid; page = 1 }) (fun () ->
+      Epc.eldu epc ~cid ~page:1);
+  (* rollback: replay the version-1 sealed copy after a version-2 evict *)
+  Alcotest.(check bool) "evict r" true (Epc.evict_page epc ~cid ~page:2);
+  let old =
+    match Epc.backing_snapshot epc ~cid ~page:2 with
+    | Some c -> c
+    | None -> Alcotest.fail "no sealed copy"
+  in
+  Epc.eldu epc ~cid ~page:2;
+  Alcotest.(check bool) "evict r2" true (Epc.evict_page epc ~cid ~page:2);
+  Epc.backing_restore epc ~cid ~page:2 old;
+  Alcotest.check_raises "rolled-back page is a hard fault"
+    (Epc.Integrity_violation { cid; page = 2 }) (fun () ->
+      Epc.eldu epc ~cid ~page:2);
+  (match Epc.paging_stats epc with
+  | Some s -> Alcotest.(check int) "both rejections counted" 2 s.Epc.integrity_failures
+  | None -> Alcotest.fail "paging stats missing");
+  (* an untouched page still reloads cleanly *)
+  Alcotest.(check bool) "evict c" true (Epc.evict_page epc ~cid ~page:4);
+  Epc.eldu epc ~cid ~page:4;
+  Alcotest.(check bytes) "clean page intact" (pat 4)
+    (Mem.read_bytes_priv (Enclave.mem e) ~addr:(4 * page) ~len:page);
+  Enclave.destroy e;
+  Alcotest.(check int) "drained" 0 (Epc.used_pages epc);
+  Alcotest.(check int) "backing drained" 0 (Epc.backing_used epc)
+
 let suite =
   [
     Alcotest.test_case "epc accounting" `Quick test_epc_accounting;
+    Alcotest.test_case "paging: zfod + evict/reload" `Quick
+      test_paging_zfod_and_evict_reload;
+    Alcotest.test_case "paging: overcommit pressure" `Quick
+      test_paging_pressure_overcommit;
+    Alcotest.test_case "paging: tamper/rollback hard fault" `Quick
+      test_paging_tamper_and_rollback_hard_fault;
     Alcotest.test_case "sgx2 edmm" `Quick test_sgx2_edmm;
     Alcotest.test_case "sgx1 has no edmm" `Quick test_sgx1_has_no_edmm;
     Alcotest.test_case "measurement determinism" `Quick test_measurement_deterministic;
