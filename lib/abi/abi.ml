@@ -33,11 +33,17 @@ module Sys = struct
   let rename = 82
   let mkdir = 83
   let unlink = 87
+  let fcntl = 72    (* (fd, cmd, arg); F_GETFL/F_SETFL status flags only *)
   let gettime = 201 (* virtual nanoseconds *)
+  let epoll_create = 213
+  let epoll_wait = 232 (* (epfd, events_buf, maxevents, timeout_ns) *)
+  let epoll_ctl = 233  (* (epfd, op, fd, events) *)
   let spawn = 400   (* (path, path_len, argv_block, argv_len) -> pid *)
   let futex_wait = 401
   let futex_wake = 402
   let readdir = 403 (* (fd?, path, buf, len) simplified: path-based listing *)
+  let batch = 404   (* (entries_ptr, n): submit n queued syscalls in one gate
+                       crossing; see the Batch module for the entry layout *)
   let clone = 56    (* (entry fn-ptr, stack_top, arg) -> tid *)
   let poll = 7      (* (entries_ptr, nfds, timeout_ns); entry = fd,events,revents *)
 end
@@ -71,6 +77,15 @@ module Open_flags = struct
   let creat = 64
   let trunc = 512
   let append = 1024
+  let nonblock = 2048
+      (* FD status flag (set via fcntl F_SETFL): would-block operations
+         return EAGAIN instead of suspending the SIP *)
+end
+
+(* fcntl commands — only the status-flag pair is modelled. *)
+module Fcntl = struct
+  let getfl = 3
+  let setfl = 4
 end
 
 module Signal = struct
@@ -95,7 +110,26 @@ module Poll = struct
   let pollin = 1
   let pollout = 4
   let pollnval = 8
+  let pollhup = 16 (* peer closed; reported regardless of requested events *)
   let entry_size = 24 (* fd, events, revents: three i64 fields *)
+end
+
+(* The epoll-style interest-list family: level-triggered readiness with
+   O(ready) waits. epoll_wait fills an array of {fd; revents} pairs. *)
+module Epoll = struct
+  let ctl_add = 1
+  let ctl_del = 2
+  let ctl_mod = 3
+  let event_size = 16 (* fd, revents: two i64 fields *)
+end
+
+(* Batched syscalls: one trampoline crossing submits [n] queued calls and
+   collects [n] results, amortising the per-call gate cost. Each entry is
+   64 bytes: nr at +0, result at +8 (written by the LibOS), then up to
+   five i64 arguments at +16, +24, ... +48. *)
+module Batch = struct
+  let entry_size = 64
+  let max_entries = 128
 end
 
 module Whence = struct

@@ -7,6 +7,16 @@ type pipe = {
   ring : Ring.t;
   mutable readers : int;  (** live reader entries *)
   mutable writers : int;
+  mutable wake : (unit -> unit) list;
+      (** readiness hooks (epoll watchers); fired on data/space/EOF edges *)
+}
+
+(** Epoll interest list: [interest] maps watched fd to (requested
+    events, unhook thunk); [ready] is the candidate set maintained by
+    wake hooks so waits scan O(ready), never O(watched). *)
+type epoll = {
+  interest : (int, int * (unit -> unit)) Hashtbl.t;
+  ready : (int, unit) Hashtbl.t;
 }
 
 type kind =
@@ -15,24 +25,39 @@ type kind =
   | Pipe_w of pipe
   | Sock of { mutable ep : Net.endpoint option; mutable port : int }
   | Listener of Net.listener
+  | Epoll of epoll
   | Dev_null
   | Dev_zero
   | Dev_random of Occlum_util.Prng.t
   | Console of { err : bool }
   | Proc_file of { content : string; mutable pos : int }
 
-type entry = { mutable refs : int; kind : kind }
+type entry = {
+  mutable refs : int;
+  mutable sflags : int;  (** status flags, e.g. [Abi.Open_flags.nonblock] *)
+  kind : kind;
+}
+
+val make : kind -> entry
+(** A fresh entry: one reference, no status flags. *)
+
+val pipe_wake : pipe -> unit
+(** Fire the pipe's readiness hooks (data written, space freed, EOF). *)
 
 val release : entry -> unit
-(** Drop one reference; the last one updates pipe reader/writer counts
-    and closes socket endpoints. *)
+(** Drop one reference; the last one updates pipe reader/writer counts,
+    closes socket endpoints, tears down listeners (freeing the port and
+    EOF-ing queued connections) and detaches epoll watches. *)
 
 type table
 
+val max_fds : int
+
 val create : unit -> table
 val find : table -> int -> entry option
+
 val install : table -> entry -> int
-(** Install at the lowest free descriptor. *)
+(** Install at the lowest free descriptor (amortised O(1)). *)
 
 val install_at : table -> int -> entry -> unit
 val close : table -> int -> (unit, int) result
@@ -41,4 +66,5 @@ val close_all : table -> unit
 val inherit_from : table -> table
 (** The child's table: same entries, bumped refcounts. *)
 
+val iter : table -> (int -> entry -> unit) -> unit
 val dup2 : table -> src:int -> dst:int -> (int, int) result

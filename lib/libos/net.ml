@@ -10,24 +10,39 @@ type endpoint = {
   inbox : Ring.t;   (* bytes this endpoint can read *)
   mutable peer : endpoint option;
   mutable closed : bool; (* our side closed *)
+  mutable wake : (unit -> unit) list;
+      (* readiness hooks (epoll watchers); fired whenever this
+         endpoint's readable/writable/hup state may have changed *)
 }
 
-let make_endpoint () = { inbox = Ring.create 65536; peer = None; closed = false }
+let wake_all ws = List.iter (fun f -> f ()) ws
 
-let pair () =
-  let a = make_endpoint () and b = make_endpoint () in
+let wake_ep (e : endpoint) = wake_all e.wake
+
+let make_endpoint ?(ring_bytes = 65536) () =
+  { inbox = Ring.create ring_bytes; peer = None; closed = false; wake = [] }
+
+let pair ?ring_bytes () =
+  let a = make_endpoint ?ring_bytes () and b = make_endpoint ?ring_bytes () in
   a.peer <- Some b;
   b.peer <- Some a;
   (a, b)
 
+(* The backlog is a Queue (O(1) push/pop/length), not a list — the old
+   [List.length] + [l @ [e]] pair was O(n²) per connection at C10K
+   backlogs. [owner] lets the last close of a Listener fd deregister the
+   port and EOF every queued connection. *)
 type listener = {
   port : int;
   backlog : int;
-  mutable pending : endpoint list; (* server-side endpoints to accept *)
+  pending : endpoint Queue.t; (* server-side endpoints to accept *)
+  mutable wake : (unit -> unit) list;
+  owner : t;
 }
 
-type t = {
+and t = {
   listeners : (int, listener) Hashtbl.t;
+  mutable sock_ring_bytes : int; (* per-direction buffer of new connections *)
   mutable ocall_bytes : int; (* traffic that crossed the enclave boundary *)
   mutable retries : int; (* transient faults absorbed by bounded retry *)
   mutable backoff_ns : int64; (* simulated wait accrued by retries *)
@@ -36,8 +51,8 @@ type t = {
 }
 
 let create () =
-  { listeners = Hashtbl.create 8; ocall_bytes = 0; retries = 0;
-    backoff_ns = 0L; obs = Occlum_obs.Obs.disabled }
+  { listeners = Hashtbl.create 8; sock_ring_bytes = 65536; ocall_bytes = 0;
+    retries = 0; backoff_ns = 0L; obs = Occlum_obs.Obs.disabled }
 
 (* Observability for one transfer: event with the byte count plus byte
    counters. One branch when disabled. *)
@@ -57,7 +72,7 @@ let note_io t ~send n =
 let listen t ~port ~backlog =
   if Hashtbl.mem t.listeners port then Error Occlum_abi.Abi.Errno.eexist
   else begin
-    let l = { port; backlog; pending = [] } in
+    let l = { port; backlog; pending = Queue.create (); wake = []; owner = t } in
     Hashtbl.replace t.listeners port l;
     Ok l
   end
@@ -67,20 +82,34 @@ let connect t ~port =
   match Hashtbl.find_opt t.listeners port with
   | None -> Error Occlum_abi.Abi.Errno.econnrefused
   | Some l ->
-      if List.length l.pending >= l.backlog then
+      if Queue.length l.pending >= l.backlog then
         Error Occlum_abi.Abi.Errno.eagain
       else begin
-        let client_side, server_side = pair () in
-        l.pending <- l.pending @ [ server_side ];
+        let client_side, server_side = pair ~ring_bytes:t.sock_ring_bytes () in
+        Queue.push server_side l.pending;
+        wake_all l.wake;
         Ok client_side
       end
 
 let accept (l : listener) =
-  match l.pending with
-  | [] -> None
-  | e :: rest ->
-      l.pending <- rest;
-      Some e
+  if Queue.is_empty l.pending then None else Some (Queue.pop l.pending)
+
+let close_endpoint (e : endpoint) =
+  e.closed <- true;
+  wake_ep e;
+  match e.peer with Some p -> wake_ep p | None -> ()
+
+(* Last close of a Listener fd: free the port (so a re-[listen] succeeds)
+   and close every queued endpoint so the external clients observe EOF
+   instead of hanging. Guarded by physical equality: a port re-listened
+   by someone else is not stolen back. *)
+let close_listener (l : listener) =
+  (match Hashtbl.find_opt l.owner.listeners l.port with
+  | Some cur when cur == l -> Hashtbl.remove l.owner.listeners l.port
+  | _ -> ());
+  Queue.iter close_endpoint l.pending;
+  Queue.clear l.pending;
+  wake_all l.wake
 
 (* Fault-injection seam: since the transport is the untrusted host, a
    harness can make any transfer fail with a transient errno or get
@@ -132,6 +161,7 @@ let send t (e : endpoint) src off len =
         if n = 0 then Error Occlum_abi.Abi.Errno.eagain
         else begin
           note_io t ~send:true n;
+          wake_ep p; (* the receiver became readable *)
           Ok n
         end
       end
@@ -147,14 +177,14 @@ let recv t (e : endpoint) dst off len =
   if n > 0 then begin
     t.ocall_bytes <- t.ocall_bytes + n;
     note_io t ~send:false n;
+    (* draining our inbox makes the peer writable again *)
+    (match e.peer with Some p -> wake_ep p | None -> ());
     Ok n
   end
   else
     match e.peer with
     | Some p when not p.closed -> Error Occlum_abi.Abi.Errno.eagain
     | _ -> Ok 0 (* orderly EOF *)
-
-let close_endpoint (e : endpoint) = e.closed <- true
 
 (* --- external (harness-side) API ---------------------------------------- *)
 
@@ -180,5 +210,12 @@ let external_recv_all t e =
   in
   drain ();
   Buffer.contents buf
+
+(* Allocation-free fast path for C10K load harnesses: how many bytes are
+   waiting, and a drain into a caller-owned scratch buffer. *)
+let external_pending (e : endpoint) = Ring.length e.inbox
+
+let external_recv_into t e buf =
+  match recv t e buf 0 (Bytes.length buf) with Ok n -> n | Error _ -> 0
 
 let has_listener t ~port = Hashtbl.mem t.listeners port

@@ -7,16 +7,24 @@ type endpoint = {
   inbox : Ring.t;
   mutable peer : endpoint option;
   mutable closed : bool;
+  mutable wake : (unit -> unit) list;
+      (** readiness hooks (epoll watchers); fired whenever this
+          endpoint's readable/writable/hup state may have changed *)
 }
 
 type listener = {
   port : int;
   backlog : int;
-  mutable pending : endpoint list;
+  pending : endpoint Queue.t;  (** O(1) push/pop/length accept backlog *)
+  mutable wake : (unit -> unit) list;
+  owner : t;
 }
 
-type t = {
+and t = {
   listeners : (int, listener) Hashtbl.t;
+  mutable sock_ring_bytes : int;
+      (** per-direction buffer size for new connections (default 64 KiB;
+          load harnesses shrink it to fit thousands of connections) *)
   mutable ocall_bytes : int;  (** traffic that crossed the enclave edge *)
   mutable retries : int;
       (** transient I/O faults absorbed by the bounded-retry wrapper *)
@@ -28,13 +36,19 @@ type t = {
 }
 
 val create : unit -> t
-val pair : unit -> endpoint * endpoint
+val pair : ?ring_bytes:int -> unit -> endpoint * endpoint
 val listen : t -> port:int -> backlog:int -> (listener, int) result
 val connect : t -> port:int -> (endpoint, int) result
 val accept : listener -> endpoint option
 val send : t -> endpoint -> Bytes.t -> int -> int -> (int, int) result
 val recv : t -> endpoint -> Bytes.t -> int -> int -> (int, int) result
 val close_endpoint : endpoint -> unit
+
+val close_listener : listener -> unit
+(** Deregister the port (a re-[listen] then succeeds) and close every
+    queued endpoint so external clients observe EOF, not a hang. Called
+    by the last close of a Listener fd. *)
+
 val has_listener : t -> port:int -> bool
 
 val set_io_hook : (send:bool -> len:int -> Sefs.io_fault option) option -> unit
@@ -49,3 +63,10 @@ val set_io_hook : (send:bool -> len:int -> Sefs.io_fault option) option -> unit
 val external_connect : t -> port:int -> (endpoint, int) result
 val external_send : t -> endpoint -> string -> int
 val external_recv_all : t -> endpoint -> string
+
+val external_pending : endpoint -> int
+(** Bytes waiting in the endpoint's inbox — an allocation-free readiness
+    check for load harnesses polling thousands of connections. *)
+
+val external_recv_into : t -> endpoint -> Bytes.t -> int
+(** Drain into a caller-owned scratch buffer; 0 on empty/EOF/error. *)

@@ -96,6 +96,9 @@ type t = {
   proc_out : (int, Buffer.t) Hashtbl.t;
   futexq : (int, int list ref) Hashtbl.t;
   mutable syscalls : int;
+  mutable gate_crossings : int;
+  (* user->LibOS trampoline entries; batching submits many syscalls per
+     crossing, so this diverges from [syscalls] under Sys.batch *)
   mutable spawns : int;
   mutable faults : (int * Fault.t) list;
   prng : Occlum_util.Prng.t;
@@ -172,6 +175,7 @@ let boot ?(config = default_config) ?(obs = Occlum_obs.Obs.disabled) ?epc
     proc_out = Hashtbl.create 8;
     futexq = Hashtbl.create 8;
     syscalls = 0;
+    gate_crossings = 0;
     spawns = 0;
     faults = [];
       prng = Occlum_util.Prng.create 0x0cc1;
@@ -361,6 +365,15 @@ let charge_syscall t (p : proc) =
       Occlum_util.Cipher.encrypt_bytes ~key:(String.make 32 'k') ~nonce
         eip_ocall_scratch
 
+(* Per-sub-call cost inside a batch: the dominant syscall cost is the
+   boundary crossing (Figure 5), already paid once by the batch itself,
+   so each submitted call costs only dispatch work. *)
+let batched_call_ns t =
+  match t.cfg.mode with
+  | Linux -> 40L
+  | Sip -> Int64.div t.cfg.sip_syscall_ns 4L
+  | Eip -> Int64.div t.cfg.eip_ocall_ns 4L
+
 (* EIP pipes cross enclave boundaries as ciphertext: encrypt on the way
    out, decrypt on the way in. *)
 let eip_pipe_crypto t chunk =
@@ -378,9 +391,9 @@ exception Spawn_error of int (* errno *)
 
 let console_fds () =
   let tbl = Fd.create () in
-  Fd.install_at tbl 0 { Fd.refs = 1; kind = Fd.Dev_null };
-  Fd.install_at tbl 1 { Fd.refs = 1; kind = Fd.Console { err = false } };
-  Fd.install_at tbl 2 { Fd.refs = 1; kind = Fd.Console { err = true } };
+  Fd.install_at tbl 0 (Fd.make Fd.Dev_null);
+  Fd.install_at tbl 1 (Fd.make (Fd.Console { err = false }));
+  Fd.install_at tbl 2 (Fd.make (Fd.Console { err = true }));
   tbl
 
 let make_proc t ~parent ~img ~fds ~is_thread ~slot_refs ~path ~eip_enclave =
@@ -612,6 +625,13 @@ let err e = Done (Int64.of_int e)
 let arg (p : proc) i = Cpu.get p.cpu (Reg.of_int (Occlum_abi.Abi.Regs.sys_arg0 + i))
 let iarg p i = Int64.to_int (arg p i)
 
+(* O_NONBLOCK status flag: would-block paths return EAGAIN instead of
+   suspending the SIP in the blocking-retry model. *)
+let nonblocking (entry : Fd.entry) =
+  entry.Fd.sflags land Occlum_abi.Abi.Open_flags.nonblock <> 0
+
+let block_or_eagain entry = if nonblocking entry then err Errno.eagain else Block
+
 let console_write t (p : proc) bytes =
   Buffer.add_bytes t.console bytes;
   let b =
@@ -656,7 +676,7 @@ let sys_read t p =
                   ok (Bytes.length bytes))
         | Fd.Pipe_r pipe ->
             if Ring.is_empty pipe.ring then
-              if pipe.writers > 0 then Block else ok 0
+              if pipe.writers > 0 then block_or_eagain entry else ok 0
             else begin
               let tmp = Bytes.create len in
               let n = Ring.read pipe.ring tmp 0 len in
@@ -664,6 +684,7 @@ let sys_read t p =
               ignore (write_user t p buf (Bytes.sub tmp 0 n));
               (* copy-out cost, ~4 GB/s *)
               t.clock_ns <- Int64.add t.clock_ns (Int64.of_int (n / 4));
+              Fd.pipe_wake pipe; (* writers gained space *)
               ok n
             end
         | Fd.Pipe_w _ -> err Errno.ebadf
@@ -679,9 +700,9 @@ let sys_read t p =
                     t.clock_ns <- Int64.add t.clock_ns (Int64.of_int (8 * n));
                     ignore (write_user t p buf (Bytes.sub tmp 0 n));
                     ok n
-                | Error e when e = Errno.eagain -> Block
+                | Error e when e = Errno.eagain -> block_or_eagain entry
                 | Error e -> err e))
-        | Fd.Listener _ -> err Errno.einval
+        | Fd.Listener _ | Fd.Epoll _ -> err Errno.einval
         | Fd.Dev_null -> ok 0
         | Fd.Dev_zero ->
             ignore (write_user t p buf (Bytes.make len '\x00'));
@@ -720,12 +741,13 @@ let sys_write t p =
             end
         | Fd.Pipe_w pipe ->
             if pipe.readers = 0 then err Errno.epipe
-            else if Ring.free_space pipe.ring = 0 then Block
+            else if Ring.free_space pipe.ring = 0 then block_or_eagain entry
             else begin
               let chunk = data () in
               eip_pipe_crypto t chunk;
               let n = Ring.write pipe.ring chunk 0 len in
               t.clock_ns <- Int64.add t.clock_ns (Int64.of_int (n / 4));
+              Fd.pipe_wake pipe; (* readers gained data *)
               ok n
             end
         | Fd.Pipe_r _ -> err Errno.ebadf
@@ -737,9 +759,9 @@ let sys_write t p =
                 | Ok n ->
                     t.clock_ns <- Int64.add t.clock_ns (Int64.of_int (8 * n));
                     ok n
-                | Error e when e = Errno.eagain -> Block
+                | Error e when e = Errno.eagain -> block_or_eagain entry
                 | Error e -> err e))
-        | Fd.Listener _ -> err Errno.einval
+        | Fd.Listener _ | Fd.Epoll _ -> err Errno.einval
         | Fd.Dev_null | Fd.Dev_zero | Fd.Dev_random _ -> ok len
         | Fd.Console _ ->
             console_write t p (data ());
@@ -793,13 +815,13 @@ let sys_open t p =
         in
         match kind with
         | None -> err Errno.enoent
-        | Some kind -> ok (Fd.install p.fds { Fd.refs = 1; kind })
+        | Some kind -> ok (Fd.install p.fds (Fd.make kind))
       else if String.length path >= 6 && String.sub path 0 6 = "/proc/" then
         match procfs_content t p path with
         | None -> err Errno.enoent
         | Some content ->
             ok (Fd.install p.fds
-                  { Fd.refs = 1; kind = Fd.Proc_file { content; pos = 0 } })
+                  (Fd.make (Fd.Proc_file { content; pos = 0 })))
       else
         let node =
           if flags land F.creat <> 0 then Sefs.create_file t.sefs path
@@ -818,10 +840,10 @@ let sys_open t p =
                              || flags land F.creat <> 0
                              || flags land F.append <> 0 in
               ok (Fd.install p.fds
-                    { Fd.refs = 1;
-                      kind = Fd.File { node; pos = 0;
-                                       append = flags land F.append <> 0;
-                                       writable } })
+                    (Fd.make
+                       (Fd.File { node; pos = 0;
+                                  append = flags land F.append <> 0;
+                                  writable })))
             end
 
 let sys_lseek p =
@@ -874,9 +896,11 @@ let sys_pipe t p =
   let fds_ptr = iarg p 0 in
   if not (user_ok p fds_ptr 16) then err Errno.efault
   else begin
-    let pipe = { Fd.ring = Ring.create 65536; readers = 1; writers = 1 } in
-    let rfd = Fd.install p.fds { Fd.refs = 1; kind = Fd.Pipe_r pipe } in
-    let wfd = Fd.install p.fds { Fd.refs = 1; kind = Fd.Pipe_w pipe } in
+    let pipe =
+      { Fd.ring = Ring.create 65536; readers = 1; writers = 1; wake = [] }
+    in
+    let rfd = Fd.install p.fds (Fd.make (Fd.Pipe_r pipe)) in
+    let wfd = Fd.install p.fds (Fd.make (Fd.Pipe_w pipe)) in
     let b = Bytes.create 16 in
     Bytes.set_int64_le b 0 (Int64.of_int rfd);
     Bytes.set_int64_le b 8 (Int64.of_int wfd);
@@ -1021,8 +1045,70 @@ let sys_futex_wake t p =
         to_wake;
       ok (List.length to_wake)
 
+(* Readiness bitmask of a descriptor (full mask; callers intersect with
+   the requested events plus the always-reported POLLHUP). Pure check —
+   consumes nothing, so the blocking-retry model applies directly. *)
+let fd_ready (entry : Fd.entry) =
+  let module P = Occlum_abi.Abi.Poll in
+  match entry.Fd.kind with
+  | Fd.Pipe_r pipe ->
+      if (not (Ring.is_empty pipe.ring)) || pipe.writers = 0 then P.pollin
+      else 0
+  | Fd.Pipe_w pipe ->
+      if Ring.free_space pipe.ring > 0 || pipe.readers = 0 then P.pollout
+      else 0
+  | Fd.Sock { ep = Some ep; _ } ->
+      let peer_gone =
+        match ep.Net.peer with Some pr -> pr.Net.closed | None -> true
+      in
+      let r = ref 0 in
+      if (not (Ring.is_empty ep.Net.inbox)) || peer_gone then
+        r := !r lor P.pollin;
+      (match ep.Net.peer with
+      | Some pr when (not pr.Net.closed) && Ring.free_space pr.Net.inbox > 0 ->
+          r := !r lor P.pollout
+      | _ -> ());
+      if peer_gone then r := !r lor P.pollhup;
+      !r
+  | Fd.Sock { ep = None; _ } ->
+      (* an unconnected socket is "connectable": report writable so a
+         poll-then-connect loop makes progress instead of spinning *)
+      P.pollout
+  | Fd.Listener l ->
+      if not (Queue.is_empty l.Net.pending) then P.pollin else 0
+  | Fd.Epoll e -> if Hashtbl.length e.Fd.ready > 0 then P.pollin else 0
+  | Fd.File _ | Fd.Dev_null | Fd.Dev_zero | Fd.Dev_random _ | Fd.Console _
+  | Fd.Proc_file _ ->
+      P.pollin lor P.pollout
+
+(* Attach an epoll watch: a [mark] closure is hooked onto the watched
+   object's wake list so readiness edges push the fd into the candidate
+   set in O(1). The returned unhook is stored in the interest table.
+   Objects without edges (files, devices) are always-ready and need no
+   hook. *)
+let epoll_watch (e : Fd.epoll) fd (entry : Fd.entry) events =
+  let module P = Occlum_abi.Abi.Poll in
+  let mark () = Hashtbl.replace e.Fd.ready fd () in
+  let hook get set =
+    set (mark :: get ());
+    fun () -> set (List.filter (fun f -> f != mark) (get ()))
+  in
+  let unhook =
+    match entry.Fd.kind with
+    | Fd.Sock { ep = Some sep; _ } ->
+        hook (fun () -> sep.Net.wake) (fun ws -> sep.Net.wake <- ws)
+    | Fd.Listener l ->
+        hook (fun () -> l.Net.wake) (fun ws -> l.Net.wake <- ws)
+    | Fd.Pipe_r pp | Fd.Pipe_w pp ->
+        hook (fun () -> pp.Fd.wake) (fun ws -> pp.Fd.wake <- ws)
+    | _ -> fun () -> ()
+  in
+  Hashtbl.replace e.Fd.interest fd (events, unhook);
+  (* level-triggered: seed the candidate set if already ready *)
+  if fd_ready entry land (events lor P.pollhup) <> 0 then mark ()
+
 let sys_socket p =
-  ok (Fd.install p.fds { Fd.refs = 1; kind = Fd.Sock { ep = None; port = 0 } })
+  ok (Fd.install p.fds (Fd.make (Fd.Sock { ep = None; port = 0 })))
 
 let sys_bind p =
   let fd = iarg p 0 and port = iarg p 1 in
@@ -1049,24 +1135,35 @@ let sys_listen t p =
 let sys_accept p =
   let fd = iarg p 0 in
   match Fd.find p.fds fd with
-  | Some { kind = Fd.Listener l; _ } -> (
+  | Some ({ kind = Fd.Listener l; _ } as entry) -> (
       match Net.accept l with
-      | None -> Block
+      | None -> block_or_eagain entry
       | Some ep ->
           ok (Fd.install p.fds
-                { Fd.refs = 1; kind = Fd.Sock { ep = Some ep; port = l.port } }))
+                (Fd.make (Fd.Sock { ep = Some ep; port = l.port }))))
   | Some _ -> err Errno.einval
   | None -> err Errno.ebadf
 
 let sys_connect t p =
   let fd = iarg p 0 and port = iarg p 1 in
   match Fd.find p.fds fd with
-  | Some { kind = Fd.Sock s; _ } -> (
+  | Some ({ kind = Fd.Sock s; _ } as entry) -> (
       match Net.connect t.net ~port with
       | Error e -> err e
       | Ok ep ->
           s.ep <- Some ep;
           s.port <- port;
+          (* a watch registered while unconnected hooked nothing — re-arm
+             it on the live endpoint *)
+          Fd.iter p.fds (fun _ watcher ->
+              match watcher.Fd.kind with
+              | Fd.Epoll e -> (
+                  match Hashtbl.find_opt e.Fd.interest fd with
+                  | Some (events, unhook) ->
+                      unhook ();
+                      epoll_watch e fd entry events
+                  | None -> ())
+              | _ -> ());
           ok 0)
   | Some _ -> err Errno.einval
   | None -> err Errno.ebadf
@@ -1087,36 +1184,8 @@ let sys_readdir t p =
           else ok n)
 
 (* poll: pure readiness checks over an array of
-   {fd; events; revents} entries — consuming nothing, so the blocking
-   retry model applies directly. *)
-let fd_ready (entry : Fd.entry) ~want_in ~want_out =
-  let module P = Occlum_abi.Abi.Poll in
-  let r = ref 0 in
-  (match entry.kind with
-  | Fd.Pipe_r pipe ->
-      if want_in && ((not (Ring.is_empty pipe.ring)) || pipe.writers = 0) then
-        r := !r lor P.pollin
-  | Fd.Pipe_w pipe ->
-      if want_out && (Ring.free_space pipe.ring > 0 || pipe.readers = 0) then
-        r := !r lor P.pollout
-  | Fd.Sock { ep = Some ep; _ } ->
-      if want_in
-         && ((not (Ring.is_empty ep.Net.inbox))
-            || match ep.Net.peer with Some pr -> pr.Net.closed | None -> true)
-      then r := !r lor P.pollin;
-      if want_out
-         && (match ep.Net.peer with
-            | Some pr -> (not pr.Net.closed) && Ring.free_space pr.Net.inbox > 0
-            | None -> false)
-      then r := !r lor P.pollout
-  | Fd.Sock { ep = None; _ } -> ()
-  | Fd.Listener l -> if want_in && l.Net.pending <> [] then r := !r lor P.pollin
-  | Fd.File _ | Fd.Dev_null | Fd.Dev_zero | Fd.Dev_random _ | Fd.Console _
-  | Fd.Proc_file _ ->
-      if want_in then r := !r lor P.pollin;
-      if want_out then r := !r lor P.pollout);
-  !r
-
+   {fd; events; revents} entries. POLLHUP is reported regardless of the
+   requested events, as on Linux. *)
 let sys_poll t p =
   let module P = Occlum_abi.Abi.Poll in
   let entries = iarg p 0 and nfds = iarg p 1 in
@@ -1132,10 +1201,7 @@ let sys_poll t p =
       let revents =
         match Fd.find p.fds fd with
         | None -> P.pollnval
-        | Some entry ->
-            fd_ready entry
-              ~want_in:(events land P.pollin <> 0)
-              ~want_out:(events land P.pollout <> 0)
+        | Some entry -> fd_ready entry land (events lor P.pollhup)
       in
       Mem.write_u64_priv t.mem (base + 16) (Int64.of_int revents);
       if revents <> 0 then incr ready
@@ -1157,6 +1223,123 @@ let sys_poll t p =
       | _ -> Block
     end
   end
+
+let sys_fcntl p =
+  let module F = Occlum_abi.Abi.Fcntl in
+  let fd = iarg p 0 and cmd = iarg p 1 and argv = iarg p 2 in
+  match Fd.find p.fds fd with
+  | None -> err Errno.ebadf
+  | Some entry ->
+      if cmd = F.getfl then ok entry.Fd.sflags
+      else if cmd = F.setfl then begin
+        (* only the status flags we model; others are silently dropped *)
+        entry.Fd.sflags <- argv land Occlum_abi.Abi.Open_flags.nonblock;
+        ok 0
+      end
+      else err Errno.einval
+
+let sys_epoll_create p =
+  ok
+    (Fd.install p.fds
+       (Fd.make
+          (Fd.Epoll { Fd.interest = Hashtbl.create 16; ready = Hashtbl.create 16 })))
+
+let sys_epoll_ctl p =
+  let module E = Occlum_abi.Abi.Epoll in
+  let epfd = iarg p 0 and op = iarg p 1 and fd = iarg p 2 and events = iarg p 3 in
+  match Fd.find p.fds epfd with
+  | None -> err Errno.ebadf
+  | Some { kind = Fd.Epoll e; _ } -> (
+      if fd = epfd then err Errno.einval
+      else
+        match Fd.find p.fds fd with
+        | None -> err Errno.ebadf
+        | Some entry ->
+            if op = E.ctl_add then
+              if Hashtbl.mem e.Fd.interest fd then err Errno.eexist
+              else begin
+                epoll_watch e fd entry events;
+                ok 0
+              end
+            else if op = E.ctl_mod then (
+              match Hashtbl.find_opt e.Fd.interest fd with
+              | None -> err Errno.enoent
+              | Some (_, unhook) ->
+                  unhook ();
+                  Hashtbl.remove e.Fd.ready fd;
+                  epoll_watch e fd entry events;
+                  ok 0)
+            else if op = E.ctl_del then (
+              match Hashtbl.find_opt e.Fd.interest fd with
+              | None -> err Errno.enoent
+              | Some (_, unhook) ->
+                  unhook ();
+                  Hashtbl.remove e.Fd.interest fd;
+                  Hashtbl.remove e.Fd.ready fd;
+                  ok 0)
+            else err Errno.einval)
+  | Some _ -> err Errno.einval
+
+(* epoll_wait: scan only the candidate set maintained by the wake hooks
+   — O(ready), never O(watched). Level-triggered: candidates are
+   re-validated against [fd_ready]; those that stopped being ready are
+   dropped (their hook will re-add them on the next edge), and ready
+   ones stay in the set so the next wait reports them again. *)
+let sys_epoll_wait t p =
+  let module E = Occlum_abi.Abi.Epoll in
+  let module P = Occlum_abi.Abi.Poll in
+  let epfd = iarg p 0 and buf = iarg p 1 and maxevents = iarg p 2 in
+  let deadline = arg p 3 in
+  match Fd.find p.fds epfd with
+  | None -> err Errno.ebadf
+  | Some { kind = Fd.Epoll e; _ } ->
+      if maxevents <= 0 || not (user_ok p buf (maxevents * E.event_size)) then
+        err Errno.efault
+      else begin
+        let candidates =
+          List.sort compare (Hashtbl.fold (fun fd () acc -> fd :: acc) e.Fd.ready [])
+        in
+        let count = ref 0 in
+        List.iter
+          (fun fd ->
+            match Fd.find p.fds fd with
+            | None ->
+                (* closed behind our back: lazily forget the watch *)
+                (match Hashtbl.find_opt e.Fd.interest fd with
+                | Some (_, unhook) -> unhook ()
+                | None -> ());
+                Hashtbl.remove e.Fd.interest fd;
+                Hashtbl.remove e.Fd.ready fd
+            | Some entry -> (
+                match Hashtbl.find_opt e.Fd.interest fd with
+                | None -> Hashtbl.remove e.Fd.ready fd
+                | Some (events, _) ->
+                    let rev = fd_ready entry land (events lor P.pollhup) in
+                    if rev = 0 then Hashtbl.remove e.Fd.ready fd
+                    else if !count < maxevents then begin
+                      let base = buf + (!count * E.event_size) in
+                      Mem.write_u64_priv t.mem base (Int64.of_int fd);
+                      Mem.write_u64_priv t.mem (base + 8) (Int64.of_int rev);
+                      incr count
+                    end))
+          candidates;
+        if !count > 0 then begin
+          p.wake_time <- None;
+          ok !count
+        end
+        else if Int64.equal deadline 0L then ok 0
+        else begin
+          (match (p.wake_time, Int64.compare deadline 0L > 0) with
+          | None, true -> p.wake_time <- Some (Int64.add t.clock_ns deadline)
+          | _ -> ());
+          match p.wake_time with
+          | Some d when Int64.compare t.clock_ns d >= 0 ->
+              p.wake_time <- None;
+              ok 0
+          | _ -> Block
+        end
+      end
+  | Some _ -> err Errno.einval
 
 let sys_clone t p =
   let entry = iarg p 0 and stack_top = iarg p 1 and tharg = arg p 2 in
@@ -1182,7 +1365,7 @@ let sys_clone t p =
     ok child.pid
   end
 
-let dispatch t (p : proc) : sysret =
+let rec dispatch t (p : proc) : sysret =
   let nr = Int64.to_int (Cpu.get p.cpu (Reg.of_int Occlum_abi.Abi.Regs.sys_nr)) in
   if nr = Sys.exit then begin
     do_exit t p (iarg p 0);
@@ -1286,7 +1469,63 @@ let dispatch t (p : proc) : sysret =
   else if nr = Sys.readdir then sys_readdir t p
   else if nr = Sys.clone then sys_clone t p
   else if nr = Sys.poll then sys_poll t p
+  else if nr = Sys.fcntl then sys_fcntl p
+  else if nr = Sys.epoll_create then sys_epoll_create p
+  else if nr = Sys.epoll_ctl then sys_epoll_ctl p
+  else if nr = Sys.epoll_wait then sys_epoll_wait t p
+  else if nr = Sys.batch then sys_batch t p
   else err Errno.enosys
+
+(* Batched syscalls: one gate crossing submits N calls described by an
+   array of fixed-size entries in user memory and collects N results.
+   Each sub-call is dispatched with the real handler by temporarily
+   poking the syscall registers; calls that would block are converted to
+   EAGAIN (the batch never suspends the SIP mid-way — callers pair it
+   with nonblocking fds and epoll). Scheduling-class calls (exit, clone,
+   spawn, nested batch) are rejected per-entry with EINVAL. *)
+and sys_batch t (p : proc) : sysret =
+  let module B = Occlum_abi.Abi.Batch in
+  let entries = iarg p 0 and n = iarg p 1 in
+  if n < 0 || n > B.max_entries || not (user_ok p entries (n * B.entry_size))
+  then err Errno.efault
+  else begin
+    let saved = Array.init 7 (fun i -> Cpu.get p.cpu (Reg.of_int i)) in
+    for k = 0 to n - 1 do
+      let base = entries + (k * B.entry_size) in
+      let nr = Int64.to_int (Mem.read_u64_priv t.mem base) in
+      let ret =
+        if nr = Sys.exit || nr = Sys.batch || nr = Sys.clone || nr = Sys.spawn
+        then Int64.of_int Errno.einval
+        else begin
+          Cpu.set p.cpu
+            (Reg.of_int Occlum_abi.Abi.Regs.sys_nr)
+            (Int64.of_int nr);
+          for a = 0 to Occlum_abi.Abi.Regs.max_args - 1 do
+            Cpu.set p.cpu
+              (Reg.of_int (Occlum_abi.Abi.Regs.sys_arg0 + a))
+              (Mem.read_u64_priv t.mem (base + 16 + (8 * a)))
+          done;
+          t.syscalls <- t.syscalls + 1;
+          t.clock_ns <- Int64.add t.clock_ns (batched_call_ns t);
+          let o = t.obs in
+          if o.Occlum_obs.Obs.enabled then
+            Occlum_obs.Metrics.inc
+              (Occlum_obs.Metrics.counter o.Occlum_obs.Obs.metrics
+                 "os.syscalls.batched");
+          match dispatch t p with
+          | Done v -> v
+          | Block ->
+              (* sub-calls never suspend: report would-block *)
+              p.wake_time <- None;
+              Int64.of_int Errno.eagain
+          | Exited -> Int64.of_int Errno.einval
+        end
+      in
+      Mem.write_u64_priv t.mem (base + 8) ret
+    done;
+    Array.iteri (fun i v -> Cpu.set p.cpu (Reg.of_int i) v) saved;
+    ok n
+  end
 
 (* All syscall entry points dispatch through here so observability sees
    every call exactly once. [charge] is false on blocked-call retries,
@@ -1351,6 +1590,13 @@ let return_target_ok t p =
 type run_status = All_exited | Deadlock of int list | Quota_exhausted
 
 let handle_gate t (p : proc) : unit =
+  (* every user->LibOS trampoline entry is one gate crossing; batching
+     amortises many syscalls over one of these *)
+  t.gate_crossings <- t.gate_crossings + 1;
+  if t.obs.Occlum_obs.Obs.enabled then
+    Occlum_obs.Metrics.inc
+      (Occlum_obs.Metrics.counter t.obs.Occlum_obs.Obs.metrics
+         "os.gate.crossings");
   (* pc has advanced past the Syscall_gate; classify which gate fired *)
   let gate_pc = p.cpu.pc - 1 in
   if t.cfg.mode = Linux && gate_pc <> p.img.sigreturn_gate

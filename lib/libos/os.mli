@@ -78,6 +78,10 @@ type t = {
   proc_out : (int, Buffer.t) Hashtbl.t;
   futexq : (int, int list ref) Hashtbl.t;
   mutable syscalls : int;
+  mutable gate_crossings : int;
+      (** user->LibOS trampoline entries; batching submits many syscalls
+          per crossing, so this diverges from [syscalls] under
+          [Abi.Sys.batch] *)
   mutable spawns : int;
   mutable faults : (int * Fault.t) list;
   prng : Occlum_util.Prng.t;

@@ -168,6 +168,158 @@ let run_httpd ?(workers = 2) ?(concurrency = 8) ?(requests = 64) system =
     throughput_vclock = float !served /. (Int64.to_float vns /. 1e9);
   }
 
+(* --- the C10K serving tier ----------------------------------------------- *)
+
+type serving_result = {
+  s_connections : int;  (* concurrent keep-alive clients driven *)
+  s_completed : int;    (* responses fully received by clients *)
+  s_peak_open : int;
+  s_vclock_ns : int64;
+  s_wall_s : float;
+  s_rps_vclock : float; (* responses per virtual second *)
+  s_p50_ns : int;
+  s_p99_ns : int;
+  s_gate_crossings : int;
+  s_syscalls : int;
+}
+
+let response_bytes = String.length Httpd.response_header + Httpd.page_size
+
+(* Thousands of concurrent keep-alive connections against the
+   single-SIP event-loop server. Each client sends [rounds] requests
+   back-to-back (the next one as soon as a full response arrived) and
+   the harness records per-request virtual-clock latency. [batch]
+   selects the server's Sys.batch mode. *)
+let run_serving ?(connections = 5000) ?(rounds = 2) ?(batch = false) ?obs
+    system =
+  let domains =
+    { Occlum_libos.Domain_mgr.default_config with max_domains = 2 }
+  in
+  let os = boot ~domains ?obs system in
+  (* fit thousands of per-connection rings in memory; one response
+     (10280 B) still fits in a 16 KiB ring *)
+  os.Os.net.Occlum_libos.Net.sock_ring_bytes <- 16384;
+  install os system [ ("/bin/httpd_ev", Httpd.ev_prog) ];
+  let quota = connections * rounds in
+  ignore
+    (Os.spawn os ~parent_pid:0 ~path:"/bin/httpd_ev"
+       ~args:[ string_of_int quota; (if batch then "1" else "0") ]);
+  let guard = ref 0 in
+  while
+    (not (Occlum_libos.Net.has_listener os.Os.net ~port:Httpd.port))
+    && !guard < 400_000
+  do
+    incr guard;
+    ignore (Os.step os)
+  done;
+  let t0 = Unix.gettimeofday () in
+  let v0 = Os.clock os in
+  let g0 = os.Os.gate_crossings in
+  let sys0 = os.Os.syscalls in
+  let net = os.Os.net in
+  let conns = Array.make connections None in
+  let got = Array.make connections 0 in
+  let reqs_done = Array.make connections 0 in
+  let sent_at = Array.make connections 0L in
+  let latencies = Array.make quota 0L in
+  let completed = ref 0 in
+  let next_conn = ref 0 in
+  let open_now = ref 0 in
+  let peak_open = ref 0 in
+  let scratch = Bytes.create 16384 in
+  let send_request k =
+    (match conns.(k) with
+    | Some ep -> ignore (Occlum_libos.Net.external_send net ep Httpd.request)
+    | None -> ());
+    sent_at.(k) <- Os.clock os
+  in
+  let try_connect () =
+    (* fill the accept backlog; EAGAIN means it is full, try later *)
+    let stop = ref false in
+    while (not !stop) && !next_conn < connections do
+      match Occlum_libos.Net.external_connect net ~port:Httpd.port with
+      | Error _ -> stop := true
+      | Ok ep ->
+          let k = !next_conn in
+          conns.(k) <- Some ep;
+          incr next_conn;
+          incr open_now;
+          if !open_now > !peak_open then peak_open := !open_now;
+          send_request k
+    done
+  in
+  let drain () =
+    for k = 0 to !next_conn - 1 do
+      match conns.(k) with
+      | None -> ()
+      | Some ep ->
+          if Occlum_libos.Net.external_pending ep > 0 then begin
+            let n = ref (Occlum_libos.Net.external_recv_into net ep scratch) in
+            while !n > 0 do
+              got.(k) <- got.(k) + !n;
+              n := Occlum_libos.Net.external_recv_into net ep scratch
+            done;
+            while got.(k) >= response_bytes do
+              got.(k) <- got.(k) - response_bytes;
+              if !completed < quota then begin
+                latencies.(!completed) <-
+                  Int64.sub (Os.clock os) sent_at.(k);
+                incr completed
+              end;
+              reqs_done.(k) <- reqs_done.(k) + 1;
+              if reqs_done.(k) < rounds then send_request k
+            done
+          end
+    done
+  in
+  try_connect ();
+  let stuck = ref 0 in
+  while !completed < quota && !stuck < 4_000_000 do
+    incr stuck;
+    ignore (Os.step os);
+    (* drain periodically: pending checks are O(1) but 5000 of them per
+       interpreter quantum would dominate the harness *)
+    if !stuck land 15 = 0 || !completed >= quota - connections then drain ();
+    if !next_conn < connections && !stuck land 63 = 0 then try_connect ()
+  done;
+  drain ();
+  ignore (Os.run ~max_steps:2_000_000 os);
+  let wall = Unix.gettimeofday () -. t0 in
+  let vns = Int64.sub (Os.clock os) v0 in
+  let n = !completed in
+  let p50, p99 =
+    if n = 0 then (0, 0)
+    else begin
+      let sorted = Array.sub latencies 0 n in
+      Array.sort Int64.compare sorted;
+      ( Int64.to_int sorted.(50 * (n - 1) / 100),
+        Int64.to_int sorted.(99 * (n - 1) / 100) )
+    end
+  in
+  let o = os.Os.obs in
+  if o.Occlum_obs.Obs.enabled then begin
+    let h =
+      Occlum_obs.Metrics.histogram o.Occlum_obs.Obs.metrics
+        "serving.request.latency_ns"
+        ~bounds:Occlum_obs.Metrics.latency_buckets_ns
+    in
+    for k = 0 to n - 1 do
+      Occlum_obs.Metrics.observe h (Int64.to_int latencies.(k))
+    done
+  end;
+  {
+    s_connections = connections;
+    s_completed = n;
+    s_peak_open = !peak_open;
+    s_vclock_ns = vns;
+    s_wall_s = wall;
+    s_rps_vclock = float n /. (Int64.to_float vns /. 1e9);
+    s_p50_ns = p50;
+    s_p99_ns = p99;
+    s_gate_crossings = os.Os.gate_crossings - g0;
+    s_syscalls = os.Os.syscalls - sys0;
+  }
+
 (* --- Fig 6a: process creation ------------------------------------------- *)
 
 (* A program whose binary is padded to roughly [code_kb] KiB of code. *)

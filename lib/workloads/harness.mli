@@ -56,6 +56,35 @@ val run_httpd :
   ?workers:int -> ?concurrency:int -> ?requests:int -> system -> httpd_result
 (** Fig 5c: master + workers, external clients injected by the harness. *)
 
+type serving_result = {
+  s_connections : int;  (** concurrent keep-alive clients driven *)
+  s_completed : int;    (** responses fully received by clients *)
+  s_peak_open : int;
+  s_vclock_ns : int64;
+  s_wall_s : float;
+  s_rps_vclock : float; (** responses per virtual second *)
+  s_p50_ns : int;
+  s_p99_ns : int;
+  s_gate_crossings : int;
+  s_syscalls : int;
+}
+
+val response_bytes : int
+(** Bytes of one full HTTP response (header + page). *)
+
+val run_serving :
+  ?connections:int ->
+  ?rounds:int ->
+  ?batch:bool ->
+  ?obs:Occlum_obs.Obs.t ->
+  system ->
+  serving_result
+(** The C10K load harness: [connections] concurrent keep-alive external
+    clients, [rounds] requests each, against the single-SIP event-loop
+    server ([Httpd.ev_prog]). [batch] turns on the server's
+    [Abi.Sys.batch] mode; compare [s_gate_crossings] across the two runs
+    at equal load. Latencies are virtual-clock, hence deterministic. *)
+
 val sized_program : code_kb:int -> Occlum_toolchain.Ast.program
 (** A program padded to roughly [code_kb] KiB of code (Fig 6a). *)
 

@@ -15,6 +15,10 @@ module Sys = Occlum_abi.Abi.Sys
 let port = 8000
 let page_size = 10 * 1024
 
+(* single source of truth for the response framing: harnesses compute
+   the expected byte count from this *)
+let response_header = "HTTP/1.1 200 OK\r\nContent-Length: 10240\r\n\r\n"
+
 let worker_prog =
   Occlum_toolchain.Runtime.program
     ~globals:[ ("req", 1024); ("page", page_size + 256) ]
@@ -22,7 +26,7 @@ let worker_prog =
       (* build the 10 KiB page + a small HTTP header *)
       func ~reg_vars:[ "p" ] "build_page" []
         [
-          Let ("hdr", Str "HTTP/1.1 200 OK\r\nContent-Length: 10240\r\n\r\n");
+          Let ("hdr", Str response_header);
           Let ("hl", Call ("strlen", [ v "hdr" ]));
           Expr (Call ("memcpy", [ Global_addr "page"; v "hdr"; v "hl" ]));
           Let ("k", i 0);
@@ -126,7 +130,7 @@ let mt_prog =
     [
       func ~reg_vars:[ "p" ] "build_page" []
         [
-          Let ("hdr", Str "HTTP/1.1 200 OK\r\nContent-Length: 10240\r\n\r\n");
+          Let ("hdr", Str response_header);
           Let ("hl", Call ("strlen", [ v "hdr" ]));
           Expr (Call ("memcpy", [ Global_addr "page"; v "hdr"; v "hl" ]));
           Let ("k", i 0);
@@ -212,8 +216,236 @@ let mt_prog =
         ];
     ]
 
+(* The C10K tier: ONE SIP runs an event loop over an epoll set of
+   nonblocking sockets — no process or thread per connection. Ready
+   connections are served either with direct syscalls or, when argv[1]
+   is nonzero, through [Sys.batch]: one gate crossing submits all the
+   reads of a readiness round, a second submits all the writes, so the
+   per-request boundary cost collapses from ~4 crossings to a fraction
+   of one. argv[0] = total responses to serve before exiting. *)
+let ev_prog =
+  let module F = Occlum_abi.Abi.Fcntl in
+  let module E = Occlum_abi.Abi.Epoll in
+  let module B = Occlum_abi.Abi.Batch in
+  let nonblock = Occlum_abi.Abi.Open_flags.nonblock in
+  let pollin = Occlum_abi.Abi.Poll.pollin in
+  let eagain = Occlum_abi.Abi.Errno.eagain in
+  Occlum_toolchain.Runtime.program
+    ~globals:
+      [ ("req", 1024); ("page", page_size + 256); ("total", 8);
+        ("evbuf", 128 * E.event_size); ("rfds", 128 * 8); ("wfds", 128 * 8);
+        ("rbatch", B.max_entries * B.entry_size);
+        ("wbatch", B.max_entries * B.entry_size) ]
+    [
+      func ~reg_vars:[ "p" ] "build_page" []
+        [
+          Let ("hdr", Str response_header);
+          Let ("hl", Call ("strlen", [ v "hdr" ]));
+          Expr (Call ("memcpy", [ Global_addr "page"; v "hdr"; v "hl" ]));
+          Let ("k", i 0);
+          Assign ("p", Global_addr "page" +: v "hl");
+          While
+            ( v "k" <: i page_size,
+              [
+                Store1 (v "p", i 97 +: (v "k" %: i 26));
+                Assign ("p", v "p" +: i 1);
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Return (v "hl" +: i page_size);
+        ];
+      (* a fresh connection: nonblocking + epoll interest *)
+      func "add_conn" [ "ep"; "fd" ]
+        [
+          Expr (Syscall (Sys.fcntl, [ v "fd"; i F.setfl; i nonblock ]));
+          Expr (Syscall (Sys.epoll_ctl, [ v "ep"; i E.ctl_add; v "fd"; i pollin ]));
+          Return (i 0);
+        ];
+      func "drop_conn" [ "ep"; "fd" ]
+        [
+          Expr (Syscall (Sys.epoll_ctl, [ v "ep"; i E.ctl_del; v "fd"; i 0 ]));
+          Expr (Call ("close", [ v "fd" ]));
+          Return (i 0);
+        ];
+      (* push the rest of a response out, yielding while the client's
+         ring is full; gives up on hard errors *)
+      func "finish_resp" [ "fd"; "sent" ]
+        [
+          Let ("totlen", Load (Global_addr "total"));
+          While
+            ( v "sent" <: v "totlen",
+              [
+                Let ("w",
+                     Call ("write",
+                           [ v "fd"; Global_addr "page" +: v "sent";
+                             v "totlen" -: v "sent" ]));
+                If (v "w" >: i 0,
+                    [ Assign ("sent", v "sent" +: v "w") ],
+                    [ If (v "w" =: i eagain,
+                          [ Expr (Call ("yield", [])) ],
+                          [ Assign ("sent", v "totlen") ]) ]);
+              ] );
+          Return (i 0);
+        ];
+      (* one ready connection, unbatched: 1 if a response went out *)
+      func "serve_one" [ "ep"; "fd" ]
+        [
+          Let ("r", Call ("read", [ v "fd"; Global_addr "req"; i 1024 ]));
+          If (v "r" >: i 0,
+              [ Expr (Call ("finish_resp", [ v "fd"; i 0 ])); Return (i 1) ],
+              []);
+          If (v "r" =: i eagain, [ Return (i 0) ], []);
+          (* EOF or hard error: deregister and close *)
+          Expr (Call ("drop_conn", [ v "ep"; v "fd" ]));
+          Return (i 0);
+        ];
+      func "main" []
+        [
+          Let ("quota", Call ("atoi", [ Call ("argv", [ i 0 ]) ]));
+          Let ("use_batch", Call ("atoi", [ Call ("argv", [ i 1 ]) ]));
+          Store (Global_addr "total", Call ("build_page", []));
+          Let ("sock", Syscall (Sys.socket, []));
+          Expr (Syscall (Sys.bind, [ v "sock"; i port ]));
+          Expr (Syscall (Sys.listen, [ v "sock"; i 1024 ]));
+          Expr (Syscall (Sys.fcntl, [ v "sock"; i F.setfl; i nonblock ]));
+          Let ("ep", Syscall (Sys.epoll_create, []));
+          Expr (Syscall (Sys.epoll_ctl, [ v "ep"; i E.ctl_add; v "sock"; i pollin ]));
+          Let ("served", i 0);
+          While
+            ( v "served" <: v "quota",
+              [
+                Let ("n",
+                     Syscall (Sys.epoll_wait,
+                              [ v "ep"; Global_addr "evbuf"; i 128; i (-1) ]));
+                (* split the readiness round: drain the accept queue,
+                   collect ready connections into rfds *)
+                Let ("m", i 0);
+                Let ("k", i 0);
+                While
+                  ( v "k" <: v "n",
+                    [
+                      Let ("efd",
+                           Load (Global_addr "evbuf" +: (v "k" *: i E.event_size)));
+                      If
+                        ( v "efd" =: v "sock",
+                          [
+                            Let ("conn", Syscall (Sys.accept, [ v "sock" ]));
+                            While
+                              ( v "conn" >=: i 0,
+                                [
+                                  Expr (Call ("add_conn", [ v "ep"; v "conn" ]));
+                                  Assign ("conn", Syscall (Sys.accept, [ v "sock" ]));
+                                ] );
+                          ],
+                          [
+                            Store (Global_addr "rfds" +: (v "m" *: i 8), v "efd");
+                            Assign ("m", v "m" +: i 1);
+                          ] );
+                      Assign ("k", v "k" +: i 1);
+                    ] );
+                If
+                  ( v "use_batch" =: i 0,
+                    [
+                      (* direct syscalls per ready connection *)
+                      Assign ("k", i 0);
+                      While
+                        ( v "k" <: v "m",
+                          [
+                            Assign
+                              ("served",
+                               v "served"
+                               +: Call ("serve_one",
+                                        [ v "ep";
+                                          Load (Global_addr "rfds"
+                                                +: (v "k" *: i 8)) ]));
+                            Assign ("k", v "k" +: i 1);
+                          ] );
+                    ],
+                    [
+                      (* one gate crossing reads every ready connection
+                         (all into the shared req scratch — the request
+                         body is never parsed), a second one writes all
+                         the responses *)
+                      Assign ("k", i 0);
+                      While
+                        ( v "k" <: v "m",
+                          [
+                            Let ("base",
+                                 Global_addr "rbatch" +: (v "k" *: i B.entry_size));
+                            Store (v "base", i Sys.read);
+                            Store (v "base" +: i 16,
+                                   Load (Global_addr "rfds" +: (v "k" *: i 8)));
+                            Store (v "base" +: i 24, Global_addr "req");
+                            Store (v "base" +: i 32, i 1024);
+                            Assign ("k", v "k" +: i 1);
+                          ] );
+                      If (v "m" >: i 0,
+                          [ Expr (Syscall (Sys.batch,
+                                           [ Global_addr "rbatch"; v "m" ])) ],
+                          []);
+                      Let ("wn", i 0);
+                      Assign ("k", i 0);
+                      While
+                        ( v "k" <: v "m",
+                          [
+                            Let ("cfd",
+                                 Load (Global_addr "rfds" +: (v "k" *: i 8)));
+                            Let ("r",
+                                 Load (Global_addr "rbatch"
+                                       +: (v "k" *: i B.entry_size) +: i 8));
+                            If
+                              ( v "r" >: i 0,
+                                [
+                                  Let ("wbase",
+                                       Global_addr "wbatch"
+                                       +: (v "wn" *: i B.entry_size));
+                                  Store (v "wbase", i Sys.write);
+                                  Store (v "wbase" +: i 16, v "cfd");
+                                  Store (v "wbase" +: i 24, Global_addr "page");
+                                  Store (v "wbase" +: i 32,
+                                         Load (Global_addr "total"));
+                                  Store (Global_addr "wfds" +: (v "wn" *: i 8),
+                                         v "cfd");
+                                  Assign ("wn", v "wn" +: i 1);
+                                ],
+                                [
+                                  If (v "r" <>: i eagain,
+                                      [ Expr (Call ("drop_conn",
+                                                    [ v "ep"; v "cfd" ])) ],
+                                      []);
+                                ] );
+                            Assign ("k", v "k" +: i 1);
+                          ] );
+                      If (v "wn" >: i 0,
+                          [ Expr (Syscall (Sys.batch,
+                                           [ Global_addr "wbatch"; v "wn" ])) ],
+                          []);
+                      (* partial or refused writes are finished inline *)
+                      Assign ("k", i 0);
+                      While
+                        ( v "k" <: v "wn",
+                          [
+                            Let ("wret",
+                                 Load (Global_addr "wbatch"
+                                       +: (v "k" *: i B.entry_size) +: i 8));
+                            Let ("got", v "wret");
+                            If (v "wret" <: i 0, [ Assign ("got", i 0) ], []);
+                            If (v "got" <: Load (Global_addr "total"),
+                                [ Expr (Call ("finish_resp",
+                                              [ Load (Global_addr "wfds"
+                                                      +: (v "k" *: i 8));
+                                                v "got" ])) ],
+                                []);
+                            Assign ("served", v "served" +: i 1);
+                            Assign ("k", v "k" +: i 1);
+                          ] );
+                    ] );
+              ] );
+          Return (v "served");
+        ];
+    ]
+
 let binaries =
   [ ("/bin/httpd_worker", worker_prog); ("/bin/httpd", master_prog);
-    ("/bin/httpd_mt", mt_prog) ]
+    ("/bin/httpd_mt", mt_prog); ("/bin/httpd_ev", ev_prog) ]
 
 let request = "GET /index.html HTTP/1.1\r\nHost: bench\r\n\r\n"

@@ -7,6 +7,11 @@
 val port : int
 val page_size : int
 
+val response_header : string
+(** The HTTP framing prepended to every page; harnesses compute the
+    expected per-response byte count as
+    [String.length response_header + page_size]. *)
+
 val worker_prog : Occlum_toolchain.Ast.program
 (** Serves argv[0] requests from the inherited listener (fd 3). *)
 
@@ -15,6 +20,12 @@ val master_prog : Occlum_toolchain.Ast.program
 
 val mt_prog : Occlum_toolchain.Ast.program
 (** The multithreaded server. argv: threads, requests-per-thread. *)
+
+val ev_prog : Occlum_toolchain.Ast.program
+(** The C10K tier: one SIP, an epoll event loop over nonblocking
+    sockets. argv: total responses to serve, batch flag (nonzero routes
+    the per-round reads and writes through [Abi.Sys.batch] so one gate
+    crossing carries many syscalls). *)
 
 val binaries : (string * Occlum_toolchain.Ast.program) list
 val request : string

@@ -9,6 +9,19 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+# `scripts/check.sh --only=SECTIONS` is a fast smoke: build, run just
+# those bench sections and compare them against the committed baseline
+# (e.g. `--only=serving` checks the C10K tier alone).
+case "${1:-}" in
+--only=*)
+  dune build @all
+  dune exec bench/main.exe -- "$1" --json _build/bench-smoke.json
+  python3 scripts/compare_bench.py bench/baseline-micro.json \
+    _build/bench-smoke.json --threshold "${BENCH_THRESHOLD:-0.25}"
+  exit 0
+  ;;
+esac
+
 dune build @all
 dune runtest
 
@@ -51,6 +64,6 @@ cmp _build/paging-console.txt _build/nopaging-console.txt || {
 dune exec bin/occlum_fuzz.exe -- --seed 42 --cases 200 --shrink \
   --json _build/fuzz-report.json
 
-dune exec bench/main.exe -- --only=micro,paging --json _build/bench-micro.json
+dune exec bench/main.exe -- --only=micro,paging,serving --json _build/bench-micro.json
 python3 scripts/compare_bench.py bench/baseline-micro.json \
   _build/bench-micro.json --threshold "${BENCH_THRESHOLD:-0.25}"

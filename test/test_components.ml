@@ -81,11 +81,39 @@ let test_net () =
   | Error e -> Alcotest.(check int) "epipe" Occlum_abi.Abi.Errno.epipe e
   | Ok _ -> Alcotest.fail "send to closed peer"
 
+let test_listener_close () =
+  (* regression: closing a listener frees its port for a re-listen and
+     EOF-closes every still-queued (never accepted) connection *)
+  let net = Net.create () in
+  let l =
+    match Net.listen net ~port:7 ~backlog:4 with
+    | Ok l -> l
+    | Error _ -> Alcotest.fail "listen"
+  in
+  let queued =
+    match Net.external_connect net ~port:7 with
+    | Ok c -> c
+    | Error _ -> Alcotest.fail "connect"
+  in
+  Net.close_listener l;
+  Alcotest.(check bool) "port freed" false (Net.has_listener net ~port:7);
+  (match Net.listen net ~port:7 ~backlog:4 with
+  | Ok l2 ->
+      (* closing the stale listener again must not steal the new port *)
+      Net.close_listener l;
+      Alcotest.(check bool) "re-listen kept" true (Net.has_listener net ~port:7);
+      Net.close_listener l2
+  | Error _ -> Alcotest.fail "re-listen after close");
+  (* the queued client sees orderly EOF, not a hang or an error *)
+  match Net.recv net queued (Bytes.create 8) 0 8 with
+  | Ok 0 -> ()
+  | _ -> Alcotest.fail "queued client expected EOF"
+
 (* --- fd table ---------------------------------------------------------------- *)
 
 let test_fd_table () =
   let t = Fd.create () in
-  let e () = { Fd.refs = 1; kind = Fd.Dev_null } in
+  let e () = Fd.make Fd.Dev_null in
   Alcotest.(check int) "lowest free" 0 (Fd.install t (e ()));
   Alcotest.(check int) "next" 1 (Fd.install t (e ()));
   (match Fd.close t 0 with Ok () -> () | Error _ -> Alcotest.fail "close");
@@ -94,8 +122,8 @@ let test_fd_table () =
   | Error e -> Alcotest.(check int) "ebadf" Occlum_abi.Abi.Errno.ebadf e
   | Ok () -> Alcotest.fail "closed bad fd");
   (* sharing: inherit bumps refs; releasing a pipe end updates counters *)
-  let pipe = { Fd.ring = Ring.create 8; readers = 1; writers = 1 } in
-  let w = Fd.install t { Fd.refs = 1; kind = Fd.Pipe_w pipe } in
+  let pipe = { Fd.ring = Ring.create 8; readers = 1; writers = 1; wake = [] } in
+  let w = Fd.install t (Fd.make (Fd.Pipe_w pipe)) in
   let child = Fd.inherit_from t in
   (match Fd.find child w with
   | Some entry -> Alcotest.(check int) "shared refs" 2 entry.Fd.refs
@@ -227,6 +255,7 @@ let suite =
     Alcotest.test_case "ring basics" `Quick test_ring_basics;
     QCheck_alcotest.to_alcotest prop_ring_fifo;
     Alcotest.test_case "loopback network" `Quick test_net;
+    Alcotest.test_case "listener close frees port" `Quick test_listener_close;
     Alcotest.test_case "fd table" `Quick test_fd_table;
     Alcotest.test_case "assembler" `Quick test_assembler;
     Alcotest.test_case "pseudo-instruction expansion" `Quick test_pseudo_expansion;

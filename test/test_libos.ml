@@ -639,6 +639,235 @@ let test_poll () =
               ];
           ]))
 
+let test_nonblock_eagain () =
+  (* O_NONBLOCK: would-block paths return EAGAIN instead of suspending *)
+  let module Fc = Occlum_abi.Abi.Fcntl in
+  let nb = F.nonblock in
+  ignore
+    (check_run ~exit_code:0 ~output:""
+       (rt
+          [
+            func "main" []
+              [
+                Let ("fds", Global_addr "_rt_misc_buf");
+                Expr (Syscall (Sys.pipe, [ v "fds" ]));
+                Let ("r", Load (v "fds"));
+                (* empty blocking-capable pipe, flagged nonblocking *)
+                If (Syscall (Sys.fcntl, [ v "r"; i Fc.setfl; i nb ]) <>: i 0,
+                    [ Return (i 1) ], []);
+                If (Syscall (Sys.fcntl, [ v "r"; i Fc.getfl; i 0 ]) <>: i nb,
+                    [ Return (i 2) ], []);
+                Let ("buf", Call ("malloc", [ i 16 ]));
+                If (Syscall (Sys.read, [ v "r"; v "buf"; i 8 ])
+                    <>: i Errno.eagain,
+                    [ Return (i 3) ], []);
+                (* nonblocking accept on an empty backlog *)
+                Let ("ls", Syscall (Sys.socket, []));
+                Expr (Syscall (Sys.bind, [ v "ls"; i 9100 ]));
+                Expr (Syscall (Sys.listen, [ v "ls"; i 4 ]));
+                If (Syscall (Sys.fcntl, [ v "ls"; i Fc.setfl; i nb ]) <>: i 0,
+                    [ Return (i 4) ], []);
+                If (Syscall (Sys.accept, [ v "ls" ]) <>: i Errno.eagain,
+                    [ Return (i 5) ], []);
+                (* clearing the flag restores blocking semantics (getfl) *)
+                If (Syscall (Sys.fcntl, [ v "r"; i Fc.setfl; i 0 ]) <>: i 0,
+                    [ Return (i 6) ], []);
+                If (Syscall (Sys.fcntl, [ v "r"; i Fc.getfl; i 0 ]) <>: i 0,
+                    [ Return (i 7) ], []);
+                If (Syscall (Sys.fcntl, [ i 42; i Fc.getfl; i 0 ])
+                    <>: i Errno.ebadf,
+                    [ Return (i 8) ], []);
+                Return (i 0);
+              ];
+          ]))
+
+let test_epoll () =
+  let module P = Occlum_abi.Abi.Poll in
+  let module E = Occlum_abi.Abi.Epoll in
+  ignore
+    (check_run ~exit_code:0 ~output:""
+       (rt
+          [
+            func "main" []
+              [
+                Let ("fds", Global_addr "_rt_misc_buf");
+                Expr (Syscall (Sys.pipe, [ v "fds" ]));
+                Let ("r", Load (v "fds"));
+                Let ("w", Load (v "fds" +: i 8));
+                Let ("ep", Syscall (Sys.epoll_create, []));
+                If (v "ep" <: i 0, [ Return (i 1) ], []);
+                Let ("evb", Call ("malloc", [ i 64 ]));
+                (* ctl semantics: add, duplicate add, mod/del of absent *)
+                If (Syscall (Sys.epoll_ctl, [ v "ep"; i E.ctl_add; v "r"; i P.pollin ])
+                    <>: i 0, [ Return (i 2) ], []);
+                If (Syscall (Sys.epoll_ctl, [ v "ep"; i E.ctl_add; v "r"; i P.pollin ])
+                    <>: i Errno.eexist, [ Return (i 3) ], []);
+                If (Syscall (Sys.epoll_ctl, [ v "ep"; i E.ctl_mod; v "w"; i P.pollout ])
+                    <>: i Errno.enoent, [ Return (i 4) ], []);
+                If (Syscall (Sys.epoll_ctl, [ v "ep"; i E.ctl_del; v "w"; i 0 ])
+                    <>: i Errno.enoent, [ Return (i 5) ], []);
+                If (Syscall (Sys.epoll_ctl, [ v "ep"; i E.ctl_add; v "ep"; i P.pollin ])
+                    <>: i Errno.einval, [ Return (i 6) ], []);
+                If (Syscall (Sys.epoll_ctl, [ v "ep"; i E.ctl_add; i 42; i P.pollin ])
+                    <>: i Errno.ebadf, [ Return (i 7) ], []);
+                (* empty pipe: no events (timeout 0) *)
+                If (Syscall (Sys.epoll_wait, [ v "ep"; v "evb"; i 4; i 0 ])
+                    <>: i 0, [ Return (i 8) ], []);
+                (* data arrives: one event, right fd, POLLIN *)
+                Expr (Call ("write", [ v "w"; v "evb"; i 1 ]));
+                If (Syscall (Sys.epoll_wait, [ v "ep"; v "evb"; i 4; i 0 ])
+                    <>: i 1, [ Return (i 9) ], []);
+                If (Load (v "evb") <>: v "r", [ Return (i 10) ], []);
+                If (Load (v "evb" +: i 8) <>: i P.pollin, [ Return (i 11) ], []);
+                (* level-triggered: unconsumed data reports again *)
+                If (Syscall (Sys.epoll_wait, [ v "ep"; v "evb"; i 4; i 0 ])
+                    <>: i 1, [ Return (i 12) ], []);
+                (* consuming the data re-arms to not-ready *)
+                Let ("buf", Call ("malloc", [ i 8 ]));
+                Expr (Call ("read", [ v "r"; v "buf"; i 8 ]));
+                If (Syscall (Sys.epoll_wait, [ v "ep"; v "evb"; i 4; i 0 ])
+                    <>: i 0, [ Return (i 13) ], []);
+                (* a wait with a deadline on a never-ready set expires *)
+                Let ("t0", Call ("gettime", []));
+                If (Syscall (Sys.epoll_wait, [ v "ep"; v "evb"; i 4; i 100000 ])
+                    <>: i 0, [ Return (i 14) ], []);
+                If (Call ("gettime", []) -: v "t0" <: i 100000,
+                    [ Return (i 15) ], []);
+                (* del detaches: new data no longer reported *)
+                If (Syscall (Sys.epoll_ctl, [ v "ep"; i E.ctl_del; v "r"; i 0 ])
+                    <>: i 0, [ Return (i 16) ], []);
+                Expr (Call ("write", [ v "w"; v "evb"; i 1 ]));
+                If (Syscall (Sys.epoll_wait, [ v "ep"; v "evb"; i 4; i 0 ])
+                    <>: i 0, [ Return (i 17) ], []);
+                Return (i 0);
+              ];
+          ]))
+
+let test_poll_unconnected_socket () =
+  (* regression: an unconnected socket must report POLLOUT (connectable)
+     so a poll-then-connect loop makes progress, and a peer-closed
+     socket must report POLLHUP even when only POLLIN was requested *)
+  let module P = Occlum_abi.Abi.Poll in
+  ignore
+    (check_run ~exit_code:0 ~output:""
+       (rt
+          [
+            func "main" []
+              [
+                Let ("s", Syscall (Sys.socket, []));
+                Let ("pe", Call ("malloc", [ i 24 ]));
+                Store (v "pe", v "s");
+                Store (v "pe" +: i 8, i (P.pollin lor P.pollout));
+                Store (v "pe" +: i 16, i 0);
+                If (Syscall (Sys.poll, [ v "pe"; i 1; i 0 ]) <>: i 1,
+                    [ Return (i 1) ], []);
+                If (Load (v "pe" +: i 16) <>: i P.pollout, [ Return (i 2) ], []);
+                (* poll said connectable: connect must then succeed *)
+                Let ("ls", Syscall (Sys.socket, []));
+                Expr (Syscall (Sys.bind, [ v "ls"; i 9200 ]));
+                Expr (Syscall (Sys.listen, [ v "ls"; i 4 ]));
+                If (Syscall (Sys.connect, [ v "s"; i 9200 ]) <>: i 0,
+                    [ Return (i 3) ], []);
+                Let ("srv", Syscall (Sys.accept, [ v "ls" ]));
+                If (v "srv" <: i 0, [ Return (i 4) ], []);
+                (* peer closes: POLLHUP reported on a POLLIN-only poll *)
+                Expr (Call ("close", [ v "srv" ]));
+                Store (v "pe" +: i 8, i P.pollin);
+                Store (v "pe" +: i 16, i 0);
+                If (Syscall (Sys.poll, [ v "pe"; i 1; i 0 ]) <>: i 1,
+                    [ Return (i 5) ], []);
+                If (Load (v "pe" +: i 16) <>: i (P.pollin lor P.pollhup),
+                    [ Return (i 6) ], []);
+                Return (i 0);
+              ];
+          ]))
+
+let test_listener_close_releases_port () =
+  (* regression: the last close of a Listener fd must free the port (so
+     re-listen succeeds) and EOF every queued, never-accepted client *)
+  ignore
+    (check_run ~exit_code:0 ~output:""
+       (rt
+          [
+            func "main" []
+              [
+                Let ("ls", Syscall (Sys.socket, []));
+                Expr (Syscall (Sys.bind, [ v "ls"; i 9300 ]));
+                If (Syscall (Sys.listen, [ v "ls"; i 4 ]) <>: i 0,
+                    [ Return (i 1) ], []);
+                (* a client connects and is left queued, never accepted *)
+                Let ("cl", Syscall (Sys.socket, []));
+                If (Syscall (Sys.connect, [ v "cl"; i 9300 ]) <>: i 0,
+                    [ Return (i 2) ], []);
+                (* port is busy while the listener lives *)
+                Let ("ls2", Syscall (Sys.socket, []));
+                Expr (Syscall (Sys.bind, [ v "ls2"; i 9300 ]));
+                If (Syscall (Sys.listen, [ v "ls2"; i 4 ]) <>: i Errno.eexist,
+                    [ Return (i 3) ], []);
+                (* close releases the port and closes the queued side *)
+                Expr (Call ("close", [ v "ls" ]));
+                Let ("ls3", Syscall (Sys.socket, []));
+                Expr (Syscall (Sys.bind, [ v "ls3"; i 9300 ]));
+                If (Syscall (Sys.listen, [ v "ls3"; i 4 ]) <>: i 0,
+                    [ Return (i 4) ], []);
+                (* the queued client observes EOF, not a hang *)
+                Let ("buf", Call ("malloc", [ i 8 ]));
+                If (Syscall (Sys.recv, [ v "cl"; v "buf"; i 8 ]) <>: i 0,
+                    [ Return (i 5) ], []);
+                Return (i 0);
+              ];
+          ]))
+
+let test_batch_syscall () =
+  (* Sys.batch: one gate crossing submits N calls; results land in each
+     entry; scheduling-class calls are rejected per-entry *)
+  let module B = Occlum_abi.Abi.Batch in
+  ignore
+    (check_run ~exit_code:0 ~output:"hi"
+       (rt
+          [
+            func "main" []
+              [
+                Let ("bb", Call ("malloc", [ i (4 * B.entry_size) ]));
+                (* entry 0: write(1, "hi", 2) *)
+                Store (v "bb", i Sys.write);
+                Store (v "bb" +: i 16, i 1);
+                Store (v "bb" +: i 24, Str "hi");
+                Store (v "bb" +: i 32, i 2);
+                (* entry 1: getpid *)
+                Store (v "bb" +: i B.entry_size, i Sys.getpid);
+                (* entry 2: a blocked call is converted to EAGAIN *)
+                Let ("fds", Global_addr "_rt_misc_buf");
+                Expr (Syscall (Sys.pipe, [ v "fds" ]));
+                Store (v "bb" +: i (2 * B.entry_size), i Sys.read);
+                Store (v "bb" +: i (2 * B.entry_size) +: i 16, Load (v "fds"));
+                Store (v "bb" +: i (2 * B.entry_size) +: i 24,
+                       v "bb" +: i (3 * B.entry_size));
+                Store (v "bb" +: i (2 * B.entry_size) +: i 32, i 8);
+                (* entry 3: spawn is not batchable *)
+                Store (v "bb" +: i (3 * B.entry_size), i Sys.spawn);
+                If (Syscall (Sys.batch, [ v "bb"; i 4 ]) <>: i 4,
+                    [ Return (i 1) ], []);
+                If (Load (v "bb" +: i 8) <>: i 2, [ Return (i 2) ], []);
+                If (Load (v "bb" +: i B.entry_size +: i 8) <>:
+                    Syscall (Sys.getpid, []),
+                    [ Return (i 3) ], []);
+                If (Load (v "bb" +: i (2 * B.entry_size) +: i 8)
+                    <>: i Errno.eagain,
+                    [ Return (i 4) ], []);
+                If (Load (v "bb" +: i (3 * B.entry_size) +: i 8)
+                    <>: i Errno.einval,
+                    [ Return (i 5) ], []);
+                (* malformed batches are rejected whole *)
+                If (Syscall (Sys.batch, [ v "bb"; i (-1) ]) <>: i Errno.efault,
+                    [ Return (i 6) ], []);
+                If (Syscall (Sys.batch, [ v "bb"; i (B.max_entries + 1) ])
+                    <>: i Errno.efault,
+                    [ Return (i 7) ], []);
+                Return (i 0);
+              ];
+          ]))
+
 let test_facade () =
   (* the Occlum_system facade: build -> boot -> install -> exec *)
   let prog =
@@ -772,6 +1001,13 @@ let suite =
     Alcotest.test_case "Linux mode" `Quick test_linux_mode_runs;
     Alcotest.test_case "SGX2 (EDMM) mode" `Quick test_sgx2_mode;
     Alcotest.test_case "poll" `Quick test_poll;
+    Alcotest.test_case "fcntl O_NONBLOCK -> EAGAIN" `Quick test_nonblock_eagain;
+    Alcotest.test_case "epoll ctl/wait semantics" `Quick test_epoll;
+    Alcotest.test_case "poll unconnected/hup socket" `Quick
+      test_poll_unconnected_socket;
+    Alcotest.test_case "listener close releases port" `Quick
+      test_listener_close_releases_port;
+    Alcotest.test_case "batched syscalls" `Quick test_batch_syscall;
     Alcotest.test_case "system facade" `Quick test_facade;
     Alcotest.test_case "user pointer validation" `Quick test_bad_user_pointer;
   ]

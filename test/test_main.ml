@@ -19,4 +19,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("analysis", Test_analysis.suite);
       ("fuzz", Test_fuzz.suite);
+      ("serving", Test_serving.suite);
     ]
