@@ -26,7 +26,7 @@ let parse_epc_size s =
       (bytes + Occlum_sgx.Epc.page_size - 1) / Occlum_sgx.Epc.page_size
   | _ -> fail ()
 
-let run binaries args mode_name fs_image save_fs epc_size no_paging =
+let run binaries args mode_name fs_image save_fs epc_size no_paging cores =
   let mode =
     match mode_name with
     | "sip" | "occlum" -> Occlum_libos.Os.Sip
@@ -40,7 +40,11 @@ let run binaries args mode_name fs_image save_fs epc_size no_paging =
     prerr_endline "no binaries given";
     exit 2
   end;
-  let config = { Occlum_libos.Os.default_config with mode } in
+  if cores < 1 then begin
+    prerr_endline "--cores must be >= 1";
+    exit 2
+  end;
+  let config = { Occlum_libos.Os.default_config with mode; cores } in
   let host_fs =
     match fs_image with
     | Some path when Sys.file_exists path ->
@@ -80,8 +84,10 @@ let run binaries args mode_name fs_image save_fs epc_size no_paging =
   in
   let names = List.map install binaries in
   let first = List.hd names in
-  Printf.printf "booted (%s mode); installed: %s\nspawning %s %s\n---\n%!"
-    mode_name (String.concat " " names) first (String.concat " " args);
+  Printf.printf "booted (%s mode, %d core%s); installed: %s\nspawning %s %s\n---\n%!"
+    mode_name cores
+    (if cores = 1 then "" else "s")
+    (String.concat " " names) first (String.concat " " args);
   (match Occlum_libos.Os.spawn os ~parent_pid:0 ~path:first ~args with
   | exception Occlum_libos.Os.Spawn_error e ->
       Printf.eprintf "spawn failed: errno %d\n" e;
@@ -144,10 +150,17 @@ let no_paging_arg =
          ~doc:"Disable EPC demand paging: exceeding the pool is a hard \
                ENOMEM instead of EWB/ELDU eviction.")
 
+let cores_arg =
+  Arg.(value & opt int 1 & info [ "cores" ]
+         ~doc:"Simulated vCPUs. 1 (default) is the sequential scheduler; \
+               N runs SIP quanta in parallel on OCaml domains with \
+               per-core run queues and work stealing. Bit-reproducible \
+               for a fixed N.")
+
 let cmd =
   Cmd.v
     (Cmd.info "occlum_run" ~doc:"Run OELF binaries on the Occlum LibOS")
     Term.(const run $ binaries_arg $ args_arg $ mode_arg $ fs_arg $ save_fs_arg
-          $ epc_size_arg $ no_paging_arg)
+          $ epc_size_arg $ no_paging_arg $ cores_arg)
 
 let () = exit (Cmd.eval cmd)

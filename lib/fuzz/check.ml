@@ -16,11 +16,12 @@ type property =
   | Verifier_soundness
   | Aex_identity
   | Epc_pressure
+  | Mc_determinism
 
 let all_properties =
   [
     Codec_roundtrip; Cache_equivalence; Verifier_soundness; Aex_identity;
-    Epc_pressure;
+    Epc_pressure; Mc_determinism;
   ]
 
 let property_name = function
@@ -29,6 +30,7 @@ let property_name = function
   | Verifier_soundness -> "verifier-soundness"
   | Aex_identity -> "aex-identity"
   | Epc_pressure -> "epc-pressure"
+  | Mc_determinism -> "mc-determinism"
 
 let property_of_name = function
   | "codec-roundtrip" -> Some Codec_roundtrip
@@ -36,6 +38,7 @@ let property_of_name = function
   | "verifier-soundness" -> Some Verifier_soundness
   | "aex-identity" -> Some Aex_identity
   | "epc-pressure" -> Some Epc_pressure
+  | "mc-determinism" -> Some Mc_determinism
   | _ -> None
 
 let property_index = function
@@ -44,6 +47,7 @@ let property_index = function
   | Verifier_soundness -> 2
   | Aex_identity -> 3
   | Epc_pressure -> 4
+  | Mc_determinism -> 5
 
 type failure = {
   prop : property;
@@ -869,6 +873,161 @@ let epc_case inj _shrink rng case =
   in
   Option.map (fun d -> { prop = Epc_pressure; case; detail = d; minimized = None }) detail
 
+(* --- property: multi-core determinism ------------------------------------ *)
+
+(* The differential: the same workload mix booted at cores=1 and at a
+   random cores=c must produce identical state digests, and two runs at
+   the same c must as well. Os.state_digest already excludes what
+   legitimately varies with scheduling granularity (clock, retry
+   counts, global-console interleaving), so any difference is a real
+   parallelism bug. Workloads are deliberately clock-free. *)
+
+let mc_sign prog =
+  let oelf = Compile.compile_exn ~config:Codegen.sfi prog in
+  match Verify.verify_and_sign oelf with
+  | Ok s -> s
+  | Error rs ->
+      failwith
+        ("fuzz mc binary rejected: " ^ Verify.rejection_to_string (List.hd rs))
+
+(* Pure CPU spin: argv0 iterations of integer arithmetic, prints the
+   accumulator. *)
+let mc_compute_binary =
+  lazy
+    (let open Ast in
+     mc_sign
+       (Runtime.program
+          [
+            func ~reg_vars:[ "acc"; "k" ] "main" []
+              [
+                Let ("iters", Call ("atoi", [ Call ("argv", [ i 0 ]) ]));
+                Let ("acc", i 0);
+                Let ("k", i 0);
+                While
+                  ( v "k" <: v "iters",
+                    [
+                      Assign ("acc", ((v "acc" *: i 31) +: v "k") %: i 65537);
+                      Assign ("k", v "k" +: i 1);
+                    ] );
+                Expr (Call ("print_int", [ v "acc" ]));
+                Return (i 0);
+              ];
+          ]))
+
+(* Futex ping-pong: main and one clone()d thread strictly alternate
+   [argv0] rounds over a shared turn cell, each mutating a shared
+   counter on its turn; main prints the final counter. The alternation
+   makes the result schedule-independent while exercising futex
+   wait/wake across cores (a woken SIP may sit on another core's run
+   queue). *)
+let mc_pingpong_binary =
+  lazy
+    (let open Ast in
+     let module S = Occlum_abi.Abi.Sys in
+     mc_sign
+       (Runtime.program
+          ~globals:[ ("turn", 8); ("counter", 8) ]
+          [
+            func "thread_main" [ "rounds" ]
+              [
+                Let ("k", i 0);
+                While
+                  ( v "k" <: v "rounds",
+                    [
+                      While
+                        ( Load (Global_addr "turn") <>: i 1,
+                          [
+                            Expr
+                              (Syscall (S.futex_wait, [ Global_addr "turn"; i 0 ]));
+                          ] );
+                      Store
+                        ( Global_addr "counter",
+                          (Load (Global_addr "counter") *: i 3) +: i 1 );
+                      Store (Global_addr "turn", i 0);
+                      Expr (Syscall (S.futex_wake, [ Global_addr "turn"; i 1 ]));
+                      Assign ("k", v "k" +: i 1);
+                    ] );
+                Return (i 0);
+              ];
+            func "main" []
+              [
+                Let ("rounds", Call ("atoi", [ Call ("argv", [ i 0 ]) ]));
+                Store (Global_addr "turn", i 0);
+                Store (Global_addr "counter", i 0);
+                Let ("stack", Syscall (S.mmap, [ i 0; i 16384; i (-1); i 0 ]));
+                Let
+                  ( "tid",
+                    Syscall
+                      ( S.clone,
+                        [
+                          Func_addr "thread_main"; v "stack" +: i 16384;
+                          v "rounds";
+                        ] ) );
+                If (v "tid" <: i 0, [ Return (i 1) ], []);
+                Let ("k", i 0);
+                While
+                  ( v "k" <: v "rounds",
+                    [
+                      While
+                        ( Load (Global_addr "turn") <>: i 0,
+                          [
+                            Expr
+                              (Syscall (S.futex_wait, [ Global_addr "turn"; i 1 ]));
+                          ] );
+                      Store
+                        ( Global_addr "counter",
+                          Load (Global_addr "counter") +: v "k" );
+                      Store (Global_addr "turn", i 1);
+                      Expr (Syscall (S.futex_wake, [ Global_addr "turn"; i 1 ]));
+                      Assign ("k", v "k" +: i 1);
+                    ] );
+                Expr (Call ("waitpid", [ v "tid"; i 0 ]));
+                Expr (Call ("print_int", [ Load (Global_addr "counter") ]));
+                Return (i 0);
+              ];
+          ]))
+
+let mc_domains =
+  { Os.default_config.Os.domains with Occlum_libos.Domain_mgr.max_domains = 10 }
+
+let mc_run ~cores spawns =
+  let cfg = { Os.default_config with domains = mc_domains; cores } in
+  let os = Os.boot ~config:cfg () in
+  Os.install_binary os "/bin/mc_compute" (Lazy.force mc_compute_binary);
+  Os.install_binary os "/bin/mc_pp" (Lazy.force mc_pingpong_binary);
+  List.iter
+    (fun (path, args) -> ignore (Os.spawn os ~parent_pid:0 ~path ~args))
+    spawns;
+  match Os.run ~max_steps:4_000_000 os with
+  | Os.All_exited -> Ok (Os.state_digest os)
+  | Os.Deadlock pids ->
+      Error
+        (Printf.sprintf "deadlocked at cores=%d (pids %s)" cores
+           (String.concat "," (List.map string_of_int pids)))
+  | Os.Quota_exhausted -> Error (Printf.sprintf "step quota at cores=%d" cores)
+
+let mc_case _inj _shrink rng case =
+  (* a random mix of CPU spinners and futex ping-pong pairs *)
+  let nsips = 2 + Rng.int rng 5 in
+  let spawns =
+    List.init nsips (fun j ->
+        if (case + j) mod 3 = 0 then
+          ("/bin/mc_pp", [ string_of_int (2 + Rng.int rng 5) ])
+        else ("/bin/mc_compute", [ string_of_int (200 + Rng.int rng 1500) ]))
+  in
+  let cores = 2 + Rng.int rng 3 in
+  let fail detail = Some { prop = Mc_determinism; case; detail; minimized = None } in
+  match (mc_run ~cores:1 spawns, mc_run ~cores spawns, mc_run ~cores spawns) with
+  | Error d, _, _ | _, Error d, _ | _, _, Error d -> fail d
+  | Ok d1, Ok dc, Ok dc' ->
+      if dc <> dc' then
+        fail
+          (Printf.sprintf "two cores=%d runs diverged: %s vs %s" cores dc dc')
+      else if d1 <> dc then
+        fail
+          (Printf.sprintf "cores=1 vs cores=%d diverged: %s vs %s" cores d1 dc)
+      else None
+
 (* --- runner -------------------------------------------------------------- *)
 
 let run_case prop inj shrink rng case =
@@ -881,6 +1040,7 @@ let run_case prop inj shrink rng case =
   | Verifier_soundness -> soundness_case inj shrink rng case
   | Aex_identity -> aex_case inj shrink rng case
   | Epc_pressure -> epc_case inj shrink rng case
+  | Mc_determinism -> mc_case inj shrink rng case
 
 let run ?(properties = all_properties) ?(shrink = true) ?metrics ~seed ~cases
     () =

@@ -22,7 +22,12 @@
       or real) leaves the pool balanced, partial enclaves destroyable
       with exact page restitution, and the LibOS failing cleanly
       ([Spawn_error ENOMEM]) while remaining fully functional; injected
-      SEFS/net I/O faults surface as clean errnos/short transfers. *)
+      SEFS/net I/O faults surface as clean errnos/short transfers.
+    - {b mc-determinism}: a random mix of CPU-bound SIPs and futex
+      ping-pong thread pairs produces identical {!Occlum_libos.Os}
+      state digests at cores=1 and a random cores=c, and across
+      repeated runs at the same c — parallel scheduling must be both
+      reproducible and semantically equivalent to sequential. *)
 
 open Occlum_toolchain
 
@@ -32,6 +37,9 @@ type property =
   | Verifier_soundness
   | Aex_identity
   | Epc_pressure
+  | Mc_determinism
+      (** the same workload mix digests identically at cores=1 and a
+          random cores=c, and across repeated runs at the same c *)
 
 val all_properties : property list
 val property_name : property -> string

@@ -1,7 +1,14 @@
 (* File descriptors. Entries are shared structures: a spawned child
    inherits its parent's open file table "with minimal overhead" (§6) by
    sharing the very same entry objects — possible only because all SIPs
-   live inside one LibOS instance. *)
+   live inside one LibOS instance.
+
+   Multi-core ownership audit (cfg.cores > 1): everything in this module
+   is mutated only from syscall handlers, and those run exclusively in
+   the sequential phases of an epoch (Os.handle_stop, claim/post) on the
+   LibOS domain. The parallel phase executes pure interpreter quanta
+   that never enter the FD layer, so rings, pipes, epoll sets and
+   refcounts need no locking — the epoch barrier IS the lock. *)
 
 type pipe = {
   ring : Ring.t;

@@ -4,7 +4,13 @@
    LibOS — applications must bring TLS. We model the host side as a
    per-LibOS port registry plus "external" endpoints that the benchmark
    harness (playing the remote ApacheBench client) can drive directly
-   from OCaml. *)
+   from OCaml.
+
+   Multi-core ownership audit (cfg.cores > 1): endpoints, rings, the
+   port registry and wake-hook lists are touched only from syscall
+   handlers and from the harness between scheduler steps — never from
+   the parallel phase of an epoch, whose worker domains run pure
+   interpreter quanta. Single-writer discipline holds without locks. *)
 
 type endpoint = {
   inbox : Ring.t;   (* bytes this endpoint can read *)

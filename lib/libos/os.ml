@@ -54,6 +54,8 @@ type config = {
                   preallocating (§6's "can be avoided on SGX 2.0") *)
   domains : Domain_mgr.config;
   quantum : int;
+  cores : int; (* simulated vCPUs; 1 = the sequential scheduler,
+                  bit-identical to every release before multi-core *)
   decode_cache : bool; (* replay decoded basic blocks in Interp.run *)
   fs_key : string;
   (* EIP model knobs *)
@@ -68,6 +70,7 @@ let default_config =
     sgx2 = false;
     domains = Domain_mgr.default_config;
     quantum = 100_000;
+    cores = 1;
     decode_cache = true;
     fs_key = "occlum-fs-master-key";
     eip_runtime_image_bytes = 8 * 1024 * 1024;
@@ -104,6 +107,9 @@ type t = {
   prng : Occlum_util.Prng.t;
   eip_runtime_image : Bytes.t; (* stand-in for the Graphene runtime pages *)
   obs : Occlum_obs.Obs.t;
+  sched : Sched.t option; (* per-core run queues when cfg.cores > 1 *)
+  mutable cur_core : int; (* core whose claim is being post-processed;
+                             attributes futex wakes to their waker core *)
   mutable last_run_pid : int; (* previously scheduled pid, for Sched_switch *)
   mutable paging_cycles_seen : int;
   (* EWB/ELDU cycle charges already folded into [clock_ns] *)
@@ -181,6 +187,13 @@ let boot ?(config = default_config) ?(obs = Occlum_obs.Obs.disabled) ?epc
       prng = Occlum_util.Prng.create 0x0cc1;
       eip_runtime_image = Bytes.make config.eip_runtime_image_bytes '\x5a';
       obs;
+      sched =
+        (if config.cores > 1 then
+           Some
+             (Sched.create ~ncores:config.cores
+                ~decode_cache:config.decode_cache ~obs)
+         else None);
+      cur_core = 0;
       last_run_pid = 0;
       paging_cycles_seen = 0;
       io_backoff_seen = 0L;
@@ -429,6 +442,7 @@ let make_proc t ~parent ~img ~fds ~is_thread ~slot_refs ~path ~eip_enclave =
   in
   Hashtbl.replace t.procs pid p;
   t.runq <- t.runq @ [ pid ];
+  (match t.sched with Some s -> Sched.enqueue s pid | None -> ());
   let o = t.obs in
   if o.Occlum_obs.Obs.enabled then begin
     if o.Occlum_obs.Obs.t_life then
@@ -1040,7 +1054,13 @@ let sys_futex_wake t p =
       List.iter
         (fun pid ->
           match find_proc t pid with
-          | Some wp when wp.state = `Blocked -> wp.futex_woken <- true
+          | Some wp when wp.state = `Blocked ->
+              wp.futex_woken <- true;
+              (* multi-core: a wake must cancel the sleeping SIP's home
+                 core's steal backoff, or the wakeup waits it out *)
+              (match t.sched with
+              | Some s -> Sched.notify_wake s ~waker:t.cur_core wp.pid
+              | None -> ())
           | _ -> ())
         to_wake;
       ok (List.length to_wake)
@@ -1646,8 +1666,51 @@ let retry_blocked t =
       end)
     t.procs
 
+(* What the LibOS does when a quantum stops: dispatch the gate, or field
+   the fault (EPC miss -> AEX + ELDU + resume; anything else kills the
+   SIP). Shared verbatim between the sequential scheduler and the
+   multi-core epoch's post phase. *)
+let handle_stop t (p : proc) (stop : Interp.stop) =
+  match stop with
+  | Interp.Stop_quantum -> ()
+  | Interp.Stop_syscall -> handle_gate t p
+  | Interp.Stop_fault (Fault.Epc_miss { addr; _ } as f)
+    when Occlum_sgx.Epc.paging_enabled t.epc -> (
+      (* page fault on an evicted page: AEX out of the enclave, ELDU the
+         page back, ERESUME — the SIP stays runnable and re-executes the
+         faulting instruction bit-identically *)
+      Occlum_sgx.Enclave.aex ~reason:(Fault.to_string f) t.enclave p.cpu;
+      match
+        Occlum_sgx.Epc.eldu t.epc
+          ~cid:(Occlum_sgx.Enclave.id t.enclave)
+          ~page:(addr / Mem.page_size)
+      with
+      | () ->
+          Occlum_sgx.Enclave.resume t.enclave p.cpu;
+          if t.obs.Occlum_obs.Obs.enabled then
+            Occlum_obs.Metrics.inc
+              (Occlum_obs.Metrics.counter t.obs.Occlum_obs.Obs.metrics
+                 "epc.faults")
+      | exception Occlum_sgx.Epc.Integrity_violation _ ->
+          (* tampered or rolled-back backing page: hard fault, the
+             content is never exposed to the SIP *)
+          Occlum_sgx.Enclave.resume t.enclave p.cpu;
+          t.faults <- (p.pid, f) :: t.faults;
+          kill_proc t p ~fatal_signal:7
+      | exception Occlum_sgx.Epc.Out_of_epc ->
+          (* backing store at capacity and nothing evictable *)
+          Occlum_sgx.Enclave.resume t.enclave p.cpu;
+          t.faults <- (p.pid, f) :: t.faults;
+          kill_proc t p ~fatal_signal:Sig.sigkill)
+  | Interp.Stop_fault f ->
+      (* AEX -> the LibOS captures the exception and kills the SIP *)
+      t.faults <- (p.pid, f) :: t.faults;
+      Occlum_sgx.Enclave.aex ~reason:(Fault.to_string f) t.enclave p.cpu;
+      Occlum_sgx.Enclave.resume t.enclave p.cpu;
+      kill_proc t p ~fatal_signal:11
+
 (* Run one quantum of one SIP. Returns false if nothing was runnable. *)
-let step t =
+let seq_step t =
   retry_blocked t;
   let rec pick tries =
     if tries = 0 then None
@@ -1706,52 +1769,163 @@ let step t =
                  [| 100; 1_000; 10_000; 25_000; 50_000; 75_000; 100_000 |])
             (p.cpu.insns - insns_before)
         end;
-        (match stop with
-        | Interp.Stop_quantum -> ()
-        | Interp.Stop_syscall -> handle_gate t p
-        | Interp.Stop_fault (Fault.Epc_miss { addr; _ } as f)
-          when Occlum_sgx.Epc.paging_enabled t.epc -> (
-            (* page fault on an evicted page: AEX out of the enclave,
-               ELDU the page back, ERESUME — the SIP stays runnable and
-               re-executes the faulting instruction bit-identically *)
-            Occlum_sgx.Enclave.aex ~reason:(Fault.to_string f) t.enclave p.cpu;
-            match
-              Occlum_sgx.Epc.eldu t.epc
-                ~cid:(Occlum_sgx.Enclave.id t.enclave)
-                ~page:(addr / Mem.page_size)
-            with
-            | () ->
-                Occlum_sgx.Enclave.resume t.enclave p.cpu;
-                if t.obs.Occlum_obs.Obs.enabled then
-                  Occlum_obs.Metrics.inc
-                    (Occlum_obs.Metrics.counter t.obs.Occlum_obs.Obs.metrics
-                       "epc.faults")
-            | exception Occlum_sgx.Epc.Integrity_violation _ ->
-                (* tampered or rolled-back backing page: hard fault, the
-                   content is never exposed to the SIP *)
-                Occlum_sgx.Enclave.resume t.enclave p.cpu;
-                t.faults <- (p.pid, f) :: t.faults;
-                kill_proc t p ~fatal_signal:7
-            | exception Occlum_sgx.Epc.Out_of_epc ->
-                (* backing store at capacity and nothing evictable *)
-                Occlum_sgx.Enclave.resume t.enclave p.cpu;
-                t.faults <- (p.pid, f) :: t.faults;
-                kill_proc t p ~fatal_signal:Sig.sigkill)
-        | Interp.Stop_fault f ->
-            (* AEX -> the LibOS captures the exception and kills the SIP *)
-            t.faults <- (p.pid, f) :: t.faults;
-            Occlum_sgx.Enclave.aex ~reason:(Fault.to_string f) t.enclave p.cpu;
-            Occlum_sgx.Enclave.resume t.enclave p.cpu;
-            kill_proc t p ~fatal_signal:11);
+        handle_stop t p stop;
         sync_pressure_charges t;
         true
       end)
 
+(* --- the multi-core scheduler (cfg.cores > 1) ------------------------------
+
+   Epoch model: a sequential claim phase picks at most one runnable SIP
+   per core (Sched.claim — deterministic, never two SIPs of one domain
+   slot), the execution phase runs one interpreter quantum per claimed
+   SIP — parallelizable across OCaml domains because a SIP's quantum
+   only touches its own domain slot's pages, its own Cpu, and its core's
+   private decode cache and metrics shard — and a sequential post phase,
+   in core order, handles gates, faults and requeueing. The virtual
+   clock advances once per epoch by the longest quantum (concurrent
+   cores overlap in virtual time); syscall and paging charges then
+   serialize exactly as in the sequential scheduler. Nothing observable
+   depends on host timing, so a run at a fixed core count is
+   bit-reproducible with or without the worker pool. *)
+
+let mc_runnable t pid =
+  match find_proc t pid with Some p -> p.state = `Runnable | None -> false
+
+let mc_live t pid =
+  match find_proc t pid with Some p -> p.state <> `Zombie | None -> false
+
+let mc_slot t pid =
+  match find_proc t pid with
+  | Some p -> p.img.slot.Domain_mgr.id
+  | None -> -1
+
+let mc_epoch ?pool t s =
+  retry_blocked t;
+  t.cur_core <- 0;
+  let claims =
+    Sched.claim s ~runnable:(mc_runnable t) ~live:(mc_live t)
+      ~slot_of:(mc_slot t)
+  in
+  if claims = [] then false
+  else begin
+    (* sequential prologue: signal delivery; a SIP killed or blocked by
+       a signal hands its core's slice back *)
+    let jobs =
+      List.filter_map
+        (fun (cid, pid) ->
+          match find_proc t pid with
+          | None -> None
+          | Some p ->
+              t.cur_core <- cid;
+              deliver_signals t p;
+              if p.state = `Runnable then Some (cid, p)
+              else begin
+                if p.state <> `Zombie then Sched.requeue s ~core:cid pid;
+                None
+              end)
+        claims
+      |> Array.of_list
+    in
+    let n = Array.length jobs in
+    let stops = Array.make n Interp.Stop_quantum in
+    let before = Array.map (fun (_, p) -> (p.cpu.cycles, p.cpu.insns)) jobs in
+    let thunks =
+      Array.mapi
+        (fun i (cid, p) ->
+          let core = s.Sched.cores.(cid) in
+          fun () ->
+            stops.(i) <-
+              Interp.run ?cache:core.Sched.dcache ~obs:core.Sched.shard t.mem
+                p.cpu ~fuel:t.cfg.quantum)
+        jobs
+    in
+    (match pool with
+    | Some pool when n > 1 -> Sched.Pool.run_all pool thunks
+    | _ -> Array.iter (fun f -> f ()) thunks);
+    (* The cores ran concurrently: one epoch advances virtual time by
+       the LONGEST per-core (execute + syscall-handling) span, not the
+       sum. Syscall handling is charged to the calling SIP's core — the
+       paper's point is precisely that syscalls are function calls
+       inside the enclave, handled on the core that issued them — so a
+       handler's direct clock charges ([charge_syscall], copy and wire
+       costs) are measured per job below and folded into the epoch max.
+       Globally shared pressure (EPC paging, host-I/O retry backoff)
+       stays serial via [sync_pressure_charges]. *)
+    let base = t.clock_ns in
+    let epoch_ns = ref 0L in
+    (* sequential post phase, in core order *)
+    Array.iteri
+      (fun i (cid, p) ->
+        let core = s.Sched.cores.(cid) in
+        t.cur_core <- cid;
+        let di = p.cpu.insns - snd before.(i) in
+        core.Sched.quanta <- core.Sched.quanta + 1;
+        core.Sched.insns <- core.Sched.insns + di;
+        core.Sched.cycles <- core.Sched.cycles + (p.cpu.cycles - fst before.(i));
+        let sh = core.Sched.shard in
+        if sh.Occlum_obs.Obs.enabled then begin
+          Occlum_obs.Metrics.inc
+            (Occlum_obs.Metrics.counter sh.Occlum_obs.Obs.metrics "os.quanta");
+          Occlum_obs.Metrics.observe
+            (Occlum_obs.Metrics.histogram sh.Occlum_obs.Obs.metrics
+               "os.quantum.insns"
+               ~bounds:
+                 [| 100; 1_000; 10_000; 25_000; 50_000; 75_000; 100_000 |])
+            di;
+          Occlum_obs.Metrics.inc
+            (Occlum_obs.Metrics.counter sh.Occlum_obs.Obs.metrics
+               (Printf.sprintf "sched.core%d.quanta" cid))
+        end;
+        let c0 = t.clock_ns in
+        handle_stop t p stops.(i);
+        let core_ns =
+          Int64.add
+            (cycles_to_ns (p.cpu.cycles - fst before.(i)))
+            (Int64.sub t.clock_ns c0)
+        in
+        if Int64.compare core_ns !epoch_ns > 0 then epoch_ns := core_ns;
+        if p.state <> `Zombie then Sched.requeue s ~core:cid p.pid)
+      jobs;
+    t.clock_ns <- Int64.add base !epoch_ns;
+    sync_pressure_charges t;
+    true
+  end
+
+let merge_core_metrics t =
+  match t.sched with Some s -> Sched.merge_metrics s t.obs | None -> ()
+
+(* One scheduler step: a single quantum (sequential mode) or one epoch
+   of up to [cores] quanta (multi-core mode, executed on the calling
+   domain — drivers that poke the system between steps keep working). *)
+let step t = match t.sched with Some s -> mc_epoch t s | None -> seq_step t
+
 let run ?(max_steps = 1_000_000) t =
+  (* the worker pool exists only for the duration of this call; quanta
+     of one epoch run on up to cores-1 workers plus the calling domain *)
+  let pool =
+    match t.sched with
+    | None -> None
+    | Some s ->
+        let nworkers =
+          min (s.Sched.ncores - 1)
+            (max 0 (Domain.recommended_domain_count () - 1))
+        in
+        if nworkers > 0 then Some (Sched.Pool.create nworkers) else None
+  in
+  let step_once =
+    match t.sched with
+    | None -> fun () -> seq_step t
+    | Some s -> fun () -> mc_epoch ?pool t s
+  in
+  let finish status =
+    merge_core_metrics t;
+    status
+  in
   let rec go n =
-    if n = 0 then Quota_exhausted
-    else if live_procs t = [] then All_exited
-    else if step t then go (n - 1)
+    if n = 0 then finish Quota_exhausted
+    else if live_procs t = [] then finish All_exited
+    else if step_once () then go (n - 1)
     else begin
       (* nothing runnable: either sleepers (advance the clock) or deadlock *)
       let sleepers =
@@ -1762,13 +1936,16 @@ let run ?(max_steps = 1_000_000) t =
           retry_blocked t;
           if List.exists (fun p -> p.state = `Runnable) (live_procs t) then
             go (n - 1)
-          else Deadlock (List.map (fun p -> p.pid) (live_procs t))
+          else finish (Deadlock (List.map (fun p -> p.pid) (live_procs t)))
       | ws ->
           t.clock_ns <- List.fold_left min (List.hd ws) ws;
           go (n - 1)
     end
   in
-  go max_steps
+  Fun.protect
+    ~finally:(fun () ->
+      match pool with Some p -> Sched.Pool.shutdown p | None -> ())
+    (fun () -> go max_steps)
 
 (* Convenience: run until a specific process has exited (it may already
    be reaped by its parent; absence counts as exited). *)
@@ -1793,3 +1970,68 @@ let wait_pid_exit ?(max_steps = 1_000_000) t pid =
   go max_steps
 
 let flush_fs t = Sefs.flush t.sefs
+
+(* A deterministic digest of everything a workload can observe of the
+   final state: per-process exits, per-SIP output streams, faults, spawn
+   count and the whole FS tree. The determinism-vs-parallelism
+   differential compares this across core counts, so quantities that
+   legitimately vary with scheduling granularity — the virtual clock,
+   syscall/retry counts, the interleaving of the *global* console — are
+   deliberately excluded. *)
+let state_digest t =
+  let b = Buffer.create 4096 in
+  let pids = Hashtbl.fold (fun pid _ acc -> pid :: acc) t.procs [] in
+  List.iter
+    (fun pid ->
+      let p = Hashtbl.find t.procs pid in
+      Buffer.add_string b
+        (Printf.sprintf "proc %d parent %d state %s exit %d path %s\n" pid
+           p.parent
+           (match p.state with
+           | `Runnable -> "R"
+           | `Blocked -> "B"
+           | `Zombie -> "Z")
+           p.exit_code p.path))
+    (List.sort compare pids);
+  let outs =
+    Hashtbl.fold (fun pid buf acc -> (pid, Buffer.contents buf) :: acc)
+      t.proc_out []
+  in
+  List.iter
+    (fun (pid, s) ->
+      Buffer.add_string b (Printf.sprintf "out %d %d:" pid (String.length s));
+      Buffer.add_string b s;
+      Buffer.add_char b '\n')
+    (List.sort compare outs);
+  List.iter
+    (fun (pid, f) -> Buffer.add_string b (Printf.sprintf "fault %d %s\n" pid f))
+    (List.sort compare
+       (List.map (fun (pid, f) -> (pid, Fault.to_string f)) t.faults));
+  Buffer.add_string b (Printf.sprintf "spawns %d\n" t.spawns);
+  let rec walk path =
+    match Sefs.lookup t.sefs path with
+    | None -> ()
+    | Some ino -> (
+        match ino.Sefs.kind with
+        | Sefs.Dir -> (
+            Buffer.add_string b (Printf.sprintf "dir %s\n" path);
+            match Sefs.readdir t.sefs path with
+            | Error _ -> ()
+            | Ok names ->
+                List.iter
+                  (fun nm ->
+                    walk (if path = "/" then "/" ^ nm else path ^ "/" ^ nm))
+                  (List.sort compare names))
+        | Sefs.File -> (
+            match Sefs.read_path t.sefs path with
+            | Ok data ->
+                Buffer.add_string b
+                  (Printf.sprintf "file %s %d:" path (String.length data));
+                Buffer.add_string b
+                  (Occlum_util.Sha256.to_hex (Occlum_util.Sha256.digest data));
+                Buffer.add_char b '\n'
+            | Error e ->
+                Buffer.add_string b (Printf.sprintf "file %s err %d\n" path e)))
+  in
+  walk "/";
+  Occlum_util.Sha256.to_hex (Occlum_util.Sha256.digest (Buffer.contents b))

@@ -49,6 +49,12 @@ type config = {
           (§6's "can be avoided on SGX 2.0") *)
   domains : Domain_mgr.config;
   quantum : int;  (** instructions per scheduling slice *)
+  cores : int;
+      (** simulated vCPUs. 1 (the default) is the sequential round-robin
+          scheduler, bit-identical to every release before multi-core;
+          [> 1] schedules in epochs over per-core run queues ({!Sched})
+          with quanta executed in parallel on OCaml domains. Runs are
+          bit-reproducible for a fixed core count. *)
   decode_cache : bool;
       (** replay decoded basic blocks in [Interp.run] (default on) *)
   fs_key : string;
@@ -90,6 +96,10 @@ type t = {
       (** the observability instance every layer of this LibOS reports
           to; {!Occlum_obs.Obs.disabled} unless one was passed to
           {!boot} *)
+  sched : Sched.t option;  (** per-core run queues when [cfg.cores > 1] *)
+  mutable cur_core : int;
+      (** core whose claim is being post-processed; attributes futex
+          wakes to their waker core *)
   mutable last_run_pid : int;
   mutable paging_cycles_seen : int;
       (** EWB/ELDU cycle charges already folded into [clock_ns] *)
@@ -149,14 +159,32 @@ val spawn_initial : t -> Occlum_oelf.Oelf.t -> args:string list -> int
 type run_status = All_exited | Deadlock of int list | Quota_exhausted
 
 val step : t -> bool
-(** Retry blocked SIPs, then run one quantum of one runnable SIP;
-    [false] if nothing was runnable. *)
+(** Retry blocked SIPs, then run one scheduler step: one quantum of one
+    runnable SIP ([cores = 1]) or one epoch of up to [cores] quanta
+    ([cores > 1]; executed sequentially on the calling domain — only
+    {!run} spins up the worker pool). [false] if nothing was runnable. *)
 
 val run : ?max_steps:int -> t -> run_status
 (** Run until every process has exited (advancing the clock over sleep
-    gaps), deadlock, or the step quota. *)
+    gaps), deadlock, or the step quota. With [cores > 1] this owns the
+    worker-domain pool (created on entry, joined before returning, even
+    on exceptions) and folds the per-core metrics shards into [t.obs]
+    when the run completes. *)
 
 val wait_pid_exit : ?max_steps:int -> t -> int -> run_status
 (** Run until a specific process has exited (or was reaped). *)
+
+val merge_core_metrics : t -> unit
+(** Fold the per-core metrics shards and scheduler counters into
+    [t.obs] now (normally done by {!run}); no-op when [cores = 1].
+    Idempotent. *)
+
+val state_digest : t -> string
+(** Hex SHA-256 over the workload-observable final state: processes
+    (parent, state, exit code, path), per-SIP output streams, faults,
+    spawn count and the full FS tree. Excludes the virtual clock,
+    syscall/retry counters and the interleaved global console, which
+    legitimately vary with scheduling granularity — so a fixed workload
+    must digest identically at any core count. *)
 
 val flush_fs : t -> unit

@@ -39,8 +39,11 @@ let build_for system prog =
             ("harness: verification failed: "
             ^ Occlum_verifier.Verify.rejection_to_string (List.hd rs)))
 
-let boot ?(domains = Occlum_libos.Domain_mgr.default_config) ?obs system =
-  let config = { Os.default_config with mode = mode_of system; domains } in
+let boot ?(domains = Occlum_libos.Domain_mgr.default_config) ?(cores = 1) ?obs
+    system =
+  let config =
+    { Os.default_config with mode = mode_of system; domains; cores }
+  in
   Os.boot ~config ?obs ()
 
 let install os system binaries =
@@ -186,29 +189,44 @@ type serving_result = {
 let response_bytes = String.length Httpd.response_header + Httpd.page_size
 
 (* Thousands of concurrent keep-alive connections against the
-   single-SIP event-loop server. Each client sends [rounds] requests
-   back-to-back (the next one as soon as a full response arrived) and
-   the harness records per-request virtual-clock latency. [batch]
-   selects the server's Sys.batch mode. *)
-let run_serving ?(connections = 5000) ?(rounds = 2) ?(batch = false) ?obs
-    system =
+   event-loop server. Each client sends [rounds] requests back-to-back
+   (the next one as soon as a full response arrived) and the harness
+   records per-request virtual-clock latency. [batch] selects the
+   server's Sys.batch mode. [servers] event-loop SIPs listen on ports
+   [Httpd.port + 0 .. servers-1] with clients sharded round-robin —
+   pair it with [cores] to load a multi-core enclave. *)
+let run_serving ?(connections = 5000) ?(rounds = 2) ?(batch = false)
+    ?(servers = 1) ?(cores = 1) ?obs system =
   let domains =
-    { Occlum_libos.Domain_mgr.default_config with max_domains = 2 }
+    { Occlum_libos.Domain_mgr.default_config with max_domains = servers + 1 }
   in
-  let os = boot ~domains ?obs system in
+  let os = boot ~domains ~cores ?obs system in
   (* fit thousands of per-connection rings in memory; one response
      (10280 B) still fits in a 16 KiB ring *)
   os.Os.net.Occlum_libos.Net.sock_ring_bytes <- 16384;
   install os system [ ("/bin/httpd_ev", Httpd.ev_prog) ];
   let quota = connections * rounds in
-  ignore
-    (Os.spawn os ~parent_pid:0 ~path:"/bin/httpd_ev"
-       ~args:[ string_of_int quota; (if batch then "1" else "0") ]);
+  (* server j's quota = requests of the clients sharded onto it *)
+  let clients_of j =
+    (connections / servers) + (if connections mod servers > j then 1 else 0)
+  in
+  for j = 0 to servers - 1 do
+    ignore
+      (Os.spawn os ~parent_pid:0 ~path:"/bin/httpd_ev"
+         ~args:
+           [ string_of_int (clients_of j * rounds);
+             (if batch then "1" else "0"); string_of_int j ])
+  done;
   let guard = ref 0 in
-  while
-    (not (Occlum_libos.Net.has_listener os.Os.net ~port:Httpd.port))
-    && !guard < 400_000
-  do
+  let all_listening () =
+    let ok = ref true in
+    for j = 0 to servers - 1 do
+      if not (Occlum_libos.Net.has_listener os.Os.net ~port:(Httpd.port + j))
+      then ok := false
+    done;
+    !ok
+  in
+  while (not (all_listening ())) && !guard < 400_000 do
     incr guard;
     ignore (Os.step os)
   done;
@@ -237,7 +255,10 @@ let run_serving ?(connections = 5000) ?(rounds = 2) ?(batch = false) ?obs
     (* fill the accept backlog; EAGAIN means it is full, try later *)
     let stop = ref false in
     while (not !stop) && !next_conn < connections do
-      match Occlum_libos.Net.external_connect net ~port:Httpd.port with
+      match
+        Occlum_libos.Net.external_connect net
+          ~port:(Httpd.port + (!next_conn mod servers))
+      with
       | Error _ -> stop := true
       | Ok ep ->
           let k = !next_conn in
@@ -517,3 +538,72 @@ let run_file_io ?(total = 1 lsl 20) ~bufsz ~write system =
   (* virtual-clock throughput: the wall clock would be dominated by the
      pure-OCaml cipher, whereas the paper's testbed had AES-NI *)
   (mb /. (Int64.to_float r.vclock_ns /. 1e9), r)
+
+(* --- multi-core scaling --------------------------------------------------- *)
+
+(* A pure CPU-bound SIP: spins [argv0] iterations of integer arithmetic
+   and prints the accumulator. No syscalls inside the loop, no clock
+   reads — the ideal workload for measuring how aggregate throughput
+   scales with simulated vCPUs. *)
+let compute_prog =
+  let open Occlum_toolchain.Ast in
+  Occlum_toolchain.Runtime.program
+    [
+      func ~reg_vars:[ "acc"; "k" ] "main" []
+        [
+          Let ("iters", Call ("atoi", [ Call ("argv", [ i 0 ]) ]));
+          Let ("acc", i 0);
+          Let ("k", i 0);
+          While
+            ( v "k" <: v "iters",
+              [
+                Assign ("acc", ((v "acc" *: i 31) +: v "k") %: i 1000003);
+                Assign ("k", v "k" +: i 1);
+              ] );
+          Expr (Call ("print_int", [ v "acc" ]));
+          Return (i 0);
+        ];
+    ]
+
+type scaling_result = {
+  sc_cores : int;
+  sc_sips : int;
+  sc_vclock_ns : int64;
+  sc_wall_s : float;
+  sc_insns : int;  (* aggregate instructions retired across all SIPs *)
+  sc_status : Os.run_status;
+  sc_digest : string;  (* Os.state_digest — for determinism differentials *)
+}
+
+(* Run [sips] independent CPU-bound SIPs to completion on [cores]
+   simulated vCPUs. The aggregate-throughput ratio between core counts
+   is the multi-core speedup (virtual time; an epoch costs its longest
+   quantum, so N busy cores retire ~N quanta per epoch). *)
+let run_compute_scaling ?(sips = 8) ?(iters = 40_000) ~cores system =
+  let domains =
+    { Occlum_libos.Domain_mgr.default_config with max_domains = sips + 1 }
+  in
+  let os = boot ~domains ~cores system in
+  install os system [ ("/bin/compute", compute_prog) ];
+  let t0 = Unix.gettimeofday () in
+  let v0 = Os.clock os in
+  for _ = 1 to sips do
+    ignore
+      (Os.spawn os ~parent_pid:0 ~path:"/bin/compute"
+         ~args:[ string_of_int iters ])
+  done;
+  let status = Os.run ~max_steps:40_000_000 os in
+  let insns =
+    Hashtbl.fold
+      (fun _ p a -> a + p.Os.cpu.Occlum_machine.Cpu.insns)
+      os.Os.procs 0
+  in
+  {
+    sc_cores = cores;
+    sc_sips = sips;
+    sc_vclock_ns = Int64.sub (Os.clock os) v0;
+    sc_wall_s = Unix.gettimeofday () -. t0;
+    sc_insns = insns;
+    sc_status = status;
+    sc_digest = Os.state_digest os;
+  }

@@ -17,8 +17,11 @@ val codegen_config : system -> Occlum_toolchain.Codegen.config
 val build_for : system -> Occlum_toolchain.Ast.program -> Occlum_oelf.Oelf.t
 (** Compile for the system, verifying + signing for the SGX systems. *)
 
+(** [boot system] boots a LibOS for [system]; [cores] (default 1)
+    selects the number of simulated vCPUs (see [Os.config]). *)
 val boot :
   ?domains:Occlum_libos.Domain_mgr.config ->
+  ?cores:int ->
   ?obs:Occlum_obs.Obs.t ->
   system ->
   Os.t
@@ -76,14 +79,19 @@ val run_serving :
   ?connections:int ->
   ?rounds:int ->
   ?batch:bool ->
+  ?servers:int ->
+  ?cores:int ->
   ?obs:Occlum_obs.Obs.t ->
   system ->
   serving_result
 (** The C10K load harness: [connections] concurrent keep-alive external
-    clients, [rounds] requests each, against the single-SIP event-loop
-    server ([Httpd.ev_prog]). [batch] turns on the server's
-    [Abi.Sys.batch] mode; compare [s_gate_crossings] across the two runs
-    at equal load. Latencies are virtual-clock, hence deterministic. *)
+    clients, [rounds] requests each, against the event-loop server
+    ([Httpd.ev_prog]). [batch] turns on the server's [Abi.Sys.batch]
+    mode; compare [s_gate_crossings] across the two runs at equal load.
+    [servers] (default 1) spawns that many server SIPs on consecutive
+    ports with clients sharded round-robin, and [cores] (default 1)
+    selects the vCPU count — set both to N for the multi-core serving
+    benchmark. Latencies are virtual-clock, hence deterministic. *)
 
 val sized_program : code_kb:int -> Occlum_toolchain.Ast.program
 (** A program padded to roughly [code_kb] KiB of code (Fig 6a). *)
@@ -102,3 +110,27 @@ val file_io_prog : Occlum_toolchain.Ast.program
 val run_file_io :
   ?total:int -> bufsz:int -> write:bool -> system -> float * run_result
 (** Fig 6c/6d: sequential file throughput (virtual MB/s, raw result). *)
+
+(** {1 Multi-core scaling} *)
+
+val compute_prog : Occlum_toolchain.Ast.program
+(** A pure CPU-bound SIP (no syscalls or clock reads in the hot loop):
+    spins [argv0] iterations of integer arithmetic. *)
+
+type scaling_result = {
+  sc_cores : int;
+  sc_sips : int;
+  sc_vclock_ns : int64;
+  sc_wall_s : float;
+  sc_insns : int;  (** aggregate instructions retired across all SIPs *)
+  sc_status : Os.run_status;
+  sc_digest : string;
+      (** [Os.state_digest] — for determinism differentials *)
+}
+
+val run_compute_scaling :
+  ?sips:int -> ?iters:int -> cores:int -> system -> scaling_result
+(** Run [sips] independent CPU-bound SIPs to completion on [cores]
+    simulated vCPUs. Aggregate virtual-time throughput
+    ([sc_insns] / [sc_vclock_ns]) across core counts is the multi-core
+    scaling curve. *)

@@ -302,9 +302,12 @@ let ev_prog =
         [
           Let ("quota", Call ("atoi", [ Call ("argv", [ i 0 ]) ]));
           Let ("use_batch", Call ("atoi", [ Call ("argv", [ i 1 ]) ]));
+          (* argv[2]: port offset, so several server SIPs (one per core
+             in the multi-core serving bench) can listen side by side *)
+          Let ("poff", Call ("atoi", [ Call ("argv", [ i 2 ]) ]));
           Store (Global_addr "total", Call ("build_page", []));
           Let ("sock", Syscall (Sys.socket, []));
-          Expr (Syscall (Sys.bind, [ v "sock"; i port ]));
+          Expr (Syscall (Sys.bind, [ v "sock"; i port +: v "poff" ]));
           Expr (Syscall (Sys.listen, [ v "sock"; i 1024 ]));
           Expr (Syscall (Sys.fcntl, [ v "sock"; i F.setfl; i nonblock ]));
           Let ("ep", Syscall (Sys.epoll_create, []));

@@ -13,15 +13,25 @@ baseline does not have to be regenerated when benchmarks are added.
 The nested "metrics" section (virtual-clock observability counters) is
 compared informationally only.
 
+A baseline entry `"<section>/_threshold": 0.5` is not a metric: it sets
+the tolerated fractional regression for every `<section>/...` metric,
+overriding --threshold for that section (e.g. the multicore scaling
+gate pins `"multicore/_threshold": 0.5`, i.e. the pinned >=2x speedups
+may lose at most half before the gate trips).
+
 Stdlib only; exit 0 = pass, 1 = regression, 2 = usage/IO error.
 """
 
 import argparse
 import json
+import re
 import sys
 
 
 def direction(name):
+    # sweep variants (…-c4 cores, …-c5000 connections) keep the
+    # direction of their base metric
+    name = re.sub(r"-c\d+$", "", name)
     if name.endswith("-ns-per-op"):
         return "lower"
     if name.endswith("-insns-per-sec") or name.endswith("-speedup"):
@@ -30,16 +40,19 @@ def direction(name):
 
 
 def flatten(doc):
-    """Top-level scalars, plus the nested metrics section under metrics/."""
-    scalars, metrics = {}, {}
+    """Top-level scalars, the nested metrics section, and per-section
+    `<section>/_threshold` overrides (which are config, not metrics)."""
+    scalars, metrics, thresholds = {}, {}, {}
     for key, value in doc.items():
-        if isinstance(value, (int, float)):
+        if key.endswith("/_threshold") and isinstance(value, (int, float)):
+            thresholds[key[: -len("/_threshold")]] = float(value)
+        elif isinstance(value, (int, float)):
             scalars[key] = float(value)
         elif key == "metrics" and isinstance(value, dict):
             for mk, mv in value.items():
                 if isinstance(mv, (int, float)):
                     metrics[mk] = float(mv)
-    return scalars, metrics
+    return scalars, metrics, thresholds
 
 
 def main():
@@ -56,12 +69,16 @@ def main():
 
     try:
         with open(args.baseline) as f:
-            base_scalars, base_metrics = flatten(json.load(f))
+            base_scalars, base_metrics, thresholds = flatten(json.load(f))
         with open(args.current) as f:
-            cur_scalars, cur_metrics = flatten(json.load(f))
+            cur_scalars, cur_metrics, _ = flatten(json.load(f))
     except (OSError, json.JSONDecodeError) as e:
         print(f"compare_bench: {e}", file=sys.stderr)
         return 2
+
+    def threshold_for(name):
+        section = name.split("/", 1)[0] if "/" in name else ""
+        return thresholds.get(section, args.threshold)
 
     if not base_scalars:
         print("compare_bench: baseline has no scalar metrics", file=sys.stderr)
@@ -95,8 +112,9 @@ def main():
             regression = (base - cur) / base
         # delta always printed as the raw change relative to baseline
         delta = (cur - base) / base if base else 0.0
-        if regression > args.threshold:
-            status = f"FAIL (>{args.threshold:.0%} regression)"
+        limit = threshold_for(name)
+        if regression > limit:
+            status = f"FAIL (>{limit:.0%} regression)"
             failed.append(name)
         else:
             status = "ok"
@@ -115,10 +133,11 @@ def main():
             print(f"  {k}: {base_metrics[k]:g} -> {cur_metrics[k]:g}")
 
     if failed:
-        print(f"\nFAILED: {len(failed)} metric(s) regressed more than "
-              f"{args.threshold:.0%}: {', '.join(failed)}")
+        print(f"\nFAILED: {len(failed)} metric(s) regressed past their "
+              f"threshold: {', '.join(failed)}")
         return 1
-    print(f"\nOK: no metric regressed more than {args.threshold:.0%}")
+    print(f"\nOK: no metric regressed past its threshold "
+          f"(default {args.threshold:.0%})")
     return 0
 
 

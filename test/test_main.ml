@@ -20,4 +20,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("fuzz", Test_fuzz.suite);
       ("serving", Test_serving.suite);
+      ("multicore", Test_multicore.suite);
     ]

@@ -43,12 +43,12 @@ let one_response prog args =
 let test_ev_matches_prefork () =
   (* the event-loop server's response is byte-identical to the
      pre-forking server's (1 worker, quota 1 each; ev takes batch=0) *)
-  let ev = one_response Httpd.ev_prog [ "1"; "0" ] in
+  let ev = one_response Httpd.ev_prog [ "1"; "0"; "0" ] in
   let prefork = one_response Httpd.master_prog [ "1"; "1" ] in
   Alcotest.(check int) "ev full response" H.response_bytes (String.length ev);
   Alcotest.(check string) "ev == prefork" prefork ev;
   (* and the batched event loop serves the very same bytes *)
-  let ev_batched = one_response Httpd.ev_prog [ "1"; "1" ] in
+  let ev_batched = one_response Httpd.ev_prog [ "1"; "1"; "0" ] in
   Alcotest.(check string) "batched == unbatched" ev ev_batched
 
 let test_load_smoke () =
