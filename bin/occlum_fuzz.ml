@@ -70,7 +70,8 @@ let cases =
 let properties =
   let doc =
     "Property to run (repeatable): codec-roundtrip, cache-equivalence, \
-     verifier-soundness, aex-identity, epc-pressure, or all. Default: all."
+     verifier-soundness, aex-identity, epc-pressure, mc-determinism, \
+     guard-elide, or all. Default: all."
   in
   Arg.(value & opt_all string [] & info [ "property"; "p" ] ~docv:"PROP" ~doc)
 

@@ -1,0 +1,28 @@
+// Dense redundant-guard workload for the elision pass:
+//   occlum_cc examples/guard_heavy.ol -c naive -o guard_heavy.oelf --verify
+//   occlum_lint guard_heavy.oelf --elide guard_heavy.elided.oelf
+// The naive config guards every access; repeated accesses through the
+// same pointer register make most of those guards provably redundant.
+global arr[256];
+global out[8];
+
+fn main() regs(p, k, acc) {
+  p = arr;
+  store64(p, 11);
+  store64(p + 8, 22);
+  store64(p + 16, 33);
+  store64(p + 24, 44);
+  store64(p + 32, 55);
+  store64(p + 40, 66);
+  k = 0;
+  acc = 0;
+  while (k < 6) {
+    acc = acc + load64(p + k * 8);
+    k = k + 1;
+  }
+  store64(out, acc);
+  print_cstr("sum ");
+  print_int(acc);
+  puts("\n", 1);
+  return 0;
+}

@@ -148,6 +148,29 @@ let build ~entry (d : D.t) =
     entry = (match block_at entry with Some b -> Some b | None -> None);
     label_blocks }
 
+(* Blocks reachable from the entry along the recovered edges. Note this
+   is stricter than the verifier's Stage-4 reachability, whose seeds
+   include every cfi_label: a labelled function nobody transfers to is
+   verifier-reachable but entry-unreachable here. *)
+let reachable (t : t) =
+  let nb = Array.length t.blocks in
+  let seen = Array.make (max nb 1) false in
+  (match t.entry with
+  | None -> ()
+  | Some e ->
+      let stack = ref [ e ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | b :: rest ->
+            stack := rest;
+            if not seen.(b) then begin
+              seen.(b) <- true;
+              List.iter (fun j -> stack := j :: !stack) t.succs.(b)
+            end
+      done);
+  seen
+
 (* --- dominators --------------------------------------------------------- *)
 
 module Dom_engine = Occlum_range.Dataflow.Make (struct
@@ -232,3 +255,76 @@ let natural_loops (t : t) =
       (head, List.sort compare members) :: acc)
     bodies []
   |> List.sort compare
+
+(* Reducibility test: in any DFS of a reducible CFG every retreating
+   edge (edge to a gray node) is a back edge, i.e. its target dominates
+   its source. An edge into the middle of a cycle that bypasses the
+   cycle's header breaks that property.
+
+   The test runs on the DIRECT-edge subgraph: the register-indirect
+   fan-out (jmp_reg/call_reg edging to every cfi_label block) is
+   excluded, because every such edge lands on a cfi_label and cfi_labels
+   reset the range state to top — for the fixpoint they are analysis
+   boundaries, so only cycles formed purely of direct and fall-through
+   edges need the loop-structure property. Including the fan-out would
+   flag every multi-function binary (each epilogue retreats into every
+   function entry it does not dominate). *)
+let irreducible (t : t) =
+  match t.entry with
+  | None -> false
+  | Some e ->
+      let nb = Array.length t.blocks in
+      let direct_succs b =
+        let u = t.disasm.D.sorted.((t.blocks.(b)).last) in
+        match u.kind with
+        | U.U_insn i -> (
+            match Insn.control_transfer_of i with
+            | Ct_register _ ->
+                (* keep call_reg's fall-through, drop the label fan-out *)
+                List.filter
+                  (fun j -> t.blocks.(j).addr = u.addr + u.len)
+                  t.succs.(b)
+            | _ -> t.succs.(b))
+        | _ -> t.succs.(b)
+      in
+      (* roots mirror the fixpoint's seeds: the entry plus every
+         cfi_label block (each is where an indirect transfer may land,
+         restarting the analysis at top). Roots are processed in order;
+         each still-white root opens its own DFS tree with dominators
+         computed from THAT root — a retreating edge always targets a
+         gray node, i.e. a node of the current tree, so per-tree
+         dominance is exactly the relation the back-edge test needs.
+         (A single multi-rooted dominator pass would be wrong: every
+         call site inside a loop is followed by a return-site cfi_label,
+         and seeding it as a root would dissolve the loop head's
+         dominance over the body.) *)
+      let roots = e :: List.filter (fun b -> b <> e) t.label_blocks in
+      let succs = Array.init nb direct_succs in
+      let dom_from r =
+        let in_doms =
+          Dom_engine.fixpoint
+            { Occlum_range.Dataflow.nodes = nb; succs }
+            ~seeds:[ (r, []) ]
+            ~transfer:(fun b doms -> List.sort_uniq compare (b :: doms))
+        in
+        Array.mapi
+          (fun b s ->
+            match s with
+            | None -> None
+            | Some l -> Some (List.sort_uniq compare (b :: l)))
+          in_doms
+      in
+      let color = Array.make (max nb 1) 0 in
+      (* 0 white, 1 gray, 2 black *)
+      let bad = ref false in
+      let rec dfs doms b =
+        color.(b) <- 1;
+        List.iter
+          (fun j ->
+            if color.(j) = 0 then dfs doms j
+            else if color.(j) = 1 && not (dominates doms j b) then bad := true)
+          succs.(b);
+        color.(b) <- 2
+      in
+      List.iter (fun r -> if color.(r) = 0 then dfs (dom_from r) r) roots;
+      !bad

@@ -29,11 +29,30 @@ type t = {
 val build : entry:int -> Occlum_verifier.Disasm.t -> t
 (** Partition the disassembly into basic blocks and compute the edges. *)
 
+val reachable : t -> bool array
+(** Per-block reachability from the entry along the recovered edges.
+    Stricter than Stage-4 reachability (whose seeds include every
+    cfi_label): a labelled function nobody transfers to is
+    entry-unreachable here. *)
+
 val dominators : t -> int list option array
 (** Self-inclusive, sorted dominator sets per block id; [None] =
     unreachable from the entry. Runs on the shared dataflow engine with
     the intersection lattice. *)
 
+val dominates : int list option array -> int -> int -> bool
+(** [dominates doms a b]: does block [a] dominate block [b]? Unreachable
+    [b] is dominated by nothing. *)
+
 val natural_loops : t -> (int * int list) list
 (** [(head, body)] per natural loop (back edges sharing a head are
     merged), sorted by head block id; bodies sorted and head-inclusive. *)
+
+val irreducible : t -> bool
+(** [true] iff the {e direct-edge} subgraph (register-indirect fan-out
+    excluded: those edges land on cfi_labels, which reset the range
+    state to top and so carry no loop-structure obligations) contains a
+    retreating edge that is not a back edge — a cycle entered past its
+    header. Rooted at the entry and every cfi_label block, mirroring
+    the fixpoint's seeds. Clients that rely on natural-loop structure
+    (e.g. guard elision) conservatively bail on such CFGs. *)

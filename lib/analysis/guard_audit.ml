@@ -23,6 +23,8 @@ type report = {
   guards_total : int;
   redundant_total : int;
   funcs : func_report list; (* sorted by name; only funcs with guards *)
+  findings : Lint.finding list;
+      (* one OL003 per redundant guard: exact address + decoded text *)
 }
 
 let audit (oelf : Occlum_oelf.Oelf.t) (d : Occlum_verifier.Disasm.t) =
@@ -44,18 +46,32 @@ let audit (oelf : Occlum_oelf.Oelf.t) (d : Occlum_verifier.Disasm.t) =
     Hashtbl.replace tbl name (g + 1, if redundant then r + 1 else r)
   in
   let total = ref 0 and red = ref 0 in
+  let findings = ref [] in
   Array.iteri
     (fun i (u : U.unit_at) ->
       match u.kind with
       | U.U_mem_guard m ->
           incr total;
+          let func = Option.value (func_of u.addr) ~default:"<unknown>" in
           let redundant =
             match (R.simple_sib m, in_state.(i)) with
             | Some (base, disp), Some s -> R.covers s base disp (disp + 7)
             | _ -> false
           in
-          if redundant then incr red;
-          bump (Option.value (func_of u.addr) ~default:"<unknown>") redundant
+          if redundant then begin
+            incr red;
+            findings :=
+              { Lint.rule = "OL003"; addr = u.addr;
+                insn = U.to_string u.kind;
+                message =
+                  Printf.sprintf
+                    "redundant mem_guard in %s: the range fixpoint already \
+                     covers the guarded window"
+                    func;
+                severity = Lint.Note }
+              :: !findings
+          end;
+          bump func redundant
       | _ -> ())
     d.sorted;
   let funcs =
@@ -65,7 +81,8 @@ let audit (oelf : Occlum_oelf.Oelf.t) (d : Occlum_verifier.Disasm.t) =
       tbl []
     |> List.sort (fun a b -> compare a.name b.name)
   in
-  { guards_total = !total; redundant_total = !red; funcs }
+  { guards_total = !total; redundant_total = !red; funcs;
+    findings = List.sort Lint.compare_findings !findings }
 
 let record registry (r : report) =
   let module M = Occlum_obs.Metrics in
@@ -98,6 +115,12 @@ let to_json (r : report) =
         (Printf.sprintf "{\"name\":\"%s\",\"guards\":%d,\"redundant\":%d}"
            (json_escape f.name) f.guards f.redundant))
     r.funcs;
+  Buffer.add_string b "],\"findings\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Lint.finding_json f))
+    r.findings;
   Buffer.add_string b "]}";
   Buffer.contents b
 
@@ -112,4 +135,9 @@ let to_text (r : report) =
         (Printf.sprintf "  %-24s %4d guard(s), %4d redundant\n" f.name
            f.guards f.redundant))
     r.funcs;
+  List.iter
+    (fun f ->
+      Buffer.add_string b ("  " ^ Lint.finding_to_string f);
+      Buffer.add_char b '\n')
+    r.findings;
   Buffer.contents b

@@ -14,6 +14,9 @@ type report = {
   guards_total : int;
   redundant_total : int;
   funcs : func_report list;  (** sorted by name; only funcs with guards *)
+  findings : Lint.finding list;
+      (** one OL003 per redundant guard, address-sorted, with the exact
+          code offset and decoded unit text *)
 }
 
 val audit : Occlum_oelf.Oelf.t -> Occlum_verifier.Disasm.t -> report

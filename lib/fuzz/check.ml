@@ -9,6 +9,7 @@ module Sefs = Occlum_libos.Sefs
 module Net = Occlum_libos.Net
 module Errno = Occlum_abi.Abi.Errno
 module Verify = Occlum_verifier.Verify
+module Elide = Occlum_analysis.Elide
 
 type property =
   | Codec_roundtrip
@@ -17,11 +18,12 @@ type property =
   | Aex_identity
   | Epc_pressure
   | Mc_determinism
+  | Guard_elide
 
 let all_properties =
   [
     Codec_roundtrip; Cache_equivalence; Verifier_soundness; Aex_identity;
-    Epc_pressure; Mc_determinism;
+    Epc_pressure; Mc_determinism; Guard_elide;
   ]
 
 let property_name = function
@@ -31,6 +33,7 @@ let property_name = function
   | Aex_identity -> "aex-identity"
   | Epc_pressure -> "epc-pressure"
   | Mc_determinism -> "mc-determinism"
+  | Guard_elide -> "guard-elide"
 
 let property_of_name = function
   | "codec-roundtrip" -> Some Codec_roundtrip
@@ -39,6 +42,7 @@ let property_of_name = function
   | "aex-identity" -> Some Aex_identity
   | "epc-pressure" -> Some Epc_pressure
   | "mc-determinism" -> Some Mc_determinism
+  | "guard-elide" -> Some Guard_elide
   | _ -> None
 
 let property_index = function
@@ -48,6 +52,7 @@ let property_index = function
   | Aex_identity -> 3
   | Epc_pressure -> 4
   | Mc_determinism -> 5
+  | Guard_elide -> 6
 
 type failure = {
   prop : property;
@@ -442,6 +447,188 @@ let aex_case inj shrink rng case =
                items)
       in
       Some { prop = Aex_identity; case; detail; minimized }
+
+(* --- property: guard elision -------------------------------------------- *)
+
+(* Observable synchronization points of a run: the elided binary's code
+   addresses differ from the original's, so lockstep pc comparison is
+   meaningless — but syscalls, faults and the exit are layout-free
+   events, and at each of them every register, bound register, flag and
+   the data/victim memory must be bit-identical (pushed return
+   addresses and lea'd cfi_label addresses are pinned by the rewriter,
+   so no live value is layout-dependent). *)
+type sync = S_syscall of int | S_exit | S_fault of Fault.t | S_fuel
+
+let sync_to_string = function
+  | S_syscall n -> Printf.sprintf "syscall %d" n
+  | S_exit -> "exit"
+  | S_fault f -> "fault " ^ Fault.to_string f
+  | S_fuel -> "out of fuel"
+
+let run_to_sync (env : Exec.env) intr fuel =
+  let rec go fuel =
+    if fuel <= 0 then (S_fuel, 0)
+    else begin
+      if intr () then begin
+        Enclave.aex ~reason:"guard-elide" env.Exec.enclave env.Exec.cpu;
+        Enclave.resume env.Exec.enclave env.Exec.cpu
+      end;
+      match Interp.step env.Exec.mem env.Exec.cpu with
+      | None | Some Interp.Stop_quantum -> go (fuel - 1)
+      | Some (Interp.Stop_fault f) -> (S_fault f, fuel - 1)
+      | Some Interp.Stop_syscall ->
+          let nr = Int64.to_int (Cpu.get env.Exec.cpu sys_nr_reg) in
+          if nr = Occlum_abi.Abi.Sys.exit then (S_exit, fuel - 1)
+          else (S_syscall nr, fuel - 1)
+    end
+  in
+  go fuel
+
+(* Drive original and elided side by side — the original under an
+   interrupt storm, the elided silently — comparing at every sync
+   point. Counters (cycles, bound_checks) are exactly what elision
+   changes, so they are NOT compared; code bytes differ by design, so
+   memory comparison covers data + victim only. *)
+let elide_equiv ?inj oelf oelf' ~period ~fuel =
+  let a = Exec.make oelf and b = Exec.make oelf' in
+  let ia =
+    match inj with
+    | Some inj -> Inject.interrupt_every inj ~period
+    | None -> Inject.interrupt_silent ~period
+  in
+  let ib = Inject.interrupt_silent ~period in
+  let data_victim_diff () =
+    let region name base len =
+      let x = Mem.read_bytes_priv a.Exec.mem ~addr:base ~len in
+      let y = Mem.read_bytes_priv b.Exec.mem ~addr:base ~len in
+      if not (Bytes.equal x y) then raise (Diff (name ^ " region bytes"))
+    in
+    try
+      region "data" a.Exec.d_base a.Exec.d_size;
+      region "victim" a.Exec.victim_base a.Exec.victim_size;
+      None
+    with Diff d -> Some d
+  in
+  let audits () =
+    match (Exec.audit a, Exec.audit b) with
+    | Some v, _ ->
+        Error ("original violated isolation: " ^ Exec.violation_to_string v)
+    | _, Some v ->
+        Error ("ELIDED violated isolation: " ^ Exec.violation_to_string v)
+    | None, None -> Ok ()
+  in
+  let finish () =
+    match data_victim_diff () with
+    | Some d -> Error ("final memory diverges: " ^ d)
+    | None -> audits ()
+  in
+  let rec go fa fb =
+    let sa, fa = run_to_sync a ia fa in
+    let sb, fb = run_to_sync b ib fb in
+    match (sa, sb) with
+    | S_fuel, _ | _, S_fuel -> audits () (* inconclusive but still audited *)
+    | S_fault f, S_fault f' ->
+        (* fault payloads are data-derived (addresses, bnd values), never
+           pc-derived, so structural equality is exact *)
+        if f = f' then finish ()
+        else
+          Error
+            (Printf.sprintf "faults differ: %s vs %s" (Fault.to_string f)
+               (Fault.to_string f'))
+    | S_exit, S_exit -> (
+        match resume_diff (capture a.Exec.cpu) b.Exec.cpu with
+        | Some d -> Error ("state diverges at exit: " ^ d)
+        | None -> finish ())
+    | S_syscall n, S_syscall n' when n = n' -> (
+        (* pc is inside the pinned trampoline at a syscall stop, so the
+           full register file including pc must match *)
+        match resume_diff (capture a.Exec.cpu) b.Exec.cpu with
+        | Some d ->
+            Error (Printf.sprintf "state diverges at syscall %d: %s" n d)
+        | None -> (
+            match data_victim_diff () with
+            | Some d ->
+                Error (Printf.sprintf "memory diverges at syscall %d: %s" n d)
+            | None ->
+                Cpu.set a.Exec.cpu R.result 0L;
+                Cpu.set b.Exec.cpu R.result 0L;
+                go fa fb))
+    | _ ->
+        Error
+          (Printf.sprintf "sync points diverge: %s vs %s" (sync_to_string sa)
+             (sync_to_string sb))
+  in
+  go fuel fuel
+
+(* One reproduction of the whole elision contract on fresh input. *)
+let elide_repro ?inj items ~period ~fuel =
+  match Gen.link items with
+  | exception _ -> Ok ()
+  | oelf -> (
+      match Verify.verify oelf with
+      | Error _ -> Ok () (* rejection of Gen output is soundness's problem *)
+      | Ok _ -> (
+          match Elide.run oelf with
+          | Error e ->
+              Error ("elision failed on a verified program: "
+                     ^ Elide.error_to_string e)
+          | Ok (oelf', _report) ->
+              if not (Occlum_verifier.Signer.check oelf') then
+                Error "elided binary's signature does not check"
+              else elide_equiv ?inj oelf oelf' ~period ~fuel))
+
+let elide_case inj shrink rng case =
+  let period = 1 + Rng.int rng 3 in
+  let fuel = 6000 in
+  let fail detail minimized = Some { prop = Guard_elide; case; detail; minimized } in
+  if case mod 3 = 0 then
+    (* hostile mutants: a rejected input must come back [Input_rejected]
+       (the pass gives an attacker no second chance at the verifier), and
+       an accepted one must re-verify after elision or be refused
+       conservatively — never re-signed unverified. *)
+    let items = Gen.hostile rng in
+    match Gen.link items with
+    | exception _ -> None
+    | oelf -> (
+        match Verify.verify oelf with
+        | Error _ -> (
+            match Elide.run oelf with
+            | Error (Elide.Input_rejected _) -> None
+            | Ok _ ->
+                fail "rejected hostile mutant came out of the elision pass \
+                      signed" None
+            | Error e ->
+                fail ("elision pass misreported a rejected input: "
+                      ^ Elide.error_to_string e) None)
+        | Ok _ -> (
+            match Elide.run oelf with
+            | Ok (oelf', _) ->
+                if Occlum_verifier.Signer.check oelf' then None
+                else fail "elided hostile mutant's signature does not check" None
+            | Error (Elide.Rewrite_error _) -> None (* conservative refusal *)
+            | Error (Elide.Output_rejected _ as e) ->
+                fail (Elide.error_to_string e) None
+            | Error (Elide.Input_rejected _) ->
+                fail "verifier and elision pass disagree on acceptance" None))
+  else
+    (* well-formed: elision must succeed, re-sign, and preserve every
+       sync-point observation under an interrupt storm *)
+    let items = Gen.program rng in
+    match elide_repro ~inj items ~period ~fuel with
+    | Ok () -> None
+    | Error detail ->
+        let minimized =
+          if not shrink then None
+          else
+            Some
+              (Shrink.minimize
+                 (fun its ->
+                   match elide_repro its ~period ~fuel with
+                   | Error _ -> true
+                   | Ok () -> false)
+                 items)
+        in
+        fail detail minimized
 
 (* --- property: EPC pressure / LibOS clean failure ------------------------ *)
 
@@ -1041,6 +1228,7 @@ let run_case prop inj shrink rng case =
   | Aex_identity -> aex_case inj shrink rng case
   | Epc_pressure -> epc_case inj shrink rng case
   | Mc_determinism -> mc_case inj shrink rng case
+  | Guard_elide -> elide_case inj shrink rng case
 
 let run ?(properties = all_properties) ?(shrink = true) ?metrics ~seed ~cases
     () =
@@ -1185,9 +1373,17 @@ let replay_items items =
       | Error [] -> Error "corpus program rejected"
       | Ok _ -> (
           match contained oelf ~period:1 ~fuel:20_000 with
-          | Ok _ -> Ok ()
           | Error v ->
-              Error ("corpus program escaped: " ^ Exec.violation_to_string v)))
+              Error ("corpus program escaped: " ^ Exec.violation_to_string v)
+          | Ok _ -> (
+              (* the elision pass must also handle every corpus entry:
+                 classify, rewrite, and get re-accepted by the verifier *)
+              match Elide.run ~sign:false oelf with
+              | Ok _ -> Ok ()
+              | Error e ->
+                  Error
+                    ("corpus program broke the elision pass: "
+                    ^ Elide.error_to_string e))))
 
 let has_insn p items =
   List.exists (function Asm.Ins i -> p i | _ -> false) items
@@ -1207,6 +1403,15 @@ let features : (string * (Asm.item list -> bool)) list =
     ("loop", fun items -> List.exists (function Asm.Jcc_l _ -> true | _ -> false) items);
     ("cfi-guard", fun items -> List.exists (function Asm.Cfi_guard _ -> true | _ -> false) items);
     ("alu-div", has_insn (function Insn.Alu ((Insn.Divu | Insn.Remu), _, _) -> true | _ -> false));
+    ("guard-elide",
+     fun items ->
+       (* programs where the elision pass actually removes guards *)
+       match Gen.link items with
+       | exception _ -> false
+       | oelf -> (
+           match Verify.verify oelf with
+           | Error _ -> false
+           | Ok d -> (Elide.analyze oelf d).Elide.elided > 0));
   ]
 
 let passes items =

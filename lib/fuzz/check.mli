@@ -27,7 +27,15 @@
       ping-pong thread pairs produces identical {!Occlum_libos.Os}
       state digests at cores=1 and a random cores=c, and across
       repeated runs at the same c — parallel scheduling must be both
-      reproducible and semantically equivalent to sequential. *)
+      reproducible and semantically equivalent to sequential.
+    - {b guard-elide}: the static guard-elision pass preserves both the
+      security and the semantics of its input — well-formed programs
+      elide to binaries the unmodified verifier re-accepts, with
+      bit-identical registers, flags and data/victim memory at every
+      syscall/fault/exit sync point under an interrupt storm; hostile
+      programs the verifier rejects must still be rejected ([the pass
+      reports [Input_rejected]]), and accepted mutants are never
+      re-signed without re-verification. *)
 
 open Occlum_toolchain
 
@@ -40,6 +48,13 @@ type property =
   | Mc_determinism
       (** the same workload mix digests identically at cores=1 and a
           random cores=c, and across repeated runs at the same c *)
+  | Guard_elide
+      (** well-formed programs survive the guard-elision pass: the
+          elided binary re-verifies, re-signs, and is observationally
+          identical at every sync point (syscall, fault, exit — full
+          register file and data/victim memory) under an interrupt
+          storm; rejected hostile mutants come back [Input_rejected],
+          and accepted ones are never re-signed unverified *)
 
 val all_properties : property list
 val property_name : property -> string

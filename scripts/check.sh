@@ -60,6 +60,38 @@ dune exec bin/occlum_cc.exe -- examples/ct_leaky.ol -c naive -o _build/ct_naive.
 dune exec bin/occlum_verify.exe -- --guard-audit --json _build/guard-audit.json \
   _build/ct_naive.oelf
 
+# Lint gate: the unified occlum_lint driver over the example workloads,
+# SARIF artifacts in _build/lint/ (CI uploads them). The sfi builds may
+# be clean (0) or carry findings (4) but never reject/malform; the naive
+# guard_heavy build must have elidable guards (exit 4) and its --elide
+# output must re-verify under the unmodified verifier — the elision
+# trust argument, exercised end to end.
+mkdir -p _build/lint
+for ex in ct_safe ct_leaky hello guard_heavy; do
+  dune exec bin/occlum_cc.exe -- "examples/$ex.ol" --verify -o "_build/lint/$ex.oelf"
+  status=0
+  dune exec bin/occlum_lint.exe -- "_build/lint/$ex.oelf" \
+    --sarif "_build/lint/$ex.sarif" >/dev/null || status=$?
+  if [ "$status" -ne 0 ] && [ "$status" -ne 4 ]; then
+    echo "FAIL: occlum_lint $ex.oelf expected exit 0 or 4, got $status" >&2
+    exit 1
+  fi
+done
+dune exec bin/occlum_cc.exe -- examples/guard_heavy.ol -c naive --verify \
+  -o _build/lint/guard_heavy_naive.oelf
+status=0
+dune exec bin/occlum_lint.exe -- _build/lint/guard_heavy_naive.oelf \
+  --sarif _build/lint/guard_heavy_naive.sarif \
+  --elide _build/lint/guard_heavy_naive.elided.oelf >/dev/null || status=$?
+if [ "$status" -ne 4 ]; then
+  echo "FAIL: naive guard_heavy expected elidable guards (exit 4), got $status" >&2
+  exit 1
+fi
+dune exec bin/occlum_verify.exe -- _build/lint/guard_heavy_naive.elided.oelf || {
+  echo "FAIL: elided guard_heavy rejected by the unmodified verifier" >&2
+  exit 1
+}
+
 # EPC paging smoke: the same workload must produce bit-identical console
 # output under a pressured demand-paged pool (20K = 5 pages, small enough
 # that the hello working set is evicted and reloaded) and under an
@@ -100,7 +132,7 @@ cmp _build/cores1-console.txt _build/cores4-console.txt || {
 dune exec bin/occlum_fuzz.exe -- --seed 42 --cases 200 --shrink \
   --json _build/fuzz-report.json
 
-dune exec bench/main.exe -- --only=micro,paging,serving,multicore \
+dune exec bench/main.exe -- --only=micro,paging,serving,multicore,guards \
   --json _build/bench-micro.json
 python3 scripts/compare_bench.py bench/baseline-micro.json \
   _build/bench-micro.json --threshold "${BENCH_THRESHOLD:-0.25}"

@@ -34,7 +34,11 @@ def direction(name):
     name = re.sub(r"-c\d+$", "", name)
     if name.endswith("-ns-per-op"):
         return "lower"
-    if name.endswith("-insns-per-sec") or name.endswith("-speedup"):
+    if (
+        name.endswith("-insns-per-sec")
+        or name.endswith("-speedup")
+        or name.endswith("-elided-guards")  # static elision count: may only grow
+    ):
         return "higher"
     return "lower"
 

@@ -353,6 +353,270 @@ let test_guard_audit_metrics_and_json () =
   Alcotest.(check bool) "text report mentions mem_guard" true
     (String.length txt > 0)
 
+(* --- guard elision ------------------------------------------------------- *)
+
+module Elide = Occlum_analysis.Elide
+module Lint = Occlum_analysis.Lint
+
+let g1 disp =
+  Asm.Mem_guard (Sib { base = Reg.r1; index = None; scale = 1; disp })
+
+let elide_ok oelf =
+  match Elide.run oelf with
+  | Ok (oelf', report) -> (oelf', report)
+  | Error e -> Alcotest.fail (Elide.error_to_string e)
+
+let classes (r : Elide.report) =
+  List.map (fun (g : Elide.guard) -> g.cls) r.guards
+
+(* Two identical adjacent guards: the verifier accepts both, the range
+   fixpoint proves the second from the first, and the dominance check
+   attributes it to its same-block twin. *)
+let test_elide_straightline_dominated () =
+  let oelf =
+    link_raw
+      [
+        Asm.Label "_start";
+        Asm.Cfi_label_here;
+        g1 0;
+        g1 0;
+        Asm.Label "spin";
+        Asm.Jmp_l "spin";
+      ]
+  in
+  let report = Elide.analyze oelf (disasm_exn oelf) in
+  Alcotest.(check int) "two guards" 2 report.Elide.total;
+  Alcotest.(check int) "one elided" 1 report.Elide.elided;
+  Alcotest.(check int) "by dominance" 1 report.Elide.dominated;
+  Alcotest.(check bool) "no bail" false report.Elide.bailed;
+  (match classes report with
+  | [ Elide.Required; Elide.Dominated_redundant ] -> ()
+  | _ -> Alcotest.fail "expected [required; dominated-redundant]");
+  let oelf', _ = elide_ok oelf in
+  Alcotest.(check bool) "elided binary is signed" true
+    (Occlum_verifier.Signer.check oelf');
+  match Occlum_verifier.Verify.verify oelf' with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "unmodified verifier must re-accept the output"
+
+(* The §4.3 hoisting shape on a self-loop: a preheader guard dominates
+   the loop-carried copy; the in-loop guard goes, the preheader stays.
+   The loop block is its own back-edge target, so this also covers the
+   self-loop corner of the dominance test. *)
+let test_elide_loop_hoisted () =
+  let oelf =
+    link_raw
+      [
+        Asm.Label "_start";
+        Asm.Cfi_label_here;
+        g1 0;
+        Asm.Ins (Mov_imm (Reg.r0, 0L));
+        Asm.Label "loop";
+        g1 0;
+        Asm.Ins (Alu (Add, Reg.r0, O_imm 1L));
+        Asm.Ins (Cmp (Reg.r0, O_imm 3L));
+        Asm.Jcc_l (Lt, "loop");
+        Asm.Label "spin";
+        Asm.Jmp_l "spin";
+      ]
+  in
+  let d = disasm_exn oelf in
+  let cfg = Cfg.build ~entry:oelf.entry d in
+  Alcotest.(check bool) "the loop is a self-loop" true
+    (List.exists (fun (h, body) -> body = [ h ]) (Cfg.natural_loops cfg));
+  Alcotest.(check bool) "reducible" false (Cfg.irreducible cfg);
+  let report = Elide.analyze oelf d in
+  Alcotest.(check int) "two guards" 2 report.Elide.total;
+  Alcotest.(check int) "in-loop guard elided" 1 report.Elide.elided;
+  (match classes report with
+  | [ Elide.Required; Elide.Dominated_redundant ] -> ()
+  | _ -> Alcotest.fail "preheader stays, loop copy goes");
+  let oelf', _ = elide_ok oelf in
+  match Occlum_verifier.Verify.verify oelf' with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "unmodified verifier must re-accept the output"
+
+(* A conditional jump into the middle of a cycle, bypassing its header:
+   the CFG is irreducible, and elision must conservatively bail — even
+   an obviously dominated twin stays. *)
+let test_elide_irreducible_bails () =
+  let oelf =
+    link_raw
+      [
+        Asm.Label "_start";
+        Asm.Cfi_label_here;
+        g1 0;
+        g1 0;
+        Asm.Ins (Cmp (Reg.r0, O_imm 0L));
+        Asm.Jcc_l (Eq, "body");
+        Asm.Label "head";
+        Asm.Ins (Alu (Add, Reg.r0, O_imm 1L));
+        Asm.Label "body";
+        Asm.Ins (Alu (Add, Reg.r0, O_imm 1L));
+        Asm.Ins (Cmp (Reg.r0, O_imm 10L));
+        Asm.Jcc_l (Lt, "head");
+        Asm.Label "spin";
+        Asm.Jmp_l "spin";
+      ]
+  in
+  let d = disasm_exn oelf in
+  Alcotest.(check bool) "irreducible" true
+    (Cfg.irreducible (Cfg.build ~entry:oelf.entry d));
+  let report = Elide.analyze oelf d in
+  Alcotest.(check bool) "bailed" true report.Elide.bailed;
+  Alcotest.(check int) "nothing elided" 0 report.Elide.elided;
+  List.iter
+    (fun (g : Elide.guard) ->
+      Alcotest.(check bool) "all guards required" true (g.cls = Elide.Required))
+    report.Elide.guards;
+  (* run still succeeds: the input comes back unchanged, signed *)
+  let oelf', report' = elide_ok oelf in
+  Alcotest.(check bool) "bail reported through run" true report'.Elide.bailed;
+  Alcotest.(check bool) "code unchanged" true (oelf'.code = oelf.code)
+
+(* examples/guard_heavy.ol under the naive config: the elision count is
+   pinned exactly (a regression gate — the count may only grow), and the
+   elided binary is observationally identical but dynamically cheaper. *)
+let test_guard_heavy_exact_count () =
+  let src =
+    (* cwd is test/ under `dune runtest` but the root under `dune exec`;
+       the copy next to the executable covers both *)
+    let path =
+      List.find Sys.file_exists
+        [
+          "../examples/guard_heavy.ol";
+          "examples/guard_heavy.ol";
+          Filename.concat
+            (Filename.dirname Sys.executable_name)
+            "../examples/guard_heavy.ol";
+        ]
+    in
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let naive = compile_src ~config:Codegen.sfi_naive src in
+  let report = Elide.analyze naive (disasm_exn naive) in
+  Alcotest.(check int) "total guards" 341 report.Elide.total;
+  Alcotest.(check int) "exact elision count" 248 report.Elide.elided;
+  Alcotest.(check int) "dominated" 72 report.Elide.dominated;
+  Alcotest.(check int) "range-proven" 176 report.Elide.range_proven;
+  Alcotest.(check bool) "no bail" false report.Elide.bailed;
+  (* the optimized config leaves nothing on the table *)
+  let opt = compile_src src in
+  let opt_report = Elide.analyze opt (disasm_exn opt) in
+  Alcotest.(check int) "sfi build has no elidable guards" 0
+    opt_report.Elide.elided;
+  (* elided binary: same behavior, strictly fewer dynamic checks *)
+  let elided, _ = elide_ok naive in
+  let rn = Occlum_baseline.Native_run.run naive in
+  let re = Occlum_baseline.Native_run.run elided in
+  Alcotest.(check int64) "same exit code" rn.exit_code re.exit_code;
+  Alcotest.(check string) "same stdout" rn.stdout re.stdout;
+  Alcotest.(check string) "expected output" "sum 231\n" re.stdout;
+  Alcotest.(check bool) "fewer bound checks" true
+    (re.bound_checks < rn.bound_checks);
+  Alcotest.(check bool) "fewer cycles" true (re.cycles < rn.cycles)
+
+(* --- lints ---------------------------------------------------------------- *)
+
+(* OL001: a labelled function nobody transfers to. With no indirect
+   transfers in the program the cfi_label fan-out contributes no edges,
+   so the block is entry-unreachable (though still verifier-accepted). *)
+let test_lint_unreachable_block () =
+  let oelf =
+    link_raw
+      [
+        Asm.Label "_start";
+        Asm.Cfi_label_here;
+        Asm.Ins (Mov_imm (Reg.r0, 7L));
+        Asm.Label "spin";
+        Asm.Jmp_l "spin";
+        Asm.Label "dead";
+        Asm.Cfi_label_here;
+        Asm.Ins (Mov_imm (Reg.r1, 1L));
+        Asm.Label "dspin";
+        Asm.Jmp_l "dspin";
+      ]
+  in
+  let cfg = Cfg.build ~entry:oelf.entry (disasm_exn oelf) in
+  let fs = Lint.unreachable_blocks cfg in
+  Alcotest.(check int) "the dead function's two blocks" 2 (List.length fs);
+  List.iter
+    (fun (f : Lint.finding) ->
+      Alcotest.(check string) "rule" "OL001" f.rule;
+      Alcotest.(check bool) "warning severity" true
+        (f.severity = Lint.Warning))
+    fs;
+  (* a program with no dead code is clean *)
+  let live = link_raw cfg_items in
+  Alcotest.(check int) "cfg_items fully reachable" 0
+    (List.length
+       (Lint.unreachable_blocks (Cfg.build ~entry:live.entry (disasm_exn live))))
+
+(* OL002: back-to-back cmps with no branch between them — the first
+   flag store is dead. *)
+let test_lint_dead_flag_update () =
+  let oelf =
+    link_raw
+      [
+        Asm.Label "_start";
+        Asm.Cfi_label_here;
+        Asm.Ins (Cmp (Reg.r0, O_imm 1L));
+        Asm.Ins (Cmp (Reg.r0, O_imm 2L));
+        Asm.Jcc_l (Eq, "spin");
+        Asm.Label "spin";
+        Asm.Jmp_l "spin";
+      ]
+  in
+  let d = disasm_exn oelf in
+  let cfg = Cfg.build ~entry:oelf.entry d in
+  (match Lint.dead_flag_updates cfg with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "OL002" f.Lint.rule;
+      Alcotest.(check bool) "anchored at the first cmp" true
+        (String.length f.Lint.insn >= 3 && String.sub f.Lint.insn 0 3 = "cmp")
+  | fs ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly one OL002 finding, got %d"
+           (List.length fs)));
+  (* cmp followed by its jcc is not dead *)
+  let clean = link_raw cfg_items in
+  Alcotest.(check int) "cfg_items has no dead flag stores" 0
+    (List.length
+       (Lint.dead_flag_updates
+          (Cfg.build ~entry:clean.entry (disasm_exn clean))))
+
+let test_guard_audit_findings () =
+  let r = audit_of ~config:Codegen.sfi_naive leaky_src in
+  Alcotest.(check bool) "audit emits findings" true
+    (List.length r.Guard_audit.findings > 0);
+  Alcotest.(check int) "one finding per redundant guard"
+    r.Guard_audit.redundant_total
+    (List.length r.Guard_audit.findings);
+  List.iter
+    (fun (f : Lint.finding) ->
+      Alcotest.(check string) "rule" "OL003" f.rule;
+      Alcotest.(check bool) "decoded guard text" true
+        (String.length f.insn >= 9 && String.sub f.insn 0 9 = "mem_guard");
+      Alcotest.(check bool) "names the function" true
+        (String.length f.message > 0))
+    r.Guard_audit.findings;
+  (* ascending, deduplicated addresses *)
+  let addrs = List.map (fun (f : Lint.finding) -> f.addr) r.Guard_audit.findings in
+  Alcotest.(check bool) "addresses strictly increasing" true
+    (List.for_all2 ( < ) addrs (List.tl addrs @ [ max_int ]));
+  Alcotest.(check bool) "json carries the findings" true
+    (let js = Guard_audit.to_json r in
+     let needle = "\"findings\"" in
+     let rec find i =
+       i + String.length needle <= String.length js
+       && (String.sub js i (String.length needle) = needle || find (i + 1))
+     in
+     find 0)
+
 (* --- the shared dataflow engine ------------------------------------------ *)
 
 module Int_max = Occlum_analysis.Dataflow.Make (struct
@@ -407,4 +671,18 @@ let suite =
       test_guard_audit_metrics_and_json;
     Alcotest.test_case "dataflow engine directions" `Quick
       test_dataflow_engine_forward_backward;
+    Alcotest.test_case "elide: straightline dominated twin" `Quick
+      test_elide_straightline_dominated;
+    Alcotest.test_case "elide: loop-carried guard hoisted" `Quick
+      test_elide_loop_hoisted;
+    Alcotest.test_case "elide: irreducible CFG bails" `Quick
+      test_elide_irreducible_bails;
+    Alcotest.test_case "elide: guard_heavy exact count" `Quick
+      test_guard_heavy_exact_count;
+    Alcotest.test_case "lint: unreachable block (OL001)" `Quick
+      test_lint_unreachable_block;
+    Alcotest.test_case "lint: dead flag update (OL002)" `Quick
+      test_lint_dead_flag_update;
+    Alcotest.test_case "guard audit: findings" `Quick
+      test_guard_audit_findings;
   ]
