@@ -705,13 +705,11 @@ let micro () =
       | _ -> Printf.printf "%-34s (no estimate)\n" name)
     results
 
-(* Decoded-block cache: interpret a hot loop with and without the cache;
-   the figure of merit is retired instructions per host second. The code
-   page is mapped r-x (the LibOS's W^X shape) so blocks are not fragile. *)
-let micro_dcache () =
+(* The hot-loop kernel shared by the decode-cache and JIT micro
+   benchmarks: [iters] iterations of four ALU/CMP instructions plus a
+   backward jcc, ending in a syscall gate. *)
+let hot_loop_code iters =
   let open Occlum_isa in
-  let open Occlum_machine in
-  let iters = if full then 2_000_000 else 500_000 in
   let r1 = Reg.of_int 1 and r2 = Reg.of_int 2 in
   let loop_body =
     [
@@ -736,21 +734,42 @@ let micro_dcache () =
     (Insn.Mov_imm (r1, Int64.of_int iters) :: Insn.Mov_imm (r2, 0L) :: loop_body)
     @ [ fix_jcc (-body_len); Insn.Syscall_gate ]
   in
-  let code = String.concat "" (List.map Codec.encode prog) in
+  String.concat "" (List.map Codec.encode prog)
+
+(* One timed run of the hot loop through the selected tier. The code
+   page is mapped r-x (the LibOS's W^X shape) so blocks are not
+   fragile. *)
+let hot_loop_run code ~tier =
+  let open Occlum_machine in
+  let mem = Mem.create ~size:(16 * 4096) in
+  Mem.map mem ~addr:4096 ~len:4096 ~perm:Mem.perm_rx;
+  Mem.write_bytes_priv mem ~addr:4096 (Bytes.of_string code);
+  let cpu = Cpu.create () in
+  cpu.Cpu.pc <- 4096;
+  let cache, jit =
+    match tier with
+    | `Uncached -> (None, None)
+    | `Cached -> (Some (Decode_cache.create ()), None)
+    | `Jit -> (Some (Decode_cache.create ()), Some (Jit.create ()))
+  in
+  let t0 = Unix.gettimeofday () in
+  let stop = Interp.run ?cache ?jit mem cpu ~fuel:max_int in
+  let dt = Unix.gettimeofday () -. t0 in
+  (match stop with
+  | Interp.Stop_syscall -> ()
+  | s -> failwith ("hot loop stopped unexpectedly: " ^ Interp.stop_to_string s));
+  (cpu, dt)
+
+(* Decoded-block cache: interpret the hot loop with and without the
+   cache; the figure of merit is retired instructions per host second. *)
+let micro_dcache () =
+  let open Occlum_isa in
+  let open Occlum_machine in
+  let iters = if full then 2_000_000 else 500_000 in
+  let r2 = Reg.of_int 2 in
+  let code = hot_loop_code iters in
   let run ~cached =
-    let mem = Mem.create ~size:(16 * 4096) in
-    Mem.map mem ~addr:4096 ~len:4096 ~perm:Mem.perm_rx;
-    Mem.write_bytes_priv mem ~addr:4096 (Bytes.of_string code);
-    let cpu = Cpu.create () in
-    cpu.Cpu.pc <- 4096;
-    let cache = if cached then Some (Decode_cache.create ()) else None in
-    let t0 = Unix.gettimeofday () in
-    let stop = Interp.run ?cache mem cpu ~fuel:max_int in
-    let dt = Unix.gettimeofday () -. t0 in
-    (match stop with
-    | Interp.Stop_syscall -> ()
-    | s -> failwith ("hot loop stopped unexpectedly: " ^ Interp.stop_to_string s));
-    (cpu, dt)
+    hot_loop_run code ~tier:(if cached then `Cached else `Uncached)
   in
   ignore (run ~cached:false);
   (* warm the host caches once *)
@@ -771,6 +790,109 @@ let micro_dcache () =
     "%-34s %14.2f M insns/s   (%.2fx, %d hits / %d misses)\n"
     "occlum/interp-dcache" (c /. 1e6) (c /. u) cpu_c.Cpu.dcache_hits
     cpu_c.Cpu.dcache_misses
+
+(* Block-JIT tier: the third way through the same hot loop, plus the
+   translation cost per block and the deopt behavior of a kernel that
+   stores into its own (writable+executable) code page mid-run. *)
+let micro_jit () =
+  let open Occlum_isa in
+  let open Occlum_machine in
+  let iters = if full then 2_000_000 else 500_000 in
+  let r2 = Reg.of_int 2 in
+  let code = hot_loop_code iters in
+  ignore (hot_loop_run code ~tier:`Jit);
+  (* warm the host caches once *)
+  let cpu_u, t_u = hot_loop_run code ~tier:`Uncached in
+  let cpu_c, t_c = hot_loop_run code ~tier:`Cached in
+  let cpu_j, t_j = hot_loop_run code ~tier:`Jit in
+  let same a b =
+    a.Cpu.insns = b.Cpu.insns
+    && a.Cpu.cycles = b.Cpu.cycles
+    && Cpu.get a r2 = Cpu.get b r2
+  in
+  if not (same cpu_u cpu_c && same cpu_u cpu_j) then
+    failwith "JIT, cached and uncached interpretation diverged";
+  let ips cpu t = float cpu.Cpu.insns /. t in
+  let u = ips cpu_u t_u and c = ips cpu_c t_c and j = ips cpu_j t_j in
+  (* translation cost: time repeated compiles of the hot-loop block *)
+  let compile_ns =
+    let mem = Mem.create ~size:(16 * 4096) in
+    Mem.map mem ~addr:4096 ~len:4096 ~perm:Mem.perm_rx;
+    Mem.write_bytes_priv mem ~addr:4096 (Bytes.of_string code);
+    let cache = Decode_cache.create () in
+    match Decode_cache.build cache mem 4096 with
+    | None -> failwith "hot-loop block failed to decode"
+    | Some b ->
+        let jit = Jit.create () in
+        let rounds = 10_000 in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to rounds do
+          ignore (Jit.compile jit b)
+        done;
+        (Unix.gettimeofday () -. t0) /. float rounds *. 1e9
+  in
+  (* self-modifying kernel: a store loop walks down a data page and, two
+     iterations before the end, crosses into the padding of its own rwx
+     code page — the promoted (fragile) block must deopt mid-block when
+     its page generation moves under it *)
+  let smc_deopts =
+    let r1 = Reg.of_int 1 and r3 = Reg.of_int 3 and r4 = Reg.of_int 4 in
+    (* 512 stores cover the data page; two more land in code-page padding *)
+    let smc_iters = 515 in
+    let body =
+      [
+        Insn.Store
+          {
+            dst = Insn.Sib { base = r4; index = None; scale = 1; disp = 0 };
+            src = r3;
+            size = 8;
+          };
+        Insn.Alu (Insn.Sub, r4, Insn.O_imm 8L);
+        Insn.Alu (Insn.Sub, r1, Insn.O_imm 1L);
+        Insn.Cmp (r1, Insn.O_imm 0L);
+      ]
+    in
+    let body_len =
+      List.fold_left (fun a i -> a + String.length (Codec.encode i)) 0 body
+    in
+    let rec fix_jcc disp =
+      let len = String.length (Codec.encode (Insn.Jcc (Insn.Ne, disp))) in
+      let disp' = -(body_len + len) in
+      if disp' = disp then Insn.Jcc (Insn.Ne, disp) else fix_jcc disp'
+    in
+    let prog =
+      Insn.Mov_imm (r1, Int64.of_int smc_iters)
+      :: Insn.Mov_imm (r4, 16376L)
+      :: body
+      @ [ fix_jcc (-body_len); Insn.Syscall_gate ]
+    in
+    let smc = String.concat "" (List.map Codec.encode prog) in
+    let mem = Mem.create ~size:(16 * 4096) in
+    Mem.map mem ~addr:8192 ~len:4096 ~perm:Mem.perm_rwx;
+    Mem.map mem ~addr:12288 ~len:4096 ~perm:Mem.perm_rw;
+    Mem.write_bytes_priv mem ~addr:8192 (Bytes.of_string smc);
+    let cpu = Cpu.create () in
+    cpu.Cpu.pc <- 8192;
+    let cache = Decode_cache.create () and jit = Jit.create () in
+    (match Interp.run ~cache ~jit mem cpu ~fuel:max_int with
+    | Interp.Stop_syscall -> ()
+    | s ->
+        failwith ("SMC kernel stopped unexpectedly: " ^ Interp.stop_to_string s));
+    if cpu.Cpu.jit_deopts < 1 then
+      failwith "SMC kernel never deopted the promoted block";
+    cpu.Cpu.jit_deopts
+  in
+  record "jit/insns-per-sec" j;
+  record "jit/over-dcache-speedup" (j /. c);
+  record "jit/over-uncached-speedup" (j /. u);
+  record "jit/compile-ns-per-block" compile_ns;
+  record "jit/smc-deopts" (float smc_deopts);
+  Printf.printf
+    "%-34s %14.2f M insns/s   (%.2fx dcache, %.2fx uncached)\n"
+    "occlum/interp-jit" (j /. 1e6) (j /. c) (j /. u);
+  Printf.printf "%-34s %14.0f ns/block\n" "occlum/jit-compile" compile_ns;
+  Printf.printf "%-34s %14d deopts (self-modifying kernel)\n" "occlum/jit-smc"
+    smc_deopts
 
 let micro_eip () =
   let os = H.boot H.Graphene in
@@ -803,6 +925,7 @@ let () =
       micro ();
       micro_eip ();
       micro_dcache ());
+  section "jit" "block-JIT tier vs interpreter tiers" micro_jit;
   match json_path with
   | None -> ()
   | Some path ->

@@ -71,7 +71,7 @@ let properties =
   let doc =
     "Property to run (repeatable): codec-roundtrip, cache-equivalence, \
      verifier-soundness, aex-identity, epc-pressure, mc-determinism, \
-     guard-elide, or all. Default: all."
+     guard-elide, jit-equivalence, or all. Default: all."
   in
   Arg.(value & opt_all string [] & info [ "property"; "p" ] ~docv:"PROP" ~doc)
 

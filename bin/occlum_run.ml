@@ -26,7 +26,8 @@ let parse_epc_size s =
       (bytes + Occlum_sgx.Epc.page_size - 1) / Occlum_sgx.Epc.page_size
   | _ -> fail ()
 
-let run binaries args mode_name fs_image save_fs epc_size no_paging cores =
+let run binaries args mode_name fs_image save_fs epc_size no_paging cores jit
+    jit_elide =
   let mode =
     match mode_name with
     | "sip" | "occlum" -> Occlum_libos.Os.Sip
@@ -44,7 +45,9 @@ let run binaries args mode_name fs_image save_fs epc_size no_paging cores =
     prerr_endline "--cores must be >= 1";
     exit 2
   end;
-  let config = { Occlum_libos.Os.default_config with mode; cores } in
+  let config =
+    { Occlum_libos.Os.default_config with mode; cores; jit; jit_elide }
+  in
   let host_fs =
     match fs_image with
     | Some path when Sys.file_exists path ->
@@ -157,10 +160,35 @@ let cores_arg =
                per-core run queues and work stealing. Bit-reproducible \
                for a fixed N.")
 
+let jit_arg =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "jit" ]
+              ~doc:
+                "Promote hot basic blocks to pre-compiled closure chains \
+                 (default). Architecturally bit-identical to the \
+                 interpreter tiers." );
+          ( false,
+            info [ "no-jit" ]
+              ~doc:"Disable the block-JIT tier (decode cache only)." );
+        ])
+
+let jit_elide_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "jit-elide" ]
+        ~doc:
+          "Feed verified guard-elision facts to the JIT at spawn time so \
+           provably-redundant MPX checks are skipped at translation time.")
+
 let cmd =
   Cmd.v
     (Cmd.info "occlum_run" ~doc:"Run OELF binaries on the Occlum LibOS")
     Term.(const run $ binaries_arg $ args_arg $ mode_arg $ fs_arg $ save_fs_arg
-          $ epc_size_arg $ no_paging_arg $ cores_arg)
+          $ epc_size_arg $ no_paging_arg $ cores_arg $ jit_arg $ jit_elide_arg)
 
 let () = exit (Cmd.eval cmd)

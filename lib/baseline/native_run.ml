@@ -22,6 +22,10 @@ type result = {
   bound_checks : int;
   dcache_hits : int;
   dcache_misses : int;
+  jit_compiles : int;
+  jit_hits : int;
+  jit_deopts : int;
+  jit_elisions : int;
   wall_s : float; (* host seconds spent inside Interp.run *)
 }
 
@@ -34,6 +38,7 @@ let guard = Occlum_oelf.Oelf.guard_size
 let code_base = 0x10000
 
 let run ?(fuel = 200_000_000) ?(args = []) ?(nx = true) ?(decode_cache = true)
+    ?(jit = false) ?jit_threshold ?(jit_elide_offsets = [])
     ?(obs = Occlum_obs.Obs.disabled) (oelf : Occlum_oelf.Oelf.t) =
   let code_size = Occlum_util.Bytes_util.round_up (Bytes.length oelf.code) 4096 in
   let data_base = code_base + code_size + guard in
@@ -81,10 +86,20 @@ let run ?(fuel = 200_000_000) ?(args = []) ?(nx = true) ?(decode_cache = true)
   let finished = ref None in
   let remaining () = fuel - cpu.Cpu.insns in
   let cache = if decode_cache then Some (Decode_cache.create ()) else None in
+  let jit =
+    if jit && decode_cache then begin
+      let j = Jit.create ?threshold:jit_threshold () in
+      List.iter
+        (fun off -> Jit.elide_fact j ~addr:(code_base + off))
+        jit_elide_offsets;
+      Some j
+    end
+    else None
+  in
   let wall = ref 0. in
   while !finished = None && remaining () > 0 do
     let t0 = Unix.gettimeofday () in
-    let stop = Interp.run ?cache ~obs mem cpu ~fuel:(remaining ()) in
+    let stop = Interp.run ?cache ?jit ~obs mem cpu ~fuel:(remaining ()) in
     wall := !wall +. (Unix.gettimeofday () -. t0);
     match stop with
     | Stop_quantum -> ()
@@ -131,5 +146,9 @@ let run ?(fuel = 200_000_000) ?(args = []) ?(nx = true) ?(decode_cache = true)
     bound_checks = cpu.Cpu.bound_checks;
     dcache_hits = cpu.Cpu.dcache_hits;
     dcache_misses = cpu.Cpu.dcache_misses;
+    jit_compiles = cpu.Cpu.jit_compiles;
+    jit_hits = cpu.Cpu.jit_hits;
+    jit_deopts = cpu.Cpu.jit_deopts;
+    jit_elisions = (match jit with Some j -> Jit.elisions j | None -> 0);
     wall_s = !wall;
   }

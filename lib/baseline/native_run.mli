@@ -12,6 +12,10 @@ type result = {
   bound_checks : int;
   dcache_hits : int;
   dcache_misses : int;
+  jit_compiles : int;
+  jit_hits : int;
+  jit_deopts : int;
+  jit_elisions : int;  (** guards skipped at translation time *)
   wall_s : float;  (** host seconds spent inside [Interp.run] *)
 }
 
@@ -24,6 +28,9 @@ val run :
   ?args:string list ->
   ?nx:bool ->
   ?decode_cache:bool ->
+  ?jit:bool ->
+  ?jit_threshold:int ->
+  ?jit_elide_offsets:int list ->
   ?obs:Occlum_obs.Obs.t ->
   Occlum_oelf.Oelf.t ->
   result
@@ -31,6 +38,13 @@ val run :
     classic unprotected process the RIPE baseline assumes.
     [decode_cache:false] (default [true]) forces uncached
     fetch/decode/execute — the differential tests and the micro bench
-    compare the two paths. [obs] routes decode-cache events to an
-    observability instance; the run is bit-identical with or without it.
+    compare the two paths. [jit] (default [false]) additionally promotes
+    hot blocks through the block-JIT tier; [jit_threshold] overrides the
+    promotion hotness (0 compiles every block at first build, the mode
+    under which translation-time elision counts are exact);
+    [jit_elide_offsets] registers
+    guard-elision facts as offsets into the binary's code section
+    (rebased to the load address) before any code runs. [obs] routes
+    decode-cache events to an observability instance; the run is
+    bit-identical with or without it.
     @raise Runtime_fault on any machine fault. *)

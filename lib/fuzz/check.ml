@@ -19,11 +19,12 @@ type property =
   | Epc_pressure
   | Mc_determinism
   | Guard_elide
+  | Jit_equivalence
 
 let all_properties =
   [
     Codec_roundtrip; Cache_equivalence; Verifier_soundness; Aex_identity;
-    Epc_pressure; Mc_determinism; Guard_elide;
+    Epc_pressure; Mc_determinism; Guard_elide; Jit_equivalence;
   ]
 
 let property_name = function
@@ -34,6 +35,7 @@ let property_name = function
   | Epc_pressure -> "epc-pressure"
   | Mc_determinism -> "mc-determinism"
   | Guard_elide -> "guard-elide"
+  | Jit_equivalence -> "jit-equivalence"
 
 let property_of_name = function
   | "codec-roundtrip" -> Some Codec_roundtrip
@@ -43,6 +45,7 @@ let property_of_name = function
   | "epc-pressure" -> Some Epc_pressure
   | "mc-determinism" -> Some Mc_determinism
   | "guard-elide" -> Some Guard_elide
+  | "jit-equivalence" -> Some Jit_equivalence
   | _ -> None
 
 let property_index = function
@@ -53,6 +56,7 @@ let property_index = function
   | Epc_pressure -> 4
   | Mc_determinism -> 5
   | Guard_elide -> 6
+  | Jit_equivalence -> 7
 
 type failure = {
   prop : property;
@@ -1215,6 +1219,229 @@ let mc_case _inj _shrink rng case =
           (Printf.sprintf "cores=1 vs cores=%d diverged: %s vs %s" cores d1 dc)
       else None
 
+(* --- property: 3-way JIT equivalence -------------------------------------- *)
+
+(* The block JIT must be a pure accelerator: running the same binary
+   under (a) JIT over the decode cache, (b) the decode cache alone and
+   (c) the uncached loop must produce bit-identical architectural state,
+   counters and memory at every synchronization point. Three hostile
+   regimes stress the tier-transition seams:
+
+   - [J_plain]: a counter-based interrupt storm on the JIT machine with
+     silent twins on identical schedules. Consult parity is itself under
+     test — a fused superinstruction that skipped an interrupt
+     consultation at an original-instruction boundary would shift the
+     storm to different architectural points and diverge immediately.
+   - [J_smc]: the driver additionally flips a code byte — the same byte,
+     the same flip — in all three envs at stop boundaries, exercising
+     page-generation invalidation, JIT deopt and rebuild. With RWX code
+     the blocks are fragile (single-instruction units, revalidated
+     between instructions); with RX code the fused fast paths run.
+   - [J_epc]: all three envs are demand-paged against one oversized pool
+     and the driver evicts the same page from each at stop boundaries.
+     Reloads are transparent ELDUs driven off [Epc_miss], mirroring the
+     LibOS pager. A faulted-and-retried data access double-charges the
+     counters, but identically in every tier (data accesses are
+     architectural); code-fetch misses charge nothing. The interrupt
+     schedule is anchored to the instruction counter, not the consult
+     count, because retried boundaries legitimately re-consult — and
+     how often a tier refetches code is exactly what differs between
+     tiers. *)
+
+type jit_mode = J_plain | J_smc | J_epc
+
+(* Fires exactly once per boundary whose architectural instruction count
+   is a multiple of [period], no matter how many times that boundary is
+   consulted (quantum re-entry, post-reload retry). *)
+let intr_at_insns ?inj (cpu : Cpu.t) ~period =
+  let last = ref (-1) in
+  fun () ->
+    if cpu.Cpu.insns mod period = 0 && !last <> cpu.Cpu.insns then begin
+      last := cpu.Cpu.insns;
+      (match inj with
+      | Some i -> i.Inject.aex <- i.Inject.aex + 1
+      | None -> ());
+      true
+    end
+    else false
+
+let drive_triple ?inj ~mode ~perturb_seed ~code_perm oelf ~period ~fuel =
+  let pool =
+    match mode with
+    | J_epc ->
+        let p = Epc.create ~size:(512 * Epc.page_size) () in
+        Epc.enable_paging p;
+        Some p
+    | J_plain | J_smc -> None
+  in
+  let mk () =
+    match pool with
+    | Some epc -> Exec.make ~epc ~code_perm oelf
+    | None -> Exec.make ~code_perm oelf
+  in
+  let a = mk () and b = mk () and c = mk () in
+  let envs = [ a; b; c ] in
+  let cache_a = Decode_cache.create () and cache_b = Decode_cache.create () in
+  (* threshold 2: generated loops are short, promotion must still happen *)
+  let jit = Jit.create ~threshold:2 () in
+  let ia, ib, ic =
+    match mode with
+    | J_epc ->
+        ( intr_at_insns ?inj a.Exec.cpu ~period,
+          intr_at_insns b.Exec.cpu ~period,
+          intr_at_insns c.Exec.cpu ~period )
+    | J_plain | J_smc ->
+        ( (match inj with
+          | Some inj -> Inject.interrupt_every inj ~period
+          | None -> Inject.interrupt_silent ~period),
+          Inject.interrupt_silent ~period,
+          Inject.interrupt_silent ~period )
+  in
+  let prng = Rng.of_seed perturb_seed in
+  let pages = Mem.size a.Exec.mem / Mem.page_size in
+  let perturb () =
+    match mode with
+    | J_plain -> ()
+    | J_epc ->
+        if Rng.int prng 2 = 0 then begin
+          let page = Rng.int prng pages in
+          List.iter
+            (fun e ->
+              ignore
+                (Epc.evict_page (Option.get pool)
+                   ~cid:(Enclave.id e.Exec.enclave) ~page))
+            envs
+        end
+    | J_smc ->
+        let reserved = Occlum_oelf.Oelf.trampoline_reserved in
+        let room = a.Exec.code_region - reserved in
+        if room > 0 && Rng.int prng 3 = 0 then begin
+          let pos = reserved + Rng.int prng room in
+          let flip = 1 + Rng.int prng 255 in
+          List.iter
+            (fun e ->
+              let addr = e.Exec.code_base + pos in
+              let byte =
+                Bytes.get (Mem.read_bytes_priv e.Exec.mem ~addr ~len:1) 0
+              in
+              Mem.write_bytes_priv e.Exec.mem ~addr
+                (Bytes.make 1 (Char.chr (Char.code byte lxor flip))))
+            envs
+        end
+  in
+  let compare3 tag =
+    match cpu_diff a.Exec.cpu b.Exec.cpu with
+    | Some d -> Some (Printf.sprintf "%s: JIT vs cached: %s" tag d)
+    | None -> (
+        match cpu_diff b.Exec.cpu c.Exec.cpu with
+        | Some d -> Some (Printf.sprintf "%s: cached vs uncached: %s" tag d)
+        | None -> None)
+  in
+  let mem3 tag =
+    match mem_diff a b with
+    | Some d -> Some (Printf.sprintf "%s: JIT vs cached memory: %s" tag d)
+    | None -> (
+        match mem_diff b c with
+        | Some d ->
+            Some (Printf.sprintf "%s: cached vs uncached memory: %s" tag d)
+        | None -> None)
+  in
+  (* One env's run to its next architectural stop: an [Epc_miss] under
+     [J_epc] is a pager event, not a sync point — reload and re-enter. *)
+  let run_one env cache jitopt intr =
+    let rec go () =
+      let rem = fuel - env.Exec.cpu.Cpu.insns in
+      if rem <= 0 then Interp.Stop_quantum
+      else
+        match
+          Interp.run ?cache ?jit:jitopt ~interrupt:intr env.Exec.mem
+            env.Exec.cpu ~fuel:rem
+        with
+        | Interp.Stop_fault (Fault.Epc_miss { addr; _ }) when pool <> None -> (
+            match
+              Epc.eldu (Option.get pool)
+                ~cid:(Enclave.id env.Exec.enclave)
+                ~page:(addr / Epc.page_size)
+            with
+            | () -> go ()
+            | exception e ->
+                raise
+                  (Diff ("transparent reload failed: " ^ Printexc.to_string e)))
+        | s -> s
+    in
+    go ()
+  in
+  let rec go () =
+    if fuel - a.Exec.cpu.Cpu.insns <= 0 then final ()
+    else begin
+      let sa = run_one a (Some cache_a) (Some jit) ia in
+      let sb = run_one b (Some cache_b) None ib in
+      let sc = run_one c None None ic in
+      if sa <> sb || sb <> sc then
+        Error
+          (Printf.sprintf "stops diverge: jit %s / cached %s / uncached %s"
+             (Interp.stop_to_string sa)
+             (Interp.stop_to_string sb)
+             (Interp.stop_to_string sc))
+      else
+        match compare3 "after stop" with
+        | Some d -> Error d
+        | None -> (
+            match sa with
+            | Interp.Stop_fault _ -> final ()
+            | Interp.Stop_quantum ->
+                perturb ();
+                go ()
+            | Interp.Stop_syscall -> (
+                match mem3 "at syscall" with
+                | Some d -> Error d
+                | None ->
+                    let nr = Int64.to_int (Cpu.get a.Exec.cpu sys_nr_reg) in
+                    if nr = Occlum_abi.Abi.Sys.exit then final ()
+                    else begin
+                      List.iter (fun e -> Cpu.set e.Exec.cpu R.result 0L) envs;
+                      perturb ();
+                      go ()
+                    end))
+    end
+  and final () =
+    match compare3 "final" with
+    | Some d -> Error d
+    | None -> ( match mem3 "final" with Some d -> Error d | None -> Ok ())
+  in
+  match go () with
+  | r -> r
+  | exception Diff d -> Error d
+
+let jit_case inj shrink rng case =
+  let period = 2 + Rng.int rng 6 in
+  let fuel = 2000 + Rng.int rng 2000 in
+  let mode =
+    match case mod 4 with 0 -> J_smc | 1 -> J_epc | _ -> J_plain
+  in
+  let perturb_seed = Rng.next rng in
+  (* RX is the loader's mapping (fused fast paths); RWX keeps every
+     block fragile (single-instruction units + revalidation) *)
+  let code_perm = if Rng.bool rng then Mem.perm_rx else Mem.perm_rwx in
+  let items = Gen.program rng in
+  let repro ?inj its =
+    drive_triple ?inj ~mode ~perturb_seed ~code_perm (Gen.link its) ~period
+      ~fuel
+  in
+  match repro ~inj items with
+  | Ok () -> None
+  | Error detail ->
+      let minimized =
+        if not shrink then None
+        else
+          Some
+            (Shrink.minimize
+               (fun its ->
+                 match repro its with Error _ -> true | Ok () -> false)
+               items)
+      in
+      Some { prop = Jit_equivalence; case; detail; minimized }
+
 (* --- runner -------------------------------------------------------------- *)
 
 let run_case prop inj shrink rng case =
@@ -1229,6 +1456,7 @@ let run_case prop inj shrink rng case =
   | Epc_pressure -> epc_case inj shrink rng case
   | Mc_determinism -> mc_case inj shrink rng case
   | Guard_elide -> elide_case inj shrink rng case
+  | Jit_equivalence -> jit_case inj shrink rng case
 
 let run ?(properties = all_properties) ?(shrink = true) ?metrics ~seed ~cases
     () =
@@ -1379,11 +1607,18 @@ let replay_items items =
               (* the elision pass must also handle every corpus entry:
                  classify, rewrite, and get re-accepted by the verifier *)
               match Elide.run ~sign:false oelf with
-              | Ok _ -> Ok ()
               | Error e ->
                   Error
                     ("corpus program broke the elision pass: "
-                    ^ Elide.error_to_string e))))
+                    ^ Elide.error_to_string e)
+              | Ok _ -> (
+                  (* and the three execution tiers must agree on it *)
+                  match
+                    drive_triple ~mode:J_plain ~perturb_seed:0L
+                      ~code_perm:Mem.perm_rx oelf ~period:3 ~fuel:6000
+                  with
+                  | Ok () -> Ok ()
+                  | Error d -> Error ("corpus program split the tiers: " ^ d)))))
 
 let has_insn p items =
   List.exists (function Asm.Ins i -> p i | _ -> false) items
@@ -1412,6 +1647,39 @@ let features : (string * (Asm.item list -> bool)) list =
            match Verify.verify oelf with
            | Error _ -> false
            | Ok d -> (Elide.analyze oelf d).Elide.elided > 0));
+    ("jit-equivalence",
+     fun items ->
+       (* programs hot enough that a block is actually promoted into the
+          JIT and then replayed from compiled code *)
+       match Gen.link items with
+       | exception _ -> false
+       | oelf -> (
+           match Verify.verify oelf with
+           | Error _ -> false
+           | Ok _ ->
+               let env = Exec.make ~code_perm:Mem.perm_rx oelf in
+               let cache = Decode_cache.create () in
+               let jit = Jit.create ~threshold:2 () in
+               let rec go () =
+                 let rem = 6000 - env.Exec.cpu.Cpu.insns in
+                 if rem > 0 then
+                   match
+                     Interp.run ~cache ~jit env.Exec.mem env.Exec.cpu ~fuel:rem
+                   with
+                   | Interp.Stop_syscall ->
+                       let nr =
+                         Int64.to_int (Cpu.get env.Exec.cpu sys_nr_reg)
+                       in
+                       if nr <> Occlum_abi.Abi.Sys.exit then begin
+                         Cpu.set env.Exec.cpu R.result 0L;
+                         go ()
+                       end
+                   | Interp.Stop_fault _ -> ()
+                   | Interp.Stop_quantum -> go ()
+               in
+               go ();
+               let compiles, _, _ = Jit.stats jit in
+               compiles > 0 && env.Exec.cpu.Cpu.jit_hits > 0));
   ]
 
 let passes items =

@@ -35,7 +35,16 @@
       syscall/fault/exit sync point under an interrupt storm; hostile
       programs the verifier rejects must still be rejected ([the pass
       reports [Input_rejected]]), and accepted mutants are never
-      re-signed without re-verification. *)
+      re-signed without re-verification.
+    - {b jit-equivalence}: the block-JIT tier, the decode-cache tier and
+      the uncached loop produce bit-identical architectural state,
+      counters and memory at every stop, under interrupt storms
+      (counter-based schedules, so a fused superinstruction that skipped
+      a boundary consultation diverges immediately), under
+      self-modifying-code byte flips applied identically to all three
+      machines (generation invalidation, deopt, rebuild), and under EPC
+      pressure with driver-forced evictions reloaded transparently
+      through ELDU. *)
 
 open Occlum_toolchain
 
@@ -55,6 +64,10 @@ type property =
           register file and data/victim memory) under an interrupt
           storm; rejected hostile mutants come back [Input_rejected],
           and accepted ones are never re-signed unverified *)
+  | Jit_equivalence
+      (** the JIT, decode-cache and uncached tiers are bit-equivalent at
+          every stop under interrupt storms, identical self-modifying
+          byte flips, and EPC pressure with transparent reloads *)
 
 val all_properties : property list
 val property_name : property -> string
@@ -100,7 +113,8 @@ val summary : report -> string
 
 val replay_items : Asm.item list -> (unit, string) result
 (** Corpus replay: link against {!Gen.layout}, require verifier
-    acceptance, then require containment under an interrupt storm. *)
+    acceptance, containment under an interrupt storm, survival of the
+    guard-elision pass, and 3-way JIT/cached/uncached tier agreement. *)
 
 val emit_corpus : dir:string -> seed:int64 -> (string * int) list
 (** Generate one minimized program per generator feature (guarded SIB

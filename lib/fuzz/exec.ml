@@ -28,7 +28,7 @@ type env = {
   code_snapshot : Bytes.t;
 }
 
-let make ?epc (oelf : Occlum_oelf.Oelf.t) =
+let make ?epc ?(code_perm = Mem.perm_rwx) (oelf : Occlum_oelf.Oelf.t) =
   let epc =
     match epc with Some e -> e | None -> Occlum_sgx.Epc.create ()
   in
@@ -60,7 +60,7 @@ let make ?epc (oelf : Occlum_oelf.Oelf.t) =
          ])
   in
   Bytes.blit_string tramp 0 img 0 (String.length tramp);
-  Enclave.add_pages enclave ~addr:code_base ~data:img ~perm:Mem.perm_rwx;
+  Enclave.add_pages enclave ~addr:code_base ~data:img ~perm:code_perm;
   let dimg = Bytes.make d_size '\x00' in
   Bytes.blit oelf.data 0 dimg 0 (Bytes.length oelf.data);
   Enclave.add_pages enclave ~addr:d_base ~data:dimg ~perm:Mem.perm_rw;

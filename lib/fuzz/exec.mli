@@ -31,13 +31,15 @@ type env = {
   code_snapshot : Bytes.t;
 }
 
-val make : ?epc:Occlum_sgx.Epc.t -> Occlum_oelf.Oelf.t -> env
+val make : ?epc:Occlum_sgx.Epc.t -> ?code_perm:Mem.perm -> Occlum_oelf.Oelf.t -> env
 (** Build and EINIT an enclave around the binary: loader-equivalent code
     patching and trampoline install, data image, a sentinel-filled victim
     region one guard page past D, and a CPU initialized exactly as the
     LibOS would (pc, sp, base registers, bnd0 = D's range, bnd1 = the
     domain's cfi-label value). A fresh EPC pool is created unless [epc]
-    is given. *)
+    is given. [code_perm] (default RWX, the historical fuzz mapping) is
+    the code region's page permission; RX matches the LibOS loader and
+    lets the block JIT compile non-fragile blocks. *)
 
 val in_code : env -> int -> bool
 val victim_intact : env -> bool

@@ -57,6 +57,13 @@ type config = {
   cores : int; (* simulated vCPUs; 1 = the sequential scheduler,
                   bit-identical to every release before multi-core *)
   decode_cache : bool; (* replay decoded basic blocks in Interp.run *)
+  jit : bool; (* promote hot blocks to compiled closure chains (needs
+                 the decode cache; per-core caches under multi-core) *)
+  jit_elide : bool; (* feed [Occlum_analysis.Elide] guard classifications
+                       to the JIT at spawn time so provably-redundant MPX
+                       checks are skipped at translation time (off by
+                       default: the verification pass is costly per
+                       distinct binary) *)
   fs_key : string;
   (* EIP model knobs *)
   eip_runtime_image_bytes : int; (* measured on every enclave creation *)
@@ -72,6 +79,8 @@ let default_config =
     quantum = 100_000;
     cores = 1;
     decode_cache = true;
+    jit = true;
+    jit_elide = false;
     fs_key = "occlum-fs-master-key";
     eip_runtime_image_bytes = 8 * 1024 * 1024;
     eip_ocall_ns = 6_000L;
@@ -88,6 +97,14 @@ type t = {
      code writes bump the page generations that invalidate them when a
      domain slot is reused *)
   dcache : Decode_cache.t option;
+  (* sequential-scheduler block JIT (cores = 1); under multi-core each
+     Sched core owns a private one. All share [jit_facts]. *)
+  jit : Jit.t option;
+  jit_facts : (int, unit) Hashtbl.t;
+  (* guard-elision facts as absolute pcs, shared by every JIT *)
+  jit_elide_cache : (string, int list) Hashtbl.t;
+  (* binary digest -> elidable guard offsets, so the verifier+Elide
+     analysis runs once per distinct binary, not per spawn *)
   domains : Domain_mgr.t;
   procs : (int, proc) Hashtbl.t;
   mutable runq : int list;
@@ -163,6 +180,7 @@ let boot ?(config = default_config) ?(obs = Occlum_obs.Obs.disabled) ?epc
     | Some host -> Sefs.mount ~encrypted ~key:config.fs_key host
     | None -> Sefs.create ~encrypted ~key:config.fs_key ()
   in
+  let jit_facts = Hashtbl.create 64 in
   let t =
     {
     cfg = config;
@@ -170,6 +188,12 @@ let boot ?(config = default_config) ?(obs = Occlum_obs.Obs.disabled) ?epc
     enclave;
     mem = Occlum_sgx.Enclave.mem enclave;
     dcache = (if config.decode_cache then Some (Decode_cache.create ()) else None);
+    jit =
+      (if config.jit && config.decode_cache then
+         Some (Jit.create ~elide:jit_facts ())
+       else None);
+    jit_facts;
+    jit_elide_cache = Hashtbl.create 8;
     domains;
     procs = Hashtbl.create 32;
     runq = [];
@@ -191,7 +215,11 @@ let boot ?(config = default_config) ?(obs = Occlum_obs.Obs.disabled) ?epc
         (if config.cores > 1 then
            Some
              (Sched.create ~ncores:config.cores
-                ~decode_cache:config.decode_cache ~obs)
+                ~decode_cache:config.decode_cache
+                ?jit_elide:
+                  (if config.jit && config.decode_cache then Some jit_facts
+                   else None)
+                ~obs ())
          else None);
       cur_core = 0;
       last_run_pid = 0;
@@ -278,6 +306,34 @@ let console_output t = Buffer.contents t.console
 (* (hits, misses, invalidations) of the enclave-wide decoded-block
    cache; None when the cache is disabled in the config. *)
 let decode_cache_stats t = Option.map Decode_cache.stats t.dcache
+
+(* Aggregate (compiles, hits, invalidations) across whichever JITs this
+   configuration runs: the sequential one, or one per Sched core. *)
+let jit_stats t =
+  match t.sched with
+  | Some s when t.cfg.jit && t.cfg.decode_cache ->
+      Some
+        (Array.fold_left
+           (fun (a, b, c) core ->
+             match core.Sched.jit with
+             | Some j ->
+                 let x, y, z = Jit.stats j in
+                 (a + x, b + y, c + z)
+             | None -> (a, b, c))
+           (0, 0, 0) s.Sched.cores)
+  | _ -> Option.map Jit.stats t.jit
+
+let jit_elisions t =
+  match t.sched with
+  | Some s when t.cfg.jit && t.cfg.decode_cache ->
+      Some
+        (Array.fold_left
+           (fun a core ->
+             match core.Sched.jit with
+             | Some j -> a + Jit.elisions j
+             | None -> a)
+           0 s.Sched.cores)
+  | _ -> Option.map Jit.elisions t.jit
 
 let proc_output t pid =
   match Hashtbl.find_opt t.proc_out pid with
@@ -509,6 +565,50 @@ let spawn t ~parent_pid ~path ~args =
         | None -> ());
         raise (Spawn_error Errno.enomem)
   in
+  (* translation-time guard elision: register the Elide classification
+     of this binary (memoized per digest) as absolute-pc facts before
+     any of its code runs; clear facts left by the slot's previous
+     tenant first. Compiled blocks never outlive the facts they used —
+     the loader's code writes already invalidated them. *)
+  (if t.cfg.jit_elide && t.cfg.jit && t.cfg.decode_cache then
+     let base = Domain_mgr.c_base img.slot in
+     let hi = base + img.slot.Domain_mgr.code_size in
+     let offsets =
+       let key = Digest.string binary in
+       match Hashtbl.find_opt t.jit_elide_cache key with
+       | Some offs -> offs
+       | None ->
+           let offs =
+             match Occlum_verifier.Verify.verify oelf with
+             | Ok d ->
+                 let r = Occlum_analysis.Elide.analyze oelf d in
+                 List.filter_map
+                   (fun (g : Occlum_analysis.Elide.guard) ->
+                     match g.cls with
+                     | Occlum_analysis.Elide.Required -> None
+                     | Occlum_analysis.Elide.Dominated_redundant
+                     | Occlum_analysis.Elide.Range_proven ->
+                         Some g.addr)
+                   r.Occlum_analysis.Elide.guards
+             | Error _ -> []
+           in
+           Hashtbl.add t.jit_elide_cache key offs;
+           offs
+     in
+     let register j =
+       Jit.clear_elide_facts j ~lo:base ~hi;
+       List.iter (fun off -> Jit.elide_fact j ~addr:(base + off)) offsets
+     in
+     match t.sched with
+     | Some s -> (
+         (* the fact table is shared: registering through any one core's
+            JIT updates them all *)
+         match
+           Array.find_opt (fun c -> c.Sched.jit <> None) s.Sched.cores
+         with
+         | Some { Sched.jit = Some j; _ } -> register j
+         | _ -> ())
+     | None -> ( match t.jit with Some j -> register j | None -> ()));
   let fds =
     match parent with
     | Some pp -> Fd.inherit_from pp.fds
@@ -1748,7 +1848,8 @@ let seq_step t =
         let before = p.cpu.cycles in
         let insns_before = p.cpu.insns in
         let stop =
-          Interp.run ?cache:t.dcache ~obs:o t.mem p.cpu ~fuel:t.cfg.quantum
+          Interp.run ?cache:t.dcache ?jit:t.jit ~obs:o t.mem p.cpu
+            ~fuel:t.cfg.quantum
         in
         t.clock_ns <- Int64.add t.clock_ns (cycles_to_ns (p.cpu.cycles - before));
         if o.Occlum_obs.Obs.enabled then begin
@@ -1836,8 +1937,8 @@ let mc_epoch ?pool t s =
           let core = s.Sched.cores.(cid) in
           fun () ->
             stops.(i) <-
-              Interp.run ?cache:core.Sched.dcache ~obs:core.Sched.shard t.mem
-                p.cpu ~fuel:t.cfg.quantum)
+              Interp.run ?cache:core.Sched.dcache ?jit:core.Sched.jit
+                ~obs:core.Sched.shard t.mem p.cpu ~fuel:t.cfg.quantum)
         jobs
     in
     (match pool with

@@ -57,6 +57,16 @@ type config = {
           bit-reproducible for a fixed core count. *)
   decode_cache : bool;
       (** replay decoded basic blocks in [Interp.run] (default on) *)
+  jit : bool;
+      (** promote hot blocks to compiled closure chains (default on;
+          requires [decode_cache]; per-core code caches under
+          multi-core) *)
+  jit_elide : bool;
+      (** run [Occlum_analysis.Elide] at spawn time (memoized per
+          distinct binary) and feed its dominated-redundant /
+          range-proven guard classifications to the JIT, which then
+          skips those MPX checks at translation time. Off by default —
+          the verification pass is costly on first spawn. *)
   fs_key : string;
   eip_runtime_image_bytes : int;
       (** the Graphene runtime pages measured on every EIP creation *)
@@ -73,6 +83,13 @@ type t = {
   mem : Mem.t;
   dcache : Decode_cache.t option;
       (** one decoded-block cache for the whole enclave address space *)
+  jit : Jit.t option;
+      (** the sequential scheduler's block JIT; under multi-core each
+          {!Sched} core owns a private one instead *)
+  jit_facts : (int, unit) Hashtbl.t;
+      (** guard-elision facts (absolute pcs) shared by every JIT *)
+  jit_elide_cache : (string, int list) Hashtbl.t;
+      (** binary digest → elidable guard offsets (Elide memoization) *)
   domains : Domain_mgr.t;
   procs : (int, proc) Hashtbl.t;
   mutable runq : int list;
@@ -135,6 +152,13 @@ val console_output : t -> string
 
 val decode_cache_stats : t -> (int * int * int) option
 (** [(hits, misses, invalidations)]; [None] when the cache is disabled. *)
+
+val jit_stats : t -> (int * int * int) option
+(** [(compiles, hits, invalidations)], aggregated over the per-core JITs
+    under multi-core; [None] when the JIT is disabled. *)
+
+val jit_elisions : t -> int option
+(** Guards elided at translation time (with [config.jit_elide]). *)
 
 val proc_output : t -> int -> string
 val find_proc : t -> int -> proc option

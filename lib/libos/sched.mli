@@ -24,6 +24,11 @@ type core = {
   mutable rq : int list;  (** pids; front = next to claim *)
   dcache : Occlum_machine.Decode_cache.t option;
       (** this vCPU's private decoded-block cache *)
+  jit : Occlum_machine.Jit.t option;
+      (** this vCPU's private block-JIT code cache — compiled closures
+          are never shared across domains; only the elision fact table
+          passed to {!create} is, and the LibOS mutates it exclusively
+          between epochs *)
   shard : Occlum_obs.Obs.t;  (** this vCPU's private metrics shard *)
   mutable backoff : int;  (** epochs left before stealing again *)
   mutable fail_streak : int;  (** consecutive failed steal rounds *)
@@ -47,7 +52,16 @@ type t = {
 val max_backoff : int
 (** Cap on the exponential steal backoff, in epochs. *)
 
-val create : ncores:int -> decode_cache:bool -> obs:Occlum_obs.Obs.t -> t
+val create :
+  ncores:int ->
+  decode_cache:bool ->
+  ?jit_elide:(int, unit) Hashtbl.t ->
+  obs:Occlum_obs.Obs.t ->
+  unit ->
+  t
+(** [jit_elide] both enables the per-core block JITs (when the decode
+    cache is also on) and shares the guard-elision fact table across
+    them. *)
 
 val enqueue : t -> int -> unit
 (** Queue a new pid on its home core ([pid mod ncores]), clearing that

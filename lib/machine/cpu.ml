@@ -20,6 +20,11 @@ type t = {
   mutable dcache_hits : int;
   mutable dcache_misses : int;
   mutable dcache_invalidations : int;
+  (* block-JIT tier statistics; observational like the dcache_* fields *)
+  mutable jit_compiles : int;
+  mutable jit_hits : int;
+  mutable jit_invalidations : int;
+  mutable jit_deopts : int;
 }
 
 let create () =
@@ -37,6 +42,10 @@ let create () =
     dcache_hits = 0;
     dcache_misses = 0;
     dcache_invalidations = 0;
+    jit_compiles = 0;
+    jit_hits = 0;
+    jit_invalidations = 0;
+    jit_deopts = 0;
   }
 
 let get t r = t.regs.(Occlum_isa.Reg.to_int r)

@@ -20,6 +20,11 @@ type t = {
   mutable dcache_hits : int;
   mutable dcache_misses : int;
   mutable dcache_invalidations : int;
+  (* block-JIT tier observability; not architectural state either *)
+  mutable jit_compiles : int;
+  mutable jit_hits : int;
+  mutable jit_invalidations : int;
+  mutable jit_deopts : int;
 }
 
 val create : unit -> t

@@ -30,6 +30,7 @@ type block = {
   pages : int array; (* pages spanned by [entry, entry + byte_len) *)
   gens : int array;  (* generation snapshot of [pages] at build time *)
   fragile : bool;    (* some spanned page is both writable and executable *)
+  mutable hot : int; (* replay count since build — the JIT's promotion cue *)
 }
 
 type t = {
@@ -113,7 +114,7 @@ let build t mem pc =
           pages
       in
       if Hashtbl.length t.tbl >= t.max_blocks then clear t;
-      let b = { entry = pc; insns; pages; gens; fragile } in
+      let b = { entry = pc; insns; pages; gens; fragile; hot = 0 } in
       Hashtbl.replace t.tbl pc b;
       Some b
 
@@ -129,6 +130,7 @@ let lookup t mem pc =
   | Some b ->
       if block_valid mem b then begin
         t.hits <- t.hits + 1;
+        b.hot <- b.hot + 1;
         Hit b
       end
       else begin

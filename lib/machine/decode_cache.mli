@@ -15,6 +15,8 @@ type block = {
   pages : int array;  (** pages spanned by the block's bytes *)
   gens : int array;  (** generation snapshot of [pages] at build time *)
   fragile : bool;  (** some spanned page is both writable and executable *)
+  mutable hot : int;
+      (** replay count since build — the JIT's promotion cue *)
 }
 
 type t

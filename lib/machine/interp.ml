@@ -13,7 +13,7 @@
 
 open Occlum_isa
 
-type stop =
+type stop = Jit.stop =
   | Stop_syscall   (* reached the LibOS trampoline's syscall_gate *)
   | Stop_fault of Fault.t
   | Stop_quantum   (* fuel exhausted; SIP is preempted *)
@@ -441,9 +441,286 @@ let run_cached_intr intr cache obs mem cpu ~fuel =
   in
   loop fuel
 
-let run ?cache ?(obs = Occlum_obs.Obs.disabled) ?interrupt mem cpu ~fuel =
-  match (cache, interrupt) with
-  | None, None -> run_uncached mem cpu ~fuel
-  | None, Some i -> run_uncached_intr i mem cpu ~fuel
-  | Some c, None -> run_cached c obs mem cpu ~fuel
-  | Some c, Some i -> run_cached_intr i c obs mem cpu ~fuel
+let never () = false
+
+(* The JIT tier. Dispatch order per block boundary: compiled code →
+   decode cache (promoting blocks that have replayed [Jit]'s threshold
+   many times) → build → uncached single-step fallback. Compiled units
+   run their check-free [fast] variant only when the remaining fuel
+   covers the whole unit, so [Stop_quantum] lands on the same
+   instruction boundary as the other tiers; fragile blocks (single-
+   instruction units by construction) are revalidated between units and
+   deopt back to the decoded tier when a store rewrote their code page.
+   A fault inside a compiled unit deopts to the interpreter's fault
+   path: the closure charged and parked state exactly as [exec_decoded]
+   would have at the faulting instruction, so the AEX capture is
+   bit-identical. *)
+let run_jit jit cache obs mem cpu ~fuel =
+  let c0 = cpu.Cpu.cycles in
+  let base_ns = obs.Occlum_obs.Obs.now () in
+  let ts () = Int64.add base_ns (Int64.of_int ((cpu.Cpu.cycles - c0) / 3)) in
+  let rec loop fuel =
+    if fuel <= 0 then Stop_quantum
+    else
+      match Jit.lookup jit mem cpu.Cpu.pc with
+      | Jit.Hit c ->
+          cpu.Cpu.jit_hits <- cpu.Cpu.jit_hits + 1;
+          if obs.Occlum_obs.Obs.t_jit then
+            Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+              (Occlum_obs.Trace.Jit_hit { pc = cpu.Cpu.pc });
+          exec_compiled c fuel
+      | Jit.Stale ->
+          cpu.Cpu.jit_invalidations <- cpu.Cpu.jit_invalidations + 1;
+          if obs.Occlum_obs.Obs.t_jit then
+            Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+              (Occlum_obs.Trace.Jit_invalidate { pc = cpu.Cpu.pc });
+          decoded_tier fuel
+      | Jit.Miss -> decoded_tier fuel
+  and decoded_tier fuel =
+    match Decode_cache.lookup cache mem cpu.Cpu.pc with
+    | Decode_cache.Hit b ->
+        cpu.Cpu.dcache_hits <- cpu.Cpu.dcache_hits + 1;
+        if obs.Occlum_obs.Obs.t_dcache then
+          Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+            (Occlum_obs.Trace.Dcache_hit { pc = cpu.Cpu.pc });
+        if Jit.hot_enough jit b then begin
+          let c = Jit.promote jit b in
+          cpu.Cpu.jit_compiles <- cpu.Cpu.jit_compiles + 1;
+          if obs.Occlum_obs.Obs.t_jit then
+            Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+              (Occlum_obs.Trace.Jit_compile { pc = cpu.Cpu.pc });
+          exec_compiled c fuel
+        end
+        else exec_block b fuel
+    | (Decode_cache.Stale | Decode_cache.Miss) as r -> (
+        if r = Decode_cache.Stale then begin
+          cpu.Cpu.dcache_invalidations <- cpu.Cpu.dcache_invalidations + 1;
+          if obs.Occlum_obs.Obs.t_dcache then
+            Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+              (Occlum_obs.Trace.Dcache_invalidate { pc = cpu.Cpu.pc })
+        end;
+        cpu.Cpu.dcache_misses <- cpu.Cpu.dcache_misses + 1;
+        if obs.Occlum_obs.Obs.t_dcache then
+          Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+            (Occlum_obs.Trace.Dcache_miss { pc = cpu.Cpu.pc });
+        match Decode_cache.build cache mem cpu.Cpu.pc with
+        | Some b ->
+            (* a zero-threshold JIT promotes at build: every block runs
+               compiled from its very first entry, which is what makes
+               translation-time guard elision exactly equivalent to the
+               statically elided binary *)
+            if Jit.hot_enough jit b then begin
+              let c = Jit.promote jit b in
+              cpu.Cpu.jit_compiles <- cpu.Cpu.jit_compiles + 1;
+              if obs.Occlum_obs.Obs.t_jit then
+                Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+                  (Occlum_obs.Trace.Jit_compile { pc = cpu.Cpu.pc });
+              exec_compiled c fuel
+            end
+            else exec_block b fuel
+        | None -> (
+            match step mem cpu with
+            | Some stop -> stop
+            | None -> loop (fuel - 1)))
+  and exec_block (b : Decode_cache.block) fuel =
+    let n = Array.length b.insns in
+    let rec go i pc fuel =
+      if fuel <= 0 then Stop_quantum
+      else if i >= n then loop fuel
+      else if b.fragile && i > 0 && not (Decode_cache.block_valid mem b) then
+        loop fuel
+      else
+        let insn, len = b.insns.(i) in
+        match exec_decoded mem cpu insn ~pc ~len with
+        | Some stop -> stop
+        | None -> go (i + 1) (pc + len) (fuel - 1)
+    in
+    go 0 b.entry fuel
+  and exec_compiled (c : Jit.compiled) fuel =
+    let n = Array.length c.Jit.units_fast in
+    let rec go u fuel =
+      if fuel <= 0 then Stop_quantum
+      else if u >= n then
+        (* a block that branches back to its own entry (the hot-loop
+           shape) re-enters without the table lookup; validity is
+           re-checked so a store from the block still invalidates it *)
+        if
+          cpu.Cpu.pc = c.Jit.entry
+          && ((not c.Jit.writes) || Decode_cache.block_valid mem c.Jit.src)
+        then begin
+          cpu.Cpu.jit_hits <- cpu.Cpu.jit_hits + 1;
+          Jit.note_hit jit;
+          if obs.Occlum_obs.Obs.t_jit then
+            Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+              (Occlum_obs.Trace.Jit_hit { pc = cpu.Cpu.pc });
+          go 0 fuel
+        end
+        else loop fuel
+      else if
+        c.Jit.fragile && u > 0 && not (Decode_cache.block_valid mem c.Jit.src)
+      then begin
+        (* self-modifying code: deopt back to the decoded tier *)
+        cpu.Cpu.jit_deopts <- cpu.Cpu.jit_deopts + 1;
+        if obs.Occlum_obs.Obs.t_jit then
+          Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+            (Occlum_obs.Trace.Jit_deopt { pc = cpu.Cpu.pc });
+        loop fuel
+      end
+      else
+        let k = c.Jit.unit_insns.(u) in
+        match
+          if fuel >= k then c.Jit.units_fast.(u) mem cpu
+          else c.Jit.units_safe.(u) mem cpu fuel never
+        with
+        | Jit.U_fall -> go (u + 1) (fuel - k)
+        | Jit.U_stop s -> s
+        | exception Fault.Fault f ->
+            cpu.Cpu.jit_deopts <- cpu.Cpu.jit_deopts + 1;
+            if obs.Occlum_obs.Obs.t_jit then
+              Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+                (Occlum_obs.Trace.Jit_deopt { pc = cpu.Cpu.pc });
+            Stop_fault f
+    in
+    go 0 fuel
+  in
+  loop fuel
+
+(* Interrupt-injected mirror of [run_jit]: same boundary contract as
+   [run_cached_intr]. Compiled units always run their [safe] variant,
+   which consults the hook at every internal instruction boundary, so
+   superinstruction fusion can never skip a sync point; the outer loop
+   consults it for each unit's first boundary. *)
+let run_jit_intr intr jit cache obs mem cpu ~fuel =
+  let c0 = cpu.Cpu.cycles in
+  let base_ns = obs.Occlum_obs.Obs.now () in
+  let ts () = Int64.add base_ns (Int64.of_int ((cpu.Cpu.cycles - c0) / 3)) in
+  let rec loop fuel =
+    if fuel <= 0 then Stop_quantum
+    else
+      match Jit.lookup jit mem cpu.Cpu.pc with
+      | Jit.Hit c ->
+          cpu.Cpu.jit_hits <- cpu.Cpu.jit_hits + 1;
+          if obs.Occlum_obs.Obs.t_jit then
+            Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+              (Occlum_obs.Trace.Jit_hit { pc = cpu.Cpu.pc });
+          exec_compiled c fuel
+      | Jit.Stale ->
+          cpu.Cpu.jit_invalidations <- cpu.Cpu.jit_invalidations + 1;
+          if obs.Occlum_obs.Obs.t_jit then
+            Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+              (Occlum_obs.Trace.Jit_invalidate { pc = cpu.Cpu.pc });
+          decoded_tier fuel
+      | Jit.Miss -> decoded_tier fuel
+  and decoded_tier fuel =
+    match Decode_cache.lookup cache mem cpu.Cpu.pc with
+    | Decode_cache.Hit b ->
+        cpu.Cpu.dcache_hits <- cpu.Cpu.dcache_hits + 1;
+        if obs.Occlum_obs.Obs.t_dcache then
+          Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+            (Occlum_obs.Trace.Dcache_hit { pc = cpu.Cpu.pc });
+        if Jit.hot_enough jit b then begin
+          let c = Jit.promote jit b in
+          cpu.Cpu.jit_compiles <- cpu.Cpu.jit_compiles + 1;
+          if obs.Occlum_obs.Obs.t_jit then
+            Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+              (Occlum_obs.Trace.Jit_compile { pc = cpu.Cpu.pc });
+          exec_compiled c fuel
+        end
+        else exec_block b fuel
+    | (Decode_cache.Stale | Decode_cache.Miss) as r -> (
+        if r = Decode_cache.Stale then begin
+          cpu.Cpu.dcache_invalidations <- cpu.Cpu.dcache_invalidations + 1;
+          if obs.Occlum_obs.Obs.t_dcache then
+            Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+              (Occlum_obs.Trace.Dcache_invalidate { pc = cpu.Cpu.pc })
+        end;
+        cpu.Cpu.dcache_misses <- cpu.Cpu.dcache_misses + 1;
+        if obs.Occlum_obs.Obs.t_dcache then
+          Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+            (Occlum_obs.Trace.Dcache_miss { pc = cpu.Cpu.pc });
+        match Decode_cache.build cache mem cpu.Cpu.pc with
+        | Some b ->
+            if Jit.hot_enough jit b then begin
+              let c = Jit.promote jit b in
+              cpu.Cpu.jit_compiles <- cpu.Cpu.jit_compiles + 1;
+              if obs.Occlum_obs.Obs.t_jit then
+                Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+                  (Occlum_obs.Trace.Jit_compile { pc = cpu.Cpu.pc });
+              exec_compiled c fuel
+            end
+            else exec_block b fuel
+        | None -> (
+            if intr () then Stop_quantum
+            else
+              match step mem cpu with
+              | Some stop -> stop
+              | None -> loop (fuel - 1)))
+  and exec_block (b : Decode_cache.block) fuel =
+    let n = Array.length b.insns in
+    let rec go i pc fuel =
+      if fuel <= 0 then Stop_quantum
+      else if i >= n then loop fuel
+      else if b.fragile && i > 0 && not (Decode_cache.block_valid mem b) then
+        loop fuel
+      else if intr () then Stop_quantum
+      else
+        let insn, len = b.insns.(i) in
+        match exec_decoded mem cpu insn ~pc ~len with
+        | Some stop -> stop
+        | None -> go (i + 1) (pc + len) (fuel - 1)
+    in
+    go 0 b.entry fuel
+  and exec_compiled (c : Jit.compiled) fuel =
+    let n = Array.length c.Jit.units_fast in
+    let rec go u fuel =
+      if fuel <= 0 then Stop_quantum
+      else if u >= n then
+        (* self-loop re-entry; the hook is still consulted at the top of
+           unit 0 below, so the boundary contract is preserved *)
+        if
+          cpu.Cpu.pc = c.Jit.entry
+          && ((not c.Jit.writes) || Decode_cache.block_valid mem c.Jit.src)
+        then begin
+          cpu.Cpu.jit_hits <- cpu.Cpu.jit_hits + 1;
+          Jit.note_hit jit;
+          if obs.Occlum_obs.Obs.t_jit then
+            Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+              (Occlum_obs.Trace.Jit_hit { pc = cpu.Cpu.pc });
+          go 0 fuel
+        end
+        else loop fuel
+      else if
+        c.Jit.fragile && u > 0 && not (Decode_cache.block_valid mem c.Jit.src)
+      then begin
+        cpu.Cpu.jit_deopts <- cpu.Cpu.jit_deopts + 1;
+        if obs.Occlum_obs.Obs.t_jit then
+          Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+            (Occlum_obs.Trace.Jit_deopt { pc = cpu.Cpu.pc });
+        loop fuel
+      end
+      else if intr () then Stop_quantum
+      else
+        let k = c.Jit.unit_insns.(u) in
+        match c.Jit.units_safe.(u) mem cpu fuel intr with
+        | Jit.U_fall -> go (u + 1) (fuel - k)
+        | Jit.U_stop s -> s
+        | exception Fault.Fault f ->
+            cpu.Cpu.jit_deopts <- cpu.Cpu.jit_deopts + 1;
+            if obs.Occlum_obs.Obs.t_jit then
+              Occlum_obs.Obs.emit_at obs ~ts:(ts ())
+                (Occlum_obs.Trace.Jit_deopt { pc = cpu.Cpu.pc });
+            Stop_fault f
+    in
+    go 0 fuel
+  in
+  loop fuel
+
+let run ?cache ?jit ?(obs = Occlum_obs.Obs.disabled) ?interrupt mem cpu ~fuel =
+  match (cache, jit, interrupt) with
+  | None, None, None -> run_uncached mem cpu ~fuel
+  | None, None, Some i -> run_uncached_intr i mem cpu ~fuel
+  | Some c, None, None -> run_cached c obs mem cpu ~fuel
+  | Some c, None, Some i -> run_cached_intr i c obs mem cpu ~fuel
+  | Some c, Some j, None -> run_jit j c obs mem cpu ~fuel
+  | Some c, Some j, Some i -> run_jit_intr i j c obs mem cpu ~fuel
+  | None, Some _, _ -> invalid_arg "Interp.run: ?jit requires ?cache"

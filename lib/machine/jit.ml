@@ -1,0 +1,1042 @@
+(* Block-JIT execution tier: compile hot decoded basic blocks into
+   pre-built OCaml closure chains.
+
+   The decode cache (tier 2) removed per-execution decoding but still
+   dispatches a full-ISA [match] per instruction. This tier removes the
+   dispatch too: each instruction of a hot block is translated once into
+   a specialized closure with its operands pre-resolved (register
+   indices, immediates, cycle cost, target pcs), and consecutive
+   instructions are fused into superinstruction units — guard+load /
+   guard+store / guard+guard pairs share one effective-address
+   computation, and straight-line runs are chained so the per-
+   instruction loop overhead is amortized over up to four instructions.
+
+   Equivalence contract (checked by fuzz property #8 and test_jit):
+   every closure replicates [Interp.exec_decoded]'s architectural
+   effects exactly — the same counter charges in the same order, the
+   same fault payloads and fault-atomicity, the same pc parking. Two
+   closure variants exist per unit: [fast] (no internal checks; run only
+   when the remaining fuel covers the whole unit and no interrupt hook
+   is armed) and [safe] (re-checks fuel and consults the interrupt hook
+   at every internal instruction boundary, preserving the interpreter's
+   exactly-once-per-boundary AEX contract).
+
+   Invalidation mirrors the decode cache: a compiled block keeps its
+   source block's page-generation snapshot and is dropped when a lookup
+   finds the generations moved. Blocks spanning a writable+executable
+   page compile without fusion (single-instruction units) so the
+   interpreter can revalidate them between instructions; self-modifying
+   code thereby deopts back to the decoded-block tier mid-block.
+
+   Guard elision: translation consults a table of guard addresses that
+   [Occlum_analysis.Elide] classified dominated-redundant or
+   range-proven. Such a bndcl/bndcu compiles to a charge-only body: the
+   bound comparison and the [bound_checks] counter are skipped, giving
+   the memory behavior of the statically elided, re-verified binary
+   while keeping the unelided binary's instruction and cycle counts (the
+   virtual clock is unchanged, so digests and schedules are stable). *)
+
+open Occlum_isa
+
+type stop =
+  | Stop_syscall
+  | Stop_fault of Fault.t
+  | Stop_quantum
+
+type ustat = U_fall | U_stop of stop
+
+type body = Mem.t -> Cpu.t -> ustat
+(* one translated instruction: charge, execute, park pc; faults raise *)
+
+type unit_fn = Mem.t -> Cpu.t -> int -> (unit -> bool) -> ustat
+(* a unit with internal boundary checks: fuel remaining before the
+   unit's first instruction, and the interrupt hook to consult at each
+   internal boundary *)
+
+type compiled = {
+  entry : int;
+  src : Decode_cache.block; (* carries the generation snapshot *)
+  units_fast : body array;
+  units_safe : unit_fn array;
+  unit_insns : int array; (* original instructions per unit *)
+  fragile : bool;
+  writes : bool;
+      (* some instruction writes memory, so the block could invalidate
+         itself (a store into its own executable page) — the self-loop
+         re-entry must revalidate *)
+}
+
+type t = {
+  tbl : (int, compiled) Hashtbl.t;
+  threshold : int;
+  max_blocks : int;
+  elidable : (int, unit) Hashtbl.t; (* absolute guard pcs safe to skip *)
+  mutable compiles : int;
+  mutable hits : int;
+  mutable invalidations : int;
+  mutable elisions : int; (* guards compiled away, lifetime *)
+}
+
+let create ?(threshold = 16) ?(max_blocks = 4096) ?elide () =
+  {
+    tbl = Hashtbl.create 256;
+    threshold;
+    max_blocks;
+    elidable = (match elide with Some h -> h | None -> Hashtbl.create 16);
+    compiles = 0;
+    hits = 0;
+    invalidations = 0;
+    elisions = 0;
+  }
+
+let clear t = Hashtbl.reset t.tbl
+
+let elide_fact t ~addr = Hashtbl.replace t.elidable addr ()
+
+let clear_elide_facts t ~lo ~hi =
+  let doomed =
+    Hashtbl.fold
+      (fun a () acc -> if a >= lo && a < hi then a :: acc else acc)
+      t.elidable []
+  in
+  List.iter (fun a -> Hashtbl.remove t.elidable a) doomed
+
+let elide_fact_count t = Hashtbl.length t.elidable
+
+(* ---- translation helpers (must mirror Interp exactly) ---- *)
+
+let addr_mask = 0xFF_FFFF_FFFFL
+let unsigned_lt a b = Int64.unsigned_compare a b < 0
+let sp_i = Reg.to_int Reg.sp
+
+let clamp v =
+  if Int64.compare (Int64.logand v addr_mask) v <> 0 then Int64.to_int addr_mask
+  else Int64.to_int v
+
+(* Effective address, pre-resolved. Sib/Abs do not depend on end_pc;
+   Rip_rel folds to a constant. Mirrors [Interp.effective_address]. *)
+let compile_ea (m : Insn.mem) ~end_pc : Cpu.t -> int =
+  match m with
+  | Sib { base; index = None; scale = _; disp } ->
+      let bi = Reg.to_int base and d = Int64.of_int disp in
+      fun cpu -> clamp (Int64.add cpu.Cpu.regs.(bi) d)
+  | Sib { base; index = Some r; scale; disp } ->
+      let bi = Reg.to_int base and ii = Reg.to_int r in
+      let s = Int64.of_int scale and d = Int64.of_int disp in
+      fun cpu ->
+        clamp
+          (Int64.add
+             (Int64.add cpu.Cpu.regs.(bi) (Int64.mul cpu.Cpu.regs.(ii) s))
+             d)
+  | Rip_rel disp ->
+      let a = clamp (Int64.of_int (end_pc + disp)) in
+      fun _ -> a
+  | Abs v ->
+      let a = clamp v in
+      fun _ -> a
+
+let compile_operand (o : Insn.operand) : Cpu.t -> int64 =
+  match o with
+  | O_imm v -> fun _ -> v
+  | O_reg r ->
+      let ri = Reg.to_int r in
+      fun cpu -> cpu.Cpu.regs.(ri)
+
+let compile_cond (c : Insn.cond) : bool -> bool -> bool =
+  match c with
+  | Eq -> fun eq _ -> eq
+  | Ne -> fun eq _ -> not eq
+  | Lt -> fun _ lt -> lt
+  | Le -> fun eq lt -> lt || eq
+  | Gt -> fun eq lt -> not (lt || eq)
+  | Ge -> fun _ lt -> not lt
+
+let compile_alu (op : Insn.alu_op) ~pc : int64 -> int64 -> int64 =
+  match op with
+  | Add -> Int64.add
+  | Sub -> Int64.sub
+  | Mul -> Int64.mul
+  | Divu ->
+      fun a b ->
+        if b = 0L then raise (Fault.Fault (Div_by_zero { addr = pc }))
+        else Int64.unsigned_div a b
+  | Remu ->
+      fun a b ->
+        if b = 0L then raise (Fault.Fault (Div_by_zero { addr = pc }))
+        else Int64.unsigned_rem a b
+  | And -> Int64.logand
+  | Or -> Int64.logor
+  | Xor -> Int64.logxor
+  | Shl -> fun a b -> Int64.shift_left a (Int64.to_int (Int64.logand b 63L))
+  | Shr ->
+      fun a b -> Int64.shift_right_logical a (Int64.to_int (Int64.logand b 63L))
+
+(* Translate one instruction spanning [pc, pc+len). Total: every opcode
+   compiles (privileged ones to a charge-then-fault stub, exactly as the
+   interpreter charges before classifying them). *)
+let compile_body ?(elided = false) t (insn : Insn.t) ~pc ~len : body =
+  let end_pc = pc + len in
+  let cost = Cost.of_insn insn in
+  let priv name =
+    fun _ (cpu : Cpu.t) ->
+      cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+      cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+      U_stop (Stop_fault (Privileged { addr = pc; insn = name }))
+  in
+  let guard lower b ea =
+    if elided || Hashtbl.mem t.elidable pc then begin
+      t.elisions <- t.elisions + 1;
+      (* elided: proved redundant by Elide; charge but skip the check *)
+      fun _ (cpu : Cpu.t) ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.pc <- end_pc;
+        U_fall
+    end
+    else
+      let bi = Reg.bnd_to_int b in
+      let value : Cpu.t -> int64 =
+        match (ea : Insn.ea) with
+        | Ea_reg r ->
+            let ri = Reg.to_int r in
+            fun cpu -> cpu.Cpu.regs.(ri)
+        | Ea_mem m ->
+            let ea_f = compile_ea m ~end_pc in
+            fun cpu -> Int64.of_int (ea_f cpu)
+      in
+      fun _ (cpu : Cpu.t) ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        let v = value cpu in
+        cpu.Cpu.bound_checks <- cpu.Cpu.bound_checks + 1;
+        let bd = cpu.Cpu.bnds.(bi) in
+        if if lower then unsigned_lt v bd.Cpu.lower else unsigned_lt bd.Cpu.upper v
+        then raise (Fault.Fault (Bound_fault { bnd = bi; value = v }));
+        cpu.Cpu.pc <- end_pc;
+        U_fall
+  in
+  match insn with
+  | Nop | Cfi_label _ ->
+      fun _ cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.pc <- end_pc;
+        U_fall
+  | Mov_imm (r, v) ->
+      let ri = Reg.to_int r in
+      fun _ cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.regs.(ri) <- v;
+        cpu.Cpu.pc <- end_pc;
+        U_fall
+  | Mov_reg (d, s) ->
+      let di = Reg.to_int d and si = Reg.to_int s in
+      fun _ cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.regs.(di) <- cpu.Cpu.regs.(si);
+        cpu.Cpu.pc <- end_pc;
+        U_fall
+  | Load { dst; src; size } ->
+      let di = Reg.to_int dst in
+      let ea_f = compile_ea src ~end_pc in
+      if size = 1 then
+        fun mem cpu ->
+          cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+          cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+          cpu.Cpu.loads <- cpu.Cpu.loads + 1;
+          cpu.Cpu.regs.(di) <- Int64.of_int (Mem.read_u8 mem (ea_f cpu));
+          cpu.Cpu.pc <- end_pc;
+          U_fall
+      else
+        fun mem cpu ->
+          cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+          cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+          cpu.Cpu.loads <- cpu.Cpu.loads + 1;
+          cpu.Cpu.regs.(di) <- Mem.read_u64 mem (ea_f cpu);
+          cpu.Cpu.pc <- end_pc;
+          U_fall
+  | Store { dst; src; size } ->
+      let si = Reg.to_int src in
+      let ea_f = compile_ea dst ~end_pc in
+      if size = 1 then
+        fun mem cpu ->
+          cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+          cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+          cpu.Cpu.stores <- cpu.Cpu.stores + 1;
+          Mem.write_u8 mem (ea_f cpu)
+            (Int64.to_int (Int64.logand cpu.Cpu.regs.(si) 0xFFL));
+          cpu.Cpu.pc <- end_pc;
+          U_fall
+      else
+        fun mem cpu ->
+          cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+          cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+          cpu.Cpu.stores <- cpu.Cpu.stores + 1;
+          Mem.write_u64 mem (ea_f cpu) cpu.Cpu.regs.(si);
+          cpu.Cpu.pc <- end_pc;
+          U_fall
+  | Push r ->
+      let ri = Reg.to_int r in
+      fun mem cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.stores <- cpu.Cpu.stores + 1;
+        (* store before the sp update: fault atomicity *)
+        let sp = Int64.sub cpu.Cpu.regs.(sp_i) 8L in
+        Mem.write_u64 mem
+          (Int64.to_int (Int64.logand sp addr_mask))
+          cpu.Cpu.regs.(ri);
+        cpu.Cpu.regs.(sp_i) <- sp;
+        cpu.Cpu.pc <- end_pc;
+        U_fall
+  | Pop r ->
+      let ri = Reg.to_int r in
+      fun mem cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.loads <- cpu.Cpu.loads + 1;
+        let sp = cpu.Cpu.regs.(sp_i) in
+        let v = Mem.read_u64 mem (Int64.to_int (Int64.logand sp addr_mask)) in
+        cpu.Cpu.regs.(sp_i) <- Int64.add sp 8L;
+        cpu.Cpu.regs.(ri) <- v;
+        cpu.Cpu.pc <- end_pc;
+        U_fall
+  | Lea (r, m) ->
+      let ri = Reg.to_int r in
+      let ea_f = compile_ea m ~end_pc in
+      fun _ cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.regs.(ri) <- Int64.of_int (ea_f cpu);
+        cpu.Cpu.pc <- end_pc;
+        U_fall
+  | Alu (Add, d, O_imm v) ->
+      let di = Reg.to_int d in
+      fun _ cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.regs.(di) <- Int64.add cpu.Cpu.regs.(di) v;
+        cpu.Cpu.pc <- end_pc;
+        U_fall
+  | Alu (Add, d, O_reg r) ->
+      let di = Reg.to_int d and ri = Reg.to_int r in
+      fun _ cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.regs.(di) <- Int64.add cpu.Cpu.regs.(di) cpu.Cpu.regs.(ri);
+        cpu.Cpu.pc <- end_pc;
+        U_fall
+  | Alu (Sub, d, O_imm v) ->
+      let di = Reg.to_int d in
+      fun _ cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.regs.(di) <- Int64.sub cpu.Cpu.regs.(di) v;
+        cpu.Cpu.pc <- end_pc;
+        U_fall
+  | Alu (op, d, o) ->
+      let di = Reg.to_int d in
+      let f = compile_alu op ~pc and get = compile_operand o in
+      fun _ cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.regs.(di) <- f cpu.Cpu.regs.(di) (get cpu);
+        cpu.Cpu.pc <- end_pc;
+        U_fall
+  | Cmp (a, O_imm v) ->
+      let ai = Reg.to_int a in
+      fun _ cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        let x = cpu.Cpu.regs.(ai) in
+        cpu.Cpu.flag_eq <- Int64.equal x v;
+        cpu.Cpu.flag_lt <- Int64.compare x v < 0;
+        cpu.Cpu.pc <- end_pc;
+        U_fall
+  | Cmp (a, O_reg r) ->
+      let ai = Reg.to_int a and ri = Reg.to_int r in
+      fun _ cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        let x = cpu.Cpu.regs.(ai) and y = cpu.Cpu.regs.(ri) in
+        cpu.Cpu.flag_eq <- Int64.equal x y;
+        cpu.Cpu.flag_lt <- Int64.compare x y < 0;
+        cpu.Cpu.pc <- end_pc;
+        U_fall
+  | Jmp rel ->
+      let tgt = end_pc + rel in
+      fun _ cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.pc <- tgt;
+        U_fall
+  | Jcc (c, rel) ->
+      let tgt = end_pc + rel in
+      let decide = compile_cond c in
+      fun _ cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.pc <-
+          (if decide cpu.Cpu.flag_eq cpu.Cpu.flag_lt then tgt else end_pc);
+        U_fall
+  | Call rel ->
+      let tgt = end_pc + rel in
+      let ret = Int64.of_int end_pc in
+      fun mem cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.stores <- cpu.Cpu.stores + 1;
+        let sp = Int64.sub cpu.Cpu.regs.(sp_i) 8L in
+        Mem.write_u64 mem (Int64.to_int (Int64.logand sp addr_mask)) ret;
+        cpu.Cpu.regs.(sp_i) <- sp;
+        cpu.Cpu.pc <- tgt;
+        U_fall
+  | Jmp_reg r ->
+      let ri = Reg.to_int r in
+      fun _ cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.pc <-
+          Int64.to_int (Int64.logand cpu.Cpu.regs.(ri) addr_mask);
+        U_fall
+  | Call_reg r ->
+      let ri = Reg.to_int r in
+      let ret = Int64.of_int end_pc in
+      fun mem cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.stores <- cpu.Cpu.stores + 1;
+        let sp = Int64.sub cpu.Cpu.regs.(sp_i) 8L in
+        Mem.write_u64 mem (Int64.to_int (Int64.logand sp addr_mask)) ret;
+        cpu.Cpu.regs.(sp_i) <- sp;
+        cpu.Cpu.pc <-
+          Int64.to_int (Int64.logand cpu.Cpu.regs.(ri) addr_mask);
+        U_fall
+  | Jmp_mem m ->
+      let ea_f = compile_ea m ~end_pc in
+      fun mem cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.loads <- cpu.Cpu.loads + 1;
+        cpu.Cpu.pc <-
+          Int64.to_int (Int64.logand (Mem.read_u64 mem (ea_f cpu)) addr_mask);
+        U_fall
+  | Call_mem m ->
+      let ea_f = compile_ea m ~end_pc in
+      let ret = Int64.of_int end_pc in
+      fun mem cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.loads <- cpu.Cpu.loads + 1;
+        let target = Mem.read_u64 mem (ea_f cpu) in
+        cpu.Cpu.stores <- cpu.Cpu.stores + 1;
+        let sp = Int64.sub cpu.Cpu.regs.(sp_i) 8L in
+        Mem.write_u64 mem (Int64.to_int (Int64.logand sp addr_mask)) ret;
+        cpu.Cpu.regs.(sp_i) <- sp;
+        cpu.Cpu.pc <- Int64.to_int (Int64.logand target addr_mask);
+        U_fall
+  | Ret ->
+      fun mem cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.loads <- cpu.Cpu.loads + 1;
+        let sp = cpu.Cpu.regs.(sp_i) in
+        let v = Mem.read_u64 mem (Int64.to_int (Int64.logand sp addr_mask)) in
+        cpu.Cpu.regs.(sp_i) <- Int64.add sp 8L;
+        cpu.Cpu.pc <- Int64.to_int (Int64.logand v addr_mask);
+        U_fall
+  | Ret_imm n ->
+      let adj = Int64.of_int n in
+      fun mem cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.loads <- cpu.Cpu.loads + 1;
+        (* the pop may fault; sp commits only afterwards *)
+        let sp = cpu.Cpu.regs.(sp_i) in
+        let v = Mem.read_u64 mem (Int64.to_int (Int64.logand sp addr_mask)) in
+        cpu.Cpu.regs.(sp_i) <- Int64.add (Int64.add sp 8L) adj;
+        cpu.Cpu.pc <- Int64.to_int (Int64.logand v addr_mask);
+        U_fall
+  | Bndcl (b, ea) -> guard true b ea
+  | Bndcu (b, ea) -> guard false b ea
+  | Syscall_gate ->
+      fun _ cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.pc <- end_pc;
+        U_stop Stop_syscall
+  | Hlt -> priv "hlt"
+  | Bndmk _ -> priv "bndmk"
+  | Bndmov _ -> priv "bndmov"
+  | Eexit -> priv "eexit"
+  | Emodpe -> priv "emodpe"
+  | Eaccept -> priv "eaccept"
+  | Xrstor -> priv "xrstor"
+  | Wrfsbase _ -> priv "wrfsbase"
+  | Wrgsbase _ -> priv "wrgsbase"
+  | Vscatter { base; index; scale; src } ->
+      let bi = Reg.to_int base and ii = Reg.to_int index in
+      let si = Reg.to_int src in
+      let s = Int64.of_int scale in
+      fun mem cpu ->
+        cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+        cpu.Cpu.cycles <- cpu.Cpu.cycles + cost;
+        cpu.Cpu.stores <- cpu.Cpu.stores + 4;
+        let b = cpu.Cpu.regs.(bi) and i = cpu.Cpu.regs.(ii) in
+        for lane = 0 to 3 do
+          let a =
+            Int64.add b (Int64.mul (Int64.add i (Int64.of_int lane)) s)
+          in
+          Mem.write_u64 mem
+            (Int64.to_int (Int64.logand a addr_mask))
+            cpu.Cpu.regs.(si)
+        done;
+        cpu.Cpu.pc <- end_pc;
+        U_fall
+
+(* ---- superinstructions ---- *)
+
+(* Straight-line chains: the fast variant runs the bodies back to back;
+   the safe variant re-checks fuel and consults the interrupt hook at
+   each internal boundary, exactly where the cached interpreter would.
+   Before body j (0-based) the remaining fuel is [fuel - j]. *)
+
+let single (b0 : body) : body * unit_fn =
+  (b0, fun mem cpu _ _ -> b0 mem cpu)
+
+let chain2 b0 b1 : body * unit_fn =
+  let fast mem cpu =
+    match b0 mem cpu with U_fall -> b1 mem cpu | s -> s
+  in
+  let safe mem cpu fuel intr =
+    match b0 mem cpu with
+    | U_fall ->
+        if fuel <= 1 then U_stop Stop_quantum
+        else if intr () then U_stop Stop_quantum
+        else b1 mem cpu
+    | s -> s
+  in
+  (fast, safe)
+
+let chain3 b0 b1 b2 : body * unit_fn =
+  let fast mem cpu =
+    match b0 mem cpu with
+    | U_fall -> (
+        match b1 mem cpu with U_fall -> b2 mem cpu | s -> s)
+    | s -> s
+  in
+  let safe mem cpu fuel intr =
+    match b0 mem cpu with
+    | U_fall ->
+        if fuel <= 1 then U_stop Stop_quantum
+        else if intr () then U_stop Stop_quantum
+        else (
+          match b1 mem cpu with
+          | U_fall ->
+              if fuel <= 2 then U_stop Stop_quantum
+              else if intr () then U_stop Stop_quantum
+              else b2 mem cpu
+          | s -> s)
+    | s -> s
+  in
+  (fast, safe)
+
+let chain4 b0 b1 b2 b3 : body * unit_fn =
+  let fast mem cpu =
+    match b0 mem cpu with
+    | U_fall -> (
+        match b1 mem cpu with
+        | U_fall -> (
+            match b2 mem cpu with U_fall -> b3 mem cpu | s -> s)
+        | s -> s)
+    | s -> s
+  in
+  let safe mem cpu fuel intr =
+    match b0 mem cpu with
+    | U_fall ->
+        if fuel <= 1 then U_stop Stop_quantum
+        else if intr () then U_stop Stop_quantum
+        else (
+          match b1 mem cpu with
+          | U_fall ->
+              if fuel <= 2 then U_stop Stop_quantum
+              else if intr () then U_stop Stop_quantum
+              else (
+                match b2 mem cpu with
+                | U_fall ->
+                    if fuel <= 3 then U_stop Stop_quantum
+                    else if intr () then U_stop Stop_quantum
+                    else b3 mem cpu
+                | s -> s)
+          | s -> s)
+    | s -> s
+  in
+  (fast, safe)
+
+(* guard+memory superinstruction: a bndcl/bndcu over a Sib/Abs operand
+   followed by a load/store/guard with the structurally identical
+   operand computes the effective address once. Rip_rel is excluded —
+   its address depends on each instruction's own end pc. *)
+
+type second =
+  | S_load of Reg.t * int
+  | S_store of Reg.t * int
+  | S_guard of bool * Reg.bnd (* lower?, register *)
+
+let fuse_guard_mem ~lower1 ~b1 ~m ~pc1 ~len1 ~cost1 ~(second : second) ~len2
+    ~cost2 : body * unit_fn =
+  let pc2 = pc1 + len1 in
+  let end2 = pc2 + len2 in
+  let bi1 = Reg.bnd_to_int b1 in
+  let ea_f = compile_ea m ~end_pc:pc2 in
+  (* guard, returning the shared effective address *)
+  let part1 (cpu : Cpu.t) =
+    cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+    cpu.Cpu.cycles <- cpu.Cpu.cycles + cost1;
+    let a = ea_f cpu in
+    let v = Int64.of_int a in
+    cpu.Cpu.bound_checks <- cpu.Cpu.bound_checks + 1;
+    let bd = cpu.Cpu.bnds.(bi1) in
+    if if lower1 then unsigned_lt v bd.Cpu.lower else unsigned_lt bd.Cpu.upper v
+    then raise (Fault.Fault (Bound_fault { bnd = bi1; value = v }));
+    cpu.Cpu.pc <- pc2;
+    a
+  in
+  let part2 : Mem.t -> Cpu.t -> int -> ustat =
+    match second with
+    | S_load (dst, size) ->
+        let di = Reg.to_int dst in
+        if size = 1 then fun mem cpu a ->
+          cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+          cpu.Cpu.cycles <- cpu.Cpu.cycles + cost2;
+          cpu.Cpu.loads <- cpu.Cpu.loads + 1;
+          cpu.Cpu.regs.(di) <- Int64.of_int (Mem.read_u8 mem a);
+          cpu.Cpu.pc <- end2;
+          U_fall
+        else fun mem cpu a ->
+          cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+          cpu.Cpu.cycles <- cpu.Cpu.cycles + cost2;
+          cpu.Cpu.loads <- cpu.Cpu.loads + 1;
+          cpu.Cpu.regs.(di) <- Mem.read_u64 mem a;
+          cpu.Cpu.pc <- end2;
+          U_fall
+    | S_store (src, size) ->
+        let si = Reg.to_int src in
+        if size = 1 then fun mem cpu a ->
+          cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+          cpu.Cpu.cycles <- cpu.Cpu.cycles + cost2;
+          cpu.Cpu.stores <- cpu.Cpu.stores + 1;
+          Mem.write_u8 mem a
+            (Int64.to_int (Int64.logand cpu.Cpu.regs.(si) 0xFFL));
+          cpu.Cpu.pc <- end2;
+          U_fall
+        else fun mem cpu a ->
+          cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+          cpu.Cpu.cycles <- cpu.Cpu.cycles + cost2;
+          cpu.Cpu.stores <- cpu.Cpu.stores + 1;
+          Mem.write_u64 mem a cpu.Cpu.regs.(si);
+          cpu.Cpu.pc <- end2;
+          U_fall
+    | S_guard (lower2, b2) ->
+        let bi2 = Reg.bnd_to_int b2 in
+        fun _ cpu a ->
+          cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+          cpu.Cpu.cycles <- cpu.Cpu.cycles + cost2;
+          let v = Int64.of_int a in
+          cpu.Cpu.bound_checks <- cpu.Cpu.bound_checks + 1;
+          let bd = cpu.Cpu.bnds.(bi2) in
+          if
+            if lower2 then unsigned_lt v bd.Cpu.lower
+            else unsigned_lt bd.Cpu.upper v
+          then raise (Fault.Fault (Bound_fault { bnd = bi2; value = v }));
+          cpu.Cpu.pc <- end2;
+          U_fall
+  in
+  let fast mem cpu =
+    let a = part1 cpu in
+    part2 mem cpu a
+  in
+  let safe mem cpu fuel intr =
+    let a = part1 cpu in
+    if fuel <= 1 then U_stop Stop_quantum
+    else if intr () then U_stop Stop_quantum
+    else part2 mem cpu a
+  in
+  (fast, safe)
+
+(* ---- pure-register superinstructions ---- *)
+
+(* A "core" is the architectural effect of a register-only instruction
+   that can neither fault nor touch memory: no counter charges, no pc
+   parking. A maximal run of such instructions compiles into one fast
+   unit that charges [insns]/[cycles] in bulk and executes the cores
+   back to back — legal because the fast variant only runs when the
+   remaining fuel covers the whole unit and no interrupt hook is armed,
+   so there is no observation point inside the run. The safe variant is
+   built from the ordinary per-instruction bodies. *)
+let core_of (insn : Insn.t) ~pc : (Cpu.t -> unit) option =
+  match insn with
+  | Nop -> Some (fun _ -> ())
+  | Mov_imm (d, v) ->
+      let di = Reg.to_int d in
+      Some (fun cpu -> cpu.Cpu.regs.(di) <- v)
+  | Mov_reg (d, s) ->
+      let di = Reg.to_int d and si = Reg.to_int s in
+      Some (fun cpu -> cpu.Cpu.regs.(di) <- cpu.Cpu.regs.(si))
+  | Alu ((Divu | Remu), _, _) -> None (* can fault: needs a full body *)
+  | Alu (op, d, o) -> (
+      let di = Reg.to_int d in
+      match (op, o) with
+      | Add, O_imm v ->
+          Some (fun cpu -> cpu.Cpu.regs.(di) <- Int64.add cpu.Cpu.regs.(di) v)
+      | Sub, O_imm v ->
+          Some (fun cpu -> cpu.Cpu.regs.(di) <- Int64.sub cpu.Cpu.regs.(di) v)
+      | Mul, O_imm v ->
+          Some (fun cpu -> cpu.Cpu.regs.(di) <- Int64.mul cpu.Cpu.regs.(di) v)
+      | And, O_imm v ->
+          Some (fun cpu ->
+              cpu.Cpu.regs.(di) <- Int64.logand cpu.Cpu.regs.(di) v)
+      | Or, O_imm v ->
+          Some (fun cpu ->
+              cpu.Cpu.regs.(di) <- Int64.logor cpu.Cpu.regs.(di) v)
+      | Xor, O_imm v ->
+          Some (fun cpu ->
+              cpu.Cpu.regs.(di) <- Int64.logxor cpu.Cpu.regs.(di) v)
+      | Add, O_reg r ->
+          let ri = Reg.to_int r in
+          Some (fun cpu ->
+              cpu.Cpu.regs.(di) <-
+                Int64.add cpu.Cpu.regs.(di) cpu.Cpu.regs.(ri))
+      | Sub, O_reg r ->
+          let ri = Reg.to_int r in
+          Some (fun cpu ->
+              cpu.Cpu.regs.(di) <-
+                Int64.sub cpu.Cpu.regs.(di) cpu.Cpu.regs.(ri))
+      | Mul, O_reg r ->
+          let ri = Reg.to_int r in
+          Some (fun cpu ->
+              cpu.Cpu.regs.(di) <-
+                Int64.mul cpu.Cpu.regs.(di) cpu.Cpu.regs.(ri))
+      | And, O_reg r ->
+          let ri = Reg.to_int r in
+          Some (fun cpu ->
+              cpu.Cpu.regs.(di) <-
+                Int64.logand cpu.Cpu.regs.(di) cpu.Cpu.regs.(ri))
+      | Or, O_reg r ->
+          let ri = Reg.to_int r in
+          Some (fun cpu ->
+              cpu.Cpu.regs.(di) <-
+                Int64.logor cpu.Cpu.regs.(di) cpu.Cpu.regs.(ri))
+      | Xor, O_reg r ->
+          let ri = Reg.to_int r in
+          Some (fun cpu ->
+              cpu.Cpu.regs.(di) <-
+                Int64.logxor cpu.Cpu.regs.(di) cpu.Cpu.regs.(ri))
+      | (Shl | Shr), _ ->
+          let f = compile_alu op ~pc and get = compile_operand o in
+          Some (fun cpu -> cpu.Cpu.regs.(di) <- f cpu.Cpu.regs.(di) (get cpu))
+      | (Divu | Remu), _ -> None)
+  | Cmp (a, O_imm v) ->
+      let ai = Reg.to_int a in
+      Some
+        (fun cpu ->
+          let x = cpu.Cpu.regs.(ai) in
+          cpu.Cpu.flag_eq <- Int64.equal x v;
+          cpu.Cpu.flag_lt <- Int64.compare x v < 0)
+  | Cmp (a, O_reg r) ->
+      let ai = Reg.to_int a and ri = Reg.to_int r in
+      Some
+        (fun cpu ->
+          let x = cpu.Cpu.regs.(ai) and y = cpu.Cpu.regs.(ri) in
+          cpu.Cpu.flag_eq <- Int64.equal x y;
+          cpu.Cpu.flag_lt <- Int64.compare x y < 0)
+  | _ -> None
+
+(* A direct branch as the run's tail: it only sets pc, so fusing it
+   (cmp+branch is the classic pair) costs nothing extra. *)
+let term_core_of (insn : Insn.t) ~end_pc : (Cpu.t -> unit) option =
+  match insn with
+  | Jmp rel ->
+      let tgt = end_pc + rel in
+      Some (fun cpu -> cpu.Cpu.pc <- tgt)
+  | Jcc (c, rel) ->
+      let tgt = end_pc + rel in
+      let decide = compile_cond c in
+      Some
+        (fun cpu ->
+          cpu.Cpu.pc <-
+            (if decide cpu.Cpu.flag_eq cpu.Cpu.flag_lt then tgt else end_pc))
+  | _ -> None
+
+(* Flatten a core list into one closure, unrolled for the common short
+   runs so the per-iteration call count stays minimal. *)
+let rec seq_cores = function
+  | [] -> fun _ -> ()
+  | [ f ] -> f
+  | [ a; b ] ->
+      fun cpu ->
+        a cpu;
+        b cpu
+  | [ a; b; c ] ->
+      fun cpu ->
+        a cpu;
+        b cpu;
+        c cpu
+  | [ a; b; c; d ] ->
+      fun cpu ->
+        a cpu;
+        b cpu;
+        c cpu;
+        d cpu
+  | [ a; b; c; d; e ] ->
+      fun cpu ->
+        a cpu;
+        b cpu;
+        c cpu;
+        d cpu;
+        e cpu
+  | [ a; b; c; d; e; f ] ->
+      fun cpu ->
+        a cpu;
+        b cpu;
+        c cpu;
+        d cpu;
+        e cpu;
+        f cpu
+  | a :: b :: c :: d :: e :: f :: rest ->
+      let g = seq_cores rest in
+      fun cpu ->
+        a cpu;
+        b cpu;
+        c cpu;
+        d cpu;
+        e cpu;
+        f cpu;
+        g cpu
+
+(* Generic safe chain over per-instruction bodies: before body j (j >= 1)
+   the remaining fuel is [fuel - j]; check order matches chainN. *)
+let safe_of_bodies (bs : body array) : unit_fn =
+  let n = Array.length bs in
+  fun mem cpu fuel intr ->
+    let rec go j =
+      if j > 0 && fuel <= j then U_stop Stop_quantum
+      else if j > 0 && intr () then U_stop Stop_quantum
+      else
+        match bs.(j) mem cpu with
+        | U_fall -> if j + 1 < n then go (j + 1) else U_fall
+        | s -> s
+    in
+    go 0
+
+let pure_unit ~(cores : (Cpu.t -> unit) list) ~(bodies : body array) ~k
+    ~total_cost : body * unit_fn =
+  let ops = seq_cores cores in
+  let fast _ cpu =
+    cpu.Cpu.insns <- cpu.Cpu.insns + k;
+    cpu.Cpu.cycles <- cpu.Cpu.cycles + total_cost;
+    ops cpu;
+    U_fall
+  in
+  (fast, safe_of_bodies bodies)
+
+(* ---- block compilation ---- *)
+
+let fusable_mem = function
+  | Insn.Sib _ | Insn.Abs _ -> true
+  | Insn.Rip_rel _ -> false
+
+let guard_of = function
+  | Insn.Bndcl (b, Insn.Ea_mem m) -> Some (true, b, m)
+  | Insn.Bndcu (b, Insn.Ea_mem m) -> Some (false, b, m)
+  | _ -> None
+
+let compile t (b : Decode_cache.block) : compiled =
+  let n = Array.length b.insns in
+  let pcs = Array.make (n + 1) b.entry in
+  for i = 0 to n - 1 do
+    pcs.(i + 1) <- pcs.(i) + snd b.insns.(i)
+  done;
+  (* An Elide fact names the verifier's mem_guard *unit* — its address
+     is the bndcl's; the bndcu completing the window check sits right
+     after it and is elided with it. *)
+  let elided = Array.make n false in
+  for i = 0 to n - 1 do
+    elided.(i) <- Hashtbl.mem t.elidable pcs.(i)
+  done;
+  for i = 1 to n - 1 do
+    match (fst b.insns.(i - 1), fst b.insns.(i)) with
+    | Insn.Bndcl (_, ea1), Insn.Bndcu (_, ea2)
+      when elided.(i - 1) && ea1 = ea2 ->
+        elided.(i) <- true
+    | _ -> ()
+  done;
+  (* does a guard+memory superinstruction start at i? *)
+  let pair_at i =
+    (not b.fragile) && i + 1 < n
+    &&
+    match guard_of (fst b.insns.(i)) with
+    | Some (_, _, m) when fusable_mem m && not elided.(i) -> (
+        match fst b.insns.(i + 1) with
+        | Load { src; _ } -> src = m
+        | Store { dst; _ } -> dst = m
+        | Bndcl (_, Ea_mem m2) | Bndcu (_, Ea_mem m2) ->
+            m2 = m && not elided.(i + 1)
+        | _ -> false)
+    | _ -> false
+  in
+  let units = ref [] in
+  (* (fast, safe, insns) in reverse order *)
+  let emit fs k = units := (fs, k) :: !units in
+  let body i =
+    let insn, len = b.insns.(i) in
+    compile_body ~elided:elided.(i) t insn ~pc:pcs.(i) ~len
+  in
+  let i = ref 0 in
+  while !i < n do
+    if pair_at !i then begin
+      let lower1, b1, m =
+        match guard_of (fst b.insns.(!i)) with
+        | Some g -> g
+        | None -> assert false
+      in
+      let second =
+        match fst b.insns.(!i + 1) with
+        | Load { dst; size; _ } -> S_load (dst, size)
+        | Store { src; size; _ } -> S_store (src, size)
+        | Bndcl (b2, _) -> S_guard (true, b2)
+        | Bndcu (b2, _) -> S_guard (false, b2)
+        | _ -> assert false
+      in
+      emit
+        (fuse_guard_mem ~lower1 ~b1 ~m ~pc1:pcs.(!i)
+           ~len1:(snd b.insns.(!i))
+           ~cost1:(Cost.of_insn (fst b.insns.(!i)))
+           ~second
+           ~len2:(snd b.insns.(!i + 1))
+           ~cost2:(Cost.of_insn (fst b.insns.(!i + 1))))
+        2;
+      i := !i + 2
+    end
+    else if b.fragile then begin
+      (* single-instruction units so the interpreter can revalidate the
+         block between instructions (self-modifying code) *)
+      emit (single (body !i)) 1;
+      i := !i + 1
+    end
+    else begin
+      (* maximal pure-register run starting at i, with an optional
+         direct-branch tail (cmp+branch fusion falls out of this) *)
+      let run = ref 0 in
+      while
+        !i + !run < n
+        && core_of (fst b.insns.(!i + !run)) ~pc:pcs.(!i + !run) <> None
+      do
+        incr run
+      done;
+      let tail =
+        if !i + !run = n - 1 then
+          term_core_of (fst b.insns.(n - 1)) ~end_pc:pcs.(n)
+        else None
+      in
+      let kk = !run + (match tail with Some _ -> 1 | None -> 0) in
+      if kk >= 2 then begin
+        (* one bulk-charged unit over the whole run *)
+        let core j =
+          match core_of (fst b.insns.(j)) ~pc:pcs.(j) with
+          | Some f -> f
+          | None -> assert false
+        in
+        let park =
+          match tail with
+          | Some f -> f
+          | None ->
+              let end_pc = pcs.(!i + !run) in
+              fun cpu -> cpu.Cpu.pc <- end_pc
+        in
+        let cores =
+          List.init !run (fun j -> core (!i + j)) @ [ park ]
+        in
+        let total_cost = ref 0 in
+        for j = !i to !i + kk - 1 do
+          total_cost := !total_cost + Cost.of_insn (fst b.insns.(j))
+        done;
+        let bodies = Array.init kk (fun j -> body (!i + j)) in
+        emit (pure_unit ~cores ~bodies ~k:kk ~total_cost:!total_cost) kk;
+        i := !i + kk
+      end
+      else begin
+        (* chain up to four straight-line bodies, cutting before the
+           next guard+memory superinstruction or pure run *)
+        let k = ref 1 in
+        while
+          !k < 4
+          && !i + !k < n
+          && (not (pair_at (!i + !k)))
+          && core_of (fst b.insns.(!i + !k)) ~pc:pcs.(!i + !k) = None
+        do
+          incr k
+        done;
+        (match !k with
+        | 1 -> emit (single (body !i)) 1
+        | 2 -> emit (chain2 (body !i) (body (!i + 1))) 2
+        | 3 -> emit (chain3 (body !i) (body (!i + 1)) (body (!i + 2))) 3
+        | _ ->
+            emit
+              (chain4 (body !i) (body (!i + 1)) (body (!i + 2)) (body (!i + 3)))
+              4);
+        i := !i + !k
+      end
+    end
+  done;
+  let us = List.rev !units in
+  let insn_writes = function
+    | Insn.Store _ | Insn.Push _ | Insn.Call _ | Insn.Call_reg _
+    | Insn.Call_mem _ | Insn.Vscatter _ ->
+        true
+    | _ -> false
+  in
+  {
+    entry = b.entry;
+    src = b;
+    units_fast = Array.of_list (List.map (fun ((f, _), _) -> f) us);
+    units_safe = Array.of_list (List.map (fun ((_, s), _) -> s) us);
+    unit_insns = Array.of_list (List.map snd us);
+    fragile = b.fragile;
+    writes = Array.exists (fun (insn, _) -> insn_writes insn) b.insns;
+  }
+
+(* ---- the code cache ---- *)
+
+type lookup = Hit of compiled | Stale | Miss
+
+let lookup t mem pc =
+  match Hashtbl.find_opt t.tbl pc with
+  | None -> Miss
+  | Some c ->
+      if Decode_cache.block_valid mem c.src then begin
+        t.hits <- t.hits + 1;
+        Hit c
+      end
+      else begin
+        Hashtbl.remove t.tbl pc;
+        t.invalidations <- t.invalidations + 1;
+        Stale
+      end
+
+let note_hit t = t.hits <- t.hits + 1
+(* a hit that bypassed [lookup] (the interpreter's self-loop re-entry) *)
+
+let hot_enough t (b : Decode_cache.block) = b.Decode_cache.hot >= t.threshold
+
+let promote t (b : Decode_cache.block) =
+  if Hashtbl.length t.tbl >= t.max_blocks then clear t;
+  let c = compile t b in
+  t.compiles <- t.compiles + 1;
+  Hashtbl.replace t.tbl b.entry c;
+  c
+
+let stats t = (t.compiles, t.hits, t.invalidations)
+let elisions t = t.elisions

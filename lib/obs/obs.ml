@@ -10,11 +10,12 @@ type cls =
   | Aex
   | Page
   | Dcache
+  | Jit
   | Sefs
   | Net
 
 let all_classes =
-  [ Quantum; Syscall; Sched; Lifecycle; Aex; Page; Dcache; Sefs; Net ]
+  [ Quantum; Syscall; Sched; Lifecycle; Aex; Page; Dcache; Jit; Sefs; Net ]
 
 let cls_name = function
   | Quantum -> "quantum"
@@ -24,6 +25,7 @@ let cls_name = function
   | Aex -> "aex"
   | Page -> "page"
   | Dcache -> "dcache"
+  | Jit -> "jit"
   | Sefs -> "sefs"
   | Net -> "net"
 
@@ -35,6 +37,7 @@ let cls_of_string = function
   | "aex" -> Some Aex
   | "page" -> Some Page
   | "dcache" -> Some Dcache
+  | "jit" -> Some Jit
   | "sefs" -> Some Sefs
   | "net" -> Some Net
   | _ -> None
@@ -68,6 +71,7 @@ type t = {
   t_aex : bool;
   t_page : bool;
   t_dcache : bool;
+  t_jit : bool;
   t_sefs : bool;
   t_net : bool;
 }
@@ -85,6 +89,7 @@ let disabled =
     t_aex = false;
     t_page = false;
     t_dcache = false;
+    t_jit = false;
     t_sefs = false;
     t_net = false;
   }
@@ -103,6 +108,7 @@ let create ?(capacity = 65536) ?(events = all_classes) () =
     t_aex = on Aex;
     t_page = on Page;
     t_dcache = on Dcache;
+    t_jit = on Jit;
     t_sefs = on Sefs;
     t_net = on Net;
   }
@@ -126,6 +132,7 @@ let shard parent =
       t_aex = false;
       t_page = false;
       t_dcache = false;
+      t_jit = false;
       t_sefs = false;
       t_net = false;
     }

@@ -15,6 +15,7 @@ type cls =
   | Aex  (** asynchronous enclave exits and resumes *)
   | Page  (** page map/unmap (EADD/EAUG/EREMOVE) *)
   | Dcache  (** decode-cache hit/miss/invalidate *)
+  | Jit  (** block-JIT compile/hit/invalidate/deopt *)
   | Sefs  (** encrypted-FS reads/writes with byte counts *)
   | Net  (** network send/recv with byte counts *)
 
@@ -37,6 +38,7 @@ type t = {
   t_aex : bool;
   t_page : bool;
   t_dcache : bool;
+  t_jit : bool;
   t_sefs : bool;
   t_net : bool;
 }

@@ -25,6 +25,10 @@ type kind =
   | Dcache_hit of { pc : int }
   | Dcache_miss of { pc : int }
   | Dcache_invalidate of { pc : int }
+  | Jit_compile of { pc : int }
+  | Jit_hit of { pc : int }
+  | Jit_invalidate of { pc : int }
+  | Jit_deopt of { pc : int }
   | Sefs_read of { bytes : int }
   | Sefs_write of { bytes : int }
   | Net_send of { bytes : int }
@@ -50,6 +54,10 @@ let kind_name = function
   | Dcache_hit _ -> "dcache_hit"
   | Dcache_miss _ -> "dcache_miss"
   | Dcache_invalidate _ -> "dcache_invalidate"
+  | Jit_compile _ -> "jit_compile"
+  | Jit_hit _ -> "jit_hit"
+  | Jit_invalidate _ -> "jit_invalidate"
+  | Jit_deopt _ -> "jit_deopt"
   | Sefs_read _ -> "sefs_read"
   | Sefs_write _ -> "sefs_write"
   | Net_send _ -> "net_send"
@@ -214,6 +222,18 @@ let to_chrome_json t =
             ~args:[ ("pc", string_of_int pc) ]
       | Dcache_invalidate { pc } ->
           put ~name:"dcache_invalidate" ~cat:"dcache" ~ph:"i" ~ts ~tid:0
+            ~args:[ ("pc", string_of_int pc) ]
+      | Jit_compile { pc } ->
+          put ~name:"jit_compile" ~cat:"jit" ~ph:"i" ~ts ~tid:0
+            ~args:[ ("pc", string_of_int pc) ]
+      | Jit_hit { pc } ->
+          put ~name:"jit_hit" ~cat:"jit" ~ph:"i" ~ts ~tid:0
+            ~args:[ ("pc", string_of_int pc) ]
+      | Jit_invalidate { pc } ->
+          put ~name:"jit_invalidate" ~cat:"jit" ~ph:"i" ~ts ~tid:0
+            ~args:[ ("pc", string_of_int pc) ]
+      | Jit_deopt { pc } ->
+          put ~name:"jit_deopt" ~cat:"jit" ~ph:"i" ~ts ~tid:0
             ~args:[ ("pc", string_of_int pc) ]
       | Sefs_read { bytes } ->
           put ~name:"sefs_read" ~cat:"sefs" ~ph:"i" ~ts ~tid:0

@@ -28,6 +28,10 @@ type kind =
   | Dcache_hit of { pc : int }
   | Dcache_miss of { pc : int }
   | Dcache_invalidate of { pc : int }
+  | Jit_compile of { pc : int }
+  | Jit_hit of { pc : int }
+  | Jit_invalidate of { pc : int }
+  | Jit_deopt of { pc : int }
   | Sefs_read of { bytes : int }
   | Sefs_write of { bytes : int }
   | Net_send of { bytes : int }

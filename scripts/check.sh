@@ -126,13 +126,26 @@ cmp _build/cores1-console.txt _build/cores4-console.txt || {
   exit 1
 }
 
+# JIT tier smoke: the block-JIT is a pure accelerator — --jit and
+# --no-jit runs of the same binary must print bit-identical console
+# output (the full 3-way differential, fuzz property #8 and the bench
+# speedup gate run below and in `dune runtest`).
+dune exec bin/occlum_run.exe -- _build/hello.oelf --jit \
+  | sed -n '/^---$/,/^---$/p' > _build/jit-console.txt
+dune exec bin/occlum_run.exe -- _build/hello.oelf --no-jit \
+  | sed -n '/^---$/,/^---$/p' > _build/nojit-console.txt
+cmp _build/jit-console.txt _build/nojit-console.txt || {
+  echo "FAIL: --jit and --no-jit console output differ" >&2
+  exit 1
+}
+
 # Bounded fuzz smoke: 200 cases of every property under the injected
 # interrupt storm, with a fixed seed so the JSON report (a CI artifact)
 # is bit-reproducible — a failing run prints the shrunk reproducer.
 dune exec bin/occlum_fuzz.exe -- --seed 42 --cases 200 --shrink \
   --json _build/fuzz-report.json
 
-dune exec bench/main.exe -- --only=micro,paging,serving,multicore,guards \
+dune exec bench/main.exe -- --only=micro,paging,serving,multicore,guards,jit \
   --json _build/bench-micro.json
 python3 scripts/compare_bench.py bench/baseline-micro.json \
   _build/bench-micro.json --threshold "${BENCH_THRESHOLD:-0.25}"

@@ -32,12 +32,17 @@ def direction(name):
     # sweep variants (…-c4 cores, …-c5000 connections) keep the
     # direction of their base metric
     name = re.sub(r"-c\d+$", "", name)
-    if name.endswith("-ns-per-op"):
+    # the metric stem may follow the section slash directly
+    # (e.g. "jit/insns-per-sec"), so match stems, not just "-stem"
+    stem = name.rsplit("/", 1)[-1]
+    if stem.endswith("ns-per-op") or stem.endswith("ns-per-block"):
         return "lower"
+    if stem.endswith("deopts"):
+        return "lower"  # a rising deopt count means the JIT bails more often
     if (
-        name.endswith("-insns-per-sec")
-        or name.endswith("-speedup")
-        or name.endswith("-elided-guards")  # static elision count: may only grow
+        stem.endswith("insns-per-sec")
+        or stem.endswith("speedup")
+        or stem.endswith("elided-guards")  # static elision count: may only grow
     ):
         return "higher"
     return "lower"

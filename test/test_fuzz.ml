@@ -1,5 +1,5 @@
 (* The fuzzing subsystem's own tests: bit-reproducibility of reports,
-   the five cross-layer properties at acceptance volume (500 cases each
+   the cross-layer properties at acceptance volume (500 cases each
    under an interrupt storm), the codec exhaustive round-trip, a
    mutation test proving a deliberately broken guard is caught and
    auto-shrunk, AEX interposition between a guard and its guarded
@@ -32,7 +32,7 @@ let test_distinct_seeds () =
   in
   Alcotest.(check bool) "seeds diverge" true (aex 1L <> aex 2L)
 
-(* --- the seven properties at acceptance volume ------------------------------- *)
+(* --- the eight properties at acceptance volume ------------------------------ *)
 
 let test_all_properties_500 () =
   let reg = Occlum_obs.Metrics.create () in
@@ -50,7 +50,7 @@ let test_all_properties_500 () =
     (report.Check.injected.Inject.epc > 0);
   Alcotest.(check bool) "I/O faults injected" true
     (report.Check.injected.Inject.io > 0);
-  Alcotest.(check int) "fuzz.cases metric" (500 * 7)
+  Alcotest.(check int) "fuzz.cases metric" (500 * 8)
     (Occlum_obs.Metrics.value (Occlum_obs.Metrics.counter reg "fuzz.cases"));
   Alcotest.(check int) "fuzz.failures metric" 0
     (Occlum_obs.Metrics.value (Occlum_obs.Metrics.counter reg "fuzz.failures"))
@@ -250,7 +250,7 @@ let suite =
   [
     Alcotest.test_case "report determinism" `Quick test_determinism;
     Alcotest.test_case "distinct seeds explore" `Quick test_distinct_seeds;
-    Alcotest.test_case "seven properties x 500 cases" `Quick
+    Alcotest.test_case "eight properties x 500 cases" `Quick
       test_all_properties_500;
     Alcotest.test_case "broken guard caught + shrunk <= 10" `Quick
       test_broken_guard_caught_and_shrunk;

@@ -1,0 +1,350 @@
+(* Block-JIT tier tests: the compiled tier must be observationally
+   identical to both the decode-cache tier and the uncached loop — same
+   registers, flags, counters, fault payloads and stop boundaries — and
+   its extras must hold: per-page invalidation after writes to JIT'd
+   pages, mid-block fault deopt with bit-identical CPU state, one
+   interrupt consultation per original-instruction boundary even inside
+   fused superinstructions, translation-time guard elision matching the
+   statically elided binary's dynamic check counts, and multi-core
+   LibOS determinism with the JIT on. *)
+
+open Occlum_machine
+open Occlum_isa
+module Native_run = Occlum_baseline.Native_run
+module Elide = Occlum_analysis.Elide
+module Os = Occlum_libos.Os
+module Harness = Occlum_workloads.Harness
+module Compile = Occlum_toolchain.Compile
+module Codegen = Occlum_toolchain.Codegen
+module Parser = Occlum_toolchain.Parser
+
+let setup = Test_machine.setup
+
+let enc_len insns =
+  List.fold_left (fun a i -> a + String.length (Codec.encode i)) 0 insns
+
+(* Everything observable about a stopped machine (jit counters excluded:
+   the whole point is that runs with different tiers enabled agree on
+   the architectural part). *)
+let state_str stop cpu =
+  Printf.sprintf
+    "stop=%s pc=%d eq=%b lt=%b cycles=%d insns=%d loads=%d stores=%d bnd=%d regs=%s"
+    (Interp.stop_to_string stop)
+    cpu.Cpu.pc cpu.Cpu.flag_eq cpu.Cpu.flag_lt cpu.Cpu.cycles cpu.Cpu.insns
+    cpu.Cpu.loads cpu.Cpu.stores cpu.Cpu.bound_checks
+    (String.concat ","
+       (Array.to_list (Array.map Int64.to_string cpu.Cpu.regs)))
+
+(* A counted loop ending in a syscall gate (fixed-point displacement as
+   in the decode-cache tests) — hot enough to promote. *)
+let loop_prog iters =
+  let body =
+    [
+      Insn.Alu (Add, Reg.r2, O_imm 3L);
+      Insn.Alu (Sub, Reg.r1, O_imm 1L);
+      Insn.Cmp (Reg.r1, O_imm 0L);
+    ]
+  in
+  let body_len = enc_len body in
+  let rec fix d =
+    let len = String.length (Codec.encode (Insn.Jcc (Ne, d))) in
+    if -(body_len + len) = d then Insn.Jcc (Ne, d) else fix (-(body_len + len))
+  in
+  (Insn.Mov_imm (Reg.r1, Int64.of_int iters)
+   :: Insn.Mov_imm (Reg.r2, 0L) :: body)
+  @ [ fix (-body_len); Insn.Syscall_gate ]
+
+let disasm_exn oelf =
+  match Occlum_verifier.Verify.verify oelf with
+  | Ok d -> d
+  | Error rs ->
+      Alcotest.fail
+        ("unexpected rejection: "
+        ^ Occlum_verifier.Verify.rejection_to_string (List.hd rs))
+
+(* --- 3-way differential over the SPEC kernels ----------------------------- *)
+
+let native_summary (r : Native_run.result) =
+  Printf.sprintf "exit=%Ld cycles=%d insns=%d loads=%d stores=%d bnd=%d out=%S"
+    r.exit_code r.cycles r.insns r.loads r.stores r.bound_checks r.stdout
+
+let test_spec_differential_3way () =
+  let engaged = ref false in
+  List.iter
+    (fun (name, prog) ->
+      let oelf = Compile.compile_exn ~config:Codegen.sfi prog in
+      let u = Native_run.run ~decode_cache:false oelf in
+      let c = Native_run.run oelf in
+      let j = Native_run.run ~jit:true ~jit_threshold:2 oelf in
+      Alcotest.(check string)
+        (name ^ ": jit = uncached")
+        (native_summary u) (native_summary j);
+      Alcotest.(check string)
+        (name ^ ": jit = cached")
+        (native_summary c) (native_summary j);
+      if j.jit_compiles > 0 && j.jit_hits > 0 then engaged := true)
+    (Occlum_workloads.Spec.all ~scale:1);
+  Alcotest.(check bool) "JIT compiled and replayed on some kernel" true
+    !engaged
+
+(* --- translation-time guard elision on guard_heavy ------------------------- *)
+
+let guard_heavy_src () =
+  let path =
+    List.find Sys.file_exists
+      [
+        "../examples/guard_heavy.ol";
+        "examples/guard_heavy.ol";
+        Filename.concat
+          (Filename.dirname Sys.executable_name)
+          "../examples/guard_heavy.ol";
+      ]
+  in
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_guard_heavy_elide_parity () =
+  let naive =
+    Compile.compile_exn ~config:Codegen.sfi_naive
+      (Parser.parse (guard_heavy_src ()))
+  in
+  let report = Elide.analyze naive (disasm_exn naive) in
+  let offsets =
+    List.filter_map
+      (fun (g : Elide.guard) ->
+        match g.Elide.cls with
+        | Elide.Dominated_redundant | Elide.Range_proven -> Some g.Elide.addr
+        | Elide.Required -> None)
+      report.Elide.guards
+  in
+  Alcotest.(check bool) "elision facts available" true (offsets <> []);
+  let base = Native_run.run naive in
+  (* without facts the JIT is a pure accelerator: bit-identical, checks
+     included (threshold 0 = every block compiled from first entry) *)
+  let jit_plain = Native_run.run ~jit:true ~jit_threshold:0 naive in
+  Alcotest.(check string) "jit without facts = interpreter"
+    (native_summary base) (native_summary jit_plain);
+  (* with facts, the dynamic check count must match the statically
+     elided, re-verified binary exactly *)
+  let elided =
+    match Elide.run naive with
+    | Ok (o, _) -> o
+    | Error e -> Alcotest.fail (Elide.error_to_string e)
+  in
+  let re = Native_run.run elided in
+  let jf = Native_run.run ~jit:true ~jit_threshold:0 ~jit_elide_offsets:offsets naive in
+  Alcotest.(check int64) "same exit code" base.exit_code jf.exit_code;
+  Alcotest.(check string) "expected output" "sum 231\n" jf.stdout;
+  Alcotest.(check int) "jit bound checks = statically elided binary's"
+    re.bound_checks jf.bound_checks;
+  Alcotest.(check bool) "fewer checks than the naive interpreter" true
+    (jf.bound_checks < base.bound_checks);
+  Alcotest.(check bool) "translation-time elisions recorded" true
+    (jf.jit_elisions > 0);
+  (* elision drops the comparison and its counter, nothing else: the
+     unelided instruction/cycle/memory charges stay those of the input *)
+  Alcotest.(check int) "same insns as the naive binary" base.insns jf.insns;
+  Alcotest.(check int) "same cycles as the naive binary" base.cycles jf.cycles;
+  Alcotest.(check int) "same loads" base.loads jf.loads;
+  Alcotest.(check int) "same stores" base.stores jf.stores
+
+(* --- per-page invalidation -------------------------------------------------- *)
+
+let test_smc_user_store_invalidates () =
+  (* a store rewrites a nop ahead of the pc into a syscall gate, inside
+     the block's own page: the JIT must observe the new byte at its
+     fetch, exactly like the uncached loop *)
+  let gate = Codec.encode Insn.Syscall_gate in
+  Alcotest.(check int) "gate is a 1-byte opcode" 1 (String.length gate);
+  let rec fix target =
+    let pre =
+      [
+        Insn.Mov_imm (Reg.r3, Int64.of_int target);
+        Insn.Mov_imm (Reg.r4, Int64.of_int (Char.code gate.[0]));
+        Insn.Store
+          { dst = Sib { base = Reg.r3; index = None; scale = 1; disp = 0 };
+            src = Reg.r4; size = 1 };
+      ]
+    in
+    if 4096 + enc_len pre = target then pre else fix (4096 + enc_len pre)
+  in
+  let prog =
+    fix 4200 @ [ Insn.Nop; Insn.Mov_imm (Reg.r1, 99L); Insn.Syscall_gate ]
+  in
+  let mem, cpu = setup prog in
+  let su = Interp.run mem cpu ~fuel:200 in
+  let mem_j, cpu_j = setup prog in
+  let j = Jit.create ~threshold:0 () in
+  let sj = Interp.run ~cache:(Decode_cache.create ()) ~jit:j mem_j cpu_j ~fuel:200 in
+  Alcotest.(check string) "self-modifying: jit = uncached" (state_str su cpu)
+    (state_str sj cpu_j);
+  Alcotest.(check int64) "stopped before mov r1" 0L (Cpu.get cpu_j Reg.r1);
+  Alcotest.(check bool) "block was compiled" true (cpu_j.Cpu.jit_compiles > 0);
+  let _, _, inv = Jit.stats j in
+  Alcotest.(check bool) "write to the JIT'd page invalidated or deopted" true
+    (inv + cpu_j.Cpu.jit_deopts >= 1)
+
+let test_priv_write_invalidates () =
+  (* the loader path: privileged rewrite of a compiled page (domain-slot
+     reuse) must drop the compiled block *)
+  let mem, cpu = setup [ Insn.Mov_imm (Reg.r1, 1L); Insn.Syscall_gate ] in
+  let cache = Decode_cache.create () in
+  let j = Jit.create ~threshold:0 () in
+  (match Interp.run ~cache ~jit:j mem cpu ~fuel:100 with
+  | Interp.Stop_syscall -> ()
+  | s -> Alcotest.fail ("first run: " ^ Interp.stop_to_string s));
+  Alcotest.(check int64) "first immediate" 1L (Cpu.get cpu Reg.r1);
+  Alcotest.(check bool) "compiled on first entry" true
+    (cpu.Cpu.jit_compiles > 0);
+  let patched, _ =
+    Codec.encode_program [ Insn.Mov_imm (Reg.r1, 2L); Insn.Syscall_gate ]
+  in
+  Mem.write_bytes_priv mem ~addr:4096 patched;
+  cpu.Cpu.pc <- 4096;
+  (match Interp.run ~cache ~jit:j mem cpu ~fuel:100 with
+  | Interp.Stop_syscall -> ()
+  | s -> Alcotest.fail ("second run: " ^ Interp.stop_to_string s));
+  Alcotest.(check int64) "patched immediate observed" 2L (Cpu.get cpu Reg.r1);
+  let _, _, inv = Jit.stats j in
+  Alcotest.(check bool) "stale compiled block dropped" true (inv >= 1)
+
+(* --- mid-block fault deopt -------------------------------------------------- *)
+
+let test_midblock_fault_identity () =
+  (* r-x code compiles to fused multi-instruction units; a store that
+     faults mid-unit must deopt with the CPU bit-identical to the
+     uncached loop at the fault (partial charges included) *)
+  let prog =
+    [
+      Insn.Mov_imm (Reg.r1, Int64.of_int (13 * 4096));
+      Insn.Alu (Add, Reg.r2, O_imm 7L);
+      Insn.Store
+        { dst = Sib { base = Reg.r1; index = None; scale = 1; disp = 0 };
+          src = Reg.r2; size = 8 };
+      Insn.Syscall_gate;
+    ]
+  in
+  let mem, cpu = setup ~code_perm:Mem.perm_rx prog in
+  let su = Interp.run mem cpu ~fuel:100 in
+  (match su with
+  | Interp.Stop_fault (Fault.Page_fault { addr; access = Fault.Write })
+    when addr = 13 * 4096 ->
+      ()
+  | s -> Alcotest.fail ("expected write fault, got " ^ Interp.stop_to_string s));
+  let mem_j, cpu_j = setup ~code_perm:Mem.perm_rx prog in
+  let j = Jit.create ~threshold:0 () in
+  let sj = Interp.run ~cache:(Decode_cache.create ()) ~jit:j mem_j cpu_j ~fuel:100 in
+  Alcotest.(check string) "mid-block fault: jit = uncached"
+    (state_str su cpu) (state_str sj cpu_j);
+  Alcotest.(check bool) "fault deopted out of compiled code" true
+    (cpu_j.Cpu.jit_deopts >= 1)
+
+(* --- interrupt consultation parity ----------------------------------------- *)
+
+(* [?interrupt] is specified to be consulted exactly once per executed
+   instruction boundary. The fused superinstructions are where that can
+   silently break, so: (a) the total consult count must match the
+   uncached loop's, and (b) an interrupt armed at EVERY boundary index
+   in turn must stop the JIT run bit-identically, and both runs must
+   resume to the same completion. *)
+let test_interrupt_every_boundary () =
+  let prog = loop_prog 20 in
+  let run_tier ~jit fire_at =
+    let mem, cpu = setup ~code_perm:Mem.perm_rx prog in
+    let cache = if jit then Some (Decode_cache.create ()) else None in
+    let j = if jit then Some (Jit.create ~threshold:0 ()) else None in
+    let n = ref 0 in
+    let hook () =
+      let k = !n in
+      incr n;
+      match fire_at with Some i -> k = i | None -> false
+    in
+    let s1 = Interp.run ?cache ?jit:j ~interrupt:hook mem cpu ~fuel:100_000 in
+    let mid = state_str s1 cpu in
+    let s2 =
+      if s1 = Interp.Stop_syscall then s1
+      else Interp.run ?cache ?jit:j ~interrupt:hook mem cpu ~fuel:100_000
+    in
+    (mid, state_str s2 cpu, !n)
+  in
+  let mu, fu, nu = run_tier ~jit:false None in
+  let mj, fj, nj = run_tier ~jit:true None in
+  Alcotest.(check string) "unfired runs agree" (mu ^ fu) (mj ^ fj);
+  Alcotest.(check int) "one consult per instruction boundary" nu nj;
+  for i = 0 to nu - 1 do
+    let mu, fu, nu' = run_tier ~jit:false (Some i) in
+    let mj, fj, nj' = run_tier ~jit:true (Some i) in
+    Alcotest.(check string)
+      (Printf.sprintf "interrupt at boundary %d: identical stop" i)
+      mu mj;
+    Alcotest.(check string)
+      (Printf.sprintf "interrupt at boundary %d: identical completion" i)
+      fu fj;
+    Alcotest.(check int)
+      (Printf.sprintf "interrupt at boundary %d: same consult count" i)
+      nu' nj'
+  done
+
+(* --- LibOS: multi-core determinism and stats -------------------------------- *)
+
+let test_libos_jit_on_off_identical () =
+  let run jit =
+    let config = { Os.default_config with Os.jit } in
+    let os = Os.boot ~config () in
+    Os.install_binary os "/bin/compute"
+      (Harness.build_for Harness.Occlum Harness.compute_prog);
+    ignore (Os.spawn os ~parent_pid:0 ~path:"/bin/compute" ~args:[ "20000" ]);
+    (match Os.run ~max_steps:5_000_000 os with
+    | Os.All_exited -> ()
+    | _ -> Alcotest.fail "compute SIP did not exit");
+    os
+  in
+  let os_j = run true in
+  let os_i = run false in
+  Alcotest.(check string) "digest identical with the JIT on/off"
+    (Os.state_digest os_i) (Os.state_digest os_j);
+  (match Os.jit_stats os_j with
+  | Some (c, h, _) ->
+      Alcotest.(check bool) "compiled and replayed under the LibOS" true
+        (c > 0 && h > 0)
+  | None -> Alcotest.fail "jit stats missing with the JIT enabled");
+  Alcotest.(check bool) "stats absent when disabled" true
+    (Os.jit_stats os_i = None)
+
+let test_multicore_digest_with_jit () =
+  (* default config: decode cache + JIT on, per-core code caches *)
+  let digest cores =
+    let r =
+      Harness.run_compute_scaling ~sips:6 ~iters:12_000 ~cores Harness.Occlum
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "cores=%d completes" cores)
+      true
+      (r.Harness.sc_status = Os.All_exited);
+    r.Harness.sc_digest
+  in
+  Alcotest.(check string) "cores=4 == cores=1 with the JIT on" (digest 1)
+    (digest 4)
+
+let suite =
+  [
+    Alcotest.test_case "differential: SPEC kernels, 3 tiers" `Quick
+      test_spec_differential_3way;
+    Alcotest.test_case "guard_heavy: elision parity" `Quick
+      test_guard_heavy_elide_parity;
+    Alcotest.test_case "self-modifying store invalidates" `Quick
+      test_smc_user_store_invalidates;
+    Alcotest.test_case "privileged write invalidates" `Quick
+      test_priv_write_invalidates;
+    Alcotest.test_case "mid-block fault deopts bit-identically" `Quick
+      test_midblock_fault_identity;
+    Alcotest.test_case "interrupt at every boundary" `Quick
+      test_interrupt_every_boundary;
+    Alcotest.test_case "LibOS: jit on/off identical + stats" `Quick
+      test_libos_jit_on_off_identical;
+    Alcotest.test_case "multi-core digest with jit" `Quick
+      test_multicore_digest_with_jit;
+  ]

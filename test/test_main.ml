@@ -5,6 +5,7 @@ let () =
       ("isa", Test_isa.suite);
       ("machine", Test_machine.suite);
       ("decode-cache", Test_decode_cache.suite);
+      ("jit", Test_jit.suite);
       ("sgx", Test_sgx.suite);
       ("oelf", Test_oelf.suite);
       ("toolchain", Test_toolchain.suite);
