@@ -46,7 +46,10 @@ let main seed cases properties shrink json emit_corpus =
           List.iter
             (fun (file, n) -> Printf.printf "%s: %d instructions\n" file n)
             written;
-          Printf.printf "%d corpus files written to %s\n" (List.length written)
+          let ord = Check.emit_orderliness_corpus ~dir ~seed in
+          Printf.printf "%s: orderliness scenarios\n" ord;
+          Printf.printf "%d corpus files written to %s\n"
+            (List.length written + 1)
             dir;
           exit 0
       | None ->
@@ -71,7 +74,7 @@ let properties =
   let doc =
     "Property to run (repeatable): codec-roundtrip, cache-equivalence, \
      verifier-soundness, aex-identity, epc-pressure, mc-determinism, \
-     guard-elide, jit-equivalence, or all. Default: all."
+     guard-elide, jit-equivalence, cluster-orderliness, or all. Default: all."
   in
   Arg.(value & opt_all string [] & info [ "property"; "p" ] ~docv:"PROP" ~doc)
 

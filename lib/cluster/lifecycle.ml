@@ -1,0 +1,367 @@
+(* The enclave + attestation + channel lifecycle as an explicit state
+   machine, after Guardian (PAPERS.md): the host drives every
+   transition — ECREATE/EADD/EINIT, quoting, channel handshakes,
+   message delivery, teardown — so a hostile host can try them in any
+   order, and the only defence is an orderliness monitor that rejects
+   every out-of-order transition. [Cluster] feeds its real transitions
+   through a checker instance (a violation there is a cluster bug);
+   fuzz property #9 drives the same checker with hostile sequences and
+   demands zero false accepts.
+
+   Per node, the protocol is deliberately linear:
+
+     Absent --Ecreate--> Created --Eadd--> Measured (--Eadd--> loops)
+       --Einit--> Inited --Quote_gen--> Quoted --Quote_verify--> Attested
+       --Eenter--> Serving --Teardown--> Down --Ecreate--> Created ...
+
+   i.e. a cluster node must be measured before EINIT, attested before
+   it serves, and a revived node restarts from ECREATE (a fresh enclave
+   with a fresh measurement and a fresh quote — there is no shortcut
+   back into the mesh). Teardown is legal from any live state.
+
+   Per unordered node pair, channels are:
+
+     Closed --Hs_start--> Handshaking --Hs_done--> Open --Ch_close--> Closed
+
+   with both endpoints required to be Serving at Hs_start, and per
+   direction a strictly sequential message discipline: the i-th
+   Ch_send must carry seq i, and the i-th Ch_deliver must carry seq i
+   with fewer deliveries than sends so far. A delivery behind the
+   cursor is a replay, ahead of it a rollback (the host withheld the
+   frame in between) — both are orderliness violations, mirroring the
+   hard channel faults in [Channel]. *)
+
+type node_phase =
+  | Absent
+  | Created
+  | Measured
+  | Inited
+  | Quoted
+  | Attested
+  | Serving
+  | Down
+
+let phase_name = function
+  | Absent -> "absent"
+  | Created -> "created"
+  | Measured -> "measured"
+  | Inited -> "inited"
+  | Quoted -> "quoted"
+  | Attested -> "attested"
+  | Serving -> "serving"
+  | Down -> "down"
+
+type chan_phase = Closed | Handshaking | Open
+
+type transition =
+  | Ecreate of int
+  | Eadd of int
+  | Einit of int
+  | Quote_gen of int
+  | Quote_verify of int
+  | Eenter of int
+  | Teardown of int
+  | Hs_start of int * int
+  | Hs_done of int * int
+  | Ch_send of int * int * int  (** src, dst, seq *)
+  | Ch_deliver of int * int * int  (** src, dst, seq *)
+  | Ch_close of int * int
+
+type violation =
+  | Bad_node of int  (** node id outside the cluster *)
+  | Bad_phase of { node : int; have : node_phase; transition : string }
+      (** a node-lifecycle transition fired out of order *)
+  | Chan_bad_state of { a : int; b : int; transition : string }
+      (** a channel transition fired in the wrong channel state *)
+  | Chan_endpoint_not_serving of { a : int; b : int; node : int }
+  | Seq_skip of { src : int; dst : int; seq : int; expect : int }
+      (** a send jumped the strictly sequential counter *)
+  | Replay of { src : int; dst : int; seq : int; expect : int }
+      (** a delivery behind the receive cursor *)
+  | Rollback of { src : int; dst : int; seq : int; expect : int }
+      (** a delivery ahead of the receive cursor (withheld frame) *)
+  | Deliver_unsent of { src : int; dst : int; seq : int }
+
+let violation_to_string = function
+  | Bad_node n -> Printf.sprintf "node %d outside the cluster" n
+  | Bad_phase { node; have; transition } ->
+      Printf.sprintf "%s on node %d in phase %s" transition node
+        (phase_name have)
+  | Chan_bad_state { a; b; transition } ->
+      Printf.sprintf "%s on channel %d<->%d in wrong state" transition a b
+  | Chan_endpoint_not_serving { a; b; node } ->
+      Printf.sprintf "channel %d<->%d endpoint %d not serving" a b node
+  | Seq_skip { src; dst; seq; expect } ->
+      Printf.sprintf "send %d->%d seq %d, expected %d" src dst seq expect
+  | Replay { src; dst; seq; expect } ->
+      Printf.sprintf "replayed delivery %d->%d seq %d (cursor %d)" src dst seq
+        expect
+  | Rollback { src; dst; seq; expect } ->
+      Printf.sprintf "rollback delivery %d->%d seq %d (cursor %d)" src dst seq
+        expect
+  | Deliver_unsent { src; dst; seq } ->
+      Printf.sprintf "delivery %d->%d seq %d never sent" src dst seq
+
+type chan = {
+  mutable cphase : chan_phase;
+  (* per direction: sends so far (= next legal send seq) and deliveries
+     so far (= next legal delivery seq), keyed low->high / high->low *)
+  mutable sent_lh : int;
+  mutable dlvd_lh : int;
+  mutable sent_hl : int;
+  mutable dlvd_hl : int;
+}
+
+type t = {
+  nodes : int;
+  phase : node_phase array;
+  chans : (int * int, chan) Hashtbl.t;
+  mutable steps : int;
+}
+
+let create ~nodes =
+  if nodes < 1 then invalid_arg "Lifecycle.create";
+  { nodes; phase = Array.make nodes Absent; chans = Hashtbl.create 8; steps = 0 }
+
+let node_phase t n = t.phase.(n)
+
+let ckey a b = (min a b, max a b)
+
+let chan_of t a b =
+  match Hashtbl.find_opt t.chans (ckey a b) with
+  | Some c -> c
+  | None ->
+      let c =
+        { cphase = Closed; sent_lh = 0; dlvd_lh = 0; sent_hl = 0; dlvd_hl = 0 }
+      in
+      Hashtbl.replace t.chans (ckey a b) c;
+      c
+
+let chan_phase t a b = (chan_of t a b).cphase
+
+(* Close every channel that touches [n] — teardown tears its channels
+   down with it, and their message counters reset with the next
+   handshake (a fresh channel epoch). *)
+let close_chans_of t n =
+  Hashtbl.iter
+    (fun (a, b) c ->
+      if a = n || b = n then begin
+        c.cphase <- Closed;
+        c.sent_lh <- 0;
+        c.dlvd_lh <- 0;
+        c.sent_hl <- 0;
+        c.dlvd_hl <- 0
+      end)
+    t.chans
+
+let check_node t n = if n < 0 || n >= t.nodes then Error (Bad_node n) else Ok ()
+
+let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v
+
+let step t tr =
+  let result =
+    match tr with
+    | Ecreate n ->
+        let* () = check_node t n in
+        if t.phase.(n) = Absent || t.phase.(n) = Down then begin
+          t.phase.(n) <- Created;
+          Ok ()
+        end
+        else
+          Error (Bad_phase { node = n; have = t.phase.(n); transition = "ECREATE" })
+    | Eadd n ->
+        let* () = check_node t n in
+        (* EADD after EINIT is the SGX1 restriction *)
+        if t.phase.(n) = Created || t.phase.(n) = Measured then begin
+          t.phase.(n) <- Measured;
+          Ok ()
+        end
+        else
+          Error (Bad_phase { node = n; have = t.phase.(n); transition = "EADD" })
+    | Einit n ->
+        let* () = check_node t n in
+        if t.phase.(n) = Measured then begin
+          t.phase.(n) <- Inited;
+          Ok ()
+        end
+        else
+          Error (Bad_phase { node = n; have = t.phase.(n); transition = "EINIT" })
+    | Quote_gen n ->
+        let* () = check_node t n in
+        if t.phase.(n) = Inited then begin
+          t.phase.(n) <- Quoted;
+          Ok ()
+        end
+        else
+          Error
+            (Bad_phase { node = n; have = t.phase.(n); transition = "QUOTE" })
+    | Quote_verify n ->
+        let* () = check_node t n in
+        if t.phase.(n) = Quoted then begin
+          t.phase.(n) <- Attested;
+          Ok ()
+        end
+        else
+          Error
+            (Bad_phase { node = n; have = t.phase.(n); transition = "VERIFY" })
+    | Eenter n ->
+        let* () = check_node t n in
+        if t.phase.(n) = Attested then begin
+          t.phase.(n) <- Serving;
+          Ok ()
+        end
+        else
+          Error
+            (Bad_phase { node = n; have = t.phase.(n); transition = "EENTER" })
+    | Teardown n ->
+        let* () = check_node t n in
+        if t.phase.(n) = Absent || t.phase.(n) = Down then
+          Error
+            (Bad_phase { node = n; have = t.phase.(n); transition = "TEARDOWN" })
+        else begin
+          t.phase.(n) <- Down;
+          close_chans_of t n;
+          Ok ()
+        end
+    | Hs_start (a, b) ->
+        let* () = check_node t a in
+        let* () = check_node t b in
+        if a = b then Error (Bad_node a)
+        else if t.phase.(a) <> Serving then
+          Error (Chan_endpoint_not_serving { a; b; node = a })
+        else if t.phase.(b) <> Serving then
+          Error (Chan_endpoint_not_serving { a; b; node = b })
+        else
+          let c = chan_of t a b in
+          if c.cphase <> Closed then
+            Error (Chan_bad_state { a; b; transition = "HS_START" })
+          else begin
+            c.cphase <- Handshaking;
+            Ok ()
+          end
+    | Hs_done (a, b) ->
+        let* () = check_node t a in
+        let* () = check_node t b in
+        let c = chan_of t a b in
+        if c.cphase <> Handshaking then
+          Error (Chan_bad_state { a; b; transition = "HS_DONE" })
+        else begin
+          c.cphase <- Open;
+          c.sent_lh <- 0;
+          c.dlvd_lh <- 0;
+          c.sent_hl <- 0;
+          c.dlvd_hl <- 0;
+          Ok ()
+        end
+    | Ch_send (src, dst, seq) ->
+        let* () = check_node t src in
+        let* () = check_node t dst in
+        if t.phase.(src) <> Serving then
+          Error (Chan_endpoint_not_serving { a = src; b = dst; node = src })
+        else
+          let c = chan_of t src dst in
+          if c.cphase <> Open then
+            Error (Chan_bad_state { a = src; b = dst; transition = "SEND" })
+          else
+            let sent = if src < dst then c.sent_lh else c.sent_hl in
+            if seq <> sent then
+              Error (Seq_skip { src; dst; seq; expect = sent })
+            else begin
+              if src < dst then c.sent_lh <- sent + 1 else c.sent_hl <- sent + 1;
+              Ok ()
+            end
+    | Ch_deliver (src, dst, seq) ->
+        let* () = check_node t src in
+        let* () = check_node t dst in
+        if t.phase.(dst) <> Serving then
+          Error (Chan_endpoint_not_serving { a = src; b = dst; node = dst })
+        else
+          let c = chan_of t src dst in
+          if c.cphase <> Open then
+            Error (Chan_bad_state { a = src; b = dst; transition = "DELIVER" })
+          else
+            let sent = if src < dst then c.sent_lh else c.sent_hl in
+            let dlvd = if src < dst then c.dlvd_lh else c.dlvd_hl in
+            if seq < dlvd then Error (Replay { src; dst; seq; expect = dlvd })
+            else if seq >= sent then Error (Deliver_unsent { src; dst; seq })
+            else if seq > dlvd then
+              Error (Rollback { src; dst; seq; expect = dlvd })
+            else begin
+              if src < dst then c.dlvd_lh <- dlvd + 1 else c.dlvd_hl <- dlvd + 1;
+              Ok ()
+            end
+    | Ch_close (a, b) ->
+        let* () = check_node t a in
+        let* () = check_node t b in
+        let c = chan_of t a b in
+        if c.cphase = Closed then
+          Error (Chan_bad_state { a; b; transition = "CLOSE" })
+        else begin
+          c.cphase <- Closed;
+          c.sent_lh <- 0;
+          c.dlvd_lh <- 0;
+          c.sent_hl <- 0;
+          c.dlvd_hl <- 0;
+          Ok ()
+        end
+  in
+  (match result with Ok () -> t.steps <- t.steps + 1 | Error _ -> ());
+  result
+
+let run t trs =
+  let rec go i = function
+    | [] -> Ok i
+    | tr :: rest -> (
+        match step t tr with
+        | Ok () -> go (i + 1) rest
+        | Error v -> Error (i, tr, v))
+  in
+  go 0 trs
+
+(* --- textual encoding (corpus persistence) -------------------------------- *)
+
+let transition_to_string = function
+  | Ecreate n -> Printf.sprintf "ecreate %d" n
+  | Eadd n -> Printf.sprintf "eadd %d" n
+  | Einit n -> Printf.sprintf "einit %d" n
+  | Quote_gen n -> Printf.sprintf "quote %d" n
+  | Quote_verify n -> Printf.sprintf "verify %d" n
+  | Eenter n -> Printf.sprintf "eenter %d" n
+  | Teardown n -> Printf.sprintf "teardown %d" n
+  | Hs_start (a, b) -> Printf.sprintf "hs-start %d %d" a b
+  | Hs_done (a, b) -> Printf.sprintf "hs-done %d %d" a b
+  | Ch_send (s, d, q) -> Printf.sprintf "send %d %d %d" s d q
+  | Ch_deliver (s, d, q) -> Printf.sprintf "deliver %d %d %d" s d q
+  | Ch_close (a, b) -> Printf.sprintf "close %d %d" a b
+
+let transition_of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "ecreate"; n ] -> Option.map (fun n -> Ecreate n) (int_of_string_opt n)
+  | [ "eadd"; n ] -> Option.map (fun n -> Eadd n) (int_of_string_opt n)
+  | [ "einit"; n ] -> Option.map (fun n -> Einit n) (int_of_string_opt n)
+  | [ "quote"; n ] -> Option.map (fun n -> Quote_gen n) (int_of_string_opt n)
+  | [ "verify"; n ] ->
+      Option.map (fun n -> Quote_verify n) (int_of_string_opt n)
+  | [ "eenter"; n ] -> Option.map (fun n -> Eenter n) (int_of_string_opt n)
+  | [ "teardown"; n ] -> Option.map (fun n -> Teardown n) (int_of_string_opt n)
+  | [ "hs-start"; a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b -> Some (Hs_start (a, b))
+      | _ -> None)
+  | [ "hs-done"; a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b -> Some (Hs_done (a, b))
+      | _ -> None)
+  | [ "send"; a; b; q ] -> (
+      match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt q) with
+      | Some a, Some b, Some q -> Some (Ch_send (a, b, q))
+      | _ -> None)
+  | [ "deliver"; a; b; q ] -> (
+      match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt q) with
+      | Some a, Some b, Some q -> Some (Ch_deliver (a, b, q))
+      | _ -> None)
+  | [ "close"; a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b -> Some (Ch_close (a, b))
+      | _ -> None)
+  | _ -> None

@@ -10,6 +10,10 @@ module Net = Occlum_libos.Net
 module Errno = Occlum_abi.Abi.Errno
 module Verify = Occlum_verifier.Verify
 module Elide = Occlum_analysis.Elide
+module Attestation = Occlum_sgx.Attestation
+module Host_transport = Occlum_libos.Host_transport
+module Lifecycle = Occlum_cluster.Lifecycle
+module Cluster = Occlum_cluster.Cluster
 
 type property =
   | Codec_roundtrip
@@ -20,11 +24,13 @@ type property =
   | Mc_determinism
   | Guard_elide
   | Jit_equivalence
+  | Cluster_orderliness
 
 let all_properties =
   [
     Codec_roundtrip; Cache_equivalence; Verifier_soundness; Aex_identity;
     Epc_pressure; Mc_determinism; Guard_elide; Jit_equivalence;
+    Cluster_orderliness;
   ]
 
 let property_name = function
@@ -36,6 +42,7 @@ let property_name = function
   | Mc_determinism -> "mc-determinism"
   | Guard_elide -> "guard-elide"
   | Jit_equivalence -> "jit-equivalence"
+  | Cluster_orderliness -> "cluster-orderliness"
 
 let property_of_name = function
   | "codec-roundtrip" -> Some Codec_roundtrip
@@ -46,6 +53,7 @@ let property_of_name = function
   | "mc-determinism" -> Some Mc_determinism
   | "guard-elide" -> Some Guard_elide
   | "jit-equivalence" -> Some Jit_equivalence
+  | "cluster-orderliness" -> Some Cluster_orderliness
   | _ -> None
 
 let property_index = function
@@ -57,6 +65,7 @@ let property_index = function
   | Mc_determinism -> 5
   | Guard_elide -> 6
   | Jit_equivalence -> 7
+  | Cluster_orderliness -> 8
 
 type failure = {
   prop : property;
@@ -1442,6 +1451,473 @@ let jit_case inj shrink rng case =
       in
       Some { prop = Jit_equivalence; case; detail; minimized }
 
+(* --- property: cluster orderliness --------------------------------------- *)
+
+(* The differential: a shadow model of the cluster lifecycle protocol,
+   deliberately re-stated over bare ints/arrays rather than the
+   checker's own types. The generator enumerates what the shadow calls
+   legal (resp. illegal) and the property demands [Lifecycle] agree on
+   every single transition — a bisimulation between two independent
+   statements of the rules, so a false accept in the orderliness
+   checker (or an over-strict rule) surfaces as a property failure. *)
+
+module Lw = struct
+  type chan = {
+    mutable st : int;  (* 0 closed, 1 handshaking, 2 open *)
+    mutable s_lh : int;
+    mutable d_lh : int;
+    mutable s_hl : int;
+    mutable d_hl : int;
+  }
+
+  (* node phases: 0 absent, 1 created, 2 measured, 3 inited, 4 quoted,
+     5 attested, 6 serving, 7 down *)
+  type t = { n : int; ph : int array; chans : (int * int, chan) Hashtbl.t }
+
+  let make n = { n; ph = Array.make n 0; chans = Hashtbl.create 8 }
+
+  let chan t a b =
+    let k = (min a b, max a b) in
+    match Hashtbl.find_opt t.chans k with
+    | Some c -> c
+    | None ->
+        let c = { st = 0; s_lh = 0; d_lh = 0; s_hl = 0; d_hl = 0 } in
+        Hashtbl.replace t.chans k c;
+        c
+
+  let in_range t i = i >= 0 && i < t.n
+
+  let legal t (tr : Lifecycle.transition) =
+    match tr with
+    | Lifecycle.Ecreate i -> in_range t i && (t.ph.(i) = 0 || t.ph.(i) = 7)
+    | Lifecycle.Eadd i -> in_range t i && (t.ph.(i) = 1 || t.ph.(i) = 2)
+    | Lifecycle.Einit i -> in_range t i && t.ph.(i) = 2
+    | Lifecycle.Quote_gen i -> in_range t i && t.ph.(i) = 3
+    | Lifecycle.Quote_verify i -> in_range t i && t.ph.(i) = 4
+    | Lifecycle.Eenter i -> in_range t i && t.ph.(i) = 5
+    | Lifecycle.Teardown i -> in_range t i && t.ph.(i) >= 1 && t.ph.(i) <= 6
+    | Lifecycle.Hs_start (a, b) ->
+        in_range t a && in_range t b && a <> b && t.ph.(a) = 6 && t.ph.(b) = 6
+        && (chan t a b).st = 0
+    | Lifecycle.Hs_done (a, b) ->
+        in_range t a && in_range t b && a <> b && (chan t a b).st = 1
+    | Lifecycle.Ch_send (s, d, q) ->
+        in_range t s && in_range t d && s <> d && t.ph.(s) = 6
+        &&
+        let c = chan t s d in
+        c.st = 2 && q = (if s < d then c.s_lh else c.s_hl)
+    | Lifecycle.Ch_deliver (s, d, q) ->
+        in_range t s && in_range t d && s <> d && t.ph.(d) = 6
+        &&
+        let c = chan t s d in
+        c.st = 2
+        &&
+        let sent = if s < d then c.s_lh else c.s_hl in
+        let dlvd = if s < d then c.d_lh else c.d_hl in
+        q = dlvd && dlvd < sent
+    | Lifecycle.Ch_close (a, b) ->
+        in_range t a && in_range t b && a <> b && (chan t a b).st > 0
+
+  let reset c =
+    c.s_lh <- 0;
+    c.d_lh <- 0;
+    c.s_hl <- 0;
+    c.d_hl <- 0
+
+  (* Only called on [legal] transitions. *)
+  let apply t (tr : Lifecycle.transition) =
+    match tr with
+    | Lifecycle.Ecreate i -> t.ph.(i) <- 1
+    | Lifecycle.Eadd i -> t.ph.(i) <- 2
+    | Lifecycle.Einit i -> t.ph.(i) <- 3
+    | Lifecycle.Quote_gen i -> t.ph.(i) <- 4
+    | Lifecycle.Quote_verify i -> t.ph.(i) <- 5
+    | Lifecycle.Eenter i -> t.ph.(i) <- 6
+    | Lifecycle.Teardown i ->
+        t.ph.(i) <- 7;
+        Hashtbl.iter
+          (fun (a, b) c ->
+            if a = i || b = i then begin
+              c.st <- 0;
+              reset c
+            end)
+          t.chans
+    | Lifecycle.Hs_start (a, b) -> (chan t a b).st <- 1
+    | Lifecycle.Hs_done (a, b) ->
+        let c = chan t a b in
+        c.st <- 2;
+        reset c
+    | Lifecycle.Ch_send (s, d, _) ->
+        let c = chan t s d in
+        if s < d then c.s_lh <- c.s_lh + 1 else c.s_hl <- c.s_hl + 1
+    | Lifecycle.Ch_deliver (s, d, _) ->
+        let c = chan t s d in
+        if s < d then c.d_lh <- c.d_lh + 1 else c.d_hl <- c.d_hl + 1
+    | Lifecycle.Ch_close (a, b) ->
+        let c = chan t a b in
+        c.st <- 0;
+        reset c
+
+  (* Every syntactically plausible transition over the node domain plus
+     an out-of-range id, a negative id and the self pair, with seq
+     candidates bracketing both direction counters — the hostile
+     surface a malicious host can aim at the checker. *)
+  let domain t =
+    let out = ref [] in
+    let push tr = out := tr :: !out in
+    for i = 0 to t.n do
+      push (Lifecycle.Ecreate i);
+      push (Lifecycle.Eadd i);
+      push (Lifecycle.Einit i);
+      push (Lifecycle.Quote_gen i);
+      push (Lifecycle.Quote_verify i);
+      push (Lifecycle.Eenter i);
+      push (Lifecycle.Teardown i)
+    done;
+    for a = 0 to t.n - 1 do
+      for b = 0 to t.n - 1 do
+        if a <> b then begin
+          push (Lifecycle.Hs_start (a, b));
+          push (Lifecycle.Hs_done (a, b));
+          push (Lifecycle.Ch_close (a, b));
+          let c = chan t a b in
+          let sent = if a < b then c.s_lh else c.s_hl in
+          let dlvd = if a < b then c.d_lh else c.d_hl in
+          List.iter
+            (fun q ->
+              push (Lifecycle.Ch_send (a, b, q));
+              push (Lifecycle.Ch_deliver (a, b, q)))
+            (List.sort_uniq compare
+               [ 0; 1; sent; sent + 1; max 0 (dlvd - 1); dlvd; dlvd + 1 ])
+        end
+      done
+    done;
+    push (Lifecycle.Hs_start (0, 0));
+    push (Lifecycle.Ch_send (0, 0, 0));
+    push (Lifecycle.Ecreate (-1));
+    List.rev !out
+end
+
+(* A random legal walk, mutating the shadow as it goes. Teardown/close
+   are rationed so walks routinely reach open channels and sequenced
+   traffic instead of tearing themselves down. *)
+let lw_walk rng sh steps =
+  let out = ref [] in
+  for _ = 1 to steps do
+    let legal = List.filter (Lw.legal sh) (Lw.domain sh) in
+    let destructive = function
+      | Lifecycle.Teardown _ | Lifecycle.Ch_close _ -> true
+      | _ -> false
+    in
+    let pool =
+      let fwd = List.filter (fun tr -> not (destructive tr)) legal in
+      if fwd <> [] && not (Rng.chance rng 1 10) then fwd else legal
+    in
+    if pool <> [] then begin
+      let tr = Rng.choose rng (Array.of_list pool) in
+      Lw.apply sh tr;
+      out := tr :: !out
+    end
+  done;
+  List.rev !out
+
+let lw_accept_case rng =
+  let nodes = 2 + Rng.int rng 3 in
+  let sh = Lw.make nodes in
+  let walk = lw_walk rng sh (30 + Rng.int rng 50) in
+  match Lifecycle.run (Lifecycle.create ~nodes) walk with
+  | Ok _ -> None
+  | Error (i, tr, v) ->
+      Some
+        (Printf.sprintf "legal walk rejected at step %d (%s): %s" i
+           (Lifecycle.transition_to_string tr)
+           (Lifecycle.violation_to_string v))
+
+let lw_reject_case rng =
+  let nodes = 2 + Rng.int rng 3 in
+  let sh = Lw.make nodes in
+  let walk = lw_walk rng sh (Rng.int rng 60) in
+  let illegal =
+    List.filter (fun tr -> not (Lw.legal sh tr)) (Lw.domain sh)
+  in
+  (* never empty: the out-of-range/self/negative entries are always
+     illegal *)
+  let mutant = Rng.choose rng (Array.of_list illegal) in
+  let lc = Lifecycle.create ~nodes in
+  match Lifecycle.run lc walk with
+  | Error (i, tr, v) ->
+      Some
+        (Printf.sprintf "legal prefix rejected at step %d (%s): %s" i
+           (Lifecycle.transition_to_string tr)
+           (Lifecycle.violation_to_string v))
+  | Ok _ -> (
+      match Lifecycle.step lc mutant with
+      | Ok () ->
+          Some
+            (Printf.sprintf
+               "FALSE ACCEPT: %s after %d legal steps (%d-node cluster)"
+               (Lifecycle.transition_to_string mutant)
+               (List.length walk) nodes)
+      | Error _ -> (
+          (* rejection must not have moved the machine: anything the
+             shadow still calls legal must still be accepted *)
+          match List.filter (Lw.legal sh) (Lw.domain sh) with
+          | [] -> None
+          | legals -> (
+              let probe = Rng.choose rng (Array.of_list legals) in
+              match Lifecycle.step lc probe with
+              | Ok () -> None
+              | Error v ->
+                  Some
+                    (Printf.sprintf
+                       "state moved on rejection: after rejected %s, legal %s \
+                        failed: %s"
+                       (Lifecycle.transition_to_string mutant)
+                       (Lifecycle.transition_to_string probe)
+                       (Lifecycle.violation_to_string v)))))
+
+(* A [via] that is alive right now (earlier faults may have failed the
+   first pick over); deterministic in the alive set. *)
+let pick_via cl v =
+  let n = Cluster.size cl in
+  let rec go k =
+    if k = n then 0 else if Cluster.alive cl ((v + k) mod n) then (v + k) mod n
+    else go (k + 1)
+  in
+  go 0
+
+(* Channel fault storms must be absorbed deterministically: the same
+   op sequence under the same armed fault plan yields bit-identical KV
+   digests, RPC/failover counts and per-channel retry totals across
+   two full runs. Faults land via the production Host_transport hook,
+   so drops/duplicates/reorders/corruption exercise the real
+   retransmission, replay-rejection and failover paths. *)
+let cluster_fault_storm inj rng =
+  let nodes = 2 + Rng.int rng 2 in
+  let nops = 6 + Rng.int rng 10 in
+  let ops =
+    List.init nops (fun k ->
+        ( Rng.bool rng,
+          Printf.sprintf "k%d" (Rng.int rng 12),
+          Printf.sprintf "v%d.%d" k (Rng.int rng 100),
+          Rng.int rng nodes ))
+  in
+  let at = 1 + Rng.int rng 10 in
+  let times = 1 + Rng.int rng 3 in
+  let fault =
+    match Rng.int rng 4 with
+    | 0 -> Host_transport.Drop
+    | 1 -> Host_transport.Duplicate
+    | 2 -> Host_transport.Reorder
+    | _ -> Host_transport.Corrupt (Rng.int rng 256)
+  in
+  let run () =
+    Attestation.reset_nonce_cache ();
+    let cl = Cluster.create ~nodes () in
+    Fun.protect
+      ~finally:(fun () ->
+        Inject.disarm ();
+        Cluster.destroy cl)
+      (fun () ->
+        Inject.arm_channel inj ~times ~at ~fault ();
+        List.iter
+          (fun (put, key, v, via) ->
+            let via = pick_via cl via in
+            if put then ignore (Cluster.kv_put cl ~via key v)
+            else ignore (Cluster.kv_get cl ~via key))
+          ops;
+        Inject.disarm ();
+        ( Cluster.kv_digest cl,
+          Cluster.rpcs cl,
+          Cluster.rpc_failures cl,
+          Cluster.failovers cl,
+          List.fold_left
+            (fun a (c : Cluster.chan_stats) -> a + c.Cluster.cs_retries)
+            0 (Cluster.chan_stats cl) ))
+  in
+  let d1, r1, f1, o1, t1 = run () in
+  let d2, r2, f2, o2, t2 = run () in
+  if (d1, r1, f1, o1, t1) <> (d2, r2, f2, o2, t2) then
+    Some
+      (Printf.sprintf
+         "fault storm not deterministic (%s x%d at %d): digest %s/%s rpcs \
+          %d/%d failures %d/%d failovers %d/%d retries %d/%d"
+         (match fault with
+         | Host_transport.Drop -> "drop"
+         | Host_transport.Duplicate -> "duplicate"
+         | Host_transport.Reorder -> "reorder"
+         | Host_transport.Corrupt _ -> "corrupt")
+         times at
+         (String.sub d1 0 12) (String.sub d2 0 12) r1 r2 f1 f2 o1 o2 t1 t2)
+  else None
+
+(* The twin differential: a fault-free N-node cluster run and a
+   single-enclave twin fed the same KV workload must agree on every
+   read and on the cluster-level state digest, with zero RPC failures
+   and zero failovers — cross-enclave RPC is transparent when the host
+   behaves. *)
+let cluster_twin rng =
+  let nodes = 2 + Rng.int rng 3 in
+  let nops = 8 + Rng.int rng 8 in
+  let ops =
+    List.init nops (fun k ->
+        (Printf.sprintf "key%d" (Rng.int rng 10), Printf.sprintf "val%d" k))
+  in
+  let vias = List.map (fun _ -> Rng.int rng nodes) ops in
+  let run n vias =
+    Attestation.reset_nonce_cache ();
+    let cl = Cluster.create ~nodes:n () in
+    Fun.protect
+      ~finally:(fun () -> Cluster.destroy cl)
+      (fun () ->
+        List.iter2
+          (fun (k, v) via ->
+            if not (Cluster.kv_put cl ~via k v) then
+              failwith ("fault-free kv_put failed for " ^ k))
+          ops vias;
+        let reads = List.map (fun (k, _) -> Cluster.kv_get cl k) ops in
+        (Cluster.kv_digest cl, reads, Cluster.rpc_failures cl,
+         Cluster.failovers cl))
+  in
+  let dn, gn, fn, on_ = run nodes vias in
+  let d1, g1, _, _ = run 1 (List.map (fun _ -> 0) ops) in
+  if fn <> 0 || on_ <> 0 then
+    Some
+      (Printf.sprintf "fault-free cluster run had %d rpc failures, %d failovers"
+         fn on_)
+  else if dn <> d1 then
+    Some
+      (Printf.sprintf "cluster/single twin digests differ: %s vs %s"
+         (String.sub dn 0 12) (String.sub d1 0 12))
+  else if gn <> g1 then Some "cluster/single twin reads differ"
+  else None
+
+let cluster_case inj _shrink rng case =
+  let detail =
+    Fun.protect
+      ~finally:(fun () ->
+        Inject.disarm ();
+        Attestation.reset_nonce_cache ())
+      (fun () ->
+        match case mod 6 with
+        | 0 | 2 -> lw_accept_case rng
+        | 1 | 3 -> lw_reject_case rng
+        | 4 -> cluster_fault_storm inj rng
+        | _ -> cluster_twin rng)
+  in
+  Option.map
+    (fun d -> { prop = Cluster_orderliness; case; detail = d; minimized = None })
+    detail
+
+(* The acceptance-bar stress driver: every case is one fully-accepted
+   legal walk plus one guaranteed-illegal mutation that must be
+   rejected without moving the machine. 500 cases = 500 hostile
+   sequences, zero false accepts. *)
+let orderliness_stress ~seed ~cases =
+  let master = Rng.of_seed seed in
+  let fails = ref [] in
+  for case = 1 to cases do
+    let rng = Rng.split master in
+    (match lw_accept_case rng with
+    | None -> ()
+    | Some d -> fails := (case, d) :: !fails);
+    match lw_reject_case rng with
+    | None -> ()
+    | Some d -> fails := (case, d) :: !fails
+  done;
+  List.rev !fails
+
+(* --- orderliness corpus ---------------------------------------------------- *)
+
+let orderliness_magic = "# occlum-cluster-orderliness corpus v1"
+
+let replay_orderliness path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | s ->
+      let fail n fmt =
+        Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" n m)) fmt
+      in
+      let lc = ref None in
+      let rec go n = function
+        | [] -> Ok ()
+        | ln :: more -> (
+            let t = String.trim ln in
+            if t = "" || t.[0] = '#' then go (n + 1) more
+            else
+              match String.index_opt t ' ' with
+              | None -> fail n "unrecognized line: %s" t
+              | Some i -> (
+                  let kw = String.sub t 0 i in
+                  let arg = String.sub t (i + 1) (String.length t - i - 1) in
+                  match kw with
+                  | "nodes" -> (
+                      match int_of_string_opt arg with
+                      | Some k when k >= 1 ->
+                          lc := Some (Lifecycle.create ~nodes:k);
+                          go (n + 1) more
+                      | _ -> fail n "bad node count: %s" arg)
+                  | "ok" | "reject" -> (
+                      match !lc with
+                      | None -> fail n "transition before a nodes directive"
+                      | Some m -> (
+                          match Lifecycle.transition_of_string arg with
+                          | None -> fail n "bad transition: %s" arg
+                          | Some tr -> (
+                              match (kw, Lifecycle.step m tr) with
+                              | "ok", Ok () -> go (n + 1) more
+                              | "ok", Error v ->
+                                  fail n "expected accept for %s, got: %s" arg
+                                    (Lifecycle.violation_to_string v)
+                              | _, Error _ -> go (n + 1) more
+                              | _, Ok () -> fail n "FALSE ACCEPT: %s" arg)))
+                  | _ -> fail n "unrecognized keyword: %s" kw))
+      in
+      go 1 (String.split_on_char '\n' s)
+
+let emit_orderliness_corpus ~dir ~seed =
+  let master = Rng.of_seed seed in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b (orderliness_magic ^ "\n");
+  Buffer.add_string b
+    (Printf.sprintf
+       "# hostile interleavings for the Lifecycle orderliness checker (seed \
+        %Ld).\n" seed);
+  Buffer.add_string b
+    "# Each scenario: \"nodes n\" resets the machine; \"ok <tr>\" must be\n";
+  Buffer.add_string b
+    "# accepted; \"reject <tr>\" must be rejected with the state unchanged\n";
+  Buffer.add_string b
+    "# (the following ok lines continue from the pre-reject state).\n";
+  for s = 1 to 6 do
+    let rng = Rng.split master in
+    let nodes = 2 + (s mod 3) in
+    Buffer.add_string b (Printf.sprintf "nodes %d\n" nodes);
+    let sh = Lw.make nodes in
+    let emit_walk steps =
+      List.iter
+        (fun tr ->
+          Buffer.add_string b
+            ("ok " ^ Lifecycle.transition_to_string tr ^ "\n"))
+        (lw_walk rng sh steps)
+    in
+    emit_walk (8 + Rng.int rng 10);
+    let illegal =
+      Array.of_list (List.filter (fun tr -> not (Lw.legal sh tr)) (Lw.domain sh))
+    in
+    List.init 5 (fun _ -> Rng.choose rng illegal)
+    |> List.sort_uniq compare
+    |> List.iter (fun tr ->
+           Buffer.add_string b
+             ("reject " ^ Lifecycle.transition_to_string tr ^ "\n"));
+    emit_walk (4 + Rng.int rng 6)
+  done;
+  let file = Filename.concat dir "gen-cluster-orderliness.fuzz" in
+  let oc = open_out file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  file
+
 (* --- runner -------------------------------------------------------------- *)
 
 let run_case prop inj shrink rng case =
@@ -1457,6 +1933,7 @@ let run_case prop inj shrink rng case =
   | Mc_determinism -> mc_case inj shrink rng case
   | Guard_elide -> elide_case inj shrink rng case
   | Jit_equivalence -> jit_case inj shrink rng case
+  | Cluster_orderliness -> cluster_case inj shrink rng case
 
 let run ?(properties = all_properties) ?(shrink = true) ?metrics ~seed ~cases
     () =
@@ -1514,8 +1991,9 @@ let report_to_json r =
     (Printf.sprintf "{\"tool\":\"occlum_fuzz\",\"seed\":%Ld,\"cases\":%d,\"ok\":%b,"
        r.seed r.cases (ok r));
   Buffer.add_string b
-    (Printf.sprintf "\"injected\":{\"aex\":%d,\"epc\":%d,\"io\":%d},"
-       r.injected.Inject.aex r.injected.Inject.epc r.injected.Inject.io);
+    (Printf.sprintf "\"injected\":{\"aex\":%d,\"epc\":%d,\"io\":%d,\"chan\":%d},"
+       r.injected.Inject.aex r.injected.Inject.epc r.injected.Inject.io
+       r.injected.Inject.chan);
   Buffer.add_string b "\"properties\":[";
   List.iteri
     (fun i pr ->
@@ -1565,8 +2043,10 @@ let summary r =
            | n -> Printf.sprintf "%d FAILURES" n)))
     r.results;
   Buffer.add_string b
-    (Printf.sprintf "  injected: %d AEX, %d EPC faults, %d I/O faults\n"
-       r.injected.Inject.aex r.injected.Inject.epc r.injected.Inject.io);
+    (Printf.sprintf
+       "  injected: %d AEX, %d EPC faults, %d I/O faults, %d channel faults\n"
+       r.injected.Inject.aex r.injected.Inject.epc r.injected.Inject.io
+       r.injected.Inject.chan);
   List.iter
     (fun pr ->
       List.iter

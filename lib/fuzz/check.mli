@@ -44,7 +44,18 @@
       self-modifying-code byte flips applied identically to all three
       machines (generation invalidation, deopt, rebuild), and under EPC
       pressure with driver-forced evictions reloaded transparently
-      through ELDU. *)
+      through ELDU.
+    - {b cluster-orderliness}: the {!Occlum_cluster.Lifecycle}
+      orderliness checker bisimulates an independently-stated shadow
+      model of the cluster protocol — random legal interleavings are
+      fully accepted, guaranteed-illegal mutations (out-of-order
+      ECREATE/EINIT/EENTER, handshakes without serving endpoints,
+      sequence skips, replayed/rolled-back deliveries, out-of-range
+      ids) are 100% rejected without moving the machine; channel fault
+      storms through the {!Occlum_libos.Host_transport} hook are
+      absorbed bit-deterministically (same digest, RPC/failover/retry
+      counts across runs); and a fault-free N-node cluster is
+      digest- and read-identical to its single-enclave twin. *)
 
 open Occlum_toolchain
 
@@ -68,6 +79,11 @@ type property =
       (** the JIT, decode-cache and uncached tiers are bit-equivalent at
           every stop under interrupt storms, identical self-modifying
           byte flips, and EPC pressure with transparent reloads *)
+  | Cluster_orderliness
+      (** the cluster lifecycle checker accepts every legal
+          interleaving and rejects every hostile mutation (zero false
+          accepts); channel fault storms are deterministic; fault-free
+          N-node clusters twin with a single enclave *)
 
 val all_properties : property list
 val property_name : property -> string
@@ -122,3 +138,23 @@ val emit_corpus : dir:string -> seed:int64 -> (string * int) list
     bounded loop, ...), each still verifier-accepted and contained after
     minimization, and write them as [dir/gen-<feature>.fuzz]. Returns
     [(file, instruction_count)] per file written. *)
+
+(** {1 Cluster orderliness} *)
+
+val orderliness_stress : seed:int64 -> cases:int -> (int * string) list
+(** [cases] seed-fixed hostile cases against the
+    {!Occlum_cluster.Lifecycle} checker: each is one fully-accepted
+    legal walk plus one guaranteed-illegal mutation that must be
+    rejected without moving the machine. Returns the (empty, on a
+    correct checker) list of [(case, detail)] failures — any entry is a
+    false accept or a false reject. *)
+
+val replay_orderliness : string -> (unit, string) result
+(** Replay the orderliness corpus file at the given path: [nodes n]
+    lines reset the checker, [ok <transition>] lines must be accepted,
+    [reject <transition>] lines must be rejected (state unchanged). *)
+
+val emit_orderliness_corpus : dir:string -> seed:int64 -> string
+(** Write [dir/gen-cluster-orderliness.fuzz]: a handful of short
+    scenarios interleaving legal progress with must-reject mutations,
+    derived from the shadow model at [seed]. Returns the file path. *)

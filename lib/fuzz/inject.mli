@@ -1,14 +1,18 @@
 (** Deterministic fault-injection plans, threaded into the production
     seams: interrupt hooks in {!Occlum_machine.Interp.run} (forced AEX),
     the {!Occlum_sgx.Epc} allocation hook (EPC exhaustion at the k-th
-    allocation), and the {!Occlum_libos.Sefs}/{!Occlum_libos.Net} I/O
-    hooks (transient errors, short transfers). A plan also counts what it
-    injected, and can export the counters as metrics. *)
+    allocation), the {!Occlum_libos.Sefs}/{!Occlum_libos.Net} I/O
+    hooks (transient errors, short transfers), and the
+    {!Occlum_libos.Host_transport} fault hook (a hostile host dropping,
+    duplicating, reordering or corrupting cross-enclave frames). A plan
+    also counts what it injected, and can export the counters as
+    metrics. *)
 
 type t = {
   mutable aex : int;  (** interrupts fired (forced AEX points) *)
   mutable epc : int;  (** EPC allocation failures injected *)
   mutable io : int;   (** I/O faults injected *)
+  mutable chan : int;  (** cross-enclave transport faults injected *)
 }
 
 val make : unit -> t
@@ -39,10 +43,23 @@ val arm_net :
 (** Inject [fault] into the [at]-th network send/recv, for [times]
     consecutive consults (default one-shot). *)
 
+val arm_channel :
+  t ->
+  ?times:int ->
+  at:int ->
+  fault:Occlum_libos.Host_transport.fault ->
+  unit ->
+  unit
+(** Make the [at]-th cross-enclave frame send (1-based, counted over the
+    {!Occlum_libos.Host_transport} hook) suffer [fault], and the
+    [times - 1] sends after it (default one-shot). The counter is a pure
+    function of the send sequence, so identical runs fault identical
+    frames — the contract behind the channel determinism property. *)
+
 val disarm : unit -> unit
-(** Clear every armed hook (EPC, SEFS, net). Always call when a scenario
-    ends; hooks are global seams. *)
+(** Clear every armed hook (EPC, SEFS, net, host transport). Always call
+    when a scenario ends; hooks are global seams. *)
 
 val export : t -> Occlum_obs.Metrics.registry -> unit
 (** Add the plan's totals to the [fuzz.inject.aex] / [fuzz.inject.epc] /
-    [fuzz.inject.io] counters. *)
+    [fuzz.inject.io] / [fuzz.inject.chan] counters. *)

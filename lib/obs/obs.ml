@@ -13,9 +13,11 @@ type cls =
   | Jit
   | Sefs
   | Net
+  | Cluster
 
 let all_classes =
-  [ Quantum; Syscall; Sched; Lifecycle; Aex; Page; Dcache; Jit; Sefs; Net ]
+  [ Quantum; Syscall; Sched; Lifecycle; Aex; Page; Dcache; Jit; Sefs; Net;
+    Cluster ]
 
 let cls_name = function
   | Quantum -> "quantum"
@@ -28,6 +30,7 @@ let cls_name = function
   | Jit -> "jit"
   | Sefs -> "sefs"
   | Net -> "net"
+  | Cluster -> "cluster"
 
 let cls_of_string = function
   | "quantum" -> Some Quantum
@@ -40,6 +43,7 @@ let cls_of_string = function
   | "jit" -> Some Jit
   | "sefs" -> Some Sefs
   | "net" -> Some Net
+  | "cluster" -> Some Cluster
   | _ -> None
 
 let classes_of_string s =
@@ -74,6 +78,7 @@ type t = {
   t_jit : bool;
   t_sefs : bool;
   t_net : bool;
+  t_cluster : bool;
 }
 
 let disabled =
@@ -92,6 +97,7 @@ let disabled =
     t_jit = false;
     t_sefs = false;
     t_net = false;
+    t_cluster = false;
   }
 
 let create ?(capacity = 65536) ?(events = all_classes) () =
@@ -111,6 +117,7 @@ let create ?(capacity = 65536) ?(events = all_classes) () =
     t_jit = on Jit;
     t_sefs = on Sefs;
     t_net = on Net;
+    t_cluster = on Cluster;
   }
 
 (* A per-core shard of [parent]: its own metrics registry (merged back
@@ -135,6 +142,7 @@ let shard parent =
       t_jit = false;
       t_sefs = false;
       t_net = false;
+      t_cluster = false;
     }
 
 let emit t kind = Trace.emit t.trace ~ts:(t.now ()) kind

@@ -18,6 +18,7 @@ type cls =
   | Jit  (** block-JIT compile/hit/invalidate/deopt *)
   | Sefs  (** encrypted-FS reads/writes with byte counts *)
   | Net  (** network send/recv with byte counts *)
+  | Cluster  (** quotes, attested channels, RPC retries, failover *)
 
 val all_classes : cls list
 val cls_name : cls -> string
@@ -41,6 +42,7 @@ type t = {
   t_jit : bool;
   t_sefs : bool;
   t_net : bool;
+  t_cluster : bool;
 }
 
 val disabled : t

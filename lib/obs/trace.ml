@@ -36,6 +36,14 @@ type kind =
   | Spawn of { pid : int; parent : int; path : string }
   | Exit of { pid : int; code : int }
   | Sched_switch of { from_pid : int; to_pid : int }
+  | Quote_issue of { enclave : int }
+  | Chan_attest of { a : int; b : int }
+  | Chan_open of { a : int; b : int }
+  | Chan_msg of { a : int; b : int; seq : int; bytes : int }
+  | Chan_retry of { a : int; b : int; seq : int }
+  | Chan_fault of { a : int; b : int; kind : string }
+  | Chan_close of { a : int; b : int }
+  | Failover of { failed : int; target : int }
 
 let kind_name = function
   | Quantum_start _ -> "quantum_start"
@@ -65,6 +73,14 @@ let kind_name = function
   | Spawn _ -> "spawn"
   | Exit _ -> "exit"
   | Sched_switch _ -> "sched_switch"
+  | Quote_issue _ -> "quote_issue"
+  | Chan_attest _ -> "chan_attest"
+  | Chan_open _ -> "chan_open"
+  | Chan_msg _ -> "chan_msg"
+  | Chan_retry _ -> "chan_retry"
+  | Chan_fault _ -> "chan_fault"
+  | Chan_close _ -> "chan_close"
+  | Failover _ -> "failover"
 
 type event = { ts : int64; kind : kind }
 
@@ -256,7 +272,38 @@ let to_chrome_json t =
       | Sched_switch { from_pid; to_pid } ->
           put ~name:"sched_switch" ~cat:"sched" ~ph:"i" ~ts ~tid:to_pid
             ~args:[ ("from", string_of_int from_pid);
-                    ("to", string_of_int to_pid) ])
+                    ("to", string_of_int to_pid) ]
+      | Quote_issue { enclave } ->
+          put ~name:"quote_issue" ~cat:"cluster" ~ph:"i" ~ts ~tid:0
+            ~args:[ ("enclave", string_of_int enclave) ]
+      | Chan_attest { a; b } ->
+          put ~name:"chan_attest" ~cat:"cluster" ~ph:"i" ~ts ~tid:0
+            ~args:[ ("a", string_of_int a); ("b", string_of_int b) ]
+      | Chan_open { a; b } ->
+          put ~name:"chan_open" ~cat:"cluster" ~ph:"i" ~ts ~tid:0
+            ~args:[ ("a", string_of_int a); ("b", string_of_int b) ]
+      | Chan_msg { a; b; seq; bytes } ->
+          put ~name:"chan_msg" ~cat:"cluster" ~ph:"i" ~ts ~tid:0
+            ~args:
+              [ ("a", string_of_int a); ("b", string_of_int b);
+                ("seq", string_of_int seq); ("bytes", string_of_int bytes) ]
+      | Chan_retry { a; b; seq } ->
+          put ~name:"chan_retry" ~cat:"cluster" ~ph:"i" ~ts ~tid:0
+            ~args:
+              [ ("a", string_of_int a); ("b", string_of_int b);
+                ("seq", string_of_int seq) ]
+      | Chan_fault { a; b; kind } ->
+          put ~name:"chan_fault" ~cat:"cluster" ~ph:"i" ~ts ~tid:0
+            ~args:
+              [ ("a", string_of_int a); ("b", string_of_int b);
+                ("kind", str kind) ]
+      | Chan_close { a; b } ->
+          put ~name:"chan_close" ~cat:"cluster" ~ph:"i" ~ts ~tid:0
+            ~args:[ ("a", string_of_int a); ("b", string_of_int b) ]
+      | Failover { failed; target } ->
+          put ~name:"failover" ~cat:"cluster" ~ph:"i" ~ts ~tid:0
+            ~args:[ ("failed", string_of_int failed);
+                    ("target", string_of_int target) ])
     (events t);
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf

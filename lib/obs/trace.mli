@@ -39,6 +39,16 @@ type kind =
   | Spawn of { pid : int; parent : int; path : string }
   | Exit of { pid : int; code : int }
   | Sched_switch of { from_pid : int; to_pid : int }
+  | Quote_issue of { enclave : int }  (** quoting enclave countersigned *)
+  | Chan_attest of { a : int; b : int }  (** mutual quote verification *)
+  | Chan_open of { a : int; b : int }
+  | Chan_msg of { a : int; b : int; seq : int; bytes : int }
+  | Chan_retry of { a : int; b : int; seq : int }
+  | Chan_fault of { a : int; b : int; kind : string }
+      (** hard channel fault: replay/rollback/timeout/down *)
+  | Chan_close of { a : int; b : int }
+  | Failover of { failed : int; target : int }
+      (** a dead node's shard moved to [target] *)
 
 val kind_name : kind -> string
 

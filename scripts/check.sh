@@ -13,6 +13,9 @@
 #     fuzz smoke, bench + baseline compare) per compiler.
 #   - `cores` runs the multi-core determinism differential below plus
 #     the multicore bench section, and uploads bench-multicore-<compiler>.
+#   - `cluster` runs the cluster console smoke below plus the cluster
+#     test suite, a 500-case cluster-orderliness sweep and the cluster
+#     bench section, and uploads bench-cluster-<compiler>.
 #   - `fuzz` runs a longer occlum_fuzz sweep than the smoke here.
 set -eu
 cd "$(dirname "$0")/.."
@@ -139,13 +142,35 @@ cmp _build/jit-console.txt _build/nojit-console.txt || {
   exit 1
 }
 
+# Cluster smoke: a seeded 3-node attested KV run is bit-reproducible
+# (virtual clocks + seed-threaded traffic), and the same run under
+# injected host-frame corruption must recover via re-attestation
+# (exit 0, a bumped channel epoch) rather than wedge or fail.
+dune exec bin/occlum_cluster.exe -- --digest > _build/cluster-a.txt
+dune exec bin/occlum_cluster.exe -- --digest > _build/cluster-b.txt
+cmp _build/cluster-a.txt _build/cluster-b.txt || {
+  echo "FAIL: two seeded cluster runs differ (lost reproducibility)" >&2
+  exit 1
+}
+dune exec bin/occlum_cluster.exe -- --fault corrupt --fault-at 2 \
+  --fault-times 4 > _build/cluster-fault.txt || {
+  echo "FAIL: cluster did not absorb injected frame corruption" >&2
+  exit 1
+}
+grep -q "epoch 2" _build/cluster-fault.txt || {
+  echo "FAIL: corrupted channel was not re-attested (no epoch bump)" >&2
+  exit 1
+}
+
 # Bounded fuzz smoke: 200 cases of every property under the injected
 # interrupt storm, with a fixed seed so the JSON report (a CI artifact)
 # is bit-reproducible — a failing run prints the shrunk reproducer.
+# This covers cluster-orderliness (property #9): hostile lifecycle
+# sequences against the orderliness monitor, zero false accepts.
 dune exec bin/occlum_fuzz.exe -- --seed 42 --cases 200 --shrink \
   --json _build/fuzz-report.json
 
-dune exec bench/main.exe -- --only=micro,paging,serving,multicore,guards,jit \
+dune exec bench/main.exe -- --only=micro,paging,serving,multicore,guards,jit,cluster \
   --json _build/bench-micro.json
 python3 scripts/compare_bench.py bench/baseline-micro.json \
   _build/bench-micro.json --threshold "${BENCH_THRESHOLD:-0.25}"

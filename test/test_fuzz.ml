@@ -32,7 +32,7 @@ let test_distinct_seeds () =
   in
   Alcotest.(check bool) "seeds diverge" true (aex 1L <> aex 2L)
 
-(* --- the eight properties at acceptance volume ------------------------------ *)
+(* --- the nine properties at acceptance volume ------------------------------ *)
 
 let test_all_properties_500 () =
   let reg = Occlum_obs.Metrics.create () in
@@ -50,7 +50,9 @@ let test_all_properties_500 () =
     (report.Check.injected.Inject.epc > 0);
   Alcotest.(check bool) "I/O faults injected" true
     (report.Check.injected.Inject.io > 0);
-  Alcotest.(check int) "fuzz.cases metric" (500 * 8)
+  Alcotest.(check bool) "channel faults injected" true
+    (report.Check.injected.Inject.chan > 0);
+  Alcotest.(check int) "fuzz.cases metric" (500 * 9)
     (Occlum_obs.Metrics.value (Occlum_obs.Metrics.counter reg "fuzz.cases"));
   Alcotest.(check int) "fuzz.failures metric" 0
     (Occlum_obs.Metrics.value (Occlum_obs.Metrics.counter reg "fuzz.failures"))
@@ -230,12 +232,20 @@ let test_corpus_replay () =
     (List.length files >= 8);
   List.iter
     (fun file ->
-      match Corpus.load file with
-      | Error e -> Alcotest.failf "%s does not parse: %s" file e
-      | Ok items -> (
-          match Check.replay_items items with
-          | Ok () -> ()
-          | Error e -> Alcotest.failf "%s: %s" file e))
+      (* the cluster-orderliness corpus carries lifecycle transitions,
+         not instructions; it has its own format and replayer *)
+      if Filename.basename file = "gen-cluster-orderliness.fuzz" then begin
+        match Check.replay_orderliness file with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s: %s" file e
+      end
+      else
+        match Corpus.load file with
+        | Error e -> Alcotest.failf "%s does not parse: %s" file e
+        | Ok items -> (
+            match Check.replay_items items with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "%s: %s" file e))
     files
 
 let test_corpus_format_roundtrip () =
@@ -250,7 +260,7 @@ let suite =
   [
     Alcotest.test_case "report determinism" `Quick test_determinism;
     Alcotest.test_case "distinct seeds explore" `Quick test_distinct_seeds;
-    Alcotest.test_case "eight properties x 500 cases" `Quick
+    Alcotest.test_case "nine properties x 500 cases" `Quick
       test_all_properties_500;
     Alcotest.test_case "broken guard caught + shrunk <= 10" `Quick
       test_broken_guard_caught_and_shrunk;

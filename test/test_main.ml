@@ -19,6 +19,7 @@ let () =
       ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);
       ("analysis", Test_analysis.suite);
+      ("cluster", Test_cluster.suite);
       ("fuzz", Test_fuzz.suite);
       ("serving", Test_serving.suite);
       ("multicore", Test_multicore.suite);
